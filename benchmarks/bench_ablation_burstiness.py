@@ -1,0 +1,58 @@
+"""ABL3 — burstiness ablation.
+
+The paper asserts (§4.1) that increasing source burstiness (larger
+sigma) raises absolute delays but leaves the *relative* improvement
+R_{X,Y} essentially unchanged.  This bench regenerates that claim.
+"""
+
+import pytest
+
+from repro.analysis.comparison import relative_improvement
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.core.integrated import IntegratedAnalysis
+from repro.network.tandem import CONNECTION0, build_tandem
+
+from benchmarks.conftest import emit
+
+
+SIGMAS = (0.5, 1.0, 2.0, 4.0)
+
+
+def improvements(n=4, u=0.6):
+    out = {}
+    for sigma in SIGMAS:
+        net = build_tandem(n, u, sigma=sigma)
+        dd = DecomposedAnalysis().analyze(net).delay_of(CONNECTION0)
+        di = IntegratedAnalysis().analyze(net).delay_of(CONNECTION0)
+        out[sigma] = (dd, di, relative_improvement(dd, di))
+    return out
+
+
+def test_ablation_burstiness_table(benchmark):
+    rows = ["sigma    D_decomposed    D_integrated    R[dec,int]"]
+    data = benchmark.pedantic(improvements, rounds=1, iterations=1)
+    for sigma, (dd, di, r) in data.items():
+        rows.append(f"{sigma:5.2f}  {dd:14.4f}  {di:14.4f}  {r:10.4f}")
+    emit("ABL3: burstiness ablation (n=4, U=0.6)", "\n".join(rows))
+    # absolute delays scale ~linearly with sigma...
+    assert data[4.0][0] > data[0.5][0]
+    # ...while the relative improvement barely moves (paper claim)
+    rs = [r for (_, _, r) in data.values()]
+    assert max(rs) - min(rs) < 0.05
+
+
+def test_ablation_burstiness_timing(benchmark):
+    result = benchmark.pedantic(improvements, rounds=2, iterations=1)
+    assert result
+
+
+def test_delays_scale_linearly_with_sigma(benchmark):
+    """All three bounds are homogeneous of degree 1 in sigma."""
+    benchmark.pedantic(lambda: build_tandem(3, 0.5), rounds=1,
+                       iterations=1)
+    for analyzer in (DecomposedAnalysis(), IntegratedAnalysis()):
+        d1 = analyzer.analyze(build_tandem(3, 0.5, sigma=1.0)) \
+            .delay_of(CONNECTION0)
+        d3 = analyzer.analyze(build_tandem(3, 0.5, sigma=3.0)) \
+            .delay_of(CONNECTION0)
+        assert d3 == pytest.approx(3.0 * d1, rel=1e-6)

@@ -1,0 +1,71 @@
+"""ABL2 — partition-strategy ablation for Algorithm Integrated.
+
+Compares the through-connection bound under three partitionings of the
+same tandem: singletons (== capped decomposition), pairing along
+Connection 0's path (the paper's setup), and greedy heaviest-edge
+pairing.  Shows where the two-server integration itself (vs. mere
+line-rate capping) contributes.
+"""
+
+import pytest
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.core.integrated import IntegratedAnalysis
+from repro.core.partition import (
+    GreedyPairing,
+    PairAlongPath,
+    SingletonPartition,
+)
+from repro.network.tandem import CONNECTION0, build_tandem
+
+from benchmarks.conftest import emit
+
+
+STRATEGIES = {
+    "singletons": SingletonPartition,
+    "pair-along-path": PairAlongPath,
+    "greedy": GreedyPairing,
+}
+
+
+def _table():
+    lines = ["   n     U    decomposed    singletons    pair-path"
+             "       greedy"]
+    for n in (2, 4, 8):
+        for u in (0.3, 0.6, 0.9):
+            net = build_tandem(n, u)
+            dec = DecomposedAnalysis().analyze(net).delay_of(CONNECTION0)
+            row = [f"{n:4d}  {u:.2f}  {dec:12.4f}"]
+            for factory in STRATEGIES.values():
+                d = IntegratedAnalysis(strategy=factory()) \
+                    .analyze(net).delay_of(CONNECTION0)
+                row.append(f"{d:12.4f}")
+            lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+def test_ablation_pairing_table(benchmark):
+    table = benchmark.pedantic(_table, rounds=1, iterations=1)
+    emit("ABL2: partition-strategy ablation (Connection 0 bound)", table)
+
+
+@pytest.mark.parametrize("name", list(STRATEGIES))
+def test_ablation_pairing_timing(benchmark, name):
+    """Time Algorithm Integrated under each partitioning (n=6)."""
+    net = build_tandem(6, 0.7)
+    analyzer = IntegratedAnalysis(strategy=STRATEGIES[name]())
+    result = benchmark.pedantic(
+        lambda: analyzer.analyze(net).delay_of(CONNECTION0),
+        rounds=3, iterations=1)
+    assert result > 0
+
+
+def test_pairing_beats_singletons(benchmark):
+    """The two-server integration must add value over capping alone."""
+    net = benchmark.pedantic(lambda: build_tandem(6, 0.7), rounds=1,
+                             iterations=1)
+    single = IntegratedAnalysis(strategy=SingletonPartition()) \
+        .analyze(net).delay_of(CONNECTION0)
+    paired = IntegratedAnalysis(strategy=PairAlongPath()) \
+        .analyze(net).delay_of(CONNECTION0)
+    assert paired <= single + 1e-9

@@ -1,0 +1,35 @@
+"""ADM1 — admission capacity per analysis algorithm.
+
+The paper motivates tighter delay analysis through connection admission
+(§1): "some real time connections may be rejected ... even though the
+network can guarantee their QoS requirements".  This bench quantifies
+the effect: identical deadline-constrained connections are admitted
+onto a 4-hop tandem until first rejection, per analyzer.
+"""
+
+from repro.eval.admission_capacity import admission_capacity, capacity_table
+
+from benchmarks.conftest import emit
+
+ANALYZERS = ("service_curve", "decomposed", "integrated")
+DEADLINES = (10.0, 20.0, 40.0)
+
+
+def test_admission_capacity_table(benchmark):
+    table = benchmark.pedantic(
+        lambda: capacity_table(ANALYZERS, 4, DEADLINES, rho=0.02,
+                               max_tries=120),
+        rounds=1, iterations=1)
+    emit("ADM1: connections admitted on a 4-hop tandem "
+         "(identical requests, rho=0.02)", table)
+
+
+def test_integrated_admits_most(benchmark):
+    counts = {a: benchmark.pedantic(
+        lambda a=a: admission_capacity(a, 4, 20.0, rho=0.02,
+                                       max_tries=120).admitted,
+        rounds=1, iterations=1) if a == "integrated" else
+        admission_capacity(a, 4, 20.0, rho=0.02, max_tries=120).admitted
+        for a in ANALYZERS}
+    assert counts["integrated"] >= counts["decomposed"]
+    assert counts["decomposed"] >= 1

@@ -1,0 +1,28 @@
+"""XOVER — the Figure-4 compounding effect, located precisely.
+
+Bisects (on the exact closed forms) for the load at which the
+service-curve and decomposition bounds swap order, per tandem size —
+turning the paper's qualitative "partly offset by the compounding
+effects" remark into a measured curve U*(n).
+"""
+
+from repro.eval.crossover import crossover_table, find_crossover
+
+from benchmarks.conftest import emit
+
+SIZES = (2, 4, 6, 8, 10, 12, 16)
+
+
+def test_crossover_table(benchmark):
+    table = benchmark.pedantic(lambda: crossover_table(SIZES),
+                               rounds=1, iterations=1)
+    emit("XOVER: load U* where D_SC crosses D_D per tandem size",
+         table)
+
+
+def test_crossover_monotone_in_size(benchmark):
+    """U*(n) must be nondecreasing where it exists — more hops, more
+    compounding, longer service-curve advantage."""
+    benchmark.pedantic(lambda: find_crossover(6), rounds=1, iterations=1)
+    loads = [find_crossover(n).load for n in (6, 8, 10, 12)]
+    assert all(a <= b + 1e-9 for a, b in zip(loads, loads[1:]))

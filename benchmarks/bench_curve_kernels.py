@@ -1,0 +1,62 @@
+"""KERN — micro-benchmarks of the min-plus curve kernels.
+
+The curve algebra is the hot path of every analysis (profiling shows
+>80% of analysis time inside curve operations), so its primitives are
+tracked here: exact convolution, horizontal deviation, aggregate
+summation, and the sampled-grid convolution fallback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.curves import numeric
+from repro.curves.piecewise import PiecewiseLinearCurve as P
+from repro.curves.token_bucket import TokenBucket, aggregate_curve
+from repro.utils.grid import make_grid
+
+
+def many_bucket_curves(k=32):
+    return [TokenBucket(1.0 + 0.1 * i, 0.01 + 0.002 * i, peak=1.0)
+            for i in range(k)]
+
+
+def test_kern_aggregate_32_flows(benchmark):
+    buckets = many_bucket_curves(32)
+    agg = benchmark(lambda: aggregate_curve(buckets))
+    assert agg.long_term_rate() > 0
+
+
+def test_kern_hdev_large_aggregate(benchmark):
+    agg = aggregate_curve(many_bucket_curves(32))
+    line = P.line(1.5)
+    d = benchmark(lambda: agg.horizontal_deviation(line))
+    assert d > 0
+
+
+def test_kern_exact_convex_convolution(benchmark):
+    curves = [P.rate_latency(1.0 - 0.01 * i, 0.5 + 0.1 * i)
+              for i in range(16)]
+
+    def chain():
+        acc = curves[0]
+        for c in curves[1:]:
+            acc = acc.convolve(c)
+        return acc
+
+    out = benchmark(chain)
+    assert out.final_slope == pytest.approx(1.0 - 0.15)
+
+
+def test_kern_grid_convolution_4096(benchmark):
+    grid = make_grid(50.0, 4096)
+    f = numeric.sample(P.affine(1.0, 0.2), grid)
+    g = numeric.sample(P.rate_latency(1.0, 2.0), grid)
+    out = benchmark(lambda: numeric.grid_convolve(f, g))
+    assert np.isfinite(out).all()
+
+
+def test_kern_pseudo_inverse_vectorized(benchmark):
+    agg = aggregate_curve(many_bucket_curves(16))
+    targets = np.linspace(0.0, float(agg(100.0)), 512)
+    out = benchmark(lambda: agg.pseudo_inverse(targets))
+    assert np.all(np.diff(out) >= -1e-9)

@@ -1,0 +1,69 @@
+"""EXT3 — guaranteed-rate tandem: where the service-curve method shines.
+
+The paper's §1.2 claims the service-curve method "performs very well"
+for guaranteed-rate disciplines and fails only for FIFO-like ones.
+This bench runs the same tandem workload over WFQ-style servers and
+shows the induced rate-latency curves beating decomposition — the
+mirror image of Figure 4 — validating that the library's service-curve
+machinery is sound and the FIFO failure is about FIFO, not about the
+implementation.
+"""
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.analysis.service_curve import ServiceCurveAnalysis
+from repro.curves.token_bucket import TokenBucket
+from repro.network.flow import Flow
+from repro.network.tandem import CONNECTION0, build_tandem
+from repro.network.topology import Discipline, Network, ServerSpec
+
+from benchmarks.conftest import emit
+
+
+def gr_tandem(n, u):
+    base = build_tandem(n, u)
+    servers = [ServerSpec(k, 1.0, Discipline.GUARANTEED_RATE)
+               for k in range(1, n + 1)]
+    flows = [Flow(f.name, f.bucket, f.path)
+             for f in base.flows.values()]
+    return Network(servers, flows)
+
+
+def test_ext_gr_table(benchmark):
+    benchmark.pedantic(lambda: gr_tandem(2, 0.4), rounds=1, iterations=1)
+    rows = ["   n     U    sc-on-fifo    sc-on-gr    dec-on-gr"]
+    for n in (2, 4, 8):
+        for u in (0.4, 0.8):
+            fifo_sc = ServiceCurveAnalysis().analyze(build_tandem(n, u)) \
+                .delay_of(CONNECTION0)
+            gr = gr_tandem(n, u)
+            gr_sc = ServiceCurveAnalysis().analyze(gr) \
+                .delay_of(CONNECTION0)
+            gr_dec = DecomposedAnalysis().analyze(gr) \
+                .delay_of(CONNECTION0)
+            rows.append(f"{n:4d}  {u:.2f}  {fifo_sc:12.4f}"
+                        f"  {gr_sc:10.4f}  {gr_dec:11.4f}")
+            # the paper's §1.2 claim: service curves are effective for
+            # guaranteed-rate servers — on GR the method is *exact*
+            # (sigma/rho for fluid WFQ with minimal reservation, hop
+            # count irrelevant) and never looser than decomposition
+            assert gr_sc <= gr_dec + 1e-9
+            assert abs(gr_sc - 4.0 / u) < 1e-6
+            # ...and at high load it beats the FIFO induced curves,
+            # whose latency terms blow up (the Figure-4 failure mode)
+            if u >= 0.8:
+                assert gr_sc < fifo_sc
+    emit("EXT3: service-curve method on guaranteed-rate vs FIFO tandems",
+         "\n".join(rows))
+
+
+def test_gr_sc_load_insensitive(benchmark):
+    """With per-flow reservations the bound depends on the flow's own
+    parameters only — load does not move it (fluid WFQ isolation)."""
+    benchmark.pedantic(lambda: gr_tandem(2, 0.4), rounds=1, iterations=1)
+    lo = ServiceCurveAnalysis().analyze(gr_tandem(4, 0.4)) \
+        .delay_of(CONNECTION0)
+    hi = ServiceCurveAnalysis().analyze(gr_tandem(4, 0.8)) \
+        .delay_of(CONNECTION0)
+    # higher load means higher reserved rate here (rho = U/4), which
+    # actually *helps* the flow: the bound must not increase
+    assert hi <= lo + 1e-9

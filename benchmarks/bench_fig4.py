@@ -1,0 +1,40 @@
+"""FIG4 — Decomposed vs Service Curve (paper Figure 4).
+
+Regenerates both panels of Figure 4 and times the two baseline
+analyzers on the paper's largest configuration (n=8).
+"""
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.analysis.service_curve import ServiceCurveAnalysis
+from repro.eval.figures import figure4
+from repro.eval.tables import render_figure
+from repro.eval.workloads import Sweep
+from repro.network.tandem import CONNECTION0, build_tandem
+
+from benchmarks.conftest import emit
+
+
+def test_fig4_regenerate(benchmark, bench_sweep):
+    """Regenerate Figure 4 (timed on a single-load sub-sweep)."""
+    small = Sweep(loads=(0.5,), hops=(2, 4, 6, 8))
+    benchmark.pedantic(figure4, args=(small,), rounds=3, iterations=1)
+    fig = figure4(bench_sweep)
+    emit("FIG4: Decomposed vs Service Curve", render_figure(fig))
+
+
+def test_fig4_decomposed_n8(benchmark):
+    """Time Algorithm Decomposed on the n=8, U=0.9 tandem."""
+    net = build_tandem(8, 0.9)
+    analyzer = DecomposedAnalysis()
+    result = benchmark(lambda: analyzer.analyze(net)
+                       .delay_of(CONNECTION0))
+    assert result > 0
+
+
+def test_fig4_service_curve_n8(benchmark):
+    """Time Algorithm Service Curve on the n=8, U=0.9 tandem."""
+    net = build_tandem(8, 0.9)
+    analyzer = ServiceCurveAnalysis()
+    result = benchmark(lambda: analyzer.analyze(net)
+                       .delay_of(CONNECTION0))
+    assert result > 0

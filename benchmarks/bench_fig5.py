@@ -1,0 +1,44 @@
+"""FIG5 — Integrated vs Decomposed (paper Figure 5).
+
+The headline comparison: the integrated method must always be tighter,
+with improvement growing with network size at moderate loads.
+"""
+
+from repro.core.integrated import IntegratedAnalysis
+from repro.eval.figures import figure5
+from repro.eval.tables import render_figure
+from repro.eval.workloads import Sweep
+from repro.network.tandem import CONNECTION0, build_tandem
+
+from benchmarks.conftest import emit
+
+
+def test_fig5_regenerate(benchmark, bench_sweep):
+    """Regenerate Figure 5 (timed on a single-load sub-sweep)."""
+    small = Sweep(loads=(0.5,), hops=(2, 4, 8))
+    benchmark.pedantic(figure5, args=(small,), rounds=3, iterations=1)
+    sweep = Sweep(loads=bench_sweep.loads, hops=(2, 4, 8))
+    fig = figure5(sweep)
+    emit("FIG5: Integrated vs Decomposed", render_figure(fig))
+    # shape assertion: integrated always tighter
+    for s in fig.improvement_series:
+        assert all(v > 0 for v in s.values)
+
+
+def test_fig5_integrated_n8(benchmark):
+    """Time Algorithm Integrated on the n=8, U=0.9 tandem."""
+    net = build_tandem(8, 0.9)
+    analyzer = IntegratedAnalysis()
+    result = benchmark.pedantic(
+        lambda: analyzer.analyze(net).delay_of(CONNECTION0),
+        rounds=3, iterations=1)
+    assert result > 0
+
+
+def test_fig5_integrated_theorem1_only_n8(benchmark):
+    """Time the Theorem-1-only variant (no theta optimization)."""
+    net = build_tandem(8, 0.9)
+    analyzer = IntegratedAnalysis(use_family_kernel=False)
+    result = benchmark(lambda: analyzer.analyze(net)
+                       .delay_of(CONNECTION0))
+    assert result > 0

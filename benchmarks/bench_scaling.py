@@ -1,0 +1,58 @@
+"""SCAL — runtime scaling of the analyses with network size.
+
+The paper requires delay analysis to be "simple and fast in order to be
+used as part of online connection admission control" (§1).  This bench
+measures how each algorithm's wall-clock scales with the tandem size
+and asserts the analyses stay comfortably in the online regime
+(well under a second even at n=16).
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.analysis.service_curve import ServiceCurveAnalysis
+from repro.core.integrated import IntegratedAnalysis
+from repro.network.tandem import CONNECTION0, build_tandem
+
+from benchmarks.conftest import emit
+
+SIZES = (2, 4, 8, 16)
+ANALYZERS = {
+    "decomposed": DecomposedAnalysis,
+    "service_curve": ServiceCurveAnalysis,
+    "integrated": IntegratedAnalysis,
+}
+
+
+def test_scaling_table(benchmark):
+    benchmark.pedantic(
+        lambda: DecomposedAnalysis().analyze(build_tandem(4, 0.7)),
+        rounds=1, iterations=1)
+    rows = [f"{'n':>4}" + "".join(f"{name:>16}" for name in ANALYZERS)]
+    for n in SIZES:
+        net = build_tandem(n, 0.7)
+        row = f"{n:4d}"
+        for factory in ANALYZERS.values():
+            analyzer = factory()
+            t0 = time.perf_counter()
+            analyzer.analyze(net).delay_of(CONNECTION0)
+            elapsed = time.perf_counter() - t0
+            row += f"{elapsed * 1000:13.1f} ms"
+        rows.append(row)
+    emit("SCAL: analysis wall-clock vs tandem size (U=0.7)",
+         "\n".join(rows))
+
+
+@pytest.mark.parametrize("name", list(ANALYZERS))
+def test_online_capable_at_n16(benchmark, name):
+    """Each analysis must complete a 16-hop network within 2 seconds
+    (generous CI budget; typical times are far lower)."""
+    net = build_tandem(16, 0.7)
+    analyzer = ANALYZERS[name]()
+    result = benchmark.pedantic(
+        lambda: analyzer.analyze(net).delay_of(CONNECTION0),
+        rounds=2, iterations=1)
+    assert result > 0
+    assert benchmark.stats["mean"] < 2.0

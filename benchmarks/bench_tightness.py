@@ -1,0 +1,22 @@
+"""TGT — tightness study: adversarial observation vs analytic bounds.
+
+Complements VAL: instead of synchronized bursts, the cross traffic is
+staggered to hit the target flow's front at each hop (the analysis-
+guided adversary), giving the strongest empirical lower bound on the
+true worst case that the simulator produces.
+"""
+
+from repro.eval.tightness import render_tightness, tightness_study
+
+from benchmarks.conftest import emit
+
+
+def test_tightness_table(benchmark):
+    rows = benchmark.pedantic(
+        lambda: tightness_study(horizon=100.0), rounds=1, iterations=1)
+    emit("TGT: observed (adversarial) vs bounds, longest flow",
+         render_tightness(rows))
+    # integrated must always sit between the observation and decomposed
+    for r in rows:
+        assert r.observed <= r.integrated + 0.05 * 8 + 1e-9
+        assert r.integrated <= r.decomposed + 1e-9

@@ -1,0 +1,52 @@
+"""VAL — bound-vs-simulation tightness table (not a paper figure).
+
+For each tandem configuration, reports the worst delay observed under
+adversarial greedy traffic next to the three analytic bounds.  The
+observed value must sit below every bound (soundness) and gives a feel
+for each method's slack.
+"""
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.analysis.service_curve import ServiceCurveAnalysis
+from repro.core.integrated import IntegratedAnalysis
+from repro.network.tandem import CONNECTION0, build_tandem
+from repro.sim.simulator import simulate_greedy
+
+from benchmarks.conftest import emit
+
+PKT = 0.05
+
+
+def run_config(n, u, horizon=120.0):
+    net = build_tandem(n, u)
+    sim = simulate_greedy(net, horizon=horizon, packet_size=PKT)
+    obs = sim.max_delay(CONNECTION0)
+    di = IntegratedAnalysis().analyze(net).delay_of(CONNECTION0)
+    dd = DecomposedAnalysis().analyze(net).delay_of(CONNECTION0)
+    dsc = ServiceCurveAnalysis().analyze(net).delay_of(CONNECTION0)
+    return obs, di, dd, dsc
+
+
+def test_validation_table(benchmark):
+    benchmark.pedantic(lambda: run_config(2, 0.4, horizon=40.0), rounds=1, iterations=1)
+    rows = ["   n     U    observed    integrated    decomposed"
+            "    service-curve"]
+    for n in (2, 4):
+        for u in (0.4, 0.8):
+            obs, di, dd, dsc = run_config(n, u)
+            rows.append(f"{n:4d}  {u:.2f}  {obs:10.4f}  {di:12.4f}"
+                        f"  {dd:12.4f}  {dsc:15.4f}")
+            slack = PKT * n + 1e-9
+            assert obs <= di + slack
+            assert obs <= dd + slack
+    emit("VAL: observed worst delay vs analytic bounds (Connection 0)",
+         "\n".join(rows))
+
+
+def test_validation_sim_timing(benchmark):
+    """Time the greedy packet-level simulation (n=4, U=0.8)."""
+    net = build_tandem(4, 0.8)
+    result = benchmark.pedantic(
+        lambda: simulate_greedy(net, horizon=60.0, packet_size=0.1),
+        rounds=3, iterations=1)
+    assert result.packets_completed > 0

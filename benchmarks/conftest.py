@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*.py`` file regenerates one paper artifact (figure) or one
+ablation (DESIGN.md experiment index).  Every module both *times* the
+computation via pytest-benchmark and *prints* the regenerated data table
+so that ``pytest benchmarks/ --benchmark-only -s`` reproduces the
+paper's evaluation output in one run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.workloads import Sweep
+
+
+@pytest.fixture(scope="session")
+def bench_sweep() -> Sweep:
+    """Load grid used by the figure benchmarks.
+
+    The full paper grid (9 loads) is used for data generation; timing
+    rounds run on the smallest case to keep wall-clock sane.
+    """
+    return Sweep(loads=(0.1, 0.3, 0.5, 0.7, 0.9), hops=(2, 4, 6, 8))
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated artifact (visible with ``-s``)."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}")

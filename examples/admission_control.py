@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Admission control: the operational payoff of a tighter delay analysis.
+
+The paper's introduction motivates delay analysis through connection
+admission: a method that overestimates delays rejects connections the
+network could serve.  This example loads a tandem with identical
+deadline-constrained video-like connections until the admission test
+fails, once per analysis algorithm — the integrated analysis admits
+measurably more connections onto the same network.
+
+Run:  python examples/admission_control.py
+"""
+
+from repro import (
+    AdmissionController,
+    ConnectionRequest,
+    DecomposedAnalysis,
+    IntegratedAnalysis,
+    ServiceCurveAnalysis,
+    Network,
+    ServerSpec,
+    TokenBucket,
+)
+
+
+N_SERVERS = 4
+DEADLINE = 30.0
+
+
+def empty_network() -> Network:
+    return Network([ServerSpec(k) for k in range(1, N_SERVERS + 1)], [])
+
+
+def make_request(index: int) -> ConnectionRequest:
+    """A CBR-video-like connection crossing the whole tandem."""
+    return ConnectionRequest(
+        name=f"video_{index}",
+        bucket=TokenBucket(sigma=1.0, rho=0.02, peak=1.0),
+        path=tuple(range(1, N_SERVERS + 1)),
+        deadline=DEADLINE,
+    )
+
+
+def main() -> None:
+    print(f"Admitting identical connections (deadline {DEADLINE}) onto "
+          f"a {N_SERVERS}-server tandem until the test rejects:\n")
+    results = {}
+    for analyzer in (ServiceCurveAnalysis(), DecomposedAnalysis(),
+                     IntegratedAnalysis()):
+        controller = AdmissionController(empty_network(), analyzer)
+        count = controller.admissible_count(make_request, max_tries=200)
+        # the bound the last admitted connection received
+        last = (controller.network.flows[f"video_{count - 1}"]
+                if count else None)
+        bound = (analyzer.analyze(controller.network)
+                 .delay_of(last.name) if last else float("nan"))
+        results[analyzer.name] = count
+        print(f"{analyzer.name:>14}: admitted {count:3d} connections "
+              f"(bound of last admitted: {bound:.3f})")
+
+    gain = results["integrated"] - results["decomposed"]
+    print(f"\nAlgorithm Integrated admits {gain} more connections than "
+          "Algorithm Decomposed on identical hardware — the utilization "
+          "gain the paper's tighter analysis buys.")
+    assert results["integrated"] >= results["decomposed"] \
+        >= results["service_curve"] - 1, "unexpected ordering"
+
+
+if __name__ == "__main__":
+    main()

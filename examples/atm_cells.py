@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""ATM cell-level delay guarantees (the paper's deployment context).
+
+The paper targets ATM networks: 53-byte cells on OC-3 (155.52 Mb/s)
+links.  This example works in physical units — cells, megabits,
+microseconds — and shows how to turn the fluid analyses into certified
+*cell* delay bounds with the packetization layer:
+
+1. express each VC's traffic contract (PCR-limited, token-bucket SCR)
+   in Mb and Mb/s,
+2. run the fluid integrated analysis,
+3. add the per-hop cell quantization ``L/C`` with
+   ``packetize_report`` — the number an ATM CAC would compare against
+   the requested CTD (cell transfer delay).
+
+Run:  python examples/atm_cells.py
+"""
+
+from repro import (
+    CONNECTION0,
+    DecomposedAnalysis,
+    IntegratedAnalysis,
+    build_tandem,
+)
+from repro.servers.packetized import packetize_report
+
+# physical constants
+CELL_BYTES = 53
+LINK_MBPS = 155.52                      # OC-3
+CELL_MB = CELL_BYTES * 8 / 1e6          # megabits per cell
+N_SWITCHES = 4
+LOAD = 0.8
+
+# per-VC contract: 100-cell burst tolerance, SCR = LOAD/4 of the link
+BURST_CELLS = 100
+
+
+def main() -> None:
+    sigma_mb = BURST_CELLS * CELL_MB
+    net = build_tandem(N_SWITCHES, LOAD, sigma=sigma_mb,
+                       capacity=LINK_MBPS)
+    vc = net.flow(CONNECTION0)
+    print(f"ATM tandem: {N_SWITCHES} OC-3 switches at {LOAD:.0%} load")
+    print(f"per-VC contract: burst {BURST_CELLS} cells "
+          f"({sigma_mb * 1000:.1f} kb), SCR {vc.bucket.rho:.2f} Mb/s, "
+          f"PCR = line rate\n")
+
+    for analyzer in (DecomposedAnalysis(), IntegratedAnalysis()):
+        fluid = analyzer.analyze(net)
+        cells = packetize_report(fluid, net, max_packet=CELL_MB)
+        f_us = fluid.delay_of(CONNECTION0) * 1e6 / 1.0  # s -> us (Mb/Mbps)
+        c_us = cells.delay_of(CONNECTION0) * 1e6
+        print(f"{analyzer.name:>12}: fluid CTD bound {f_us:9.1f} us, "
+              f"cell-level {c_us:9.1f} us "
+              f"(+{c_us - f_us:.2f} us quantization)")
+
+    fluid = IntegratedAnalysis().analyze(net)
+    cells = packetize_report(fluid, net, max_packet=CELL_MB)
+    print("\nper-subsystem breakdown (cell-level, us):")
+    for element, delay in cells.delays[CONNECTION0].contributions:
+        print(f"  switches {element}: {delay * 1e6:9.1f}")
+
+    print("\nAn ATM CAC using the integrated bound certifies a CTD "
+          "roughly 30-45% lower than one using Cruz decomposition — "
+          "the same hardware admits correspondingly more VCs.")
+
+
+if __name__ == "__main__":
+    main()

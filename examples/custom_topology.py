@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Analyze a custom feed-forward network (beyond the paper's tandem).
+
+Models a small datacenter-style aggregation fabric: two top-of-rack
+multiplexors feeding an aggregation port, with a latency-sensitive
+control flow sharing the fabric with bulk transfers.  Shows:
+
+* building arbitrary feed-forward topologies with the public API,
+* mixed scheduling disciplines (FIFO fabric, one static-priority port),
+* choosing the integrated partitioning explicitly,
+* reading per-element delay contributions from the report.
+
+Run:  python examples/custom_topology.py
+"""
+
+from repro import (
+    DecomposedAnalysis,
+    Discipline,
+    Flow,
+    IntegratedAnalysis,
+    Network,
+    PairAlongPath,
+    ServerSpec,
+    TokenBucket,
+)
+
+
+def build_fabric() -> Network:
+    servers = [
+        ServerSpec("tor1", capacity=1.0),
+        ServerSpec("tor2", capacity=1.0),
+        # the aggregation uplink gives priority to control traffic
+        ServerSpec("agg", capacity=1.0,
+                   discipline=Discipline.STATIC_PRIORITY),
+        ServerSpec("core", capacity=1.0),
+    ]
+    control = TokenBucket(sigma=0.2, rho=0.05, peak=1.0)
+    bulk = TokenBucket(sigma=4.0, rho=0.25, peak=1.0)
+    flows = [
+        Flow("ctl", control, ["tor1", "agg", "core"], priority=0),
+        Flow("bulk_a", bulk, ["tor1", "agg", "core"], priority=1),
+        Flow("bulk_b", bulk, ["tor2", "agg", "core"], priority=1),
+        Flow("scavenger", TokenBucket(2.0, 0.2, peak=1.0),
+             ["tor2", "agg"], priority=2),
+        Flow("local", TokenBucket(1.0, 0.3, peak=1.0), ["core"],
+             priority=1),
+    ]
+    return Network(servers, flows)
+
+
+def main() -> None:
+    net = build_fabric()
+    print("Aggregation fabric:",
+          f"{len(net.servers)} servers, {len(net.flows)} flows")
+    for sid in net.topological_servers():
+        print(f"  {sid}: utilization {net.utilization(sid):.0%} "
+              f"({net.server(sid).discipline})")
+
+    dec = DecomposedAnalysis().analyze(net)
+    integ = IntegratedAnalysis(strategy=PairAlongPath("bulk_a")) \
+        .analyze(net)
+
+    print(f"\n{'flow':>10} {'decomposed':>11} {'integrated':>11}")
+    for flow in net.iter_flows():
+        print(f"{flow.name:>10} {dec.delay_of(flow.name):11.4f} "
+              f"{integ.delay_of(flow.name):11.4f}")
+
+    print("\nIntegrated contributions for 'bulk_a':")
+    for element, delay in integ.delays["bulk_a"].contributions:
+        print(f"  {element}: {delay:.4f}")
+    print("\nNote: the SP aggregation port is analyzed as a singleton "
+          "(pair integration is derived for FIFO; mixed networks stay "
+          "sound via the fallback).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Networks with feedback: fixed-point analysis of a server ring.
+
+The paper restricts the integrated method to feed-forward (cycle-free)
+networks and names general topologies as future work, citing the
+authors' stability results.  This example exercises the library's
+implementation of the classical fix: iterate the burstiness
+characterization around the cycle to a fixed point
+(:class:`repro.analysis.FeedbackAnalysis`).
+
+A ring of unit-rate FIFO servers carries one two-hop flow per server
+(each flow's exit feeds the next flow's entry server), creating a
+circular dependency among local delays.  The example shows:
+
+* convergence and certified bounds at moderate load,
+* the line-rate cap enlarging the certifiable region,
+* loss of certification (infinite bounds) when the iteration diverges,
+* simulation staying below every certified bound.
+
+Run:  python examples/feedback_ring.py
+"""
+
+from repro import FeedbackAnalysis, Flow, Network, ServerSpec, TokenBucket
+from repro.sim import simulate_greedy
+
+
+def build_ring(n: int, rho: float, sigma: float = 1.0) -> Network:
+    servers = [ServerSpec(k) for k in range(n)]
+    bucket = TokenBucket(sigma, rho, peak=1.0)
+    flows = [Flow(f"f{k}", bucket, [k, (k + 1) % n])
+             for k in range(n)]
+    return Network(servers, flows, allow_cycles=True)
+
+
+def main() -> None:
+    n = 4
+    print(f"{n}-server ring, one 2-hop flow per server "
+          "(cyclic server graph)\n")
+    print(f"{'rho':>6} {'util':>6} {'capped bound':>13} "
+          f"{'uncapped bound':>15} {'iters':>6}")
+    for rho in (0.1, 0.2, 0.3, 0.4, 0.45):
+        net = build_ring(n, rho)
+        capped = FeedbackAnalysis(capped_propagation=True).analyze(net)
+        uncapped = FeedbackAnalysis(capped_propagation=False,
+                                    max_iterations=300).analyze(net)
+        cb = capped.delay_of("f0") if capped.meta["converged"] \
+            else float("inf")
+        ub = uncapped.delay_of("f0") if uncapped.meta["converged"] \
+            else float("inf")
+        print(f"{rho:6.2f} {2 * rho:6.0%} {cb:13.4f} {ub:15.4f} "
+              f"{capped.meta['iterations']:6d}")
+
+    # validate one converged configuration against simulation
+    net = build_ring(n, 0.3)
+    report = FeedbackAnalysis().analyze(net)
+    sim = simulate_greedy(net, horizon=120.0, packet_size=0.05)
+    worst = max(sim.max_delay(name) for name in net.flows)
+    bound = max(report.delay_of(name) for name in net.flows)
+    print(f"\nsimulated worst delay at rho=0.3: {worst:.4f} "
+          f"(certified bound {bound:.4f}, sound: "
+          f"{worst <= bound + 2 * 0.05})")
+    print("\nNote: 'inf' rows mean the iteration could not certify a "
+          "fixed point — the classical limitation the paper's feedback "
+          "discussion refers to; the cap pushes that frontier out.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Validate analytic bounds against packet-level simulation.
+
+Drives the paper's tandem with adversarial greedy sources (synchronized
+full-bucket bursts followed by sustained-rate traffic — the pattern that
+realizes FIFO worst cases) and with randomized on/off traffic, then
+checks every observed end-to-end delay against the analytic bounds.
+
+The observed worst case must stay below every bound (soundness); how
+close it gets shows each method's slack.
+
+Run:  python examples/simulation_validation.py
+"""
+
+from repro import (
+    CONNECTION0,
+    DecomposedAnalysis,
+    IntegratedAnalysis,
+    NetworkSimulator,
+    build_tandem,
+    simulate_greedy,
+)
+from repro.sim.sources import OnOffSource
+
+PACKET = 0.05
+HORIZON = 150.0
+
+
+def main() -> None:
+    print(f"{'config':>12} {'observed':>9} {'integrated':>11} "
+          f"{'decomposed':>11} {'tightness':>10}")
+    for n, u in [(2, 0.5), (2, 0.9), (4, 0.7), (6, 0.6)]:
+        net = build_tandem(n, u)
+        d_int = IntegratedAnalysis().analyze(net).delay_of(CONNECTION0)
+        d_dec = DecomposedAnalysis().analyze(net).delay_of(CONNECTION0)
+
+        sim = simulate_greedy(net, horizon=HORIZON, packet_size=PACKET)
+        observed = sim.max_delay(CONNECTION0)
+
+        slack = PACKET * n  # packetization allowance vs fluid bounds
+        assert observed <= d_int + slack, "integrated bound violated!"
+        assert observed <= d_dec + slack, "decomposed bound violated!"
+        print(f"  n={n} U={u:<4} {observed:9.3f} {d_int:11.3f} "
+              f"{d_dec:11.3f} {observed / d_int:9.1%}")
+
+    print("\nRandomized on/off traffic (5 seeds, n=3, U=0.7):")
+    net = build_tandem(3, 0.7)
+    d_int = IntegratedAnalysis().analyze(net).delay_of(CONNECTION0)
+    worst = 0.0
+    for seed in range(5):
+        sources = {
+            name: OnOffSource(f.bucket, PACKET, mean_on=4.0,
+                              mean_off=2.0, seed=seed * 97 + i)
+            for i, (name, f) in enumerate(sorted(net.flows.items()))
+        }
+        sim = NetworkSimulator(net, sources).run(HORIZON)
+        worst = max(worst, sim.max_delay(CONNECTION0))
+    print(f"  worst over seeds: {worst:.3f}  vs integrated bound "
+          f"{d_int:.3f}  (sound: {worst <= d_int + 3 * PACKET})")
+    print("\nAll bounds dominated every observed delay. ✔")
+
+
+if __name__ == "__main__":
+    main()

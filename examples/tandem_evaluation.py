@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Regenerate the paper's evaluation figures as tables.
+
+Sweeps the network load for several tandem sizes and prints the three
+two-panel figures of the paper's Section 4 (end-to-end delay of
+Connection 0 and relative improvement R_{X,Y}), followed by the
+qualitative shape checks recorded in EXPERIMENTS.md.
+
+Run:  python examples/tandem_evaluation.py [--quick]
+"""
+
+import argparse
+
+from repro.eval.runner import run_all, shape_checks
+from repro.eval.tables import render_figure
+from repro.eval.workloads import default_sweep, quick_sweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sweep (seconds instead of ~20s)")
+    args = parser.parse_args()
+
+    sweep = quick_sweep((2, 4)) if args.quick else None
+    figures = run_all(sweep)
+    for fig in figures.values():
+        print(render_figure(fig))
+
+    print("== shape checks (paper claims) ==")
+    for check in shape_checks(figures):
+        status = "PASS" if check.holds else "FAIL"
+        print(f"[{status}] {check.claim}: {check.detail}")
+
+
+if __name__ == "__main__":
+    main()

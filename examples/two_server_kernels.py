@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Inside the integrated method: the two-server kernels side by side.
+
+For a single subsystem of two FIFO servers (paper Figure 1), compares
+
+* the naive uncapped chain (what plain decomposition would do),
+* the Theorem-1 joint busy-period kernel,
+* the FIFO leftover-service-curve (theta-family) kernel, and
+* the production bound (the minimum of the two kernels),
+
+and shows which kernel wins as through-burstiness varies — the family
+kernel takes over when the through traffic is the bursty part ("pay
+bursts only once"), the Theorem-1 kernel when cross traffic dominates.
+
+Run:  python examples/two_server_kernels.py
+"""
+
+from repro import PiecewiseLinearCurve as P
+from repro import TwoServerSubsystem
+from repro.core.fifo_family import family_pair_bound
+from repro.core.theorem1 import theorem1_bound
+
+
+def uncapped_chain(f12, f1, f2):
+    d1 = (f12 + f1).horizontal_deviation(P.line(1.0))
+    d2 = (f12.shift_left_x(d1) + f2).horizontal_deviation(P.line(1.0))
+    return d1 + d2
+
+
+def main() -> None:
+    print(f"{'sigma12':>8} {'uncapped':>9} {'theorem1':>9} "
+          f"{'family':>9} {'combined':>9}  winner")
+    for sigma12 in (0.25, 0.5, 1.0, 2.0, 4.0, 8.0):
+        f12 = P.affine(sigma12, 0.2)      # through aggregate
+        f1 = P.affine(1.0, 0.3)           # cross at server 1
+        f2 = P.affine(1.0, 0.3)           # cross at server 2
+
+        naive = uncapped_chain(f12, f1, f2)
+        th = theorem1_bound(f12, f1, f2, 1.0, 1.0).delay_through
+        fam = family_pair_bound(f12, f1, f2, 1.0, 1.0).delay_through
+
+        sub = TwoServerSubsystem({"t": f12}, {"x1": f1}, {"x2": f2},
+                                 1.0, 1.0)
+        res = sub.analyze()
+        assert res.delay_through <= naive + 1e-9
+        print(f"{sigma12:8.2f} {naive:9.4f} {th:9.4f} {fam:9.4f} "
+              f"{res.delay_through:9.4f}  {res.winning_kernel}")
+
+    print("\nBoth kernels are sound upper bounds; the subsystem takes "
+          "their minimum. The family kernel pays the through burst "
+          "once, so it wins as sigma12 grows.")
+
+
+if __name__ == "__main__":
+    main()

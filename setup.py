@@ -1,0 +1,9 @@
+"""Setup shim for environments without PEP 517 build isolation.
+
+`pip install -e .` requires the `wheel` package for editable installs on
+older setuptools; this shim lets `python setup.py develop` work offline.
+Configuration lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,10 @@
+"""Admission control built on pluggable delay analyses (system S12)."""
+
+from repro.admission.controller import AdmissionController
+from repro.admission.requests import AdmissionDecision, ConnectionRequest
+
+__all__ = [
+    "AdmissionController",
+    "ConnectionRequest",
+    "AdmissionDecision",
+]

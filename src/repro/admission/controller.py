@@ -1,0 +1,131 @@
+"""Admission control for bounded-delay services (paper §1 motivation).
+
+The number of deadline-guaranteed connections a network can carry is
+determined by the *tightness* of the delay analysis the admission test
+uses: a looser analysis rejects connections the network could in fact
+serve.  :class:`AdmissionController` makes the analysis pluggable so the
+evaluation can quantify exactly that effect (more connections admitted
+under Algorithm Integrated than under Algorithm Decomposed for the same
+network — the operational payoff of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.admission.requests import AdmissionDecision, ConnectionRequest
+from repro.analysis.base import Analyzer
+from repro.errors import AdmissionError, InstabilityError, TopologyError
+from repro.network.flow import Flow
+from repro.network.topology import Network
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Online admission control driven by a delay analyzer.
+
+    Parameters
+    ----------
+    network:
+        Initial network (servers and already-established flows).
+    analyzer:
+        The end-to-end delay analysis used for admission tests.
+    """
+
+    def __init__(self, network: Network, analyzer: Analyzer) -> None:
+        self._network = network
+        self._analyzer = analyzer
+        self._admitted: list[str] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def network(self) -> Network:
+        """The current network including every admitted connection."""
+        return self._network
+
+    @property
+    def admitted(self) -> tuple[str, ...]:
+        """Names of connections admitted through this controller."""
+        return tuple(self._admitted)
+
+    # ------------------------------------------------------------------
+
+    def test(self, request: ConnectionRequest) -> AdmissionDecision:
+        """Evaluate a request without committing it.
+
+        The connection is admitted iff, with it added, every flow in the
+        network (existing and new) still meets its deadline according to
+        the configured analyzer.
+        """
+        flow = Flow(request.name, request.bucket, request.path,
+                    deadline=request.deadline, priority=request.priority)
+        try:
+            candidate = self._network.with_flow(flow)
+        except TopologyError as exc:
+            return AdmissionDecision(False, f"topology: {exc}")
+        try:
+            candidate.check_stability()
+        except InstabilityError as exc:
+            return AdmissionDecision(False, f"overload: {exc}")
+
+        report = self._analyzer.analyze(candidate)
+        new_bound = report.delay_of(request.name)
+        for f in candidate.flows.values():
+            bound = report.delay_of(f.name)
+            if bound > f.deadline:
+                who = ("requested connection" if f.name == request.name
+                       else f"existing connection {f.name!r}")
+                return AdmissionDecision(
+                    False,
+                    f"deadline violation: {who} bound {bound:.4g} > "
+                    f"deadline {f.deadline:.4g}",
+                    new_flow_bound=new_bound)
+        return AdmissionDecision(True, "all deadlines met",
+                                 new_flow_bound=new_bound)
+
+    def admit(self, request: ConnectionRequest) -> AdmissionDecision:
+        """Test a request and, on success, add the connection."""
+        decision = self.test(request)
+        if decision.admitted:
+            flow = Flow(request.name, request.bucket, request.path,
+                        deadline=request.deadline,
+                        priority=request.priority)
+            self._network = self._network.with_flow(flow)
+            self._admitted.append(request.name)
+        return decision
+
+    def release(self, name: str) -> None:
+        """Tear down a previously admitted connection."""
+        if name not in self._admitted:
+            raise AdmissionError(
+                f"connection {name!r} was not admitted by this controller")
+        self._network = self._network.without_flow(name)
+        self._admitted.remove(name)
+
+    def admissible_count(self, make_request, max_tries: int = 1000) -> int:
+        """Admit identical connections until one is rejected.
+
+        Parameters
+        ----------
+        make_request:
+            Callable ``index -> ConnectionRequest`` generating the k-th
+            candidate.
+        max_tries:
+            Safety bound on the loop.
+
+        Returns
+        -------
+        int
+            Number of connections admitted before the first rejection.
+        """
+        count = 0
+        for k in range(max_tries):
+            req = make_request(k)
+            if not math.isfinite(req.deadline):
+                raise AdmissionError("requests need finite deadlines")
+            if not self.admit(req).admitted:
+                break
+            count += 1
+        return count

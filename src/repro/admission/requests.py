@@ -1,0 +1,71 @@
+"""Connection requests and admission decisions."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import AdmissionError
+
+__all__ = ["ConnectionRequest", "AdmissionDecision"]
+
+
+@dataclass(frozen=True)
+class ConnectionRequest:
+    """A request to establish a bounded-delay connection.
+
+    Attributes
+    ----------
+    name:
+        Requested flow name (must be new in the network).
+    bucket:
+        Source traffic descriptor the connection will be policed to.
+    path:
+        Servers the connection will traverse.
+    deadline:
+        Required end-to-end delay bound.
+    priority:
+        Priority for static-priority servers.
+    """
+
+    name: str
+    bucket: TokenBucket
+    path: tuple[Hashable, ...]
+    deadline: float
+    priority: int = 0
+
+    def __init__(self, name: str, bucket: TokenBucket,
+                 path: Sequence[Hashable], deadline: float,
+                 priority: int = 0) -> None:
+        if not name:
+            raise AdmissionError("request name must be non-empty")
+        if not (deadline > 0 and math.isfinite(deadline)):
+            raise AdmissionError(
+                f"deadline must be finite and > 0, got {deadline}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "bucket", bucket)
+        object.__setattr__(self, "path", tuple(path))
+        object.__setattr__(self, "deadline", float(deadline))
+        object.__setattr__(self, "priority", int(priority))
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission test.
+
+    Attributes
+    ----------
+    admitted:
+        Whether the connection was accepted.
+    reason:
+        Human-readable explanation (which deadline failed, overload, …).
+    new_flow_bound:
+        The analyzed end-to-end bound of the requested connection
+        (``inf`` when the test aborted before producing one).
+    """
+
+    admitted: bool
+    reason: str
+    new_flow_bound: float = math.inf

@@ -1,0 +1,50 @@
+"""End-to-end delay analyses (systems S8/S9/S13 in DESIGN.md).
+
+Baselines:
+
+* :class:`DecomposedAnalysis` — Algorithm Decomposed (Cruz);
+* :class:`ServiceCurveAnalysis` — Algorithm Service Curve (induced);
+
+plus the shared propagation engine, closed forms for the paper's tandem
+and comparison utilities.  The contribution, Algorithm Integrated, lives
+in :mod:`repro.core`.
+"""
+
+from repro.analysis.base import Analyzer, DelayReport, FlowDelay
+from repro.analysis.comparison import (
+    ComparisonRow,
+    compare_analyzers,
+    relative_improvement,
+)
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.analysis.diagnosis import (
+    Bottleneck,
+    bottlenecks,
+    deadline_slack,
+    max_admissible_rate,
+)
+from repro.analysis.feedback import FeedbackAnalysis
+from repro.analysis.propagation import PropagationResult, propagate
+from repro.analysis.service_curve import (
+    ServiceCurveAnalysis,
+    induced_fifo_service_curve,
+)
+
+__all__ = [
+    "Analyzer",
+    "DelayReport",
+    "FlowDelay",
+    "DecomposedAnalysis",
+    "FeedbackAnalysis",
+    "Bottleneck",
+    "bottlenecks",
+    "deadline_slack",
+    "max_admissible_rate",
+    "ServiceCurveAnalysis",
+    "induced_fifo_service_curve",
+    "PropagationResult",
+    "propagate",
+    "relative_improvement",
+    "ComparisonRow",
+    "compare_analyzers",
+]

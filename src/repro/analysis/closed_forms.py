@@ -1,0 +1,140 @@
+"""Closed-form delay formulas for the paper's tandem network (§4.2).
+
+The paper's technical report [25] derives closed forms for the
+worst-case delay of Connection 0 in the Figure-3 tandem under Algorithm
+Decomposed (the per-server terms ``E_k``) and a closed-form *lower*
+bound for Algorithm Service Curve (``D_SC``).  The ICPP scan of those
+formulas is partially corrupted, so the formulas below are re-derived
+from first principles for the same topology and conventions (unit
+capacity, sources ``b(I) = min(I, sigma + rho I)``, ``rho = U/4``):
+
+**Decomposed.**  With ``t* = sigma / (1 - rho)`` (the knee of a fresh
+source's constraint curve), and ``P_k = E_1 + ... + E_k``:
+
+* ``E_1 = 2 sigma / (1 - rho)``  — matches the paper's legible ``E_1``
+  exactly;
+* ``E_k = sigma0_k + sigmal_k + (1 + 2 rho) t*`` for ``k >= 2``, where
+  ``sigma0_k = sigma + rho P_{k-1}`` (Connection 0's inflated burst) and
+  ``sigmal_k = sigma + rho E_{k-1}`` (the overlapping long cross
+  connection's inflated burst);
+* ``D_D = sum_k E_k``.
+
+**Service curve.**  Each server's induced FIFO curve is rate-latency:
+rate ``1 - 2 rho`` with latency ``T_1 = 2 sigma/(1 - 2 rho)`` at the
+first server (two fresh cross connections), rate ``1 - 3 rho`` with
+latency ``T_k = (sigmal_k + 2 sigma)/(1 - 3 rho)`` at interior servers
+(three cross connections, one burst-inflated).  Convolution keeps the
+minimum rate and sums latencies, giving
+
+``D_SC = sum_k T_k + 3 rho sigma / ((1 - rho)(1 - 3 rho))``
+
+for ``n >= 2`` — the same ``(1-2rho)`` / ``(1-rho)(1-3rho)`` structure
+as the paper's (corrupted) display.  Tests cross-check both formulas
+against the general engines to machine precision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.network.tandem import tandem_rho
+
+__all__ = [
+    "TandemClosedForms",
+    "decomposed_local_delays",
+    "decomposed_delay",
+    "service_curve_delay",
+]
+
+
+@dataclass(frozen=True)
+class TandemClosedForms:
+    """Closed-form results for one (n, U, sigma) tandem configuration."""
+
+    n_hops: int
+    utilization: float
+    sigma: float
+    local_delays: tuple[float, ...]
+    decomposed: float
+    service_curve: float
+
+
+def _validate(n_hops: int, utilization: float, sigma: float) -> float:
+    if n_hops < 1:
+        raise ValueError(f"n_hops must be >= 1, got {n_hops}")
+    if sigma <= 0:
+        raise ValueError(f"sigma must be > 0, got {sigma}")
+    return tandem_rho(utilization)
+
+
+def decomposed_local_delays(n_hops: int, utilization: float,
+                            sigma: float = 1.0) -> tuple[float, ...]:
+    """The per-server bounds ``E_1 .. E_n`` of Algorithm Decomposed."""
+    rho = _validate(n_hops, utilization, sigma)
+    t_star = sigma / (1.0 - rho)
+    delays: list[float] = []
+    cumulative = 0.0
+    for k in range(1, n_hops + 1):
+        if k == 1:
+            e_k = 2.0 * sigma / (1.0 - rho)
+        else:
+            sigma0 = sigma + rho * cumulative          # Connection 0
+            sigmal = sigma + rho * delays[-1]          # long_{k-1}
+            e_k = sigma0 + sigmal + (1.0 + 2.0 * rho) * t_star
+        delays.append(e_k)
+        cumulative += e_k
+    return tuple(delays)
+
+
+def decomposed_delay(n_hops: int, utilization: float,
+                     sigma: float = 1.0) -> float:
+    """Connection 0's end-to-end bound under Algorithm Decomposed."""
+    return float(sum(decomposed_local_delays(n_hops, utilization, sigma)))
+
+
+def service_curve_delay(n_hops: int, utilization: float,
+                        sigma: float = 1.0) -> float:
+    """Connection 0's bound under Algorithm Service Curve.
+
+    Returns ``inf`` when an induced curve's rate hits zero
+    (``3 rho >= 1``, i.e. ``U >= 4/3`` — never inside the paper's sweep).
+    """
+    rho = _validate(n_hops, utilization, sigma)
+    t_star = sigma / (1.0 - rho)
+
+    if n_hops == 1:
+        # single server, two fresh cross connections
+        r = 1.0 - 2.0 * rho
+        if r <= rho:
+            return math.inf
+        t1 = 2.0 * sigma / r
+        return t1 + t_star * (1.0 - r) / r
+
+    r_interior = 1.0 - 3.0 * rho
+    if r_interior <= rho:
+        return math.inf
+    e_local = decomposed_local_delays(n_hops, utilization, sigma)
+
+    latency = 2.0 * sigma / (1.0 - 2.0 * rho)  # T_1
+    for k in range(2, n_hops + 1):
+        sigmal = sigma + rho * e_local[k - 2]   # long_{k-1} inflated
+        latency += (sigmal + 2.0 * sigma) / r_interior
+    # residual term: hdev of the peak-limited source against the
+    # network rate min_k R_k = 1 - 3 rho
+    residual = t_star * (1.0 - r_interior) / r_interior
+    return latency + residual
+
+
+def tandem_closed_forms(n_hops: int, utilization: float,
+                        sigma: float = 1.0) -> TandemClosedForms:
+    """All closed forms for one tandem configuration."""
+    local = decomposed_local_delays(n_hops, utilization, sigma)
+    return TandemClosedForms(
+        n_hops=n_hops,
+        utilization=utilization,
+        sigma=sigma,
+        local_delays=local,
+        decomposed=float(sum(local)),
+        service_curve=service_curve_delay(n_hops, utilization, sigma),
+    )

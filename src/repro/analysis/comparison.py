@@ -1,0 +1,77 @@
+"""Side-by-side comparison of analyses and the paper's metric.
+
+The evaluation section quantifies algorithms with two measures: the
+end-to-end delay bound ``D_X(U)`` of the longest connection, and the
+*relative improvement*
+
+``R_{X,Y}(U) = (D_X(U) - D_Y(U)) / D_X(U)``   (paper eq. (10))
+
+— the fraction by which algorithm Y tightens algorithm X's bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.analysis.base import Analyzer, DelayReport
+from repro.network.topology import Network
+
+__all__ = ["relative_improvement", "ComparisonRow", "compare_analyzers"]
+
+
+def relative_improvement(d_x: float, d_y: float) -> float:
+    """``R_{X,Y} = (D_X - D_Y) / D_X`` (paper eq. (10)).
+
+    Positive when Y is tighter than X; NaN when ``D_X`` is 0 or both
+    bounds are infinite; 1.0 when only ``D_X`` is infinite.
+    """
+    if math.isinf(d_x) and math.isinf(d_y):
+        return math.nan
+    if math.isinf(d_x):
+        return 1.0
+    if d_x == 0:
+        return math.nan
+    return (d_x - d_y) / d_x
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """Bounds of every analyzer for one flow, plus pairwise improvements."""
+
+    flow: str
+    bounds: Mapping[str, float]
+
+    def improvement(self, x: str, y: str) -> float:
+        """``R_{x,y}`` between two analyzer names present in bounds."""
+        return relative_improvement(self.bounds[x], self.bounds[y])
+
+
+def compare_analyzers(network: Network,
+                      analyzers: Sequence[Analyzer],
+                      flows: Sequence[str] | None = None,
+                      ) -> list[ComparisonRow]:
+    """Run every analyzer on *network* and tabulate per-flow bounds.
+
+    Parameters
+    ----------
+    network:
+        Network to analyze.
+    analyzers:
+        Analyzer instances; their ``name`` attributes key the result.
+    flows:
+        Restrict to these flow names (default: all flows).
+    """
+    reports: dict[str, DelayReport] = {
+        a.name: a.analyze(network) for a in analyzers}
+    names = flows if flows is not None else [
+        f.name for f in network.iter_flows()]
+    rows = []
+    for fname in names:
+        rows.append(ComparisonRow(
+            flow=fname,
+            bounds={an: rep.delay_of(fname)
+                    for an, rep in reports.items()},
+        ))
+    return rows

@@ -1,0 +1,141 @@
+"""Diagnosis and provisioning tools on top of the analyses.
+
+Admission control answers yes/no; operators also want to know *why* a
+bound is what it is and *how much* headroom remains:
+
+* :func:`bottlenecks` — rank the elements of a flow's path by their
+  contribution to its end-to-end bound;
+* :func:`deadline_slack` — per-flow margin between bound and deadline;
+* :func:`max_admissible_rate` — the largest sustained rate a new
+  connection can carry on a path while every deadline (its own and the
+  existing flows') stays certified, found by bisection — the
+  delay-bound analogue of available-bandwidth estimation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.analysis.base import Analyzer
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import AnalysisError, InstabilityError
+from repro.network.flow import Flow
+from repro.network.topology import Network
+
+__all__ = [
+    "Bottleneck",
+    "bottlenecks",
+    "deadline_slack",
+    "max_admissible_rate",
+]
+
+
+@dataclass(frozen=True)
+class Bottleneck:
+    """One path element's share of a flow's end-to-end bound."""
+
+    element: object
+    delay: float
+    share: float
+
+
+def bottlenecks(analyzer: Analyzer, network: Network,
+                flow_name: str) -> list[Bottleneck]:
+    """Path elements of *flow_name*, ranked by delay contribution.
+
+    Only meaningful for analyses that report per-element contributions
+    (decomposed, integrated, feedback); raises for single-contribution
+    reports (service curve).
+    """
+    report = analyzer.analyze(network)
+    fd = report.delays[flow_name]
+    if not fd.contributions or (
+            len(fd.contributions) == 1
+            and fd.contributions[0][0] == tuple(
+                network.flow(flow_name).path)
+            and network.flow(flow_name).n_hops > 1
+            and analyzer.name == "service_curve"):
+        raise AnalysisError(
+            f"analyzer {analyzer.name!r} does not decompose the bound "
+            "into per-element contributions")
+    total = fd.total if fd.total > 0 else 1.0
+    ranked = sorted(fd.contributions, key=lambda p: -p[1])
+    return [Bottleneck(element=e, delay=d, share=d / total)
+            for e, d in ranked]
+
+
+def deadline_slack(analyzer: Analyzer,
+                   network: Network) -> dict[str, float]:
+    """Per-flow margin ``deadline - bound`` (inf for best-effort flows).
+
+    Negative slack identifies flows whose deadlines this analysis cannot
+    certify.
+    """
+    report = analyzer.analyze(network)
+    out = {}
+    for flow in network.iter_flows():
+        if math.isinf(flow.deadline):
+            out[flow.name] = math.inf
+        else:
+            out[flow.name] = flow.deadline - report.delay_of(flow.name)
+    return out
+
+
+def max_admissible_rate(analyzer: Analyzer, network: Network,
+                        path: Sequence[Hashable], deadline: float,
+                        sigma: float = 1.0,
+                        peak: float | None = None,
+                        tolerance: float = 1e-4,
+                        max_iterations: int = 60) -> float:
+    """Largest sustained rate for a new connection on *path*.
+
+    Bisects on rho such that, with the connection
+    ``TokenBucket(sigma, rho, peak)`` added, every flow (existing and
+    new) meets its deadline under *analyzer*.  Returns 0.0 when even an
+    infinitesimal-rate connection cannot be certified.
+    """
+    if not (deadline > 0 and math.isfinite(deadline)):
+        raise AnalysisError(f"deadline must be finite > 0, got {deadline}")
+
+    caps = [network.server(sid).capacity for sid in path]
+    if not caps:
+        raise AnalysisError("path must be non-empty")
+    # headroom at the tightest server on the path bounds the search
+    hi = min(c - sum(f.bucket.rho for f in network.flows_at(sid))
+             for sid, c in zip(path, caps))
+    if hi <= 0:
+        return 0.0
+
+    def feasible(rho: float) -> bool:
+        pk = peak if peak is not None else min(caps)
+        flow = Flow("__probe__", TokenBucket(sigma, rho, peak=pk),
+                    tuple(path), deadline=deadline)
+        try:
+            candidate = network.with_flow(flow)
+            candidate.check_stability()
+            report = analyzer.analyze(candidate)
+        except InstabilityError:
+            return False
+        return all(report.delay_of(f.name) <= f.deadline
+                   for f in candidate.flows.values())
+
+    lo = 0.0
+    eps = min(tolerance, hi / 4)
+    if not feasible(eps):
+        return 0.0
+    lo = eps
+    hi_try = hi * (1 - 1e-9)
+    if feasible(hi_try):
+        return hi_try
+    hi = hi_try
+    for _ in range(max_iterations):
+        mid = (lo + hi) / 2
+        if feasible(mid):
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tolerance:
+            break
+    return lo

@@ -1,0 +1,162 @@
+"""Fixed-point delay analysis for networks with feedback (cycles).
+
+The paper restricts Algorithm Integrated to feed-forward networks and
+points to the authors' stability work ([22, 23]) for general topologies:
+"circular dependencies among connections introduce feedback effects on
+local delays".  This module implements the classical resolution (Cruz
+'91 part II ring analysis): treat the per-hop traffic characterization
+as a monotone map and iterate it to a fixed point.
+
+Starting from the optimistic state in which every flow carries its
+*source* constraint at every hop, one sweep recomputes every server's
+local delay from the current curves and every flow's next-hop curve
+from its current curve.  The map is monotone (looser inputs produce
+looser outputs), so the iterates increase toward the least fixed point
+when one exists; if the cycle "gain" is too large the burstiness grows
+without bound and no finite fixed point exists — the network may still
+be stable in reality, but this analysis cannot certify it and reports
+infinite bounds.
+
+For feed-forward networks the iteration converges in (diameter) sweeps
+to exactly the decomposition result, which the tests assert.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+from repro.analysis.base import Analyzer, DelayReport, FlowDelay
+from repro.analysis.propagation import analyze_server
+from repro.curves.piecewise import PiecewiseLinearCurve
+from repro.errors import AnalysisError
+from repro.network.topology import Network
+from repro.servers.fifo import capped_output_curve, cruz_output_curve
+
+__all__ = ["FeedbackAnalysis"]
+
+ServerId = Hashable
+
+
+def _curve_distance(a: PiecewiseLinearCurve,
+                    b: PiecewiseLinearCurve) -> float:
+    """Sup-norm distance between two curves over their breakpoint span,
+    plus the tail-slope gap (scaled by the span) so differences beyond
+    the last breakpoint are not missed."""
+    import numpy as np
+
+    xs = np.union1d(a.x, b.x)
+    gap = float(np.max(np.abs(a.sample(xs) - b.sample(xs))))
+    span = max(1.0, float(xs[-1]))
+    return gap + abs(a.final_slope - b.final_slope) * span
+
+
+class FeedbackAnalysis(Analyzer):
+    """Iterative (fixed-point) delay analysis for cyclic networks.
+
+    Parameters
+    ----------
+    max_iterations:
+        Sweep budget before declaring non-convergence.
+    tolerance:
+        Relative change in the largest local delay below which the
+        iteration is considered converged.
+    capped_propagation:
+        Apply the line-rate cap to output curves (sound; tightens the
+        fixed point and enlarges the certifiable stability region).
+    """
+
+    name = "feedback"
+
+    def __init__(self, max_iterations: int = 100,
+                 tolerance: float = 1e-9,
+                 capped_propagation: bool = True) -> None:
+        if max_iterations < 1:
+            raise AnalysisError("max_iterations must be >= 1")
+        if tolerance <= 0:
+            raise AnalysisError("tolerance must be > 0")
+        self.max_iterations = int(max_iterations)
+        self.tolerance = float(tolerance)
+        self.capped_propagation = bool(capped_propagation)
+
+    # ------------------------------------------------------------------
+
+    def analyze(self, network: Network) -> DelayReport:
+        network.check_stability()
+        server_ids = sorted(network.servers, key=str)
+
+        # state: per-(flow, server) input constraint curves, seeded with
+        # the source constraint everywhere (the optimistic start)
+        curve_at: dict[tuple[str, ServerId], PiecewiseLinearCurve] = {}
+        for f in network.iter_flows():
+            src = f.bucket.constraint_curve()
+            for sid in f.path:
+                curve_at[(f.name, sid)] = src
+
+        local_delay: dict[ServerId, dict[str, float]] = {}
+        converged = False
+        iterations = 0
+        prev_max = 0.0
+        for iterations in range(1, self.max_iterations + 1):
+            # one Jacobi sweep: delays from current curves, then curves
+            # from current curves (not the freshly updated ones — keeps
+            # the map monotone and order-independent)
+            new_curves: dict[tuple[str, ServerId],
+                             PiecewiseLinearCurve] = {}
+            for sid in server_ids:
+                flows_here = network.flows_at(sid)
+                if not flows_here:
+                    local_delay[sid] = {}
+                    continue
+                curves = {f.name: curve_at[(f.name, sid)]
+                          for f in flows_here}
+                la = analyze_server(network, sid, curves)
+                local_delay[sid] = dict(la.delay_by_flow)
+                capacity = network.server(sid).capacity
+                for f in flows_here:
+                    nxt = f.next_hop(sid)
+                    if nxt is None:
+                        continue
+                    d = la.delay_by_flow[f.name]
+                    if self.capped_propagation:
+                        out = capped_output_curve(curves[f.name], d,
+                                                  capacity)
+                    else:
+                        out = cruz_output_curve(curves[f.name], d)
+                    new_curves[(f.name, nxt)] = out.simplified()
+
+            # merge: entry hops keep the source curve
+            changed = 0.0
+            for key, curve in new_curves.items():
+                changed = max(changed,
+                              _curve_distance(curve_at[key], curve))
+                curve_at[key] = curve
+
+            cur_max = max(
+                (d for per in local_delay.values() for d in per.values()),
+                default=0.0)
+            if changed <= self.tolerance * max(1.0, cur_max):
+                converged = True
+                break
+            if not math.isfinite(cur_max):
+                break
+            prev_max = cur_max
+
+        delays = {}
+        for f in network.iter_flows():
+            if converged:
+                parts = tuple((sid, local_delay[sid][f.name])
+                              for sid in f.path)
+                total = sum(d for _, d in parts)
+            else:
+                parts = ()
+                total = math.inf
+            delays[f.name] = FlowDelay(flow=f.name, total=total,
+                                       contributions=parts)
+        meta = {
+            "converged": converged,
+            "iterations": iterations,
+            "capped_propagation": self.capped_propagation,
+            "last_max_local_delay": prev_max,
+        }
+        return DelayReport(algorithm=self.name, delays=delays, meta=meta)

@@ -1,0 +1,115 @@
+"""Hop-by-hop traffic propagation shared by the analyses.
+
+Both decomposition-style algorithms (plain Cruz and the line-rate-capped
+variant used inside Algorithm Integrated) and the service-curve baseline
+need per-flow constraint curves *at every server's input*.  This module
+implements the single topological sweep that produces them, together
+with the per-server local analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.curves.piecewise import PiecewiseLinearCurve
+from repro.errors import AnalysisError
+from repro.network.topology import Discipline, Network
+from repro.servers.base import LocalAnalysis
+from repro.servers.fifo import (
+    capped_output_curve,
+    cruz_output_curve,
+    fifo_local_analysis,
+)
+from repro.servers.guaranteed_rate import gr_local_analysis
+from repro.servers.static_priority import sp_local_analysis
+
+__all__ = ["PropagationResult", "propagate", "analyze_server"]
+
+ServerId = Hashable
+
+
+@dataclass(frozen=True)
+class PropagationResult:
+    """Output of one network-wide topological propagation sweep.
+
+    Attributes
+    ----------
+    local:
+        Per-server :class:`LocalAnalysis` (delay/backlog/busy period).
+    curve_at:
+        Constraint curve of each flow at each server it traverses,
+        keyed by ``(flow_name, server_id)``.
+    capped:
+        Whether line-rate capping was applied to output curves.
+    """
+
+    local: Mapping[ServerId, LocalAnalysis]
+    curve_at: Mapping[tuple[str, ServerId], PiecewiseLinearCurve]
+    capped: bool
+
+    def flow_delay_at(self, flow_name: str, server_id: ServerId) -> float:
+        """Local delay bound of one flow at one server."""
+        return self.local[server_id].delay_by_flow[flow_name]
+
+
+def analyze_server(network: Network, server_id: ServerId,
+                    curves: Mapping[str, PiecewiseLinearCurve],
+                    ) -> LocalAnalysis:
+    """Dispatch the local analysis on the server's discipline."""
+    spec = network.server(server_id)
+    if spec.discipline == Discipline.FIFO:
+        return fifo_local_analysis(curves, spec.capacity)
+    if spec.discipline == Discipline.STATIC_PRIORITY:
+        priorities = {f.name: f.priority
+                      for f in network.flows_at(server_id)}
+        return sp_local_analysis(curves, priorities, spec.capacity)
+    if spec.discipline == Discipline.GUARANTEED_RATE:
+        # Reserve exactly the sustained rate of each flow — the minimal
+        # allocation that keeps the per-flow bound finite.
+        rates = {f.name: f.bucket.rho for f in network.flows_at(server_id)}
+        if any(r <= 0 for r in rates.values()):
+            raise AnalysisError(
+                "guaranteed-rate servers need every flow rate > 0")
+        return gr_local_analysis(curves, rates, spec.capacity)
+    raise AnalysisError(
+        f"no local analysis for discipline {spec.discipline!r}")
+
+
+def propagate(network: Network, capped: bool = False) -> PropagationResult:
+    """Run the decomposition-style topological sweep over *network*.
+
+    At each server (in topological order of the server graph) the local
+    delay bound is computed from the currently known per-flow input
+    curves, and each flow's curve for its next hop is derived via Cruz's
+    output characterization — optionally intersected with the upstream
+    server's line rate when ``capped`` is True (the integrated method's
+    self-regulation cap; plain Algorithm Decomposed uses ``False``).
+    """
+    network.check_stability()
+
+    curve_at: dict[tuple[str, ServerId], PiecewiseLinearCurve] = {}
+    for f in network.iter_flows():
+        curve_at[(f.name, f.path[0])] = f.bucket.constraint_curve()
+
+    local: dict[ServerId, LocalAnalysis] = {}
+    for sid in network.topological_servers():
+        flows_here = network.flows_at(sid)
+        if not flows_here:
+            continue
+        curves = {f.name: curve_at[(f.name, sid)] for f in flows_here}
+        la = analyze_server(network, sid, curves)
+        local[sid] = la
+        capacity = network.server(sid).capacity
+        for f in flows_here:
+            nxt = f.next_hop(sid)
+            if nxt is None:
+                continue
+            d = la.delay_by_flow[f.name]
+            if capped:
+                out = capped_output_curve(curves[f.name], d, capacity)
+            else:
+                out = cruz_output_curve(curves[f.name], d)
+            curve_at[(f.name, nxt)] = out.simplified()
+
+    return PropagationResult(local=local, curve_at=curve_at, capped=capped)

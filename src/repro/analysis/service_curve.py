@@ -1,0 +1,116 @@
+"""Algorithm Service Curve (paper §1.2 and §4.2): induced FIFO curves.
+
+Servers are assigned their scheduling discipline first (FIFO here); a
+per-node service curve for each connection is then *induced* from the
+discipline, the per-node curves are min-plus convolved into a network
+service curve (paper eq. (2)), and the end-to-end delay bound follows as
+the horizontal deviation from the source constraint (paper eq. (1)).
+
+For a FIFO server the only cross-traffic-agnostic guarantee a connection
+holds is the *leftover* curve
+
+``beta_j(t) = [C_j t - alpha_cross,j(t)]^+``
+
+where ``alpha_cross,j`` bounds all other traffic at the server.  This is
+the most optimistic curve any induced-service-curve argument may use
+(paper §4.2 frames its closed form as a *lower* bound on the delay such
+a method can produce — the same caveat applies here: numbers from this
+analyzer are best-case for the baseline).  Cross traffic at interior
+servers is characterized with the same Cruz propagation the decomposed
+method uses.
+
+For guaranteed-rate servers the induced curve is the rate-latency curve,
+for which this method is known to be effective — included so the
+library can also demonstrate the regime where service curves *work*.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.base import Analyzer, DelayReport, FlowDelay
+from repro.analysis.propagation import PropagationResult, propagate
+from repro.curves.operations import convolve_all
+from repro.curves.piecewise import PiecewiseLinearCurve
+from repro.network.topology import Discipline, Network
+from repro.servers.guaranteed_rate import wfq_service_curve
+
+__all__ = ["ServiceCurveAnalysis", "induced_fifo_service_curve"]
+
+
+def induced_fifo_service_curve(capacity: float,
+                               cross: PiecewiseLinearCurve,
+                               ) -> PiecewiseLinearCurve | None:
+    """The leftover service curve ``[C t - alpha_cross(t)]^+``.
+
+    Returns None when the cross-traffic rate reaches the capacity — no
+    nondecreasing leftover curve exists then and the method yields an
+    infinite bound.
+    """
+    if cross.long_term_rate() >= capacity:
+        return None
+    line = PiecewiseLinearCurve.line(capacity)
+    return (line - cross).positive_part().simplified()
+
+
+class ServiceCurveAnalysis(Analyzer):
+    """End-to-end bounds via induced per-node service curves.
+
+    Parameters
+    ----------
+    capped_propagation:
+        Whether the Cruz propagation used to characterize interior cross
+        traffic applies the line-rate cap.  Default False, mirroring the
+        plain decomposed baseline the paper pairs this method with.
+    """
+
+    name = "service_curve"
+
+    def __init__(self, capped_propagation: bool = False) -> None:
+        self.capped_propagation = bool(capped_propagation)
+
+    # ------------------------------------------------------------------
+
+    def _node_curve(self, network: Network, sid, flow_name: str,
+                    prop: PropagationResult) -> PiecewiseLinearCurve | None:
+        spec = network.server(sid)
+        if spec.discipline == Discipline.GUARANTEED_RATE:
+            flow = network.flow(flow_name)
+            return wfq_service_curve(flow.bucket.rho, spec.capacity)
+        # FIFO (and, conservatively, static priority at the lowest level):
+        cross = PiecewiseLinearCurve.zero()
+        for g in network.flows_at(sid):
+            if g.name != flow_name:
+                cross = cross + prop.curve_at[(g.name, sid)]
+        return induced_fifo_service_curve(spec.capacity, cross.simplified())
+
+    def analyze(self, network: Network) -> DelayReport:
+        prop = propagate(network, capped=self.capped_propagation)
+        delays = {}
+        net_curves = {}
+        for f in network.iter_flows():
+            betas = []
+            dead = False
+            for sid in f.path:
+                beta = self._node_curve(network, sid, f.name, prop)
+                if beta is None:
+                    dead = True
+                    break
+                betas.append(beta)
+            if dead:
+                total = math.inf
+            else:
+                beta_net = convolve_all(betas)
+                net_curves[f.name] = beta_net
+                source = f.bucket.constraint_curve()
+                total = source.horizontal_deviation(beta_net)
+            delays[f.name] = FlowDelay(
+                flow=f.name,
+                total=total,
+                contributions=((tuple(f.path), total),),
+            )
+        meta = {
+            "capped_propagation": self.capped_propagation,
+            "network_service_curves": net_curves,
+        }
+        return DelayReport(algorithm=self.name, delays=delays, meta=meta)

@@ -1,0 +1,250 @@
+"""Command-line interface.
+
+Usage (also available as ``python -m repro``)::
+
+    repro analyze  --hops 4 --load 0.8 [--analyzer integrated] [--all-flows]
+    repro figures  [--quick] [--figure FIG5]
+    repro simulate --hops 4 --load 0.8 [--horizon 120] [--packet 0.05]
+    repro admit    --hops 4 --deadline 30 [--rho 0.02] [--analyzer ...]
+
+Every subcommand operates on the paper's tandem topology; richer
+topologies are a Python-API affair (see examples/custom_topology.py).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.admission.controller import AdmissionController
+from repro.admission.requests import ConnectionRequest
+from repro.analysis.base import Analyzer
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.analysis.feedback import FeedbackAnalysis
+from repro.analysis.service_curve import ServiceCurveAnalysis
+from repro.core.integrated import IntegratedAnalysis
+from repro.curves.token_bucket import TokenBucket
+from repro.eval.figures import FIGURES
+from repro.eval.tables import render_figure
+from repro.eval.workloads import quick_sweep
+from repro.network.tandem import CONNECTION0, build_tandem
+from repro.network.topology import Network, ServerSpec
+from repro.sim.simulator import simulate_greedy
+
+__all__ = ["main", "build_parser"]
+
+ANALYZERS = {
+    "decomposed": DecomposedAnalysis,
+    "service_curve": ServiceCurveAnalysis,
+    "integrated": IntegratedAnalysis,
+    "feedback": FeedbackAnalysis,
+}
+
+
+def _make_analyzer(name: str) -> Analyzer:
+    try:
+        return ANALYZERS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown analyzer {name!r}; choose from "
+            f"{sorted(ANALYZERS)}") from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Integrated end-to-end delay analysis "
+                    "(Li/Bettati/Zhao, ICPP 1999)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def tandem_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--hops", type=int, default=4,
+                       help="tandem size n (default 4)")
+        p.add_argument("--load", type=float, default=0.8,
+                       help="network load U in (0,1) (default 0.8)")
+        p.add_argument("--sigma", type=float, default=1.0,
+                       help="source burst size (default 1)")
+
+    p = sub.add_parser("analyze",
+                       help="delay bounds on the paper's tandem "
+                            "or a JSON-described network")
+    tandem_args(p)
+    p.add_argument("--network", default=None, metavar="FILE",
+                   help="analyze this JSON network instead of a tandem "
+                        "(see repro.network.serialization for the schema)")
+    p.add_argument("--analyzer", default="all",
+                   help="one of %s or 'all'" % sorted(ANALYZERS))
+    p.add_argument("--all-flows", action="store_true",
+                   help="print every connection, not just Connection 0")
+
+    p = sub.add_parser("figures",
+                       help="regenerate the paper's evaluation figures")
+    p.add_argument("--quick", action="store_true",
+                   help="small sweep for a fast look")
+    p.add_argument("--figure", choices=sorted(FIGURES), default=None,
+                   help="only one figure (default: all)")
+
+    p = sub.add_parser("simulate",
+                       help="greedy packet-level simulation vs bounds")
+    tandem_args(p)
+    p.add_argument("--horizon", type=float, default=120.0)
+    p.add_argument("--packet", type=float, default=0.05)
+
+    p = sub.add_parser("admit",
+                       help="count admissible identical connections")
+    p.add_argument("--hops", type=int, default=4)
+    p.add_argument("--deadline", type=float, default=30.0)
+    p.add_argument("--rho", type=float, default=0.02,
+                   help="per-connection rate (default 0.02)")
+    p.add_argument("--analyzer", default="integrated",
+                   help="admission test analysis (default integrated)")
+    p.add_argument("--max", type=int, default=500, dest="max_tries")
+
+    p = sub.add_parser("export",
+                       help="write figure data as CSV + JSON files")
+    p.add_argument("--out", default="results",
+                   help="output directory (default ./results)")
+    p.add_argument("--quick", action="store_true")
+
+    p = sub.add_parser("chart",
+                       help="ASCII chart of one figure's delay panel")
+    p.add_argument("--figure", choices=sorted(FIGURES), default="FIG5")
+    p.add_argument("--quick", action="store_true")
+    p.add_argument("--log", action="store_true",
+                   help="log-scale value axis (like the paper)")
+
+    p = sub.add_parser("report",
+                       help="regenerate the full reproduction report")
+    p.add_argument("--out", default="REPORT.md")
+    p.add_argument("--quick", action="store_true")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations
+# ----------------------------------------------------------------------
+
+def _cmd_analyze(args) -> int:
+    if args.network:
+        from repro.network.serialization import load_network
+
+        net = load_network(args.network)
+        print(f"network: {args.network} ({len(net.servers)} servers, "
+              f"{len(net.flows)} flows)")
+        flows = [f.name for f in net.iter_flows()]
+    else:
+        net = build_tandem(args.hops, args.load, args.sigma)
+        print(f"tandem: n={args.hops}, U={args.load}, "
+              f"sigma={args.sigma}")
+        flows = ([f.name for f in net.iter_flows()] if args.all_flows
+                 else [CONNECTION0])
+    names = (sorted(ANALYZERS) if args.analyzer == "all"
+             else [args.analyzer])
+    if not net.is_feedforward:
+        names = [n for n in names if n == "feedback"] or ["feedback"]
+        print("(cyclic network: using the feedback analysis)")
+    width = max(10, *(len(f) for f in flows))
+    header = f"{'flow':>{width}}" + "".join(f"{n:>15}" for n in names)
+    print(header)
+    reports = {n: _make_analyzer(n).analyze(net) for n in names}
+    for fname in flows:
+        row = f"{fname:>{width}}"
+        for n in names:
+            row += f"{reports[n].delay_of(fname):15.4f}"
+        print(row)
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    sweep = quick_sweep() if args.quick else None
+    keys = [args.figure] if args.figure else sorted(FIGURES)
+    for key in keys:
+        fig = FIGURES[key](sweep) if sweep else FIGURES[key]()
+        print(render_figure(fig))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    net = build_tandem(args.hops, args.load, args.sigma)
+    bound = IntegratedAnalysis().analyze(net).delay_of(CONNECTION0)
+    sim = simulate_greedy(net, horizon=args.horizon,
+                          packet_size=args.packet)
+    stats = sim.stats[CONNECTION0]
+    print(f"simulated {sim.packets_completed} packets over "
+          f"{args.horizon:g}s (greedy sources)")
+    print(f"Connection 0: observed max={stats.max_delay:.4f} "
+          f"mean={stats.mean_delay:.4f} p99={stats.p99_delay:.4f}")
+    print(f"integrated bound: {bound:.4f}  "
+          f"(observed/bound = {stats.max_delay / bound:.1%})")
+    slack = args.packet * args.hops
+    ok = stats.max_delay <= bound + slack
+    print("soundness:", "OK" if ok else "VIOLATED")
+    return 0 if ok else 1
+
+
+def _cmd_admit(args) -> int:
+    empty = Network([ServerSpec(k) for k in range(1, args.hops + 1)], [])
+    controller = AdmissionController(empty, _make_analyzer(args.analyzer))
+
+    def make(k: int) -> ConnectionRequest:
+        return ConnectionRequest(
+            f"conn_{k}", TokenBucket(1.0, args.rho, peak=1.0),
+            tuple(range(1, args.hops + 1)), args.deadline)
+
+    count = controller.admissible_count(make, max_tries=args.max_tries)
+    print(f"{args.analyzer}: admitted {count} identical connections "
+          f"(deadline {args.deadline:g}, rho {args.rho:g}, "
+          f"{args.hops} hops)")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.eval.export import write_figure_files
+
+    sweep = quick_sweep() if args.quick else None
+    figures = [FIGURES[k](sweep) if sweep else FIGURES[k]()
+               for k in sorted(FIGURES)]
+    written = write_figure_files(figures, args.out)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_chart(args) -> int:
+    from repro.eval.ascii_chart import render_chart
+
+    sweep = quick_sweep() if args.quick else None
+    fig = FIGURES[args.figure](sweep) if sweep else FIGURES[args.figure]()
+    print(render_chart(fig.delay_series, log_y=args.log,
+                       title=f"{fig.figure_id}: {fig.title} "
+                             "(Connection 0 delay bound)"))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.eval.report import write_report
+
+    path = write_report(args.out, quick=args.quick)
+    print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "analyze": _cmd_analyze,
+        "figures": _cmd_figures,
+        "simulate": _cmd_simulate,
+        "admit": _cmd_admit,
+        "export": _cmd_export,
+        "chart": _cmd_chart,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

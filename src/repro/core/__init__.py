@@ -1,0 +1,45 @@
+"""The paper's primary contribution (system S10 in DESIGN.md).
+
+* :class:`IntegratedAnalysis` — Algorithm Integrated (paper Figure 2);
+* :class:`TwoServerSubsystem` — joint analysis of a server pair;
+* :func:`theorem1_bound` — the joint busy-period kernel (Theorem 1);
+* :func:`family_pair_bound` — the FIFO leftover service-curve family;
+* partition strategies for Step 1 of the algorithm.
+"""
+
+from repro.core.integrated import IntegratedAnalysis
+from repro.core.partition import (
+    GreedyPairing,
+    PairAlongPath,
+    Partition,
+    PartitionStrategy,
+    SingletonPartition,
+)
+from repro.core.sp_subsystem import SpSubsystemResult, sp_pair_bound
+from repro.core.subsystem import SubsystemResult, TwoServerSubsystem
+from repro.core.theorem1 import Theorem1Result, theorem1_bound
+from repro.core.fifo_family import (
+    FamilyResult,
+    affine_envelope,
+    family_delay_for_thetas,
+    family_pair_bound,
+)
+
+__all__ = [
+    "IntegratedAnalysis",
+    "TwoServerSubsystem",
+    "SubsystemResult",
+    "SpSubsystemResult",
+    "sp_pair_bound",
+    "theorem1_bound",
+    "Theorem1Result",
+    "family_pair_bound",
+    "family_delay_for_thetas",
+    "FamilyResult",
+    "affine_envelope",
+    "Partition",
+    "PartitionStrategy",
+    "PairAlongPath",
+    "GreedyPairing",
+    "SingletonPartition",
+]

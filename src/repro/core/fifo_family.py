@@ -1,0 +1,212 @@
+"""FIFO leftover-service-curve family for a two-server subsystem.
+
+The second integrated kernel: the rigorous min-plus counterpart of the
+paper's server integration, based on the FIFO residual-service family
+(Cruz [10]; Le Boudec & Thiran, Prop. 6.2.1).  For a FIFO server of rate
+``C`` whose *cross* traffic is bounded by the affine curve
+``sigma_x + rho_x t``, the through traffic is guaranteed, for every
+parameter ``theta >= 0``, the service curve
+
+``beta_theta(t) = [C t - sigma_x - rho_x (t - theta)]^+ * 1{t > theta}``
+
+Composing one family member per server and minimizing the horizontal
+deviation over ``(theta1, theta2)`` yields an end-to-end bound that
+"pays the through burst only once" across the pair — the same
+integration principle as Theorem 1, reached through the service-curve
+formalism.  Taking the *minimum* of this bound and the Theorem-1 bound
+is sound (both are valid upper bounds).
+
+The composition has the closed form (derived in the module tests by
+brute force):
+
+``(beta1_t1 ⊗ beta2_t2)(t) = 0`` for ``t <= t1 + t2`` and otherwise
+``min( beta1(t - t2), beta2(t - t1) )``
+
+so the delay bound for through curve ``F12`` is computed exactly — no
+grids — from the levels at which each branch crosses ``F12``.
+
+General concave cross curves are soundly reduced to their affine upper
+envelope first (:func:`affine_envelope`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro.curves.piecewise import PiecewiseLinearCurve
+from repro.utils.validation import check_positive
+
+__all__ = ["FamilyResult", "affine_envelope", "family_pair_bound",
+           "family_delay_for_thetas"]
+
+
+@dataclass(frozen=True)
+class FamilyResult:
+    """Outcome of the theta-family optimization for one subsystem."""
+
+    delay_through: float
+    theta1: float
+    theta2: float
+
+
+def affine_envelope(curve: PiecewiseLinearCurve) -> tuple[float, float]:
+    """Smallest affine upper bound ``(sigma, rho)`` with ``rho`` equal to
+    the curve's long-term rate.
+
+    For a concave curve this is tight at infinity; for a general curve
+    the burst term is the vertical deviation from the ``rho t`` line.
+    """
+    rho = curve.long_term_rate()
+    line = PiecewiseLinearCurve.line(rho)
+    sigma = curve.vertical_deviation(line)
+    if not math.isfinite(sigma):
+        raise ValueError("curve has no affine envelope at its long-term "
+                         "rate (increasing slopes?)")
+    return max(0.0, sigma), rho
+
+
+def _effective_start(theta: float, rate: float, a: float) -> float:
+    """First instant a gated leftover curve can be positive.
+
+    ``beta(t) = [R t - a]^+ . 1{t > theta}`` is identically 0 up to
+    ``S = max(theta, a / R)`` — for ``theta`` below the latency ``a/R``
+    the positive part, not the gate, is what holds the curve at zero.
+    """
+    if rate <= 0:
+        return math.inf
+    return max(theta, a / rate if a > 0 else 0.0)
+
+
+def _branch_inverse(v: float, start: float, gate_shift: float,
+                    rate: float, a: float) -> float:
+    """First time the (shifted) gated branch reaches level ``v``.
+
+    The branch is ``beta(t - gate_shift)`` with ``beta`` zero up to
+    ``start`` and ``R t - a`` afterwards; its jump value at ``start`` is
+    ``J = [R*start - a]^+`` (0 when the curve is continuous there).
+    """
+    if v <= 0:
+        return 0.0
+    if rate <= 0:
+        return math.inf
+    jump = max(0.0, rate * start - a)
+    if v <= jump:
+        return gate_shift + start
+    return gate_shift + (a + v) / rate
+
+
+def family_delay_for_thetas(f12: PiecewiseLinearCurve,
+                            sigma1: float, rho1: float,
+                            sigma2: float, rho2: float,
+                            c1: float, c2: float,
+                            theta1: float, theta2: float) -> float:
+    """Exact delay bound for one ``(theta1, theta2)`` family member.
+
+    ``sigma_i, rho_i`` describe the affine cross-traffic envelope at
+    server ``i``; ``f12`` is the through-aggregate constraint curve.
+    """
+    r1 = c1 - rho1
+    r2 = c2 - rho2
+    if r1 <= 0 or r2 <= 0 or f12.long_term_rate() >= min(r1, r2):
+        return math.inf
+    a1 = sigma1 - rho1 * theta1
+    a2 = sigma2 - rho2 * theta2
+    # The composition (beta1 ⊗ beta2)(t) = min(beta1(t - S2),
+    # beta2(t - S1)) for t > S1 + S2 (0 before), where S_i is each
+    # curve's effective start (gate or latency, whichever is later).
+    s1 = _effective_start(theta1, r1, a1)
+    s2 = _effective_start(theta2, r2, a2)
+    gate = s1 + s2
+
+    def tau(v: float) -> float:
+        if v <= 0:
+            return 0.0
+        t_a = _branch_inverse(v, s1, s2, r1, a1)
+        t_b = _branch_inverse(v, s2, s1, r2, a2)
+        return max(gate, t_a, t_b)
+
+    # Candidate maximizers of tau(F12(t)) - t: the through curve's
+    # breakpoints plus the pre-images of the branch jump levels (where
+    # tau kinks).
+    jump1 = max(0.0, r1 * s1 - a1)
+    jump2 = max(0.0, r2 * s2 - a2)
+    levels = [lv for lv in (jump1, jump2) if lv > 0]
+    cands = list(f12.x) + [0.0]
+    if levels:
+        inv = np.atleast_1d(f12.pseudo_inverse(np.asarray(levels)))
+        cands.extend(float(t) for t in inv if math.isfinite(t))
+    best = 0.0
+    for t in cands:
+        if t < 0:
+            continue
+        best = max(best, tau(float(f12(t))) - t)
+    return best
+
+
+def family_pair_bound(f12: PiecewiseLinearCurve,
+                      f1: PiecewiseLinearCurve,
+                      f2: PiecewiseLinearCurve,
+                      c1: float, c2: float,
+                      coarse: int = 25,
+                      refine: bool = True) -> FamilyResult:
+    """Best theta-family bound for a two-server subsystem.
+
+    Parameters
+    ----------
+    f12, f1, f2:
+        Through / server-1-cross / server-2-cross constraint sums
+        (same conventions as :func:`repro.core.theorem1.theorem1_bound`).
+    c1, c2:
+        Server capacities.
+    coarse:
+        Grid points per theta axis for the initial sweep.
+    refine:
+        Run a Nelder–Mead polish from the best grid point.
+    """
+    check_positive("c1", c1)
+    check_positive("c2", c2)
+    sigma1, rho1 = affine_envelope(f1)
+    sigma2, rho2 = affine_envelope(f2)
+    if c1 - rho1 <= 0 or c2 - rho2 <= 0:
+        return FamilyResult(math.inf, 0.0, 0.0)
+
+    sig12, _ = affine_envelope(f12)
+    # The interesting theta range: up to the time scale where jumps
+    # exceed every relevant through level ~ (sig12 + sigma_x)/C.  The
+    # range is kept proportional to the problem's own burst scale so the
+    # optimization is invariant under joint rescaling of all bursts.
+    scale1 = sigma1 + sig12
+    scale2 = sigma2 + sig12
+    tmax1 = 2.0 * scale1 / c1 if scale1 > 0 else 1.0 / c1
+    tmax2 = 2.0 * scale2 / c2 if scale2 > 0 else 1.0 / c2
+
+    def objective(t1: float, t2: float) -> float:
+        if t1 < 0 or t2 < 0:
+            return math.inf
+        return family_delay_for_thetas(
+            f12, sigma1, rho1, sigma2, rho2, c1, c2, t1, t2)
+
+    best = (math.inf, 0.0, 0.0)
+    for t1 in np.linspace(0.0, tmax1, coarse):
+        for t2 in np.linspace(0.0, tmax2, coarse):
+            d = objective(float(t1), float(t2))
+            if d < best[0]:
+                best = (d, float(t1), float(t2))
+
+    if refine and math.isfinite(best[0]):
+        res = optimize.minimize(
+            lambda th: objective(max(th[0], 0.0), max(th[1], 0.0)),
+            x0=np.array([best[1], best[2]]),
+            method="Nelder-Mead",
+            options={"xatol": 1e-9, "fatol": 1e-12, "maxiter": 400},
+        )
+        if res.fun < best[0]:
+            best = (float(res.fun), float(max(res.x[0], 0.0)),
+                    float(max(res.x[1], 0.0)))
+
+    return FamilyResult(delay_through=best[0], theta1=best[1],
+                        theta2=best[2])

@@ -1,0 +1,227 @@
+"""Algorithm Integrated — the paper's contribution (Figure 2).
+
+End-to-end delay analysis of feed-forward FIFO networks:
+
+1. partition the network into subnetworks of at most two servers
+   (:mod:`repro.core.partition`);
+2. order the subnetworks topologically;
+3. for each subnetwork, jointly bound the delay of connections that
+   traverse both servers (:mod:`repro.core.subsystem`) and characterize
+   the traffic leaving the subnetwork;
+4. sum the per-subnetwork delays along each connection's path.
+
+Static-priority pairs whose through connections share one priority
+class use the SP pair kernel (:mod:`repro.core.sp_subsystem` — the
+extension the paper's §5 announces); every other non-FIFO block falls
+back to singleton analysis, keeping the algorithm sound for arbitrary
+mixed networks.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.analysis.base import Analyzer, DelayReport, FlowDelay
+from repro.analysis.propagation import analyze_server
+from repro.core.partition import PairAlongPath, PartitionStrategy
+from repro.core.subsystem import TwoServerSubsystem
+from repro.curves.piecewise import PiecewiseLinearCurve
+from repro.network.topology import Discipline, Network
+from repro.servers.fifo import capped_output_curve
+
+__all__ = ["IntegratedAnalysis"]
+
+ServerId = Hashable
+
+
+class IntegratedAnalysis(Analyzer):
+    """End-to-end bounds via two-server subsystem integration.
+
+    Parameters
+    ----------
+    strategy:
+        Partitioning strategy; default pairs consecutive servers along
+        the longest connection's path (the paper's evaluation setup).
+    use_family_kernel:
+        Enable the theta-family kernel in addition to the Theorem-1
+        kernel (the through bound is the minimum of both).  Disable for
+        the ABL2/ABL1 ablations.
+    """
+
+    name = "integrated"
+
+    def __init__(self, strategy: PartitionStrategy | None = None,
+                 use_family_kernel: bool = True) -> None:
+        self.strategy = strategy if strategy is not None else PairAlongPath()
+        self.use_family_kernel = bool(use_family_kernel)
+
+    # ------------------------------------------------------------------
+
+    def _pair_is_fifo(self, network: Network, block) -> bool:
+        return all(
+            network.server(s).discipline == Discipline.FIFO for s in block)
+
+    def _sp_pair_applicable(self, network: Network, block) -> bool:
+        """True when both servers are static-priority and the through
+        connections share one priority class (the condition for the
+        SP pair bound, see :mod:`repro.core.sp_subsystem`)."""
+        j, k = block
+        if any(network.server(s).discipline != Discipline.STATIC_PRIORITY
+               for s in block):
+            return False
+        through_prios = {f.priority for f in network.flows_at(j)
+                         if f.next_hop(j) == k}
+        return len(through_prios) == 1
+
+    def analyze(self, network: Network) -> DelayReport:
+        network.check_stability()
+        partition = self.strategy.partition(network)
+
+        curve_at: dict[tuple[str, ServerId], PiecewiseLinearCurve] = {}
+        for f in network.iter_flows():
+            curve_at[(f.name, f.path[0])] = f.bucket.constraint_curve()
+
+        # accumulated (element, delay) contributions per flow
+        contribs: dict[str, list[tuple[object, float]]] = {
+            f.name: [] for f in network.iter_flows()}
+        kernel_wins: dict[tuple, str] = {}
+
+        for block in partition:
+            if len(block) == 2 and self._pair_is_fifo(network, block):
+                self._process_pair(network, block, curve_at, contribs,
+                                   kernel_wins)
+            elif len(block) == 2 and \
+                    self._sp_pair_applicable(network, block):
+                self._process_sp_pair(network, block, curve_at,
+                                      contribs, kernel_wins)
+            else:
+                for sid in block:
+                    self._process_singleton(network, sid, curve_at,
+                                            contribs)
+
+        delays = {}
+        for f in network.iter_flows():
+            parts = tuple(contribs[f.name])
+            delays[f.name] = FlowDelay(
+                flow=f.name,
+                total=sum(d for _, d in parts),
+                contributions=parts,
+            )
+        meta = {
+            "partition": tuple(partition.blocks),
+            "n_pairs": partition.n_pairs,
+            "kernel_wins": kernel_wins,
+            "use_family_kernel": self.use_family_kernel,
+        }
+        return DelayReport(algorithm=self.name, delays=delays, meta=meta)
+
+    # ------------------------------------------------------------------
+
+    def _process_singleton(self, network: Network, sid: ServerId,
+                           curve_at, contribs) -> None:
+        flows_here = network.flows_at(sid)
+        if not flows_here:
+            return
+        curves = {f.name: curve_at[(f.name, sid)] for f in flows_here}
+        la = analyze_server(network, sid, curves)
+        capacity = network.server(sid).capacity
+        for f in flows_here:
+            d = la.delay_by_flow[f.name]
+            contribs[f.name].append(((sid,), d))
+            nxt = f.next_hop(sid)
+            if nxt is not None:
+                curve_at[(f.name, nxt)] = capped_output_curve(
+                    curves[f.name], d, capacity).simplified()
+
+    def _process_pair(self, network: Network, block, curve_at, contribs,
+                      kernel_wins) -> None:
+        j, k = block
+        cj = network.server(j).capacity
+        ck = network.server(k).capacity
+
+        through: dict[str, PiecewiseLinearCurve] = {}
+        cross1: dict[str, PiecewiseLinearCurve] = {}
+        cross2: dict[str, PiecewiseLinearCurve] = {}
+        for f in network.flows_at(j):
+            if f.next_hop(j) == k:
+                through[f.name] = curve_at[(f.name, j)]
+            else:
+                cross1[f.name] = curve_at[(f.name, j)]
+        for f in network.flows_at(k):
+            if f.name not in through:
+                cross2[f.name] = curve_at[(f.name, k)]
+
+        sub = TwoServerSubsystem(
+            through, cross1, cross2, cj, ck,
+            use_family_kernel=self.use_family_kernel)
+        res = sub.analyze()
+        kernel_wins[(j, k)] = res.winning_kernel
+        outputs = sub.output_curves(res)
+
+        for f in network.flows_at(j):
+            if f.name in through:
+                contribs[f.name].append(((j, k), res.delay_through))
+                nxt = f.next_hop(k)
+            else:
+                contribs[f.name].append(((j,), res.delay_server1))
+                nxt = f.next_hop(j)
+            if nxt is not None:
+                curve_at[(f.name, nxt)] = outputs[f.name].simplified()
+        for f in network.flows_at(k):
+            if f.name in through:
+                continue
+            contribs[f.name].append(((k,), res.delay_server2))
+            nxt = f.next_hop(k)
+            if nxt is not None:
+                curve_at[(f.name, nxt)] = outputs[f.name].simplified()
+
+    def _process_sp_pair(self, network: Network, block, curve_at,
+                         contribs, kernel_wins) -> None:
+        from repro.core.sp_subsystem import sp_pair_bound
+        from repro.servers.fifo import capped_output_curve
+
+        j, k = block
+        cj = network.server(j).capacity
+        ck = network.server(k).capacity
+        through: dict[str, PiecewiseLinearCurve] = {}
+        cross1: dict[str, PiecewiseLinearCurve] = {}
+        cross2: dict[str, PiecewiseLinearCurve] = {}
+        priorities: dict[str, int] = {}
+        for f in network.flows_at(j):
+            priorities[f.name] = f.priority
+            if f.next_hop(j) == k:
+                through[f.name] = curve_at[(f.name, j)]
+            else:
+                cross1[f.name] = curve_at[(f.name, j)]
+        for f in network.flows_at(k):
+            priorities[f.name] = f.priority
+            if f.name not in through:
+                cross2[f.name] = curve_at[(f.name, k)]
+
+        res = sp_pair_bound(through, cross1, cross2, priorities, cj, ck)
+        kernel_wins[(j, k)] = "sp_theorem1"
+
+        for f in network.flows_at(j):
+            if f.name in through:
+                contribs[f.name].append(((j, k), res.delay_through))
+                nxt = f.next_hop(k)
+                if nxt is not None:
+                    curve_at[(f.name, nxt)] = capped_output_curve(
+                        through[f.name], res.delay_through,
+                        ck).simplified()
+            else:
+                d = res.delay1_by_flow[f.name]
+                contribs[f.name].append(((j,), d))
+                nxt = f.next_hop(j)
+                if nxt is not None:
+                    curve_at[(f.name, nxt)] = capped_output_curve(
+                        cross1[f.name], d, cj).simplified()
+        for f in network.flows_at(k):
+            if f.name in through:
+                continue
+            d = res.delay2_by_flow[f.name]
+            contribs[f.name].append(((k,), d))
+            nxt = f.next_hop(k)
+            if nxt is not None:
+                curve_at[(f.name, nxt)] = capped_output_curve(
+                    cross2[f.name], d, ck).simplified()

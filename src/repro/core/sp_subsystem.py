@@ -1,0 +1,120 @@
+"""Integrated two-server analysis for static-priority pairs (paper §5).
+
+The paper's conclusion announces the extension of the integrated
+approach to static-priority servers.  The line-rate-cap argument behind
+the Theorem-1 kernel carries over per priority class, under one
+condition that the driver checks: the *through* connections of the pair
+must all belong to a single priority class (cross connections may use
+any priorities).
+
+Soundness sketch (mirroring ``core/theorem1.py``):
+
+* At server 1, class ``p`` traffic is served FIFO *within the class*,
+  and every class-``p`` bit is delayed at most ``d1_p`` (the SP local
+  bound).  Hence through bits of class ``p`` departing server 1 over an
+  interval of length ``s`` entered the network within a window of
+  ``s + d1_p`` — the class-window constraint ``F12(s + d1_p)``.
+* Server 1 is work-conserving at rate ``C1`` regardless of discipline,
+  so the same departures are also limited by ``C1 * s``.
+* Server 2's SP analysis then runs with the through class's arrival
+  curve replaced by ``min(C1 * I, F12(I + d1_p))``.
+
+The pair bound for the through class is ``d1_p + d2_p(capped)``; every
+other (cross) class receives its ordinary SP local bounds at the server
+it visits, with the *capped* through curve at server 2 (sound for all
+classes, since the cap is a valid arrival constraint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.curves.piecewise import PiecewiseLinearCurve
+from repro.errors import AnalysisError
+from repro.servers.fifo import capped_output_curve
+from repro.servers.static_priority import sp_delay_bounds
+from repro.utils.validation import check_positive
+
+__all__ = ["SpSubsystemResult", "sp_pair_bound"]
+
+
+@dataclass(frozen=True)
+class SpSubsystemResult:
+    """Integrated bounds for one static-priority server pair.
+
+    Attributes
+    ----------
+    delay_through:
+        Bound for the through class (S12 connections).
+    delay1_by_flow / delay2_by_flow:
+        Per-connection local bounds at servers 1 / 2 (cross classes).
+    through_at_2:
+        The capped through-class constraint at server 2's input.
+    """
+
+    delay_through: float
+    delay1_by_flow: Mapping[str, float]
+    delay2_by_flow: Mapping[str, float]
+    through_at_2: PiecewiseLinearCurve
+
+
+def sp_pair_bound(through_curves: Mapping[str, PiecewiseLinearCurve],
+                  cross1_curves: Mapping[str, PiecewiseLinearCurve],
+                  cross2_curves: Mapping[str, PiecewiseLinearCurve],
+                  priority_by_flow: Mapping[str, int],
+                  c1: float, c2: float) -> SpSubsystemResult:
+    """Integrated analysis of a static-priority server pair.
+
+    Parameters
+    ----------
+    through_curves:
+        Constraint per through connection at server 1's input; all must
+        share one priority level (AnalysisError otherwise).
+    cross1_curves / cross2_curves:
+        Constraints of server-1-only / server-2-only connections at
+        their entry points (any priorities).
+    priority_by_flow:
+        Priority level per connection name (lower = more urgent).
+    c1, c2:
+        Server rates.
+    """
+    check_positive("c1", c1)
+    check_positive("c2", c2)
+    if not through_curves:
+        raise AnalysisError("sp_pair_bound needs at least one through "
+                            "connection; use singleton analysis otherwise")
+    through_levels = {priority_by_flow[n] for n in through_curves}
+    if len(through_levels) != 1:
+        raise AnalysisError(
+            "the integrated SP pair bound requires all through "
+            f"connections in one priority class, got {through_levels}")
+
+    # server 1: ordinary SP analysis over through + cross1
+    curves1 = dict(through_curves) | dict(cross1_curves)
+    prios1 = {n: priority_by_flow[n] for n in curves1}
+    d1 = sp_delay_bounds(curves1, prios1, c1)
+    d1_through = max(d1[n] for n in through_curves)
+
+    # through aggregate, capped at server 1's line rate
+    f12 = PiecewiseLinearCurve.zero()
+    for c in through_curves.values():
+        f12 = f12 + c
+    through_at_2 = capped_output_curve(f12.simplified(), d1_through, c1)
+
+    # server 2: SP analysis with the capped through class + cross2
+    through_name = "__through_class__"
+    curves2: dict[str, PiecewiseLinearCurve] = {
+        through_name: through_at_2}
+    prios2 = {through_name: next(iter(through_levels))}
+    for n, c in cross2_curves.items():
+        curves2[n] = c
+        prios2[n] = priority_by_flow[n]
+    d2 = sp_delay_bounds(curves2, prios2, c2)
+
+    return SpSubsystemResult(
+        delay_through=d1_through + d2[through_name],
+        delay1_by_flow={n: d1[n] for n in cross1_curves},
+        delay2_by_flow={n: d2[n] for n in cross2_curves},
+        through_at_2=through_at_2,
+    )

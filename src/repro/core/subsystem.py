@@ -1,0 +1,148 @@
+"""Two-server subsystem analysis: the production integrated kernel.
+
+Combines the two sound kernels —
+
+* :func:`repro.core.theorem1.theorem1_bound` (joint busy-period /
+  line-rate-capped propagation), and
+* :func:`repro.core.fifo_family.family_pair_bound` (FIFO leftover
+  service-curve family, "pay bursts only once")
+
+— by taking the elementwise minimum for the through connections, which
+is itself a valid upper bound.  Exposes per-class delays and the output
+traffic characterization used by Algorithm Integrated's Step 3.2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.curves.piecewise import PiecewiseLinearCurve
+from repro.core.fifo_family import FamilyResult, family_pair_bound
+from repro.core.theorem1 import Theorem1Result, theorem1_bound
+from repro.servers.fifo import capped_output_curve
+
+__all__ = ["SubsystemResult", "TwoServerSubsystem"]
+
+
+@dataclass(frozen=True)
+class SubsystemResult:
+    """Delay bounds and diagnostics for one analyzed subsystem.
+
+    Attributes
+    ----------
+    delay_through:
+        Bound for S12 connections (min over kernels).
+    delay_server1 / delay_server2:
+        Bounds for S1 / S2 connections.
+    winning_kernel:
+        "theorem1", "family", or "tie" — which kernel produced the
+        through bound (diagnostics for the ablation benchmarks).
+    theorem1 / family:
+        The raw per-kernel results.
+    """
+
+    delay_through: float
+    delay_server1: float
+    delay_server2: float
+    winning_kernel: str
+    theorem1: Theorem1Result
+    family: FamilyResult
+
+
+class TwoServerSubsystem:
+    """A subsystem of two FIFO servers in tandem (paper Figure 1).
+
+    Parameters
+    ----------
+    through_curves:
+        Constraint curve per S12 connection at server 1's input.
+    cross1_curves:
+        Constraint curve per S1 connection at server 1's input.
+    cross2_curves:
+        Constraint curve per S2 connection at server 2's input.
+    c1, c2:
+        Server capacities.
+    use_family_kernel:
+        Disable to fall back to the Theorem-1 kernel only (ablation).
+    """
+
+    def __init__(self,
+                 through_curves: Mapping[str, PiecewiseLinearCurve],
+                 cross1_curves: Mapping[str, PiecewiseLinearCurve],
+                 cross2_curves: Mapping[str, PiecewiseLinearCurve],
+                 c1: float, c2: float,
+                 use_family_kernel: bool = True) -> None:
+        self.through_curves = dict(through_curves)
+        self.cross1_curves = dict(cross1_curves)
+        self.cross2_curves = dict(cross2_curves)
+        self.c1 = float(c1)
+        self.c2 = float(c2)
+        self.use_family_kernel = bool(use_family_kernel)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _aggregate(curves: Mapping[str, PiecewiseLinearCurve],
+                   ) -> PiecewiseLinearCurve:
+        total = PiecewiseLinearCurve.zero()
+        for c in curves.values():
+            total = total + c
+        return total.simplified()
+
+    def analyze(self) -> SubsystemResult:
+        """Compute all per-class delay bounds for this subsystem."""
+        f12 = self._aggregate(self.through_curves)
+        f1 = self._aggregate(self.cross1_curves)
+        f2 = self._aggregate(self.cross2_curves)
+
+        th = theorem1_bound(f12, f1, f2, self.c1, self.c2)
+
+        has_through = bool(self.through_curves)
+        if self.use_family_kernel and has_through and \
+                math.isfinite(th.delay_through):
+            fam = family_pair_bound(f12, f1, f2, self.c1, self.c2)
+        else:
+            fam = FamilyResult(math.inf, 0.0, 0.0)
+
+        d_through = min(th.delay_through, fam.delay_through)
+        if fam.delay_through < th.delay_through:
+            winner = "family"
+        elif math.isclose(fam.delay_through, th.delay_through,
+                          rel_tol=1e-9, abs_tol=1e-12):
+            winner = "tie"
+        else:
+            winner = "theorem1"
+
+        return SubsystemResult(
+            delay_through=d_through,
+            delay_server1=th.delay_server1,
+            delay_server2=th.delay_server2,
+            winning_kernel=winner,
+            theorem1=th,
+            family=fam,
+        )
+
+    # ------------------------------------------------------------------
+
+    def output_curves(self, result: SubsystemResult,
+                      ) -> dict[str, PiecewiseLinearCurve]:
+        """Constraint curves of every connection when leaving the
+        subsystem (Algorithm Integrated, Step 3.2).
+
+        Each connection's entry curve is inflated by the *class* delay
+        bound it experienced and intersected with the line rate of the
+        server it exits from.
+        """
+        out: dict[str, PiecewiseLinearCurve] = {}
+        for name, curve in self.through_curves.items():
+            out[name] = capped_output_curve(
+                curve, result.delay_through, self.c2)
+        for name, curve in self.cross1_curves.items():
+            out[name] = capped_output_curve(
+                curve, result.delay_server1, self.c1)
+        for name, curve in self.cross2_curves.items():
+            out[name] = capped_output_curve(
+                curve, result.delay_server2, self.c2)
+        return out

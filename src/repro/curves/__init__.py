@@ -1,0 +1,35 @@
+"""Min-plus curve algebra (system S1/S2 in DESIGN.md).
+
+Public surface:
+
+* :class:`PiecewiseLinearCurve` — exact continuous piecewise-linear
+  curves with min-plus operations;
+* :class:`TokenBucket` — (sigma, rho[, peak]) traffic descriptors;
+* functional operations: :func:`convolve`, :func:`deconvolve`,
+  :func:`hdev`, :func:`vdev`, :func:`busy_period`;
+* sampled kernels in :mod:`repro.curves.numeric` for grid-based
+  evaluation (used by the Theorem-1 kernel).
+"""
+
+from repro.curves.piecewise import PiecewiseLinearCurve
+from repro.curves.token_bucket import TokenBucket, aggregate_curve
+from repro.curves.operations import (
+    busy_period,
+    convolve,
+    convolve_all,
+    deconvolve,
+    hdev,
+    vdev,
+)
+
+__all__ = [
+    "PiecewiseLinearCurve",
+    "TokenBucket",
+    "aggregate_curve",
+    "busy_period",
+    "convolve",
+    "convolve_all",
+    "deconvolve",
+    "hdev",
+    "vdev",
+]

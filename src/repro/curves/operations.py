@@ -1,0 +1,113 @@
+"""Free-function façade over the curve algebra.
+
+These wrappers give the analyses a uniform functional vocabulary
+(``convolve``, ``hdev`` …) and transparently route operations the exact
+kernel cannot handle to the sampled kernel in :mod:`repro.curves.numeric`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.curves.piecewise import PiecewiseLinearCurve
+from repro.curves import numeric
+from repro.errors import CurveError
+from repro.utils.grid import TimeGrid, make_grid
+
+__all__ = [
+    "convolve",
+    "convolve_all",
+    "hdev",
+    "vdev",
+    "busy_period",
+    "deconvolve",
+]
+
+#: Grid resolution used by numeric fallbacks.
+_FALLBACK_RESOLUTION = 4096
+
+
+def _auto_grid(*curves: PiecewiseLinearCurve,
+               horizon: float | None = None) -> TimeGrid:
+    """A grid whose horizon safely covers all breakpoints of *curves*."""
+    if horizon is None:
+        last = max(float(c.x[-1]) for c in curves)
+        horizon = max(1.0, 4.0 * last)
+    return make_grid(horizon, _FALLBACK_RESOLUTION)
+
+
+def convolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve,
+             horizon: float | None = None) -> PiecewiseLinearCurve:
+    """Min-plus convolution ``f ⊗ g``; exact where possible.
+
+    Falls back to the sampled kernel (resolution
+    ``_FALLBACK_RESOLUTION``) for mixed-convexity operands; pass
+    *horizon* to control the fallback's coverage.
+    """
+    try:
+        return f.convolve(g)
+    except CurveError:
+        grid = _auto_grid(f, g, horizon=horizon)
+        out = numeric.grid_convolve(numeric.sample(f, grid),
+                                    numeric.sample(g, grid))
+        return numeric.to_curve(out, grid)
+
+
+def convolve_all(curves: Iterable[PiecewiseLinearCurve],
+                 horizon: float | None = None) -> PiecewiseLinearCurve:
+    """Min-plus convolution of an iterable of curves (left fold)."""
+    it = iter(curves)
+    try:
+        acc = next(it)
+    except StopIteration:
+        raise CurveError("convolve_all needs at least one curve") from None
+    for c in it:
+        acc = convolve(acc, c, horizon=horizon)
+    return acc
+
+
+def deconvolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve,
+               horizon: float | None = None) -> PiecewiseLinearCurve:
+    """Min-plus deconvolution ``f ⊘ g`` via the sampled kernel.
+
+    The output-traffic bound of a flow with arrival curve ``f`` served
+    with service curve ``g``.  The horizon must cover the element's busy
+    period; by default four times the farthest breakpoint is used.
+    """
+    grid = _auto_grid(f, g, horizon=horizon)
+    out = numeric.grid_deconvolve(numeric.sample(f, grid),
+                                  numeric.sample(g, grid))
+    # The sampled sup is truncated at the horizon, which contaminates the
+    # tail of the result (the sup near the boundary sees too few
+    # offsets).  Keep
+    # the first 75% of the samples and extend with f's long-term rate —
+    # the analytically correct tail slope of f ⊘ g for stable systems.
+    keep = max(2, (3 * grid.n) // 4)
+    sub = TimeGrid(grid.times[keep - 1], keep)
+    curve = numeric.to_curve(out[:keep], sub)
+    return PiecewiseLinearCurve(curve.x, curve.y, f.long_term_rate())
+
+
+def hdev(arrival: PiecewiseLinearCurve,
+         service: PiecewiseLinearCurve) -> float:
+    """Horizontal deviation (worst-case delay bound). Exact."""
+    return arrival.horizontal_deviation(service)
+
+
+def vdev(arrival: PiecewiseLinearCurve,
+         service: PiecewiseLinearCurve) -> float:
+    """Vertical deviation (worst-case backlog bound). Exact."""
+    return arrival.vertical_deviation(service)
+
+
+def busy_period(aggregate: PiecewiseLinearCurve, capacity: float) -> float:
+    """Length of the maximum busy period of a work-conserving server.
+
+    Smallest ``t > 0`` with ``aggregate(t) <= capacity * t`` (paper's
+    ``B_j``).  Returns ``inf`` for an unstable server (long-term arrival
+    rate >= capacity) — callers should have validated stability first.
+    """
+    if capacity <= 0:
+        raise CurveError(f"capacity must be > 0, got {capacity}")
+    return aggregate.first_crossing_below(
+        PiecewiseLinearCurve.line(capacity))

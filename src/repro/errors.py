@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause
+while still being able to discriminate finer failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class CurveError(ReproError):
+    """Invalid curve construction or an ill-defined curve operation."""
+
+
+class InstabilityError(ReproError):
+    """A server or network is overloaded (utilization >= capacity).
+
+    Deterministic delay bounds only exist when every server's long-term
+    arrival rate is strictly below its service rate; violating that makes
+    busy periods unbounded and every analysis in this package undefined.
+    """
+
+    def __init__(self, message: str, *, rate: float | None = None,
+                 capacity: float | None = None) -> None:
+        super().__init__(message)
+        self.rate = rate
+        self.capacity = capacity
+
+
+class TopologyError(ReproError):
+    """Invalid network topology (cycles, unknown nodes, bad paths)."""
+
+
+class FlowError(ReproError):
+    """Invalid flow definition (empty path, bad traffic parameters)."""
+
+
+class AnalysisError(ReproError):
+    """An analysis algorithm could not produce a bound."""
+
+
+class SimulationError(ReproError):
+    """Invalid simulation configuration or a runtime simulation fault."""
+
+
+class AdmissionError(ReproError):
+    """Invalid admission-control request or controller state."""

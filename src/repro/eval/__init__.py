@@ -1,0 +1,63 @@
+"""Evaluation harness (system S13): figure regeneration and tables."""
+
+from repro.eval.figures import (
+    FIGURES,
+    FigureData,
+    Series,
+    delay_series,
+    figure4,
+    figure5,
+    figure6,
+)
+from repro.eval.tables import render_figure, render_series_table
+from repro.eval.runner import run_all, shape_checks, ShapeCheck
+from repro.eval.workloads import Sweep, default_sweep, quick_sweep
+from repro.eval.export import figure_to_csv, figure_to_json, write_figure_files
+from repro.eval.ascii_chart import render_chart
+from repro.eval.parallel import SweepPoint, evaluate_grid
+from repro.eval.sensitivity import Elasticities, elasticities
+from repro.eval.tightness import TightnessRow, render_tightness, tightness_study
+from repro.eval.crossover import CrossoverPoint, crossover_table, find_crossover
+from repro.eval.report import generate_report, write_report
+from repro.eval.admission_capacity import (
+    CapacityPoint,
+    admission_capacity,
+    capacity_table,
+)
+
+__all__ = [
+    "FIGURES",
+    "FigureData",
+    "Series",
+    "delay_series",
+    "figure4",
+    "figure5",
+    "figure6",
+    "render_figure",
+    "render_series_table",
+    "run_all",
+    "shape_checks",
+    "ShapeCheck",
+    "Sweep",
+    "default_sweep",
+    "quick_sweep",
+    "figure_to_csv",
+    "figure_to_json",
+    "write_figure_files",
+    "render_chart",
+    "SweepPoint",
+    "evaluate_grid",
+    "Elasticities",
+    "elasticities",
+    "TightnessRow",
+    "render_tightness",
+    "tightness_study",
+    "CapacityPoint",
+    "admission_capacity",
+    "capacity_table",
+    "generate_report",
+    "write_report",
+    "CrossoverPoint",
+    "crossover_table",
+    "find_crossover",
+]

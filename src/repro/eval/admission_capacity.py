@@ -1,0 +1,70 @@
+"""ADM1 — admission-capacity experiment (the paper's §1 motivation,
+made quantitative).
+
+For a tandem of a given size, counts how many identical
+deadline-constrained connections each analysis algorithm admits before
+its test first rejects.  A tighter analysis certifies more connections
+on the same hardware — the operational meaning of the delay-bound
+improvements in Figures 4–6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.admission.controller import AdmissionController
+from repro.admission.requests import ConnectionRequest
+from repro.curves.token_bucket import TokenBucket
+from repro.eval.figures import _analyzer_factory
+from repro.network.topology import Network, ServerSpec
+
+__all__ = ["CapacityPoint", "admission_capacity", "capacity_table"]
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """Connections admitted by one analyzer at one deadline."""
+
+    analyzer: str
+    n_hops: int
+    deadline: float
+    rho: float
+    admitted: int
+
+
+def admission_capacity(analyzer_name: str, n_hops: int, deadline: float,
+                       rho: float = 0.02, sigma: float = 1.0,
+                       max_tries: int = 500) -> CapacityPoint:
+    """Count admissible identical connections under one analyzer.
+
+    Connections are peak-limited token buckets ``(sigma, rho)``
+    traversing the whole tandem with the given end-to-end *deadline*.
+    """
+    network = Network([ServerSpec(k) for k in range(1, n_hops + 1)], [])
+    controller = AdmissionController(network,
+                                     _analyzer_factory(analyzer_name)())
+
+    def make(k: int) -> ConnectionRequest:
+        return ConnectionRequest(
+            f"conn_{k}", TokenBucket(sigma, rho, peak=1.0),
+            tuple(range(1, n_hops + 1)), deadline)
+
+    admitted = controller.admissible_count(make, max_tries=max_tries)
+    return CapacityPoint(analyzer_name, n_hops, deadline, rho, admitted)
+
+
+def capacity_table(analyzers: Sequence[str], n_hops: int,
+                   deadlines: Sequence[float], rho: float = 0.02,
+                   max_tries: int = 500) -> str:
+    """Aligned text table: admitted connections per (deadline, analyzer)."""
+    header = f"{'deadline':>9}" + "".join(f"{a:>15}" for a in analyzers)
+    lines = [header, "-" * len(header)]
+    for deadline in deadlines:
+        row = f"{deadline:9.1f}"
+        for a in analyzers:
+            point = admission_capacity(a, n_hops, deadline, rho,
+                                       max_tries=max_tries)
+            row += f"{point.admitted:15d}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Terminal (ASCII) line charts for figure series.
+
+The paper's figures are log-scale line plots; for a dependency-free
+visual check this module renders series on a character grid.  Not a
+plotting library — just enough to see crossovers and monotonicity at a
+glance in CI logs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.eval.figures import Series
+
+__all__ = ["render_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_chart(series: Sequence[Series], width: int = 64,
+                 height: int = 16, log_y: bool = False,
+                 title: str = "") -> str:
+    """Render series sharing one load axis as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Series to plot (max 8; same load axis).
+    width, height:
+        Plot area size in characters.
+    log_y:
+        Use a logarithmic value axis (like the paper's figures).
+    title:
+        Optional heading line.
+    """
+    if not series:
+        return "(no series)\n"
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+    loads = series[0].loads
+    for s in series:
+        if s.loads != loads:
+            raise ValueError("series must share the load axis")
+
+    vals = [v for s in series for v in s.values
+            if math.isfinite(v) and (not log_y or v > 0)]
+    if not vals:
+        return "(no finite data)\n"
+    lo, hi = min(vals), max(vals)
+    if log_y:
+        lo, hi = math.log10(lo), math.log10(hi)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+
+    def y_to_row(v: float) -> int | None:
+        if not math.isfinite(v) or (log_y and v <= 0):
+            return None
+        y = math.log10(v) if log_y else v
+        frac = (y - lo) / (hi - lo)
+        return height - 1 - int(round(frac * (height - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    umin, umax = loads[0], loads[-1]
+    span = max(umax - umin, 1e-12)
+    for si, s in enumerate(series):
+        mark = _MARKERS[si]
+        for u, v in zip(s.loads, s.values):
+            row = y_to_row(v)
+            if row is None:
+                continue
+            col = int(round((u - umin) / span * (width - 1)))
+            grid[row][col] = mark
+
+    def y_label(row: int) -> str:
+        frac = (height - 1 - row) / (height - 1)
+        y = lo + frac * (hi - lo)
+        return f"{10 ** y:8.2f}" if log_y else f"{y:8.2f}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        label = y_label(r) if r % 4 == 0 or r == height - 1 else " " * 8
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 9 + f" U={umin:.2f}" +
+                 " " * max(0, width - 16) + f"U={umax:.2f}")
+    legend = "  ".join(f"{_MARKERS[i]}={s.label}"
+                       for i, s in enumerate(series))
+    lines.append(legend)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,88 @@
+"""XOVER — locating the Decomposed/Service-Curve crossover (Figure 4).
+
+The paper observes that the service-curve method loses to decomposition
+as load grows, but that on *larger* networks the compounding of
+decomposition's local bounds hands the advantage back to the
+service-curve method at low loads.  This module quantifies the claim:
+for each tandem size it bisects for the load ``U*`` at which
+``D_SC(U*) = D_D(U*)`` — below ``U*`` the service-curve method wins,
+above it decomposition does.  A monotonically increasing ``U*(n)``
+curve *is* the paper's compounding effect, measured.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.closed_forms import (
+    decomposed_delay,
+    service_curve_delay,
+)
+
+__all__ = ["CrossoverPoint", "find_crossover", "crossover_table"]
+
+
+@dataclass(frozen=True)
+class CrossoverPoint:
+    """The load at which D_SC and D_D meet for one tandem size.
+
+    ``load`` is NaN when one method dominates over the whole (0, 1)
+    range; ``dominant`` then names it ("decomposed"/"service_curve"),
+    and is None when a genuine crossover exists.
+    """
+
+    n_hops: int
+    load: float
+    dominant: str | None = None
+
+    @property
+    def exists(self) -> bool:
+        return not math.isnan(self.load)
+
+
+def _gap(n: int, u: float, sigma: float) -> float:
+    """D_SC - D_D at one operating point (closed forms: exact, fast)."""
+    return service_curve_delay(n, u, sigma) - decomposed_delay(n, u, sigma)
+
+
+def find_crossover(n_hops: int, sigma: float = 1.0,
+                   lo: float = 1e-3, hi: float = 0.999,
+                   tolerance: float = 1e-9) -> CrossoverPoint:
+    """Bisect for the load where the two baselines swap order.
+
+    Uses the exact tandem closed forms, so the bisection is cheap and
+    the answer is machine-precise.
+    """
+    if n_hops < 1:
+        raise ValueError(f"n_hops must be >= 1, got {n_hops}")
+    g_lo, g_hi = _gap(n_hops, lo, sigma), _gap(n_hops, hi, sigma)
+    if g_lo > 0 and g_hi > 0:
+        # service curve looser over the whole range
+        return CrossoverPoint(n_hops, math.nan, dominant="decomposed")
+    if g_lo < 0 and g_hi < 0:
+        # service curve tighter over the whole range (extreme
+        # compounding of decomposition on very long tandems)
+        return CrossoverPoint(n_hops, math.nan, dominant="service_curve")
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if (_gap(n_hops, mid, sigma) > 0) == (g_lo > 0):
+            lo = mid
+        else:
+            hi = mid
+    return CrossoverPoint(n_hops, 0.5 * (lo + hi))
+
+
+def crossover_table(sizes: Sequence[int], sigma: float = 1.0) -> str:
+    """Text table of U*(n): the measured compounding effect."""
+    lines = [f"{'n':>4} {'U* (SC == Dec)':>16}   regime"]
+    for n in sizes:
+        p = find_crossover(n, sigma)
+        if p.exists:
+            lines.append(f"{n:4d} {p.load:16.4f}   "
+                         "service_curve tighter below U*")
+        else:
+            lines.append(f"{n:4d} {'(none)':>16}   "
+                         f"{p.dominant} tighter everywhere")
+    return "\n".join(lines)

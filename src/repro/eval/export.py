@@ -1,0 +1,74 @@
+"""Export regenerated figure data to CSV / JSON.
+
+Runs are diffable artifacts: the benchmark harness prints tables, and
+this module writes the same series to machine-readable files so the
+reproduction can be compared across library versions or against
+externally digitized paper plots.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import Iterable
+
+from repro.eval.figures import FigureData, Series
+
+__all__ = ["figure_to_csv", "figure_to_json", "write_figure_files"]
+
+
+def _clean(v: float):
+    """JSON-safe value (inf/nan become strings)."""
+    if math.isnan(v):
+        return "nan"
+    if math.isinf(v):
+        return "inf" if v > 0 else "-inf"
+    return v
+
+
+def figure_to_csv(fig: FigureData, path: str | Path) -> Path:
+    """Write one figure's series as long-form CSV.
+
+    Columns: ``panel, series, load, value``.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["panel", "series", "load", "value"])
+        for panel, series in (("delay", fig.delay_series),
+                              ("improvement", fig.improvement_series)):
+            for s in series:
+                for u, v in zip(s.loads, s.values):
+                    writer.writerow([panel, s.label, u, _clean(v)])
+    return path
+
+
+def figure_to_json(fig: FigureData, path: str | Path) -> Path:
+    """Write one figure as structured JSON."""
+    def series_obj(s: Series) -> dict:
+        return {"label": s.label, "loads": list(s.loads),
+                "values": [_clean(v) for v in s.values]}
+
+    doc = {
+        "figure_id": fig.figure_id,
+        "title": fig.title,
+        "delay": [series_obj(s) for s in fig.delay_series],
+        "improvement": [series_obj(s) for s in fig.improvement_series],
+    }
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2))
+    return path
+
+
+def write_figure_files(figures: Iterable[FigureData],
+                       out_dir: str | Path) -> list[Path]:
+    """Write CSV + JSON for every figure into *out_dir*."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+    for fig in figures:
+        written.append(figure_to_csv(fig, out / f"{fig.figure_id}.csv"))
+        written.append(figure_to_json(fig, out / f"{fig.figure_id}.json"))
+    return written

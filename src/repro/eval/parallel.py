@@ -1,0 +1,77 @@
+"""Process-parallel sweep evaluation.
+
+Figure regeneration is embarrassingly parallel across (algorithm, size,
+load) points; this module fans the grid out over a process pool.  Each
+worker rebuilds its tandem and analyzer from plain picklable parameters
+— analyses are pure functions of the network, so there is no shared
+state to synchronize (the standard single-program multiple-data pattern;
+per the project's HPC guidance we parallelize only the outer,
+coarse-grained loop and keep the numeric kernels vectorized).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.eval.figures import _analyzer_factory  # shared registry
+from repro.network.tandem import CONNECTION0, build_tandem
+
+__all__ = ["SweepPoint", "evaluate_grid"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (algorithm, size, load) evaluation point and its result."""
+
+    analyzer: str
+    n_hops: int
+    load: float
+    sigma: float
+    delay: float
+
+
+def _evaluate_one(args: tuple[str, int, float, float]) -> SweepPoint:
+    analyzer_name, n_hops, load, sigma = args
+    analyzer = _analyzer_factory(analyzer_name)()
+    net = build_tandem(n_hops, load, sigma)
+    delay = analyzer.analyze(net).delay_of(CONNECTION0)
+    return SweepPoint(analyzer_name, n_hops, load, sigma, delay)
+
+
+def evaluate_grid(analyzers: Sequence[str], hops: Sequence[int],
+                  loads: Sequence[float], sigma: float = 1.0,
+                  max_workers: int | None = None,
+                  parallel: bool = True) -> list[SweepPoint]:
+    """Evaluate Connection 0's bound over the full parameter grid.
+
+    Parameters
+    ----------
+    analyzers:
+        Analyzer names (see :data:`repro.cli.ANALYZERS` keys minus
+        "feedback").
+    hops, loads:
+        Grid axes.
+    sigma:
+        Source burst size.
+    max_workers:
+        Pool size (default: ``os.cpu_count()``).
+    parallel:
+        Set False to run in-process (useful under profilers and on
+        platforms where fork is unavailable).
+
+    Returns
+    -------
+    list[SweepPoint]
+        One point per grid element, in deterministic
+        (analyzer, hops, load) order.
+    """
+    tasks = [(a, int(n), float(u), float(sigma))
+             for a in analyzers for n in hops for u in loads]
+    if not parallel or len(tasks) <= 1:
+        return [_evaluate_one(t) for t in tasks]
+    workers = max_workers or min(len(tasks), os.cpu_count() or 1)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_evaluate_one, tasks))

@@ -1,0 +1,117 @@
+"""Experiment runner: regenerate every figure and summarize shape checks.
+
+``python -m repro.eval.runner`` prints all three figures as tables and
+verifies the qualitative claims recorded in EXPERIMENTS.md:
+
+* C1 — Algorithm Integrated is never looser than Algorithm Decomposed;
+* C2 — the improvement of Integrated over Decomposed grows with network
+  size at moderate loads;
+* C3 — Service Curve is looser than Decomposed at high loads, while at
+  low loads on large networks the compounding of decomposed local
+  bounds can make Decomposed looser (the paper's Figure 4 nuance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.figures import FigureData, figure4, figure5, figure6
+from repro.eval.tables import render_figure
+from repro.eval.workloads import Sweep
+
+__all__ = ["ShapeCheck", "run_all", "shape_checks", "main"]
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative claim and whether the regenerated data shows it."""
+
+    claim: str
+    holds: bool
+    detail: str
+
+
+def run_all(sweep: Sweep | None = None) -> dict[str, FigureData]:
+    """Regenerate all figures; pass a sweep to shrink the grid."""
+    return {
+        "FIG4": figure4(sweep),
+        "FIG5": figure5(sweep),
+        "FIG6": figure6(sweep),
+    }
+
+
+def _series_by_prefix(fig: FigureData, prefix: str, n: int):
+    label = f"{prefix} (n={n})"
+    for s in fig.delay_series:
+        if s.label == label:
+            return s
+    raise KeyError(label)
+
+
+def shape_checks(figures: dict[str, FigureData]) -> list[ShapeCheck]:
+    """Evaluate the paper's qualitative claims on regenerated data."""
+    checks: list[ShapeCheck] = []
+
+    # C1: integrated <= decomposed everywhere (FIG5)
+    fig5 = figures["FIG5"]
+    violations = []
+    sizes5 = sorted({int(s.label.split("n=")[1].rstrip(")"))
+                     for s in fig5.delay_series})
+    for n in sizes5:
+        dec = _series_by_prefix(fig5, "decomposed", n)
+        integ = _series_by_prefix(fig5, "integrated", n)
+        for u, dv, iv in zip(dec.loads, dec.values, integ.values):
+            if iv > dv * (1 + 1e-9):
+                violations.append((n, u, dv, iv))
+    checks.append(ShapeCheck(
+        claim="Integrated never looser than Decomposed",
+        holds=not violations,
+        detail=("no violations" if not violations
+                else f"violations: {violations[:3]}"),
+    ))
+
+    # C2: improvement grows with size at a moderate load (paper: <= 80%)
+    r_at_mid = {}
+    for s in fig5.improvement_series:
+        n = int(s.label.split("n=")[1].rstrip(")"))
+        mid = min(range(len(s.loads)),
+                  key=lambda i: abs(s.loads[i] - 0.5))
+        r_at_mid[n] = s.values[mid]
+    ordered = [r_at_mid[n] for n in sorted(r_at_mid)]
+    grows = all(a <= b + 1e-9 for a, b in zip(ordered, ordered[1:]))
+    checks.append(ShapeCheck(
+        claim="R[Decomposed,Integrated] grows with network size (U=0.5)",
+        holds=grows,
+        detail=f"R at U=0.5 by size: "
+               f"{ {n: round(v, 3) for n, v in sorted(r_at_mid.items())} }",
+    ))
+
+    # C3: service curve looser than decomposed at the highest load
+    fig4 = figures["FIG4"]
+    sizes4 = sorted({int(s.label.split("n=")[1].rstrip(")"))
+                     for s in fig4.delay_series})
+    sc_worse = []
+    for n in sizes4:
+        sc = _series_by_prefix(fig4, "service_curve", n)
+        dec = _series_by_prefix(fig4, "decomposed", n)
+        sc_worse.append(sc.values[-1] >= dec.values[-1])
+    checks.append(ShapeCheck(
+        claim="Service Curve looser than Decomposed at high load",
+        holds=all(sc_worse),
+        detail=f"at U={fig4.delay_series[0].loads[-1]:.2f}: "
+               f"{dict(zip(sizes4, sc_worse))}",
+    ))
+    return checks
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    figures = run_all()
+    for fig in figures.values():
+        print(render_figure(fig))
+    print("== shape checks ==")
+    for c in shape_checks(figures):
+        print(f"[{'PASS' if c.holds else 'FAIL'}] {c.claim}: {c.detail}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,72 @@
+"""Sensitivity analysis of delay bounds to traffic parameters.
+
+Quantifies how each algorithm's Connection-0 bound responds to the
+workload knobs — load ``U``, burst ``sigma``, network size ``n`` — via
+normalized finite-difference elasticities
+
+``E_x = (dD / D) / (dx / x)``
+
+(the percentage change in the bound per percent change in the
+parameter).  Two structural facts make good test anchors: all bounds
+are exactly homogeneous of degree 1 in sigma (elasticity 1), and bounds
+are increasing in U and n (positive elasticities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.figures import _analyzer_factory
+from repro.network.tandem import CONNECTION0, build_tandem
+
+__all__ = ["Elasticities", "elasticities"]
+
+
+@dataclass(frozen=True)
+class Elasticities:
+    """Normalized sensitivities of one algorithm's bound at one point."""
+
+    analyzer: str
+    n_hops: int
+    load: float
+    sigma: float
+    delay: float
+    wrt_load: float
+    wrt_sigma: float
+    wrt_hops: float
+
+
+def _delay(analyzer_name: str, n: int, u: float, sigma: float) -> float:
+    analyzer = _analyzer_factory(analyzer_name)()
+    return analyzer.analyze(build_tandem(n, u, sigma)) \
+        .delay_of(CONNECTION0)
+
+
+def elasticities(analyzer_name: str, n_hops: int, load: float,
+                 sigma: float = 1.0, rel_step: float = 0.02,
+                 ) -> Elasticities:
+    """Finite-difference elasticities at one operating point.
+
+    ``rel_step`` is the relative perturbation for U and sigma; the size
+    elasticity uses the discrete step ``n -> n + 1``.
+    """
+    if not (0.0 < load < 1.0):
+        raise ValueError(f"load must be in (0,1), got {load}")
+    if not (0.0 < rel_step < 0.5):
+        raise ValueError(f"rel_step must be in (0, 0.5), got {rel_step}")
+    d0 = _delay(analyzer_name, n_hops, load, sigma)
+
+    du = min(load * rel_step, (1.0 - load) / 2)
+    d_u = _delay(analyzer_name, n_hops, load + du, sigma)
+    e_load = ((d_u - d0) / d0) / (du / load)
+
+    ds = sigma * rel_step
+    d_s = _delay(analyzer_name, n_hops, load, sigma + ds)
+    e_sigma = ((d_s - d0) / d0) / (ds / sigma)
+
+    d_n = _delay(analyzer_name, n_hops + 1, load, sigma)
+    e_hops = ((d_n - d0) / d0) / (1.0 / n_hops)
+
+    return Elasticities(
+        analyzer=analyzer_name, n_hops=n_hops, load=load, sigma=sigma,
+        delay=d0, wrt_load=e_load, wrt_sigma=e_sigma, wrt_hops=e_hops)

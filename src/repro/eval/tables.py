@@ -1,0 +1,70 @@
+"""Plain-text rendering of figure data.
+
+The paper's figures are log-scale line plots; the harness reports the
+same information as aligned tables (one row per load, one column per
+series) so runs are diffable and the shape claims in EXPERIMENTS.md can
+be checked by eye.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.eval.figures import FigureData, Series
+
+__all__ = ["render_series_table", "render_figure"]
+
+
+def _fmt(v: float) -> str:
+    if math.isnan(v):
+        return "nan"
+    if math.isinf(v):
+        return "inf"
+    return f"{v:.4f}"
+
+
+def render_series_table(series: Sequence[Series],
+                        value_header: str = "value") -> str:
+    """Render series sharing one load axis as an aligned table."""
+    if not series:
+        return "(no series)\n"
+    loads = series[0].loads
+    for s in series:
+        if s.loads != loads:
+            raise ValueError(
+                f"series {s.label!r} has a different load axis")
+    headers = ["U"] + [s.label for s in series]
+    rows = []
+    for i, u in enumerate(loads):
+        rows.append([f"{u:.2f}"] + [_fmt(s.values[i]) for s in series])
+    widths = [max(len(headers[c]), *(len(r[c]) for r in rows))
+              for c in range(len(headers))]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    _ = value_header  # reserved for future multi-table rendering
+    return "\n".join(lines) + "\n"
+
+
+def render_figure(fig: FigureData) -> str:
+    """Render both panels of a figure as text."""
+    parts = [
+        f"== {fig.figure_id}: {fig.title} ==",
+        "",
+        "-- end-to-end delay bound of Connection 0 --",
+        render_series_table(fig.delay_series),
+        "-- relative improvement R_{X,Y} = (D_X - D_Y)/D_X --",
+        render_series_table(fig.improvement_series),
+    ]
+    return "\n".join(parts)
+
+
+def iter_figure_rows(fig: FigureData) -> Iterable[tuple]:
+    """Yield ``(series_label, load, value)`` triples (for CSV export)."""
+    for s in fig.delay_series + fig.improvement_series:
+        for u, v in zip(s.loads, s.values):
+            yield (s.label, u, v)

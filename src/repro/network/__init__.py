@@ -1,0 +1,43 @@
+"""Network model (systems S3/S4 in DESIGN.md).
+
+* :class:`Network`, :class:`ServerSpec`, :class:`Discipline` — feed-forward
+  topologies of work-conserving servers;
+* :class:`Flow` — connections with token-bucket sources and fixed paths;
+* :func:`build_tandem` — the paper's Figure-3 evaluation topology.
+"""
+
+from repro.network.flow import Flow
+from repro.network.topology import Discipline, Network, ServerSpec
+from repro.network.generators import fat_tree, parking_lot, random_feedforward
+from repro.network.serialization import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from repro.network.tandem import (
+    CONNECTION0,
+    build_tandem,
+    long_name,
+    short_name,
+    tandem_rho,
+)
+
+__all__ = [
+    "Flow",
+    "Network",
+    "ServerSpec",
+    "Discipline",
+    "build_tandem",
+    "tandem_rho",
+    "CONNECTION0",
+    "short_name",
+    "long_name",
+    "parking_lot",
+    "fat_tree",
+    "random_feedforward",
+    "load_network",
+    "save_network",
+    "network_to_dict",
+    "network_from_dict",
+]

@@ -1,0 +1,108 @@
+"""Flows (the paper's *connections*): a traffic descriptor plus a path.
+
+A flow enters the network at the first server of its path, traverses the
+listed servers in order, and leaves after the last.  The token bucket
+describes the flow *at the source*; per-hop constraint curves are derived
+by the analyses and never stored on the flow itself, keeping :class:`Flow`
+immutable and safely shareable between analyses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import FlowError
+
+__all__ = ["Flow"]
+
+ServerId = Hashable
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A unidirectional connection with deterministic QoS requirements.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within a :class:`repro.network.topology.Network`.
+    bucket:
+        Source :class:`TokenBucket` (sigma, rho, optional peak).
+    path:
+        Ordered servers the flow traverses; must be non-empty and free of
+        repeats (feed-forward networks have no looping flows).
+    deadline:
+        Optional end-to-end deadline used by admission control;
+        ``inf`` means best-effort (no deadline check).
+    priority:
+        Priority level for static-priority servers (lower value = higher
+        priority); ignored by FIFO servers.
+    """
+
+    name: str
+    bucket: TokenBucket
+    path: tuple[ServerId, ...]
+    deadline: float = math.inf
+    priority: int = 0
+
+    def __init__(self, name: str, bucket: TokenBucket,
+                 path: Sequence[ServerId], deadline: float = math.inf,
+                 priority: int = 0) -> None:
+        if not name:
+            raise FlowError("flow name must be non-empty")
+        if not isinstance(bucket, TokenBucket):
+            raise FlowError(
+                f"bucket must be a TokenBucket, got {type(bucket).__name__}")
+        p = tuple(path)
+        if not p:
+            raise FlowError(f"flow {name!r}: path must be non-empty")
+        if len(set(p)) != len(p):
+            raise FlowError(f"flow {name!r}: path revisits a server "
+                            "(not feed-forward)")
+        if not (deadline > 0):
+            raise FlowError(f"flow {name!r}: deadline must be > 0")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "bucket", bucket)
+        object.__setattr__(self, "path", p)
+        object.__setattr__(self, "deadline", float(deadline))
+        object.__setattr__(self, "priority", int(priority))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_hops(self) -> int:
+        """Number of servers traversed."""
+        return len(self.path)
+
+    def traverses(self, server: ServerId) -> bool:
+        """True when *server* is on this flow's path."""
+        return server in self.path
+
+    def hop_index(self, server: ServerId) -> int:
+        """Position of *server* on the path (0-based).
+
+        Raises :class:`FlowError` when the flow does not traverse it.
+        """
+        try:
+            return self.path.index(server)
+        except ValueError:
+            raise FlowError(
+                f"flow {self.name!r} does not traverse server {server!r}"
+            ) from None
+
+    def next_hop(self, server: ServerId) -> ServerId | None:
+        """The server after *server* on the path, or None at the exit."""
+        i = self.hop_index(server)
+        return self.path[i + 1] if i + 1 < len(self.path) else None
+
+    def with_deadline(self, deadline: float) -> "Flow":
+        """A copy of this flow with a different deadline."""
+        return Flow(self.name, self.bucket, self.path, deadline,
+                    self.priority)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Flow({self.name}: sigma={self.bucket.sigma:g}, "
+                f"rho={self.bucket.rho:g}, path={list(self.path)})")

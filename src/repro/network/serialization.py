@@ -1,0 +1,120 @@
+"""JSON (de)serialization of networks.
+
+Lets topologies live in version-controlled files and be fed to the CLI
+(``python -m repro analyze --network net.json``).  Server ids must be
+JSON-representable scalars (strings or integers); everything else in
+the model round-trips exactly.
+
+Schema::
+
+    {
+      "allow_cycles": false,
+      "servers": [
+        {"id": "tor1", "capacity": 1.0, "discipline": "fifo"}
+      ],
+      "flows": [
+        {"name": "ctl", "sigma": 0.2, "rho": 0.05, "peak": 1.0,
+         "path": ["tor1"], "deadline": 5.0, "priority": 0}
+      ]
+    }
+
+``peak`` and ``deadline`` may be null/omitted (meaning unbounded).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import TopologyError
+from repro.network.flow import Flow
+from repro.network.topology import Network, ServerSpec
+
+__all__ = [
+    "network_to_dict",
+    "network_from_dict",
+    "save_network",
+    "load_network",
+]
+
+
+def _check_id(sid) -> None:
+    if not isinstance(sid, (str, int)):
+        raise TopologyError(
+            f"server id {sid!r} is not JSON-serializable "
+            "(use strings or integers)")
+
+
+def network_to_dict(network: Network) -> dict:
+    """Plain-dict representation of a network (JSON-ready)."""
+    servers = []
+    for spec in network.servers.values():
+        _check_id(spec.server_id)
+        servers.append({
+            "id": spec.server_id,
+            "capacity": spec.capacity,
+            "discipline": spec.discipline,
+        })
+    flows = []
+    for f in network.iter_flows():
+        flows.append({
+            "name": f.name,
+            "sigma": f.bucket.sigma,
+            "rho": f.bucket.rho,
+            "peak": None if math.isinf(f.bucket.peak) else f.bucket.peak,
+            "path": list(f.path),
+            "deadline": None if math.isinf(f.deadline) else f.deadline,
+            "priority": f.priority,
+        })
+    return {
+        "allow_cycles": network.allow_cycles,
+        "servers": servers,
+        "flows": flows,
+    }
+
+
+def network_from_dict(doc: dict) -> Network:
+    """Rebuild a :class:`Network` from :func:`network_to_dict` output.
+
+    Raises :class:`TopologyError` on malformed documents (missing keys,
+    wrong types) with a message naming the offending entry.
+    """
+    try:
+        servers = [
+            ServerSpec(s["id"], float(s.get("capacity", 1.0)),
+                       s.get("discipline", "fifo"))
+            for s in doc["servers"]
+        ]
+        flows = []
+        for fd in doc["flows"]:
+            peak = fd.get("peak")
+            deadline = fd.get("deadline")
+            bucket = TokenBucket(
+                float(fd["sigma"]), float(fd["rho"]),
+                math.inf if peak is None else float(peak))
+            flows.append(Flow(
+                fd["name"], bucket, fd["path"],
+                deadline=math.inf if deadline is None else float(deadline),
+                priority=int(fd.get("priority", 0))))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TopologyError(f"malformed network document: {exc}") from exc
+    return Network(servers, flows,
+                   allow_cycles=bool(doc.get("allow_cycles", False)))
+
+
+def save_network(network: Network, path: str | Path) -> Path:
+    """Write a network to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(network_to_dict(network), indent=2))
+    return path
+
+
+def load_network(path: str | Path) -> Network:
+    """Read a network from a JSON file."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise TopologyError(f"{path}: invalid JSON: {exc}") from exc
+    return network_from_dict(doc)

@@ -1,0 +1,119 @@
+"""The paper's evaluation topology (Figure 3): a tandem of 3x3 switches.
+
+``n`` switches are chained; the contended resources are the *middle
+output ports* (one FIFO multiplexor per switch), modeled here as servers
+``1 .. n`` of unit capacity.  There are ``2n + 1`` connections:
+
+* **Connection 0** — the longest connection; traverses every server
+  ``1 .. n``.
+* **short_k** (one per switch ``k``) — enters at switch ``k``'s upper
+  input, shares server ``k`` with Connection 0, exits at switch ``k+1``
+  (its exit port is uncontended and is not modeled).
+* **long_k** (one per switch ``k``) — enters at switch ``k``'s lower
+  input and shares servers ``k`` and ``k+1`` with Connection 0 before
+  exiting at switch ``k+2``; at the last switch the second contended hop
+  is truncated (``long_n`` shares only server ``n``).
+
+With this routing, every interior middle port serves **four**
+connections (Connection 0, short_k, long_k, long_{k-1}) and the first
+serves three — exactly the paper's description ("the middle output port
+of each switch, except the first one, carries four connections").
+
+Every source is token-bucket constrained with burst ``sigma`` (paper:
+1), rate ``rho = U / 4`` (so interior servers run at utilization ``U``)
+and peak-limited by the unit access line.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.curves.token_bucket import TokenBucket
+from repro.network.flow import Flow
+from repro.network.topology import Discipline, Network, ServerSpec
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "build_tandem",
+    "tandem_rho",
+    "CONNECTION0",
+    "short_name",
+    "long_name",
+]
+
+#: Name of the paper's Connection 0 in generated networks.
+CONNECTION0 = "conn0"
+
+
+def short_name(k: int) -> str:
+    """Name of the 1-contended-hop cross connection entering at switch k."""
+    return f"short_{k}"
+
+
+def long_name(k: int) -> str:
+    """Name of the 2-contended-hop cross connection entering at switch k."""
+    return f"long_{k}"
+
+
+def tandem_rho(utilization: float, flows_per_port: int = 4) -> float:
+    """Per-connection token rate giving *utilization* at interior ports.
+
+    The paper loads each (interior) middle output port with
+    ``flows_per_port`` = 4 connections of identical rate, so
+    ``rho = U / 4``.
+    """
+    check_positive("utilization", utilization)
+    if utilization >= 1.0:
+        raise ValueError(
+            f"utilization must be < 1 for stable servers, got {utilization}")
+    return utilization / flows_per_port
+
+
+def build_tandem(n_hops: int, utilization: float, sigma: float = 1.0,
+                 capacity: float = 1.0,
+                 discipline: str = Discipline.FIFO,
+                 peak_limited: bool = True) -> Network:
+    """Build the Figure-3 tandem network.
+
+    Parameters
+    ----------
+    n_hops:
+        Number of switches ``n`` (Connection 0 traverses ``n`` servers).
+    utilization:
+        Interior-port load ``U`` in ``(0, 1)``; per-source rate is
+        ``U * capacity / 4``.
+    sigma:
+        Source token-bucket depth (paper uses 1).
+    capacity:
+        Link/server rate (paper normalizes to 1).
+    discipline:
+        Scheduling discipline for every server (default FIFO, as in the
+        paper's evaluation).
+    peak_limited:
+        When True (default) sources are additionally limited by the
+        access line rate, i.e. ``b(I) = min(capacity * I, sigma + rho*I)``
+        — the paper's eq. (4).
+
+    Returns
+    -------
+    Network
+        ``n`` unit servers named ``1 .. n`` and ``2n + 1`` flows.
+    """
+    if n_hops < 1:
+        raise ValueError(f"n_hops must be >= 1, got {n_hops}")
+    check_positive("sigma", sigma)
+    check_positive("capacity", capacity)
+    rho = tandem_rho(utilization) * capacity
+    peak = capacity if peak_limited else math.inf
+    bucket = TokenBucket(sigma, rho, peak)
+
+    servers = [ServerSpec(k, capacity, discipline)
+               for k in range(1, n_hops + 1)]
+
+    flows = [Flow(CONNECTION0, bucket, tuple(range(1, n_hops + 1)))]
+    for k in range(1, n_hops + 1):
+        flows.append(Flow(short_name(k), bucket, (k,)))
+        long_path = (k, k + 1) if k < n_hops else (k,)
+        flows.append(Flow(long_name(k), bucket, long_path))
+
+    return Network(servers, flows)

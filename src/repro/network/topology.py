@@ -1,0 +1,238 @@
+"""Network model: servers plus flows, with feed-forward validation.
+
+A :class:`Network` is the unit every analysis consumes: a set of
+:class:`ServerSpec` (the multiplexors — output ports in the paper's
+switch model) and a set of :class:`repro.network.flow.Flow` whose paths
+induce a directed *server graph*.  The analyses in this package are only
+valid for feed-forward (acyclic) networks, exactly like the paper's
+Algorithm Integrated, so construction eagerly verifies acyclicity and
+stability hooks are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from repro.errors import InstabilityError, TopologyError
+from repro.network.flow import Flow
+from repro.utils.validation import check_positive
+
+__all__ = ["ServerSpec", "Network", "Discipline"]
+
+ServerId = Hashable
+
+
+class Discipline:
+    """Scheduling discipline identifiers understood by the analyses."""
+
+    FIFO = "fifo"
+    STATIC_PRIORITY = "static_priority"
+    GUARANTEED_RATE = "guaranteed_rate"
+
+    ALL = (FIFO, STATIC_PRIORITY, GUARANTEED_RATE)
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """A work-conserving server (switch output port / multiplexor).
+
+    Attributes
+    ----------
+    server_id:
+        Unique, hashable identifier.
+    capacity:
+        Service rate in data units per second (the paper normalizes to 1).
+    discipline:
+        One of :class:`Discipline`; the analyses specialize on this.
+    """
+
+    server_id: ServerId
+    capacity: float = 1.0
+    discipline: str = Discipline.FIFO
+
+    def __post_init__(self) -> None:
+        check_positive("capacity", self.capacity)
+        if self.discipline not in Discipline.ALL:
+            raise TopologyError(
+                f"unknown discipline {self.discipline!r}; "
+                f"expected one of {Discipline.ALL}")
+
+
+class Network:
+    """A feed-forward network of servers and flows.
+
+    Parameters
+    ----------
+    servers:
+        Iterable of :class:`ServerSpec`.
+    flows:
+        Iterable of :class:`Flow`; every server named in a path must be
+        declared in *servers*.
+    allow_cycles:
+        Permit cyclic server graphs.  The decomposition/integrated
+        analyses require feed-forward routing and will refuse such
+        networks (``topological_servers`` raises), but the feedback
+        fixed-point analysis (:mod:`repro.analysis.feedback`) and the
+        simulator handle them.
+
+    Raises
+    ------
+    TopologyError
+        On duplicate ids, paths through unknown servers, or — unless
+        ``allow_cycles`` — cyclic server graphs.
+    """
+
+    def __init__(self, servers: Iterable[ServerSpec],
+                 flows: Iterable[Flow],
+                 allow_cycles: bool = False) -> None:
+        self._servers: dict[ServerId, ServerSpec] = {}
+        for s in servers:
+            if s.server_id in self._servers:
+                raise TopologyError(f"duplicate server id {s.server_id!r}")
+            self._servers[s.server_id] = s
+
+        self._flows: dict[str, Flow] = {}
+        for f in flows:
+            if f.name in self._flows:
+                raise TopologyError(f"duplicate flow name {f.name!r}")
+            for sid in f.path:
+                if sid not in self._servers:
+                    raise TopologyError(
+                        f"flow {f.name!r} traverses unknown server {sid!r}")
+            self._flows[f.name] = f
+
+        self._graph = self._build_server_graph()
+        self.allow_cycles = bool(allow_cycles)
+        self._is_dag = nx.is_directed_acyclic_graph(self._graph)
+        if not self._is_dag and not self.allow_cycles:
+            cycle = nx.find_cycle(self._graph)
+            raise TopologyError(
+                f"server graph has a cycle ({cycle}); pass "
+                "allow_cycles=True and use the feedback analysis for "
+                "non-feed-forward networks")
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _build_server_graph(self) -> nx.DiGraph:
+        g = nx.DiGraph()
+        g.add_nodes_from(self._servers)
+        for f in self._flows.values():
+            for a, b in zip(f.path, f.path[1:]):
+                g.add_edge(a, b)
+        return g
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def servers(self) -> Mapping[ServerId, ServerSpec]:
+        """Read-only mapping of server id to spec."""
+        return dict(self._servers)
+
+    @property
+    def flows(self) -> Mapping[str, Flow]:
+        """Read-only mapping of flow name to flow."""
+        return dict(self._flows)
+
+    @property
+    def server_graph(self) -> nx.DiGraph:
+        """A copy of the directed server graph induced by flow paths."""
+        return self._graph.copy()
+
+    def server(self, server_id: ServerId) -> ServerSpec:
+        """Look up a server spec; raises :class:`TopologyError` if absent."""
+        try:
+            return self._servers[server_id]
+        except KeyError:
+            raise TopologyError(f"unknown server {server_id!r}") from None
+
+    def flow(self, name: str) -> Flow:
+        """Look up a flow by name; raises :class:`TopologyError` if absent."""
+        try:
+            return self._flows[name]
+        except KeyError:
+            raise TopologyError(f"unknown flow {name!r}") from None
+
+    def flows_at(self, server_id: ServerId) -> list[Flow]:
+        """All flows traversing *server_id*, in deterministic name order."""
+        self.server(server_id)
+        return sorted(
+            (f for f in self._flows.values() if f.traverses(server_id)),
+            key=lambda f: f.name,
+        )
+
+    @property
+    def is_feedforward(self) -> bool:
+        """True when the server graph is acyclic."""
+        return self._is_dag
+
+    def topological_servers(self) -> list[ServerId]:
+        """Server ids in a (deterministic) topological order.
+
+        Raises :class:`TopologyError` on cyclic networks — use
+        :mod:`repro.analysis.feedback` there.
+        """
+        if not self._is_dag:
+            raise TopologyError(
+                "cyclic server graph has no topological order; use the "
+                "feedback analysis")
+        return list(nx.lexicographical_topological_sort(
+            self._graph, key=lambda n: str(n)))
+
+    def iter_flows(self) -> Iterator[Flow]:
+        """Iterate flows in deterministic name order."""
+        return iter(sorted(self._flows.values(), key=lambda f: f.name))
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+
+    def utilization(self, server_id: ServerId) -> float:
+        """Long-term utilization rho_total / capacity of one server."""
+        spec = self.server(server_id)
+        total = sum(f.bucket.rho for f in self.flows_at(server_id))
+        return total / spec.capacity
+
+    def max_utilization(self) -> float:
+        """The largest per-server utilization in the network."""
+        if not self._servers:
+            return 0.0
+        return max(self.utilization(s) for s in self._servers)
+
+    def check_stability(self) -> None:
+        """Raise :class:`InstabilityError` unless every server has
+        utilization strictly below 1.
+
+        Deterministic delay bounds do not exist otherwise; every analysis
+        calls this before doing any work.
+        """
+        for sid, spec in self._servers.items():
+            rate = sum(f.bucket.rho for f in self.flows_at(sid))
+            if rate >= spec.capacity:
+                raise InstabilityError(
+                    f"server {sid!r} overloaded: aggregate rate {rate:g} >= "
+                    f"capacity {spec.capacity:g}",
+                    rate=rate, capacity=spec.capacity)
+
+    def with_flow(self, flow: Flow) -> "Network":
+        """A new network with *flow* added (used by admission control)."""
+        return Network(self._servers.values(),
+                       list(self._flows.values()) + [flow],
+                       allow_cycles=self.allow_cycles)
+
+    def without_flow(self, name: str) -> "Network":
+        """A new network with flow *name* removed."""
+        self.flow(name)
+        return Network(self._servers.values(),
+                       [f for f in self._flows.values() if f.name != name],
+                       allow_cycles=self.allow_cycles)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Network({len(self._servers)} servers, "
+                f"{len(self._flows)} flows)")

@@ -1,0 +1,47 @@
+"""Per-server (local) scheduling analyses (systems S5–S7 in DESIGN.md)."""
+
+from repro.servers.base import LocalAnalysis
+from repro.servers.fifo import (
+    capped_output_curve,
+    cruz_output_curve,
+    fifo_backlog_bound,
+    fifo_busy_period,
+    fifo_delay_bound,
+    fifo_local_analysis,
+)
+from repro.servers.static_priority import (
+    sp_delay_bounds,
+    sp_leftover_curve,
+    sp_local_analysis,
+)
+from repro.servers.packetized import (
+    packetization_slack,
+    packetize_report,
+    packetized_arrival_curve,
+)
+from repro.servers.guaranteed_rate import (
+    gr_delay_bounds,
+    gr_local_analysis,
+    rate_latency_curve,
+    wfq_service_curve,
+)
+
+__all__ = [
+    "LocalAnalysis",
+    "fifo_delay_bound",
+    "fifo_backlog_bound",
+    "fifo_busy_period",
+    "fifo_local_analysis",
+    "cruz_output_curve",
+    "capped_output_curve",
+    "sp_delay_bounds",
+    "sp_leftover_curve",
+    "sp_local_analysis",
+    "gr_delay_bounds",
+    "gr_local_analysis",
+    "rate_latency_curve",
+    "wfq_service_curve",
+    "packetization_slack",
+    "packetize_report",
+    "packetized_arrival_curve",
+]

@@ -1,0 +1,46 @@
+"""Shared definitions for per-server (local) analyses.
+
+A *local analysis* looks at one work-conserving server in isolation: it
+receives the constraint curves of every flow currently entering the
+server and produces per-flow worst-case delay bounds, a backlog bound and
+the maximum busy-period length.  The decomposition-based and integrated
+end-to-end algorithms both build on these primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.curves.piecewise import PiecewiseLinearCurve
+
+__all__ = ["LocalAnalysis"]
+
+
+@dataclass(frozen=True)
+class LocalAnalysis:
+    """Result of analyzing a single server.
+
+    Attributes
+    ----------
+    delay_by_flow:
+        Worst-case queueing+transmission delay bound per flow name.  For
+        FIFO all flows share one value; for static priority the bounds
+        differ per priority class.
+    backlog:
+        Worst-case total backlog bound at the server (data units).
+    busy_period:
+        Maximum busy-period length ``B_j`` (paper's Theorem 1 needs it).
+    aggregate:
+        The aggregate arrival-constraint curve ``G_j`` used.
+    """
+
+    delay_by_flow: Mapping[str, float]
+    backlog: float
+    busy_period: float
+    aggregate: PiecewiseLinearCurve = field(compare=False)
+
+    @property
+    def max_delay(self) -> float:
+        """The largest per-flow delay bound at this server."""
+        return max(self.delay_by_flow.values()) if self.delay_by_flow else 0.0

@@ -1,0 +1,119 @@
+"""FIFO server analysis (paper §2.1, after Cruz).
+
+For a FIFO server of capacity ``C`` whose aggregate arrivals are
+constrained by ``G(t)`` (paper eq. (6)):
+
+* every bit's delay is bounded by the horizontal deviation
+  ``d = max_{t <= B} (G(t)/C - t)`` — FIFO serves in arrival order, so
+  all flows at the server share this bound;
+* the backlog is bounded by the vertical deviation
+  ``max_t (G(t) - C t)``;
+* the maximum busy period ``B`` is the first positive crossing of ``G``
+  below ``C t`` (paper's ``B_j``);
+* a flow entering with constraint ``b(.)`` and leaving after at most
+  ``d`` is constrained at the output by ``b(I + d)`` (Cruz), optionally
+  intersected with the server's line rate ``C * I`` — the *capped*
+  output used by the integrated method.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.curves.operations import busy_period as _busy_period
+from repro.curves.piecewise import PiecewiseLinearCurve
+from repro.errors import InstabilityError
+from repro.servers.base import LocalAnalysis
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "fifo_delay_bound",
+    "fifo_backlog_bound",
+    "fifo_busy_period",
+    "fifo_local_analysis",
+    "cruz_output_curve",
+    "capped_output_curve",
+]
+
+
+def _check_stable(aggregate: PiecewiseLinearCurve, capacity: float) -> None:
+    if aggregate.long_term_rate() >= capacity:
+        raise InstabilityError(
+            f"aggregate rate {aggregate.long_term_rate():g} >= capacity "
+            f"{capacity:g}; FIFO delay bound does not exist",
+            rate=aggregate.long_term_rate(), capacity=capacity)
+
+
+def fifo_delay_bound(aggregate: PiecewiseLinearCurve,
+                     capacity: float) -> float:
+    """Worst-case delay at a FIFO server: ``max_t (G(t)/C - t)``."""
+    check_positive("capacity", capacity)
+    _check_stable(aggregate, capacity)
+    return aggregate.horizontal_deviation(
+        PiecewiseLinearCurve.line(capacity))
+
+
+def fifo_backlog_bound(aggregate: PiecewiseLinearCurve,
+                       capacity: float) -> float:
+    """Worst-case backlog at a FIFO server: ``max_t (G(t) - C t)``."""
+    check_positive("capacity", capacity)
+    _check_stable(aggregate, capacity)
+    return aggregate.vertical_deviation(PiecewiseLinearCurve.line(capacity))
+
+
+def fifo_busy_period(aggregate: PiecewiseLinearCurve,
+                     capacity: float) -> float:
+    """Maximum busy-period length ``B_j`` of a work-conserving server."""
+    check_positive("capacity", capacity)
+    return _busy_period(aggregate, capacity)
+
+
+def fifo_local_analysis(curves_by_flow: Mapping[str, PiecewiseLinearCurve],
+                        capacity: float) -> LocalAnalysis:
+    """Complete local analysis of one FIFO server.
+
+    Parameters
+    ----------
+    curves_by_flow:
+        Constraint curve of each flow *at this server's input*.
+    capacity:
+        Server rate.
+    """
+    agg = PiecewiseLinearCurve.zero()
+    for c in curves_by_flow.values():
+        agg = agg + c
+    agg = agg.simplified()
+    d = fifo_delay_bound(agg, capacity)
+    return LocalAnalysis(
+        delay_by_flow={name: d for name in curves_by_flow},
+        backlog=fifo_backlog_bound(agg, capacity),
+        busy_period=fifo_busy_period(agg, capacity),
+        aggregate=agg,
+    )
+
+
+def cruz_output_curve(input_curve: PiecewiseLinearCurve,
+                      delay: float) -> PiecewiseLinearCurve:
+    """Cruz's output characterization ``b_out(I) = b_in(I + d)``.
+
+    The classical (uncapped) propagation used by Algorithm Decomposed.
+    """
+    check_nonnegative("delay", delay)
+    if math.isinf(delay):
+        raise ValueError("delay bound is infinite; cannot characterize "
+                         "output traffic")
+    return input_curve.shift_left_x(delay)
+
+
+def capped_output_curve(input_curve: PiecewiseLinearCurve, delay: float,
+                        capacity: float) -> PiecewiseLinearCurve:
+    """Line-rate-capped output ``min(C * I, b_in(I + d))``.
+
+    A server of rate ``C`` cannot emit more than ``C`` per unit time over
+    *any* interval, so the cap is always sound; it encodes the
+    self-regulation effect the integrated method exploits (paper §1.3).
+    """
+    check_positive("capacity", capacity)
+    shifted = cruz_output_curve(input_curve, delay)
+    return shifted.minimum(PiecewiseLinearCurve.line(capacity))

@@ -1,0 +1,96 @@
+"""Guaranteed-rate (GR) server models.
+
+The paper contrasts FIFO with guaranteed-rate disciplines (fair queueing,
+virtual clock, …) for which tight per-flow service curves *do* exist —
+the rate-latency family (Stiliadis & Varma's latency-rate servers).  This
+module provides those curves so examples and tests can show the
+service-curve method working well where it is supposed to (GR servers)
+and poorly where the paper shows it fails (FIFO servers).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.curves.piecewise import PiecewiseLinearCurve
+from repro.errors import AnalysisError
+from repro.servers.base import LocalAnalysis
+from repro.servers.fifo import fifo_busy_period
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "rate_latency_curve",
+    "wfq_service_curve",
+    "gr_delay_bounds",
+    "gr_local_analysis",
+]
+
+
+def rate_latency_curve(rate: float, latency: float) -> PiecewiseLinearCurve:
+    """The rate-latency service curve ``R [t - T]^+``."""
+    check_positive("rate", rate)
+    check_nonnegative("latency", latency)
+    return PiecewiseLinearCurve.rate_latency(rate, latency)
+
+
+def wfq_service_curve(reserved_rate: float, capacity: float,
+                      max_packet: float = 0.0) -> PiecewiseLinearCurve:
+    """Per-flow service curve of a WFQ/PGPS server.
+
+    Parekh–Gallager: a flow with reserved rate ``r`` at a PGPS server of
+    capacity ``C`` and maximum packet size ``L`` receives the rate-latency
+    curve with rate ``r`` and latency ``L/r + L/C`` (0 in the fluid
+    limit).
+    """
+    check_positive("reserved_rate", reserved_rate)
+    check_positive("capacity", capacity)
+    check_nonnegative("max_packet", max_packet)
+    if reserved_rate > capacity:
+        raise AnalysisError(
+            f"reserved rate {reserved_rate:g} exceeds capacity {capacity:g}")
+    latency = (max_packet / reserved_rate + max_packet / capacity
+               if max_packet > 0 else 0.0)
+    return rate_latency_curve(reserved_rate, latency)
+
+
+def gr_delay_bounds(curves_by_flow: Mapping[str, PiecewiseLinearCurve],
+                    reserved_rates: Mapping[str, float],
+                    capacity: float,
+                    max_packet: float = 0.0) -> dict[str, float]:
+    """Per-flow delay bounds at a guaranteed-rate server.
+
+    Each flow's bound is the horizontal deviation between its own
+    constraint curve and its private rate-latency service curve — flows
+    are isolated from each other, which is exactly why service-curve
+    analysis is effective for GR disciplines (paper §1.2).
+    """
+    check_positive("capacity", capacity)
+    total = sum(reserved_rates[name] for name in curves_by_flow)
+    if total > capacity * (1 + 1e-12):
+        raise AnalysisError(
+            f"sum of reserved rates {total:g} exceeds capacity {capacity:g}")
+    bounds = {}
+    for name, curve in curves_by_flow.items():
+        beta = wfq_service_curve(reserved_rates[name], capacity, max_packet)
+        bounds[name] = curve.horizontal_deviation(beta)
+    return bounds
+
+
+def gr_local_analysis(curves_by_flow: Mapping[str, PiecewiseLinearCurve],
+                      reserved_rates: Mapping[str, float],
+                      capacity: float,
+                      max_packet: float = 0.0) -> LocalAnalysis:
+    """Complete local analysis of one guaranteed-rate server."""
+    bounds = gr_delay_bounds(curves_by_flow, reserved_rates, capacity,
+                             max_packet)
+    agg = PiecewiseLinearCurve.zero()
+    for c in curves_by_flow.values():
+        agg = agg + c
+    agg = agg.simplified()
+    line = PiecewiseLinearCurve.line(capacity)
+    return LocalAnalysis(
+        delay_by_flow=bounds,
+        backlog=agg.vertical_deviation(line),
+        busy_period=fifo_busy_period(agg, capacity),
+        aggregate=agg,
+    )

@@ -1,0 +1,106 @@
+"""Static-priority (SP) server analysis.
+
+The paper's conclusion announces the extension of the integrated approach
+to static-priority servers (the authors' companion RTSS'97 work analyzes
+SP networks with decomposition).  This module provides the sound local SP
+bound used by experiment EXT1:
+
+Priority levels are integers, **lower value = higher priority**; flows of
+the same priority are served FIFO among themselves.  A class ``p`` flow
+is guaranteed the *leftover* service curve
+
+``beta_p(t) = [C t - sum_{q < p} G_q(t)]^+``
+
+(blind multiplexing against strictly-higher-priority traffic — for fluid
+service this is exact for preemptive SP and conservative by at most one
+maximum packet time for non-preemptive SP), and within the class FIFO
+applies, so the class delay bound is the horizontal deviation between the
+class aggregate ``G_p`` and ``beta_p``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.curves.piecewise import PiecewiseLinearCurve
+from repro.errors import InstabilityError
+from repro.servers.base import LocalAnalysis
+from repro.servers.fifo import fifo_busy_period
+from repro.utils.validation import check_positive
+
+__all__ = ["sp_leftover_curve", "sp_delay_bounds", "sp_local_analysis"]
+
+
+def sp_leftover_curve(capacity: float,
+                      higher_aggregate: PiecewiseLinearCurve,
+                      ) -> PiecewiseLinearCurve:
+    """Leftover service curve after serving higher-priority traffic.
+
+    ``beta(t) = [C t - G_hp(t)]^+``; convex whenever ``G_hp`` is concave.
+    """
+    check_positive("capacity", capacity)
+    line = PiecewiseLinearCurve.line(capacity)
+    return (line - higher_aggregate).positive_part()
+
+
+def sp_delay_bounds(curves_by_flow: Mapping[str, PiecewiseLinearCurve],
+                    priority_by_flow: Mapping[str, int],
+                    capacity: float) -> dict[str, float]:
+    """Per-flow delay bounds at one static-priority server.
+
+    Parameters
+    ----------
+    curves_by_flow:
+        Constraint curve of each flow at this server's input.
+    priority_by_flow:
+        Priority level per flow (lower = more urgent); flows missing from
+        the mapping raise ``KeyError``.
+    capacity:
+        Server rate.
+
+    Raises
+    ------
+    InstabilityError
+        When the total arrival rate reaches the capacity (then the lowest
+        class has no bound).
+    """
+    check_positive("capacity", capacity)
+    total_rate = sum(c.long_term_rate() for c in curves_by_flow.values())
+    if total_rate >= capacity:
+        raise InstabilityError(
+            f"aggregate rate {total_rate:g} >= capacity {capacity:g}",
+            rate=total_rate, capacity=capacity)
+
+    levels = sorted({priority_by_flow[name] for name in curves_by_flow})
+    bounds: dict[str, float] = {}
+    hp_aggregate = PiecewiseLinearCurve.zero()
+    for level in levels:
+        class_names = [n for n in curves_by_flow
+                       if priority_by_flow[n] == level]
+        class_agg = PiecewiseLinearCurve.zero()
+        for n in class_names:
+            class_agg = class_agg + curves_by_flow[n]
+        beta = sp_leftover_curve(capacity, hp_aggregate)
+        d = class_agg.horizontal_deviation(beta)
+        for n in class_names:
+            bounds[n] = d
+        hp_aggregate = (hp_aggregate + class_agg).simplified()
+    return bounds
+
+
+def sp_local_analysis(curves_by_flow: Mapping[str, PiecewiseLinearCurve],
+                      priority_by_flow: Mapping[str, int],
+                      capacity: float) -> LocalAnalysis:
+    """Complete local analysis of one static-priority server."""
+    bounds = sp_delay_bounds(curves_by_flow, priority_by_flow, capacity)
+    agg = PiecewiseLinearCurve.zero()
+    for c in curves_by_flow.values():
+        agg = agg + c
+    agg = agg.simplified()
+    line = PiecewiseLinearCurve.line(capacity)
+    return LocalAnalysis(
+        delay_by_flow=bounds,
+        backlog=agg.vertical_deviation(line),
+        busy_period=fifo_busy_period(agg, capacity),
+        aggregate=agg,
+    )

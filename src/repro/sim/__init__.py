@@ -1,0 +1,32 @@
+"""Packet-level discrete-event simulator (system S11 in DESIGN.md)."""
+
+from repro.sim.adversary import adversarial_stagger, simulate_adversarial
+from repro.sim.packet import Packet
+from repro.sim.queues import FifoQueue, ServerQueue, StaticPriorityQueue
+from repro.sim.simulator import NetworkSimulator, simulate_greedy
+from repro.sim.sources import (
+    GreedySource,
+    OnOffSource,
+    ShapedRandomSource,
+    Source,
+    shape_times,
+)
+from repro.sim.trace import FlowStats, SimulationResult
+
+__all__ = [
+    "Packet",
+    "adversarial_stagger",
+    "simulate_adversarial",
+    "ServerQueue",
+    "FifoQueue",
+    "StaticPriorityQueue",
+    "NetworkSimulator",
+    "simulate_greedy",
+    "Source",
+    "GreedySource",
+    "OnOffSource",
+    "ShapedRandomSource",
+    "shape_times",
+    "FlowStats",
+    "SimulationResult",
+]

@@ -1,0 +1,85 @@
+"""Adversarial source scheduling against a target flow.
+
+Synchronized greedy bursts (every source fires at t=0) are the default
+stress pattern, but the worst case for a multi-hop flow has the cross
+traffic at hop ``k`` fire *when the target's backlog front arrives
+there*, not at t=0.  This module computes such a stagger schedule from
+the analysis itself: the target's front is estimated to reach hop ``k``
+after a fraction of the upstream local delay bounds, and every cross
+flow starts its greedy phase at the estimated arrival time for its
+first server shared with the target.
+
+This is a heuristic — finding the exact worst case is a hard
+optimization — but it consistently pushes the observed delay closer to
+the integrated bound than synchronized bursts (see
+``benchmarks/bench_validation.py``), which is evidence the bounds are
+not just sound but reasonably tight.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.analysis.propagation import propagate
+from repro.network.topology import Network
+from repro.sim.simulator import simulate_greedy
+from repro.sim.trace import SimulationResult
+from repro.utils.validation import check_positive
+
+__all__ = ["adversarial_stagger", "simulate_adversarial"]
+
+ServerId = Hashable
+
+
+def adversarial_stagger(network: Network, target: str,
+                        front_fraction: float = 0.5,
+                        ) -> dict[str, float]:
+    """Greedy-phase start times aimed at maximizing *target*'s delay.
+
+    Parameters
+    ----------
+    network:
+        The network (must be feed-forward — the estimate uses the
+        decomposition sweep).
+    target:
+        Flow whose delay the schedule attacks; it starts at 0.
+    front_fraction:
+        Fraction of each upstream local delay bound used as the
+        front-propagation estimate (the burst front moves faster than
+        the worst-case *last* bit; 0.5 works well empirically).
+
+    Returns
+    -------
+    dict
+        Flow name -> greedy start time.
+    """
+    if not (0.0 <= front_fraction <= 1.0):
+        raise ValueError(
+            f"front_fraction must be in [0,1], got {front_fraction}")
+    tgt = network.flow(target)
+    prop = propagate(network)
+
+    eta: dict[ServerId, float] = {}
+    t = 0.0
+    for sid in tgt.path:
+        eta[sid] = t
+        t += front_fraction * prop.local[sid].delay_by_flow[target]
+
+    stagger = {target: 0.0}
+    for flow in network.iter_flows():
+        if flow.name == target:
+            continue
+        shared = [sid for sid in flow.path if sid in eta]
+        stagger[flow.name] = eta[shared[0]] if shared else 0.0
+    return stagger
+
+
+def simulate_adversarial(network: Network, target: str, horizon: float,
+                         packet_size: float = 0.05,
+                         front_fraction: float = 0.5,
+                         ) -> SimulationResult:
+    """Greedy simulation with the adversarial stagger against *target*."""
+    check_positive("horizon", horizon)
+    stagger = adversarial_stagger(network, target, front_fraction)
+    return simulate_greedy(network, horizon=horizon,
+                           packet_size=packet_size, stagger=stagger)

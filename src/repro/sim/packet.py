@@ -1,0 +1,51 @@
+"""Packet record used by the discrete-event simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Packet"]
+
+
+@dataclass
+class Packet:
+    """One simulated packet.
+
+    Attributes
+    ----------
+    flow:
+        Name of the owning flow.
+    seq:
+        Sequence number within the flow (0-based, emission order).
+    size:
+        Size in data units (same units as curve values).
+    created:
+        Network-entry timestamp.
+    priority:
+        Priority inherited from the flow (for SP servers).
+    hop_index:
+        Index of the *next* server on the flow's path to visit.
+    completed:
+        Network-exit timestamp, set when the packet leaves its last
+        server; None while in flight.
+    hop_arrival:
+        Arrival timestamp at the server currently holding the packet
+        (used to attribute per-hop delays).
+    """
+
+    flow: str
+    seq: int
+    size: float
+    created: float
+    priority: int = 0
+    hop_index: int = 0
+    completed: float | None = None
+    hop_arrival: float = 0.0
+
+    @property
+    def delay(self) -> float:
+        """End-to-end delay; raises if the packet has not completed."""
+        if self.completed is None:
+            raise ValueError(
+                f"packet {self.flow}#{self.seq} has not completed")
+        return self.completed - self.created

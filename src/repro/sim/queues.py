@@ -1,0 +1,85 @@
+"""Server queue models for the simulator.
+
+Each queue holds packets awaiting service at one simulated server and
+implements the discipline's selection rule:
+
+* :class:`FifoQueue` — arrival order;
+* :class:`StaticPriorityQueue` — lowest priority value first,
+  non-preemptive, FIFO within a priority level.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+
+from repro.sim.packet import Packet
+
+__all__ = ["ServerQueue", "FifoQueue", "StaticPriorityQueue"]
+
+
+class ServerQueue(abc.ABC):
+    """Interface of a per-server packet queue."""
+
+    @abc.abstractmethod
+    def push(self, packet: Packet) -> None:
+        """Enqueue an arriving packet."""
+
+    @abc.abstractmethod
+    def pop(self) -> Packet:
+        """Dequeue the next packet to serve (raises IndexError if empty)."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of queued packets."""
+
+    def backlog(self) -> float:
+        """Total queued data (sum of packet sizes)."""
+        return sum(p.size for p in self._iter_packets())
+
+    @abc.abstractmethod
+    def _iter_packets(self):
+        """Iterate queued packets (any order)."""
+
+
+class FifoQueue(ServerQueue):
+    """First-in-first-out queue."""
+
+    def __init__(self) -> None:
+        self._q: deque[Packet] = deque()
+
+    def push(self, packet: Packet) -> None:
+        self._q.append(packet)
+
+    def pop(self) -> Packet:
+        return self._q.popleft()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def _iter_packets(self):
+        return iter(self._q)
+
+
+class StaticPriorityQueue(ServerQueue):
+    """Non-preemptive static priority, FIFO within a level."""
+
+    def __init__(self) -> None:
+        self._levels: dict[int, deque[Packet]] = {}
+
+    def push(self, packet: Packet) -> None:
+        self._levels.setdefault(packet.priority, deque()).append(packet)
+
+    def pop(self) -> Packet:
+        for level in sorted(self._levels):
+            q = self._levels[level]
+            if q:
+                return q.popleft()
+        raise IndexError("pop from empty StaticPriorityQueue")
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._levels.values())
+
+    def _iter_packets(self):
+        for q in self._levels.values():
+            yield from q

@@ -1,0 +1,76 @@
+"""Simulation result records and statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["FlowStats", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class FlowStats:
+    """Delay statistics of one flow's completed packets."""
+
+    flow: str
+    count: int
+    max_delay: float
+    mean_delay: float
+    p99_delay: float
+
+    @classmethod
+    def from_delays(cls, flow: str, delays: np.ndarray) -> "FlowStats":
+        if delays.size == 0:
+            return cls(flow, 0, 0.0, 0.0, 0.0)
+        return cls(
+            flow=flow,
+            count=int(delays.size),
+            max_delay=float(np.max(delays)),
+            mean_delay=float(np.mean(delays)),
+            p99_delay=float(np.percentile(delays, 99)),
+        )
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Aggregate outcome of one simulation run.
+
+    Attributes
+    ----------
+    stats:
+        Per-flow delay statistics (completed packets only).
+    max_backlog:
+        Largest observed backlog per server (data units).
+    duration:
+        Simulated horizon.
+    packets_completed / packets_in_flight:
+        Completion accounting — in-flight packets at the horizon are
+        excluded from the delay statistics.
+    hop_max_delay:
+        Largest observed per-hop delay keyed by ``(flow, server_id)``
+        (arrival at the server to departure from it) — used to validate
+        *local* analytic bounds, not just end-to-end ones.
+    """
+
+    stats: Mapping[str, FlowStats]
+    max_backlog: Mapping[object, float]
+    duration: float
+    packets_completed: int
+    packets_in_flight: int
+    hop_max_delay: Mapping[tuple, float] = field(default_factory=dict)
+
+    def max_hop_delay(self, flow: str, server_id) -> float:
+        """Largest observed delay of *flow* at *server_id* (0 if none)."""
+        return self.hop_max_delay.get((flow, server_id), 0.0)
+
+    def max_delay(self, flow: str) -> float:
+        """Largest observed end-to-end delay of one flow."""
+        return self.stats[flow].max_delay
+
+    def observed_worst(self) -> float:
+        """Largest observed delay across all flows."""
+        if not self.stats:
+            return 0.0
+        return max(s.max_delay for s in self.stats.values())

@@ -1,0 +1,21 @@
+"""Small shared utilities: numeric tolerances, grids, validation helpers."""
+
+from repro.utils.tolerance import EPS, close, leq, geq
+from repro.utils.grid import TimeGrid, make_grid
+from repro.utils.validation import (
+    check_finite,
+    check_nonnegative,
+    check_positive,
+)
+
+__all__ = [
+    "EPS",
+    "close",
+    "leq",
+    "geq",
+    "TimeGrid",
+    "make_grid",
+    "check_finite",
+    "check_nonnegative",
+    "check_positive",
+]

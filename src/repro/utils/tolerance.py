@@ -1,0 +1,26 @@
+"""Floating point comparison helpers used across the curve algebra.
+
+Delay-bound computations chain many piecewise-linear operations; a single
+shared absolute/relative tolerance keeps comparisons consistent between
+the exact piecewise kernels and the sampled numeric kernels.
+"""
+
+from __future__ import annotations
+
+#: Default absolute tolerance for curve-algebra comparisons.
+EPS: float = 1e-9
+
+
+def close(a: float, b: float, eps: float = EPS) -> bool:
+    """Return True when *a* and *b* are equal up to mixed abs/rel tolerance."""
+    return abs(a - b) <= eps * max(1.0, abs(a), abs(b))
+
+
+def leq(a: float, b: float, eps: float = EPS) -> bool:
+    """Tolerant ``a <= b``."""
+    return a <= b + eps * max(1.0, abs(a), abs(b))
+
+
+def geq(a: float, b: float, eps: float = EPS) -> bool:
+    """Tolerant ``a >= b``."""
+    return leq(b, a, eps)

@@ -1,0 +1,44 @@
+"""Argument validation helpers.
+
+These raise :class:`ValueError` with a consistent message format; they are
+used at public API boundaries so that invalid parameters fail early with
+an actionable message instead of surfacing as NaNs deep in a kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def check_finite(name: str, value: float) -> float:
+    """Validate that *value* is a finite real number and return it."""
+    v = float(value)
+    if not math.isfinite(v):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return v
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Validate ``value >= 0`` (and finiteness) and return it."""
+    v = check_finite(name, value)
+    if v < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return v
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate ``value > 0`` (and finiteness) and return it."""
+    v = check_finite(name, value)
+    if v <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return v
+
+
+def check_type(name: str, value: Any, expected: type) -> Any:
+    """Validate ``isinstance(value, expected)`` and return *value*."""
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be {expected.__name__}, got {type(value).__name__}"
+        )
+    return value

@@ -1,0 +1,127 @@
+"""Unit tests for admission control (the paper's motivating application)."""
+
+import math
+
+import pytest
+
+from repro.admission.controller import AdmissionController
+from repro.admission.requests import AdmissionDecision, ConnectionRequest
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.core.integrated import IntegratedAnalysis
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import AdmissionError
+from repro.network.topology import Network, ServerSpec
+
+
+TB = TokenBucket(1.0, 0.1, peak=1.0)
+
+
+def empty_net(n=2):
+    return Network([ServerSpec(k) for k in range(1, n + 1)], [])
+
+
+def request(name, deadline=20.0, rho=0.1, path=(1, 2)):
+    # no peak limit: even a lone connection has a positive delay bound
+    return ConnectionRequest(name, TokenBucket(1.0, rho), path, deadline)
+
+
+class TestRequests:
+    def test_valid(self):
+        r = request("r")
+        assert r.deadline == 20.0
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(AdmissionError):
+            ConnectionRequest("", TB, (1,), 5.0)
+
+    def test_rejects_infinite_deadline(self):
+        with pytest.raises(AdmissionError):
+            ConnectionRequest("r", TB, (1,), math.inf)
+
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(AdmissionError):
+            ConnectionRequest("r", TB, (1,), 0.0)
+
+
+class TestController:
+    def test_admits_feasible(self):
+        ctl = AdmissionController(empty_net(), DecomposedAnalysis())
+        dec = ctl.admit(request("a"))
+        assert dec.admitted and "a" in ctl.network.flows
+        assert math.isfinite(dec.new_flow_bound)
+
+    def test_test_does_not_commit(self):
+        ctl = AdmissionController(empty_net(), DecomposedAnalysis())
+        assert ctl.test(request("a")).admitted
+        assert "a" not in ctl.network.flows
+
+    def test_rejects_tight_deadline(self):
+        ctl = AdmissionController(empty_net(), DecomposedAnalysis())
+        dec = ctl.admit(request("a", deadline=1e-6))
+        assert not dec.admitted
+        assert "deadline violation" in dec.reason
+
+    def test_rejects_overload(self):
+        ctl = AdmissionController(empty_net(), DecomposedAnalysis())
+        dec = ctl.admit(request("fat", rho=1.5))
+        assert not dec.admitted and "overload" in dec.reason
+
+    def test_rejects_duplicate_name(self):
+        ctl = AdmissionController(empty_net(), DecomposedAnalysis())
+        ctl.admit(request("a"))
+        dec = ctl.admit(request("a"))
+        assert not dec.admitted and "topology" in dec.reason
+
+    def test_rejects_unknown_server(self):
+        ctl = AdmissionController(empty_net(), DecomposedAnalysis())
+        dec = ctl.admit(request("a", path=(1, 99)))
+        assert not dec.admitted
+
+    def test_protects_existing_deadlines(self):
+        ctl = AdmissionController(empty_net(1), DecomposedAnalysis())
+        # alone, `first` has bound sigma/C = 1.0: exactly its deadline
+        first = request("first", deadline=1.0, rho=0.1, path=(1,))
+        assert ctl.admit(first).admitted
+        # a second bursty connection would push `first` past 1.0
+        second = request("second", deadline=50.0, rho=0.1, path=(1,))
+        dec = ctl.admit(second)
+        assert not dec.admitted
+        assert "first" in dec.reason
+
+    def test_release(self):
+        ctl = AdmissionController(empty_net(), DecomposedAnalysis())
+        ctl.admit(request("a"))
+        ctl.release("a")
+        assert "a" not in ctl.network.flows
+        assert ctl.admitted == ()
+
+    def test_release_unknown_raises(self):
+        ctl = AdmissionController(empty_net(), DecomposedAnalysis())
+        with pytest.raises(AdmissionError):
+            ctl.release("ghost")
+
+
+class TestCapacityGain:
+    def test_integrated_admits_at_least_as_many(self):
+        """The operational payoff: a tighter analysis admits more."""
+        deadline = 14.0
+
+        def make(k):
+            return request(f"c{k}", deadline=deadline, rho=0.02,
+                           path=(1, 2))
+
+        n_dec = AdmissionController(empty_net(), DecomposedAnalysis()) \
+            .admissible_count(make, max_tries=60)
+        n_int = AdmissionController(empty_net(), IntegratedAnalysis()) \
+            .admissible_count(make, max_tries=60)
+        assert n_int >= n_dec
+        assert n_dec >= 1
+
+    def test_admissible_count_stops_on_rejection(self):
+        ctl = AdmissionController(empty_net(1), DecomposedAnalysis())
+
+        def make(k):
+            return request(f"c{k}", deadline=3.0, rho=0.2, path=(1,))
+
+        n = ctl.admissible_count(make, max_tries=10)
+        assert 1 <= n < 10

@@ -1,0 +1,72 @@
+"""Unit tests for the comparison utilities and the R_{X,Y} metric."""
+
+import math
+
+import pytest
+
+from repro.analysis.base import DelayReport, FlowDelay
+from repro.analysis.comparison import (
+    compare_analyzers,
+    relative_improvement,
+)
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.core.integrated import IntegratedAnalysis
+from repro.network.tandem import CONNECTION0, build_tandem
+
+
+class TestRelativeImprovement:
+    def test_positive_when_y_tighter(self):
+        assert relative_improvement(10.0, 5.0) == pytest.approx(0.5)
+
+    def test_zero_when_equal(self):
+        assert relative_improvement(7.0, 7.0) == 0.0
+
+    def test_negative_when_y_looser(self):
+        assert relative_improvement(5.0, 10.0) == pytest.approx(-1.0)
+
+    def test_infinite_baseline(self):
+        assert relative_improvement(math.inf, 5.0) == 1.0
+
+    def test_both_infinite_nan(self):
+        assert math.isnan(relative_improvement(math.inf, math.inf))
+
+    def test_zero_baseline_nan(self):
+        assert math.isnan(relative_improvement(0.0, 0.0))
+
+
+class TestCompare:
+    def test_rows_for_all_flows(self, tandem4):
+        rows = compare_analyzers(
+            tandem4, [DecomposedAnalysis(), IntegratedAnalysis()])
+        assert len(rows) == len(tandem4.flows)
+
+    def test_restricted_flows(self, tandem4):
+        rows = compare_analyzers(
+            tandem4, [DecomposedAnalysis()], flows=[CONNECTION0])
+        assert len(rows) == 1 and rows[0].flow == CONNECTION0
+
+    def test_row_improvement(self, tandem4):
+        rows = compare_analyzers(
+            tandem4, [DecomposedAnalysis(), IntegratedAnalysis()],
+            flows=[CONNECTION0])
+        r = rows[0].improvement("decomposed", "integrated")
+        assert 0.0 < r < 1.0
+
+
+class TestReportTypes:
+    def test_flow_delay_validates_contributions(self):
+        with pytest.raises(ValueError):
+            FlowDelay("f", 10.0, ((1, 3.0), (2, 3.0)))
+
+    def test_flow_delay_accepts_matching(self):
+        fd = FlowDelay("f", 6.0, ((1, 3.0), (2, 3.0)))
+        assert fd.total == 6.0
+
+    def test_report_meets_deadlines(self, tandem4):
+        rep = DecomposedAnalysis().analyze(tandem4)
+        assert rep.meets_deadlines(tandem4)  # all deadlines are inf
+
+    def test_report_worst_empty_raises(self):
+        rep = DelayReport("x", {})
+        with pytest.raises(ValueError):
+            rep.worst()

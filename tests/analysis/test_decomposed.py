@@ -1,0 +1,78 @@
+"""Unit tests for Algorithm Decomposed."""
+
+import pytest
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.curves.token_bucket import TokenBucket
+from repro.network.flow import Flow
+from repro.network.tandem import CONNECTION0, build_tandem
+from repro.network.topology import Network, ServerSpec
+
+
+class TestOnTandem:
+    def test_contributions_sum_to_total(self, tandem4):
+        rep = DecomposedAnalysis().analyze(tandem4)
+        fd = rep.delays[CONNECTION0]
+        assert sum(d for _, d in fd.contributions) == \
+            pytest.approx(fd.total)
+        assert [e for e, _ in fd.contributions] == [1, 2, 3, 4]
+
+    def test_first_hop_matches_closed_form(self, tandem4):
+        rep = DecomposedAnalysis().analyze(tandem4)
+        e1 = dict(rep.delays[CONNECTION0].contributions)[1]
+        rho = 0.15  # U=0.6 -> rho=0.15
+        assert e1 == pytest.approx(2.0 / (1.0 - rho))
+
+    def test_monotone_in_load(self):
+        d = [DecomposedAnalysis().analyze(build_tandem(3, u))
+             .delay_of(CONNECTION0) for u in (0.2, 0.5, 0.8)]
+        assert d[0] < d[1] < d[2]
+
+    def test_monotone_in_size(self):
+        d = [DecomposedAnalysis().analyze(build_tandem(n, 0.5))
+             .delay_of(CONNECTION0) for n in (1, 2, 4)]
+        assert d[0] < d[1] < d[2]
+
+    def test_capped_variant_never_worse(self, tandem4):
+        plain = DecomposedAnalysis().analyze(tandem4)
+        capped = DecomposedAnalysis(capped_propagation=True) \
+            .analyze(tandem4)
+        for name in plain.delays:
+            assert capped.delay_of(name) <= plain.delay_of(name) + 1e-9
+
+    def test_cross_flow_delays_present(self, tandem4):
+        rep = DecomposedAnalysis().analyze(tandem4)
+        assert rep.delay_of("short_2") > 0
+        assert rep.delay_of("long_2") > rep.delay_of("short_2")
+
+    def test_meta_contains_local_bounds(self, tandem4):
+        rep = DecomposedAnalysis().analyze(tandem4)
+        assert set(rep.meta["local_delay"]) == {1, 2, 3, 4}
+        assert rep.meta["capped_propagation"] is False
+
+
+class TestOnCustomTopology:
+    def test_single_flow_single_server(self):
+        tb = TokenBucket(2.0, 0.5)
+        net = Network([ServerSpec("s", 1.0)], [Flow("f", tb, ["s"])])
+        rep = DecomposedAnalysis().analyze(net)
+        assert rep.delay_of("f") == pytest.approx(2.0)
+
+    def test_merging_tree(self):
+        # two branches merging into a shared server
+        tb = TokenBucket(1.0, 0.2, peak=1.0)
+        servers = [ServerSpec(s) for s in ("a", "b", "m")]
+        flows = [Flow("f1", tb, ["a", "m"]), Flow("f2", tb, ["b", "m"])]
+        rep = DecomposedAnalysis().analyze(Network(servers, flows))
+        # each branch server carries one fresh flow -> zero local delay
+        # (peak-limited source cannot exceed the line rate)
+        fd = dict(rep.delays["f1"].contributions)
+        assert fd["a"] == pytest.approx(0.0)
+        assert fd["m"] > 0
+
+    def test_report_worst_flow(self, tandem4):
+        rep = DecomposedAnalysis().analyze(tandem4)
+        assert rep.worst().flow == CONNECTION0
+
+    def test_all_finite(self, tandem4):
+        assert DecomposedAnalysis().analyze(tandem4).all_finite()

@@ -1,0 +1,101 @@
+"""Unit tests for the diagnosis/provisioning tools."""
+
+import math
+
+import pytest
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.analysis.diagnosis import (
+    bottlenecks,
+    deadline_slack,
+    max_admissible_rate,
+)
+from repro.analysis.service_curve import ServiceCurveAnalysis
+from repro.core.integrated import IntegratedAnalysis
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import AnalysisError
+from repro.network.flow import Flow
+from repro.network.tandem import CONNECTION0, build_tandem
+from repro.network.topology import Network, ServerSpec
+
+
+class TestBottlenecks:
+    def test_ranked_and_shares_sum_to_one(self, tandem4):
+        ranked = bottlenecks(DecomposedAnalysis(), tandem4, CONNECTION0)
+        assert len(ranked) == 4
+        assert all(a.delay >= b.delay
+                   for a, b in zip(ranked, ranked[1:]))
+        assert sum(b.share for b in ranked) == pytest.approx(1.0)
+
+    def test_downstream_hops_dominate_decomposed(self, tandem4):
+        # burst inflation makes later hops the bottleneck
+        ranked = bottlenecks(DecomposedAnalysis(), tandem4, CONNECTION0)
+        assert ranked[0].element == 4
+        assert ranked[-1].element == 1
+
+    def test_integrated_uses_subsystem_elements(self, tandem4):
+        ranked = bottlenecks(IntegratedAnalysis(), tandem4, CONNECTION0)
+        assert {b.element for b in ranked} == {(1, 2), (3, 4)}
+
+    def test_service_curve_rejected(self, tandem4):
+        with pytest.raises(AnalysisError):
+            bottlenecks(ServiceCurveAnalysis(), tandem4, CONNECTION0)
+
+
+class TestDeadlineSlack:
+    def test_infinite_for_best_effort(self, tandem4):
+        slack = deadline_slack(IntegratedAnalysis(), tandem4)
+        assert all(math.isinf(v) for v in slack.values())
+
+    def test_negative_when_uncertifiable(self):
+        tb = TokenBucket(1.0, 0.3)
+        net = Network(
+            [ServerSpec(1)],
+            [Flow("tight", tb, (1,), deadline=0.5),
+             Flow("ok", tb, (1,), deadline=50.0)])
+        slack = deadline_slack(DecomposedAnalysis(), net)
+        assert slack["tight"] < 0 < slack["ok"]
+
+
+class TestMaxAdmissibleRate:
+    def test_bounded_by_headroom(self, tandem4):
+        rate = max_admissible_rate(
+            IntegratedAnalysis(), tandem4, path=(1, 2, 3, 4),
+            deadline=1000.0)
+        # interior servers at U=0.6 leave 0.4 headroom
+        assert 0.0 < rate < 0.4
+
+    def test_tight_deadline_reduces_rate(self, tandem4):
+        loose = max_admissible_rate(IntegratedAnalysis(), tandem4,
+                                    (1, 2, 3, 4), deadline=1000.0)
+        tight = max_admissible_rate(IntegratedAnalysis(), tandem4,
+                                    (1, 2, 3, 4), deadline=14.0)
+        assert tight <= loose + 1e-9
+
+    def test_impossible_deadline_gives_zero(self, tandem4):
+        rate = max_admissible_rate(IntegratedAnalysis(), tandem4,
+                                   (1, 2, 3, 4), deadline=1e-3)
+        assert rate == 0.0
+
+    def test_found_rate_is_actually_feasible(self, tandem4):
+        deadline = 16.0
+        rate = max_admissible_rate(IntegratedAnalysis(), tandem4,
+                                   (1, 2, 3, 4), deadline=deadline)
+        assert rate > 0
+        flow = Flow("probe", TokenBucket(1.0, rate, peak=1.0),
+                    (1, 2, 3, 4), deadline=deadline)
+        report = IntegratedAnalysis().analyze(tandem4.with_flow(flow))
+        assert report.delay_of("probe") <= deadline + 1e-6
+
+    def test_invalid_deadline(self, tandem4):
+        with pytest.raises(AnalysisError):
+            max_admissible_rate(IntegratedAnalysis(), tandem4,
+                                (1, 2), deadline=math.inf)
+
+    def test_saturated_path_gives_zero(self):
+        tb = TokenBucket(1.0, 0.5)
+        net = Network([ServerSpec(1)],
+                      [Flow("a", tb, (1,)), Flow("b", TokenBucket(1.0, 0.499), (1,))])
+        rate = max_admissible_rate(DecomposedAnalysis(), net, (1,),
+                                   deadline=100.0)
+        assert rate == pytest.approx(0.0, abs=1e-3)

@@ -1,0 +1,123 @@
+"""Unit tests for the feedback (fixed-point) analysis of cyclic networks."""
+
+import math
+
+import pytest
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.analysis.feedback import FeedbackAnalysis
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import AnalysisError, TopologyError
+from repro.network.flow import Flow
+from repro.network.tandem import CONNECTION0, build_tandem
+from repro.network.topology import Network, ServerSpec
+from repro.sim.simulator import simulate_greedy
+
+
+def ring(rho=0.1, sigma=1.0, n=3):
+    """n servers in a ring: flow k enters at server k and also crosses
+    server (k+1) mod n — the server graph is a directed cycle."""
+    servers = [ServerSpec(k) for k in range(n)]
+    tb = TokenBucket(sigma, rho, peak=1.0)
+    flows = [Flow(f"f{k}", tb, [k, (k + 1) % n]) for k in range(n)]
+    return Network(servers, flows, allow_cycles=True)
+
+
+class TestNetworkCycleSupport:
+    def test_cycles_rejected_by_default(self):
+        with pytest.raises(TopologyError):
+            ring().without_flow  # noqa: B018 - construction itself raises
+            Network([ServerSpec(0), ServerSpec(1)],
+                    [Flow("a", TokenBucket(1, 0.1), [0, 1]),
+                     Flow("b", TokenBucket(1, 0.1), [1, 0])])
+
+    def test_allow_cycles_flag(self):
+        net = ring()
+        assert not net.is_feedforward
+
+    def test_topological_sort_refuses_cycles(self):
+        with pytest.raises(TopologyError):
+            ring().topological_servers()
+
+    def test_feedforward_property_true_on_tandem(self, tandem4):
+        assert tandem4.is_feedforward
+
+    def test_with_flow_preserves_allow_cycles(self):
+        net = ring()
+        tb = TokenBucket(0.5, 0.05, peak=1.0)
+        net2 = net.with_flow(Flow("extra", tb, [0]))
+        assert not net2.is_feedforward
+
+
+class TestOnFeedForward:
+    def test_matches_decomposed_capped(self, tandem4):
+        fb = FeedbackAnalysis(capped_propagation=True).analyze(tandem4)
+        dec = DecomposedAnalysis(capped_propagation=True) \
+            .analyze(tandem4)
+        for name in tandem4.flows:
+            assert fb.delay_of(name) == \
+                pytest.approx(dec.delay_of(name), rel=1e-6)
+
+    def test_matches_decomposed_uncapped(self, tandem4):
+        fb = FeedbackAnalysis(capped_propagation=False).analyze(tandem4)
+        dec = DecomposedAnalysis().analyze(tandem4)
+        assert fb.delay_of(CONNECTION0) == \
+            pytest.approx(dec.delay_of(CONNECTION0), rel=1e-6)
+
+    def test_converges_quickly_on_dag(self, tandem4):
+        rep = FeedbackAnalysis().analyze(tandem4)
+        assert rep.meta["converged"]
+        assert rep.meta["iterations"] <= 8
+
+
+class TestOnRing:
+    def test_light_ring_converges(self):
+        rep = FeedbackAnalysis().analyze(ring(rho=0.1))
+        assert rep.meta["converged"]
+        assert rep.all_finite()
+        # symmetric ring: all flows identical
+        vals = {round(fd.total, 9) for fd in rep.delays.values()}
+        assert len(vals) == 1
+
+    def test_ring_bound_sound_vs_simulation(self):
+        net = ring(rho=0.2)
+        rep = FeedbackAnalysis().analyze(net)
+        assert rep.meta["converged"]
+        sim = simulate_greedy(net, horizon=100.0, packet_size=0.05)
+        for name in net.flows:
+            assert sim.max_delay(name) <= rep.delay_of(name) + 0.1 + 1e-9
+
+    def test_heavy_ring_may_not_converge(self):
+        # very bursty, near-saturation ring without capping: the
+        # burstiness iteration gains exceed 1 and the analysis must
+        # refuse to certify (infinite bounds), not loop forever
+        net = ring(rho=0.45, sigma=5.0)
+        rep = FeedbackAnalysis(max_iterations=40,
+                               capped_propagation=False).analyze(net)
+        if not rep.meta["converged"]:
+            assert all(math.isinf(fd.total)
+                       for fd in rep.delays.values())
+
+    def test_capping_enlarges_certified_region(self):
+        # at the same load, capped propagation converges where uncapped
+        # may not (or converges to a tighter fixed point)
+        net = ring(rho=0.3, sigma=3.0)
+        capped = FeedbackAnalysis(capped_propagation=True).analyze(net)
+        uncapped = FeedbackAnalysis(capped_propagation=False,
+                                    max_iterations=200).analyze(net)
+        assert capped.meta["converged"]
+        if uncapped.meta["converged"]:
+            assert capped.delay_of("f0") <= \
+                uncapped.delay_of("f0") + 1e-9
+
+    def test_larger_ring(self):
+        rep = FeedbackAnalysis().analyze(ring(rho=0.15, n=6))
+        assert rep.meta["converged"] and rep.all_finite()
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(AnalysisError):
+            FeedbackAnalysis(max_iterations=0)
+        with pytest.raises(AnalysisError):
+            FeedbackAnalysis(tolerance=0.0)

@@ -1,0 +1,88 @@
+"""Unit tests for the shared topological propagation sweep."""
+
+import pytest
+
+from repro.analysis.propagation import analyze_server, propagate
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import InstabilityError
+from repro.network.flow import Flow
+from repro.network.tandem import CONNECTION0, build_tandem
+from repro.network.topology import Discipline, Network, ServerSpec
+
+
+TB = TokenBucket(1.0, 0.2, peak=1.0)
+
+
+class TestPropagate:
+    def test_entry_curve_is_source_constraint(self, tandem4):
+        prop = propagate(tandem4)
+        src = tandem4.flow(CONNECTION0).bucket.constraint_curve()
+        got = prop.curve_at[(CONNECTION0, 1)]
+        for t in [0.0, 1.0, 5.0]:
+            assert got(t) == pytest.approx(src(t))
+
+    def test_curves_inflate_downstream(self, tandem4):
+        prop = propagate(tandem4)
+        c1 = prop.curve_at[(CONNECTION0, 1)]
+        c3 = prop.curve_at[(CONNECTION0, 3)]
+        assert c3(0.0) > c1(0.0)
+
+    def test_capped_curves_below_uncapped(self, tandem4):
+        plain = propagate(tandem4, capped=False)
+        capped = propagate(tandem4, capped=True)
+        for sid in (2, 3, 4):
+            cu = plain.curve_at[(CONNECTION0, sid)]
+            cc = capped.curve_at[(CONNECTION0, sid)]
+            for t in [0.0, 0.5, 2.0]:
+                assert cc(t) <= cu(t) + 1e-9
+
+    def test_local_delays_recorded_everywhere(self, tandem4):
+        prop = propagate(tandem4)
+        assert set(prop.local) == {1, 2, 3, 4}
+
+    def test_flow_delay_at(self, tandem4):
+        prop = propagate(tandem4)
+        rho = 0.6 / 4.0
+        assert prop.flow_delay_at(CONNECTION0, 1) == \
+            pytest.approx(2.0 / (1.0 - rho))
+
+    def test_unstable_network_raises(self):
+        heavy = TokenBucket(1.0, 0.6)
+        net = Network([ServerSpec("s")],
+                      [Flow("a", heavy, ["s"]), Flow("b", heavy, ["s"])])
+        with pytest.raises(InstabilityError):
+            propagate(net)
+
+    def test_capped_local_delays_never_worse(self, tandem4):
+        plain = propagate(tandem4, capped=False)
+        capped = propagate(tandem4, capped=True)
+        for sid in (1, 2, 3, 4):
+            assert capped.local[sid].max_delay <= \
+                plain.local[sid].max_delay + 1e-9
+
+
+class TestAnalyzeServerDispatch:
+    def _net(self, discipline):
+        servers = [ServerSpec("s", 1.0, discipline)]
+        flows = [Flow("a", TB, ["s"], priority=0),
+                 Flow("b", TB, ["s"], priority=1)]
+        return Network(servers, flows)
+
+    def test_fifo_dispatch(self):
+        net = self._net(Discipline.FIFO)
+        curves = {"a": TB.constraint_curve(), "b": TB.constraint_curve()}
+        la = analyze_server(net, "s", curves)
+        assert la.delay_by_flow["a"] == la.delay_by_flow["b"]
+
+    def test_sp_dispatch(self):
+        net = self._net(Discipline.STATIC_PRIORITY)
+        curves = {"a": TB.constraint_curve(), "b": TB.constraint_curve()}
+        la = analyze_server(net, "s", curves)
+        assert la.delay_by_flow["a"] < la.delay_by_flow["b"]
+
+    def test_gr_dispatch(self):
+        net = self._net(Discipline.GUARANTEED_RATE)
+        curves = {"a": TB.constraint_curve(), "b": TB.constraint_curve()}
+        la = analyze_server(net, "s", curves)
+        assert la.delay_by_flow["a"] == pytest.approx(
+            la.delay_by_flow["b"])

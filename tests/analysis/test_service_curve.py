@@ -1,0 +1,92 @@
+"""Unit tests for Algorithm Service Curve (induced FIFO curves)."""
+
+import math
+
+import pytest
+
+from repro.analysis.service_curve import (
+    ServiceCurveAnalysis,
+    induced_fifo_service_curve,
+)
+from repro.curves.piecewise import PiecewiseLinearCurve as P
+from repro.curves.token_bucket import TokenBucket
+from repro.network.flow import Flow
+from repro.network.tandem import CONNECTION0, build_tandem
+from repro.network.topology import Discipline, Network, ServerSpec
+
+
+class TestInducedCurve:
+    def test_no_cross_traffic_full_line(self):
+        beta = induced_fifo_service_curve(1.0, P.zero())
+        assert beta == P.line(1.0)
+
+    def test_affine_cross(self):
+        beta = induced_fifo_service_curve(1.0, P.affine(1.0, 0.5))
+        assert beta(2.0) == pytest.approx(0.0)
+        assert beta(4.0) == pytest.approx(1.0)  # 0.5*(4-2)
+
+    def test_saturated_cross_returns_none(self):
+        assert induced_fifo_service_curve(1.0, P.affine(1.0, 1.0)) is None
+
+    def test_is_convex_nondecreasing(self):
+        cross = (TokenBucket(1.0, 0.2, peak=1.0).constraint_curve() * 2.0)
+        beta = induced_fifo_service_curve(1.0, cross)
+        assert beta.is_convex() and beta.is_nondecreasing()
+
+
+class TestOnTandem:
+    def test_single_contribution_spans_path(self, tandem4):
+        rep = ServiceCurveAnalysis().analyze(tandem4)
+        fd = rep.delays[CONNECTION0]
+        assert len(fd.contributions) == 1
+        assert fd.contributions[0][0] == (1, 2, 3, 4)
+
+    def test_worse_than_decomposed_at_high_load(self):
+        from repro.analysis.decomposed import DecomposedAnalysis
+        net = build_tandem(4, 0.9)
+        sc = ServiceCurveAnalysis().analyze(net).delay_of(CONNECTION0)
+        dec = DecomposedAnalysis().analyze(net).delay_of(CONNECTION0)
+        assert sc > dec
+
+    def test_better_than_decomposed_large_net_low_load(self):
+        # the paper's Figure-4 nuance
+        from repro.analysis.decomposed import DecomposedAnalysis
+        net = build_tandem(8, 0.2)
+        sc = ServiceCurveAnalysis().analyze(net).delay_of(CONNECTION0)
+        dec = DecomposedAnalysis().analyze(net).delay_of(CONNECTION0)
+        assert sc < dec
+
+    def test_monotone_in_load(self):
+        d = [ServiceCurveAnalysis().analyze(build_tandem(3, u))
+             .delay_of(CONNECTION0) for u in (0.2, 0.5, 0.8)]
+        assert d[0] < d[1] < d[2]
+
+    def test_network_service_curves_in_meta(self, tandem4):
+        rep = ServiceCurveAnalysis().analyze(tandem4)
+        assert CONNECTION0 in rep.meta["network_service_curves"]
+
+
+class TestEdgeCases:
+    def test_saturated_cross_gives_infinite_bound(self):
+        # cross traffic rate at the server equals capacity
+        tb_big = TokenBucket(1.0, 0.5)
+        tb_small = TokenBucket(1.0, 0.25)
+        net = Network(
+            [ServerSpec("s", 1.0)],
+            [Flow("victim", tb_small, ["s"]),
+             Flow("hog1", tb_big, ["s"]),
+             Flow("hog2", TokenBucket(1.0, 0.2), ["s"])],
+        )
+        # total 0.95 < 1 stable, but cross for victim = 0.7 < 1: finite
+        rep = ServiceCurveAnalysis().analyze(net)
+        assert math.isfinite(rep.delay_of("victim"))
+
+    def test_gr_servers_use_rate_latency(self):
+        tb = TokenBucket(1.0, 0.25)
+        net = Network(
+            [ServerSpec("s", 1.0, Discipline.GUARANTEED_RATE)],
+            [Flow("a", tb, ["s"]), Flow("b", tb, ["s"])],
+        )
+        rep = ServiceCurveAnalysis().analyze(net)
+        # per-flow rate-latency(rho, 0): delay sigma/rho = 4
+        assert rep.delay_of("a") == pytest.approx(4.0)

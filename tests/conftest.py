@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.curves.piecewise import PiecewiseLinearCurve
+from repro.curves.token_bucket import TokenBucket
+from repro.network.tandem import build_tandem
+
+
+@pytest.fixture
+def unit_bucket() -> TokenBucket:
+    """sigma=1, rho=0.2, peak-limited at line rate 1 (paper defaults)."""
+    return TokenBucket(1.0, 0.2, peak=1.0)
+
+
+@pytest.fixture
+def affine_bucket() -> TokenBucket:
+    """sigma=1, rho=0.2, no peak limit."""
+    return TokenBucket(1.0, 0.2)
+
+
+@pytest.fixture
+def line_unit() -> PiecewiseLinearCurve:
+    """The unit-capacity service line C*t with C=1."""
+    return PiecewiseLinearCurve.line(1.0)
+
+
+@pytest.fixture
+def tandem4():
+    """A 4-hop tandem at 60% load (fast to analyze)."""
+    return build_tandem(4, 0.6)

@@ -1,0 +1,127 @@
+"""Unit tests for Algorithm Integrated (the end-to-end driver)."""
+
+import pytest
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.core.integrated import IntegratedAnalysis
+from repro.core.partition import (
+    GreedyPairing,
+    PairAlongPath,
+    SingletonPartition,
+)
+from repro.curves.token_bucket import TokenBucket
+from repro.network.flow import Flow
+from repro.network.tandem import CONNECTION0, build_tandem
+from repro.network.topology import Discipline, Network, ServerSpec
+
+
+TB = TokenBucket(1.0, 0.1, peak=1.0)
+
+
+class TestOnTandem:
+    def test_beats_decomposed_everywhere(self):
+        for n in (2, 3, 5):
+            for u in (0.3, 0.7, 0.9):
+                net = build_tandem(n, u)
+                di = IntegratedAnalysis().analyze(net)
+                dd = DecomposedAnalysis().analyze(net)
+                for name in net.flows:
+                    assert di.delay_of(name) <= dd.delay_of(name) + 1e-9
+
+    def test_contributions_cover_path(self, tandem4):
+        rep = IntegratedAnalysis().analyze(tandem4)
+        fd = rep.delays[CONNECTION0]
+        covered = [s for blk, _ in fd.contributions for s in blk]
+        assert covered == [1, 2, 3, 4]
+
+    def test_pairs_recorded_in_meta(self, tandem4):
+        rep = IntegratedAnalysis().analyze(tandem4)
+        assert rep.meta["n_pairs"] == 2
+        assert set(rep.meta["kernel_wins"]) == {(1, 2), (3, 4)}
+
+    def test_straddling_cross_flow_classified_per_visit(self, tandem4):
+        # long_2 spans servers (2, 3): S1-type in pair (1,2) at server 2
+        # and... it enters at 2, so it is S2-type in pair (1,2) and
+        # S1-type in pair (3,4)
+        rep = IntegratedAnalysis().analyze(tandem4)
+        fd = rep.delays["long_2"]
+        elements = [blk for blk, _ in fd.contributions]
+        assert elements == [(2,), (3,)]
+
+    def test_through_flow_single_contribution_per_pair(self, tandem4):
+        rep = IntegratedAnalysis().analyze(tandem4)
+        fd = rep.delays["long_1"]  # spans (1, 2): exactly the first pair
+        assert [blk for blk, _ in fd.contributions] == [(1, 2)]
+
+    def test_singleton_strategy_equals_capped_decomposition(self, tandem4):
+        integ = IntegratedAnalysis(strategy=SingletonPartition()) \
+            .analyze(tandem4)
+        capped = DecomposedAnalysis(capped_propagation=True) \
+            .analyze(tandem4)
+        for name in tandem4.flows:
+            assert integ.delay_of(name) == \
+                pytest.approx(capped.delay_of(name), rel=1e-9)
+
+    def test_family_kernel_toggle_never_hurts(self, tandem4):
+        with_fam = IntegratedAnalysis(use_family_kernel=True) \
+            .analyze(tandem4)
+        without = IntegratedAnalysis(use_family_kernel=False) \
+            .analyze(tandem4)
+        assert with_fam.delay_of(CONNECTION0) <= \
+            without.delay_of(CONNECTION0) + 1e-9
+
+    def test_greedy_strategy_also_beats_decomposed(self, tandem4):
+        integ = IntegratedAnalysis(strategy=GreedyPairing()) \
+            .analyze(tandem4)
+        dec = DecomposedAnalysis().analyze(tandem4)
+        assert integ.delay_of(CONNECTION0) <= dec.delay_of(CONNECTION0)
+
+    def test_single_server_network(self):
+        net = build_tandem(1, 0.5)
+        rep = IntegratedAnalysis().analyze(net)
+        dec = DecomposedAnalysis().analyze(net)
+        assert rep.delay_of(CONNECTION0) == \
+            pytest.approx(dec.delay_of(CONNECTION0))
+
+
+class TestMixedDisciplines:
+    def test_sp_servers_fall_back_to_singletons(self):
+        servers = [ServerSpec("a", 1.0, Discipline.STATIC_PRIORITY),
+                   ServerSpec("b", 1.0, Discipline.STATIC_PRIORITY)]
+        flows = [Flow("hi", TB, ["a", "b"], priority=0),
+                 Flow("lo", TB, ["a", "b"], priority=1)]
+        net = Network(servers, flows)
+        rep = IntegratedAnalysis().analyze(net)
+        # pair (a, b) is not FIFO -> processed as singletons
+        fd = rep.delays["hi"]
+        assert [blk for blk, _ in fd.contributions] == [("a",), ("b",)]
+        assert rep.delay_of("hi") < rep.delay_of("lo")
+
+    def test_fifo_pair_with_sp_tail(self):
+        servers = [ServerSpec(1), ServerSpec(2),
+                   ServerSpec(3, 1.0, Discipline.STATIC_PRIORITY)]
+        flows = [Flow("f", TB, [1, 2, 3]),
+                 Flow("x", TB, [3], priority=1)]
+        net = Network(servers, flows)
+        rep = IntegratedAnalysis().analyze(net)
+        fd = rep.delays["f"]
+        assert [blk for blk, _ in fd.contributions] == [(1, 2), (3,)]
+
+
+class TestGeneralFeedForward:
+    def test_diamond_topology(self):
+        # two branches re-merging downstream
+        servers = [ServerSpec(s) for s in ("src", "up", "down", "sink")]
+        tb = TokenBucket(1.0, 0.2, peak=1.0)
+        flows = [
+            Flow("a", tb, ["src", "up", "sink"]),
+            Flow("b", tb, ["src", "down", "sink"]),
+            Flow("c", tb, ["up"]),
+            Flow("d", tb, ["down"]),
+        ]
+        net = Network(servers, flows)
+        integ = IntegratedAnalysis(strategy=PairAlongPath("a")) \
+            .analyze(net)
+        dec = DecomposedAnalysis().analyze(net)
+        for name in net.flows:
+            assert integ.delay_of(name) <= dec.delay_of(name) + 1e-9

@@ -1,0 +1,94 @@
+"""Unit tests for the combined two-server subsystem kernel."""
+
+import math
+
+import pytest
+
+from repro.core.subsystem import TwoServerSubsystem
+from repro.curves.piecewise import PiecewiseLinearCurve as P
+from repro.curves.token_bucket import TokenBucket
+
+
+def bucket_curve(sigma=1.0, rho=0.2, peak=1.0):
+    return TokenBucket(sigma, rho, peak).constraint_curve()
+
+
+def paper_subsystem(u=0.8, **kw):
+    rho = u / 4.0
+    b = bucket_curve(rho=rho)
+    return TwoServerSubsystem(
+        through_curves={"conn0": b, "long_1": b},
+        cross1_curves={"short_1": b},
+        cross2_curves={"short_2": b, "long_2": b},
+        c1=1.0, c2=1.0, **kw)
+
+
+class TestAnalyze:
+    def test_through_is_min_of_kernels(self):
+        res = paper_subsystem().analyze()
+        assert res.delay_through == pytest.approx(
+            min(res.theorem1.delay_through, res.family.delay_through))
+
+    def test_winner_reported(self):
+        res = paper_subsystem().analyze()
+        assert res.winning_kernel in ("theorem1", "family", "tie")
+
+    def test_family_kernel_can_be_disabled(self):
+        res = paper_subsystem(use_family_kernel=False).analyze()
+        assert math.isinf(res.family.delay_through)
+        assert res.delay_through == pytest.approx(
+            res.theorem1.delay_through)
+
+    def test_single_node_exactness_with_idle_second_server(self):
+        # theorem1 kernel reaches the exact 2.0 here; the family gives
+        # 2.2 — the subsystem takes the min
+        sub = TwoServerSubsystem(
+            through_curves={"f": P.affine(1.0, 0.2)},
+            cross1_curves={"x": P.affine(1.0, 0.2)},
+            cross2_curves={},
+            c1=1.0, c2=1.0)
+        res = sub.analyze()
+        assert res.delay_through == pytest.approx(2.0, abs=1e-9)
+        assert res.winning_kernel in ("theorem1", "tie")
+
+    def test_cross_only_subsystem(self):
+        b = bucket_curve()
+        sub = TwoServerSubsystem({}, {"x": b}, {"y": b}, 1.0, 1.0)
+        res = sub.analyze()
+        assert res.delay_server1 == pytest.approx(0.0)  # one fresh flow
+        assert res.delay_server2 == pytest.approx(0.0)
+
+    def test_subsystem_beats_uncapped_chain(self):
+        res = paper_subsystem(u=0.9).analyze()
+        b = bucket_curve(rho=0.225)
+        f12 = b + b
+        f1 = b
+        f2 = b + b
+        d1 = (f12 + f1).horizontal_deviation(P.line(1.0))
+        d2 = (f12.shift_left_x(d1) + f2).horizontal_deviation(P.line(1.0))
+        assert res.delay_through < d1 + d2
+
+
+class TestOutputs:
+    def test_output_classes_cover_all_flows(self):
+        sub = paper_subsystem()
+        res = sub.analyze()
+        outs = sub.output_curves(res)
+        assert set(outs) == {"conn0", "long_1", "short_1", "short_2",
+                             "long_2"}
+
+    def test_outputs_line_capped(self):
+        sub = paper_subsystem()
+        res = sub.analyze()
+        outs = sub.output_curves(res)
+        for curve in outs.values():
+            for t in (0.0, 0.5, 2.0):
+                assert curve(t) <= t + 1e-9
+
+    def test_through_output_uses_through_delay(self):
+        sub = paper_subsystem()
+        res = sub.analyze()
+        outs = sub.output_curves(res)
+        b = sub.through_curves["conn0"]
+        assert outs["conn0"](100.0) == pytest.approx(
+            b(100.0 + res.delay_through))

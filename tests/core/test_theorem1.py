@@ -1,0 +1,103 @@
+"""Unit tests for the Theorem-1 (joint busy period) kernel."""
+
+import math
+
+import pytest
+
+from repro.core.theorem1 import theorem1_bound
+from repro.curves.piecewise import PiecewiseLinearCurve as P
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import InstabilityError
+
+
+def paper_pair(u=0.8):
+    """The first two servers of the paper's tandem at load u.
+
+    Server 1: conn0 + short_1 + long_1 (through = conn0 + long_1? no —
+    only conn0 continues to server 2 along with long_1).  In the tandem,
+    through = {conn0, long_1}, cross1 = {short_1},
+    cross2 = {short_2, long_2}.
+    """
+    rho = u / 4.0
+    b = TokenBucket(1.0, rho, peak=1.0).constraint_curve()
+    f12 = (b + b).simplified()          # conn0 and long_1
+    f1 = b                              # short_1
+    f2 = (b + b).simplified()           # short_2 and long_2
+    return f12, f1, f2
+
+
+class TestBasicProperties:
+    def test_never_worse_than_decomposed(self):
+        for u in (0.2, 0.5, 0.8, 0.95):
+            f12, f1, f2 = paper_pair(u)
+            res = theorem1_bound(f12, f1, f2, 1.0, 1.0)
+            # decomposed: d1 + d2 with *uncapped* inflation
+            d1 = res.delay_server1
+            inflated = f12.shift_left_x(d1)
+            d2_unc = (inflated + f2).horizontal_deviation(P.line(1.0))
+            assert res.delay_through <= d1 + d2_unc + 1e-9
+
+    def test_decomposition_into_parts(self):
+        f12, f1, f2 = paper_pair(0.6)
+        res = theorem1_bound(f12, f1, f2, 1.0, 1.0)
+        assert res.delay_through == pytest.approx(
+            res.delay_server1 + res.delay_server2)
+
+    def test_busy_periods_positive(self):
+        f12, f1, f2 = paper_pair(0.6)
+        res = theorem1_bound(f12, f1, f2, 1.0, 1.0)
+        assert res.busy_period1 > 0 and res.busy_period2 > 0
+
+    def test_through_at_2_capped_by_line(self):
+        f12, f1, f2 = paper_pair(0.6)
+        res = theorem1_bound(f12, f1, f2, 1.0, 1.0)
+        for t in (0.0, 0.5, 2.0, 10.0):
+            assert res.through_at_2(t) <= t + 1e-9
+
+    def test_through_at_2_dominates_entry(self):
+        f12, f1, f2 = paper_pair(0.6)
+        res = theorem1_bound(f12, f1, f2, 1.0, 1.0)
+        # output constraint bounds traffic that entered constrained by f12
+        # only for long intervals (short intervals are line-capped)
+        assert res.through_at_2(50.0) >= f12(50.0) - 1e-9
+
+
+class TestSpecialCases:
+    def test_no_cross_traffic_anywhere(self):
+        b = TokenBucket(1.0, 0.25, peak=1.0).constraint_curve()
+        res = theorem1_bound(b, P.zero(), P.zero(), 1.0, 1.0)
+        # a single peak-limited source through two idle unit servers
+        # suffers no queueing at all
+        assert res.delay_through == pytest.approx(0.0, abs=1e-9)
+
+    def test_no_through_traffic(self):
+        b = TokenBucket(1.0, 0.25).constraint_curve()
+        res = theorem1_bound(P.zero(), b, b, 1.0, 1.0)
+        assert res.delay_server1 == pytest.approx(1.0)
+        assert res.delay_server2 == pytest.approx(1.0)
+
+    def test_second_server_slower(self):
+        f12, f1, f2 = paper_pair(0.5)
+        fast = theorem1_bound(f12, f1, f2, 1.0, 1.0)
+        slow = theorem1_bound(f12, f1, f2, 1.0, 0.8)
+        assert slow.delay_through > fast.delay_through
+
+    def test_line_rate_cap_tightens_burst(self):
+        # a very bursty through flow: the cap must beat pure inflation
+        f12 = P.affine(10.0, 0.1)
+        f1 = P.affine(5.0, 0.3)
+        f2 = P.affine(1.0, 0.3)
+        res = theorem1_bound(f12, f1, f2, 1.0, 1.0)
+        d1 = res.delay_server1
+        uncapped_d2 = (f12.shift_left_x(d1) + f2) \
+            .horizontal_deviation(P.line(1.0))
+        assert res.delay_server2 < uncapped_d2
+
+    def test_unstable_server1_raises(self):
+        with pytest.raises(InstabilityError):
+            theorem1_bound(P.affine(1.0, 0.7), P.affine(1.0, 0.5),
+                           P.zero(), 1.0, 1.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            theorem1_bound(P.zero(), P.zero(), P.zero(), 0.0, 1.0)

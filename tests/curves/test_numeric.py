@@ -1,0 +1,134 @@
+"""Unit tests for the sampled (grid) curve kernels."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.curves import numeric
+from repro.curves.piecewise import PiecewiseLinearCurve as P
+from repro.utils.grid import TimeGrid, make_grid
+
+
+class TestGrid:
+    def test_dt_and_times(self):
+        g = TimeGrid(10.0, 11)
+        assert g.dt == 1.0
+        assert np.allclose(g.times, np.arange(11.0))
+
+    def test_index_of(self):
+        g = TimeGrid(10.0, 11)
+        assert g.index_of(-1.0) == 0
+        assert g.index_of(3.5) == 3
+        assert g.index_of(99.0) == 10
+
+    def test_refined(self):
+        g = TimeGrid(10.0, 11).refined(2)
+        assert g.n == 21 and g.dt == 0.5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TimeGrid(0.0, 10)
+        with pytest.raises(ValueError):
+            TimeGrid(1.0, 1)
+        with pytest.raises(ValueError):
+            TimeGrid(1.0, 10).refined(0)
+
+    def test_make_grid(self):
+        g = make_grid(5.0, 101)
+        assert g.horizon == 5.0 and g.n == 101
+
+
+class TestSampleRoundtrip:
+    def test_sample_matches_eval(self):
+        g = make_grid(10.0, 101)
+        f = P.affine(1.0, 0.5)
+        assert np.allclose(numeric.sample(f, g), f(g.times))
+
+    def test_to_curve_roundtrip(self):
+        g = make_grid(10.0, 101)
+        f = P.rate_latency(1.0, 2.0)
+        back = numeric.to_curve(numeric.sample(f, g), g)
+        for t in [0.0, 2.0, 5.0, 9.0]:
+            assert back(t) == pytest.approx(f(t), abs=1e-9)
+
+    def test_to_curve_validates_shape(self):
+        g = make_grid(10.0, 101)
+        with pytest.raises(ValueError):
+            numeric.to_curve(np.zeros(50), g)
+
+
+class TestGridConvolve:
+    def test_matches_brute_force(self):
+        g = make_grid(8.0, 65)
+        f = numeric.sample(P.affine(1.0, 0.5), g)
+        h = numeric.sample(P.rate_latency(1.0, 2.0), g)
+        out = numeric.grid_convolve(f, h)
+        n = g.n
+        for k in [0, 10, 30, 64]:
+            brute = min(f[i] + h[k - i] for i in range(k + 1))
+            assert out[k] == pytest.approx(brute)
+
+    def test_identity_with_zero_at_origin(self):
+        # convolving with the "infinite at >0" element is not
+        # representable; instead check f ⊗ f <= f + f(0)
+        g = make_grid(5.0, 51)
+        f = numeric.sample(P.affine(2.0, 0.1), g)
+        out = numeric.grid_convolve(f, f)
+        assert np.all(out <= f + f[0] + 1e-12)
+
+    def test_commutative(self):
+        g = make_grid(5.0, 41)
+        f = numeric.sample(P.affine(1.0, 0.3), g)
+        h = numeric.sample(P.rate_latency(0.7, 1.0), g)
+        assert np.allclose(numeric.grid_convolve(f, h),
+                           numeric.grid_convolve(h, f))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            numeric.grid_convolve(np.zeros(4), np.zeros(5))
+
+
+class TestGridDeconvolve:
+    def test_token_bucket_through_rate_latency(self):
+        # (sigma + rho t) ⊘ RL(R,T) = sigma + rho T + rho t (for R>=rho)
+        g = make_grid(40.0, 4001)
+        a = numeric.sample(P.affine(1.0, 0.25), g)
+        b = numeric.sample(P.rate_latency(1.0, 2.0), g)
+        out = numeric.grid_deconvolve(a, b)
+        expect = 1.0 + 0.25 * 2.0
+        assert out[0] == pytest.approx(expect, abs=1e-2)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            numeric.grid_deconvolve(np.zeros(4), np.zeros(5))
+
+
+class TestGridInverseAndDeviations:
+    def test_pseudo_inverse_linear(self):
+        g = make_grid(10.0, 101)
+        v = numeric.sample(P.line(2.0), g)
+        out = numeric.grid_pseudo_inverse(v, g, np.array([4.0, 0.0, 20.0]))
+        assert np.allclose(out, [2.0, 0.0, 10.0])
+
+    def test_pseudo_inverse_unreachable(self):
+        g = make_grid(10.0, 101)
+        v = numeric.sample(P.constant(1.0), g)
+        out = numeric.grid_pseudo_inverse(v, g, np.array([2.0]))
+        assert math.isinf(out[0])
+
+    def test_hdev_matches_exact(self):
+        g = make_grid(30.0, 3001)
+        a = P.affine(1.0, 0.2)
+        b = P.rate_latency(0.5, 2.0)
+        exact = a.horizontal_deviation(b)
+        approx = numeric.grid_hdev(numeric.sample(a, g),
+                                   numeric.sample(b, g), g)
+        assert approx == pytest.approx(exact, abs=0.05)
+
+    def test_vdev_matches_exact(self):
+        g = make_grid(30.0, 3001)
+        a = P.affine(2.0, 0.2)
+        b = P.line(1.0)
+        assert numeric.grid_vdev(numeric.sample(a, g),
+                                 numeric.sample(b, g)) == pytest.approx(2.0)

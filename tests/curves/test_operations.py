@@ -1,0 +1,90 @@
+"""Unit tests for the functional curve-operation façade."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.curves.operations import (
+    busy_period,
+    convolve,
+    convolve_all,
+    deconvolve,
+    hdev,
+    vdev,
+)
+from repro.curves.piecewise import PiecewiseLinearCurve as P
+from repro.errors import CurveError
+
+
+class TestConvolveFacade:
+    def test_exact_path_for_convex(self):
+        c = convolve(P.rate_latency(1.0, 1.0), P.rate_latency(2.0, 2.0))
+        assert c(3.0) == 0.0 and c(4.0) == pytest.approx(1.0)
+
+    def test_exact_path_for_concave(self):
+        c = convolve(P.affine(1.0, 0.5), P.affine(2.0, 0.2))
+        assert c(10.0) == pytest.approx(min(1 + 5 + 2, 2 + 2 + 1))
+
+    def test_fallback_for_mixed(self):
+        concave = P.line(1.0).minimum(P.affine(1.0, 0.2))
+        convex = P.rate_latency(1.0, 1.0)
+        c = convolve(concave, convex, horizon=20.0)
+        ss = np.linspace(0, 5, 2001)
+        brute = min(concave(s) + convex(5.0 - s) for s in ss)
+        assert c(5.0) == pytest.approx(brute, abs=0.02)
+
+    def test_convolve_all(self):
+        curves = [P.rate_latency(1.0, 1.0)] * 3
+        c = convolve_all(curves)
+        assert c(3.0) == 0.0 and c(4.0) == pytest.approx(1.0)
+
+    def test_convolve_all_empty_raises(self):
+        with pytest.raises(CurveError):
+            convolve_all([])
+
+    def test_convolve_all_single(self):
+        f = P.line(1.0)
+        assert convolve_all([f]) is f
+
+
+class TestDeconvolve:
+    def test_output_burstiness(self):
+        # affine ⊘ rate-latency: burst inflated by rho*T
+        out = deconvolve(P.affine(1.0, 0.25), P.rate_latency(1.0, 2.0),
+                         horizon=50.0)
+        assert out(0.0) == pytest.approx(1.5, abs=0.05)
+        assert out.final_slope == pytest.approx(0.25, abs=0.01)
+
+
+class TestDeviationFacade:
+    def test_hdev(self):
+        assert hdev(P.affine(1.0, 0.2), P.line(1.0)) == pytest.approx(1.0)
+
+    def test_vdev(self):
+        assert vdev(P.affine(1.0, 0.2), P.line(1.0)) == pytest.approx(1.0)
+
+
+class TestBusyPeriod:
+    def test_affine(self):
+        # sigma + rho t = C t  ->  t = sigma/(C - rho)
+        assert busy_period(P.affine(1.0, 0.5), 1.0) == pytest.approx(2.0)
+
+    def test_peak_limited_aggregate(self):
+        b = P.line(1.0).minimum(P.affine(1.0, 0.2))
+        assert busy_period(b * 3.0, 1.0) == pytest.approx(7.5)
+
+    def test_underload_zero(self):
+        assert busy_period(P.line(0.2), 1.0) == 0.0
+
+    def test_overload_inf(self):
+        assert busy_period(P.affine(1.0, 2.0), 1.0) == math.inf
+
+    def test_invalid_capacity(self):
+        with pytest.raises(CurveError):
+            busy_period(P.line(0.5), 0.0)
+
+    def test_scales_with_capacity(self):
+        b1 = busy_period(P.affine(1.0, 0.5), 1.0)
+        b2 = busy_period(P.affine(2.0, 1.0), 2.0)
+        assert b1 == pytest.approx(b2)

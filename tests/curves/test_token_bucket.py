@@ -1,0 +1,127 @@
+"""Unit tests for token-bucket descriptors (paper eq. (4))."""
+
+import math
+
+import pytest
+
+from repro.curves.piecewise import PiecewiseLinearCurve as P
+from repro.curves.token_bucket import TokenBucket, aggregate_curve
+
+
+class TestConstruction:
+    def test_defaults_to_infinite_peak(self):
+        tb = TokenBucket(1.0, 0.5)
+        assert math.isinf(tb.peak)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            TokenBucket(-1.0, 0.5)
+
+    def test_rejects_negative_rho(self):
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, -0.5)
+
+    def test_rejects_peak_below_rho(self):
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, 0.5, peak=0.25)
+
+    def test_rejects_zero_peak(self):
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, 0.0, peak=0.0)
+
+    def test_frozen(self):
+        tb = TokenBucket(1.0, 0.5)
+        with pytest.raises(AttributeError):
+            tb.sigma = 2.0
+
+
+class TestConstraintCurve:
+    def test_pure_affine(self):
+        b = TokenBucket(1.0, 0.5).constraint_curve()
+        assert b(0.0) == 1.0
+        assert b(2.0) == 2.0
+
+    def test_peak_limited_paper_form(self):
+        # b(I) = min(I, 1 + 0.2 I): knee at 1.25
+        b = TokenBucket(1.0, 0.2, peak=1.0).constraint_curve()
+        assert b(0.0) == 0.0
+        assert b(1.0) == 1.0
+        assert b(1.25) == pytest.approx(1.25)
+        assert b(5.0) == pytest.approx(2.0)
+        assert b.is_concave()
+
+    def test_degenerate_peak_equals_rho(self):
+        b = TokenBucket(1.0, 0.5, peak=0.5).constraint_curve()
+        assert b == P.line(0.5)
+
+    def test_zero_sigma_peak_limited(self):
+        b = TokenBucket(0.0, 0.5, peak=1.0).constraint_curve()
+        assert b(0.0) == 0.0
+        assert b(2.0) == pytest.approx(1.0)
+
+    def test_curve_is_nondecreasing(self):
+        assert TokenBucket(2.0, 0.1, peak=3.0).constraint_curve() \
+            .is_nondecreasing()
+
+
+class TestDelayed:
+    def test_burst_inflation(self):
+        tb = TokenBucket(1.0, 0.5).delayed(2.0)
+        assert tb.sigma == pytest.approx(2.0)
+        assert tb.rho == 0.5
+
+    def test_drops_peak_limit(self):
+        tb = TokenBucket(1.0, 0.5, peak=1.0).delayed(1.0)
+        assert math.isinf(tb.peak)
+
+    def test_zero_delay_keeps_sigma(self):
+        tb = TokenBucket(1.0, 0.5).delayed(0.0)
+        assert tb.sigma == 1.0
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, 0.5).delayed(-1.0)
+
+    def test_delayed_curve_matches_shift(self):
+        tb = TokenBucket(1.0, 0.2, peak=1.0)
+        out = tb.delayed_curve(3.0)
+        b = tb.constraint_curve()
+        for t in [0.0, 1.0, 5.0]:
+            assert out(t) == pytest.approx(b(t + 3.0))
+
+    def test_delayed_curve_dominates_input(self):
+        tb = TokenBucket(1.0, 0.2, peak=1.0)
+        b, out = tb.constraint_curve(), tb.delayed_curve(2.0)
+        for t in [0.0, 0.5, 2.0, 10.0]:
+            assert out(t) >= b(t) - 1e-12
+
+
+class TestAlgebra:
+    def test_add(self):
+        s = TokenBucket(1.0, 0.2, peak=1.0) + TokenBucket(2.0, 0.3, peak=1.0)
+        assert s.sigma == 3.0 and s.rho == 0.5 and s.peak == 2.0
+
+    def test_add_infinite_peak_wins(self):
+        s = TokenBucket(1.0, 0.2) + TokenBucket(2.0, 0.3, peak=1.0)
+        assert math.isinf(s.peak)
+
+    def test_scaled(self):
+        s = TokenBucket(1.0, 0.2, peak=1.0).scaled(2.0)
+        assert s.sigma == 2.0 and s.rho == 0.4 and s.peak == 2.0
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, 0.2).scaled(0.0)
+
+    def test_aggregate_curve_of_buckets(self):
+        tb = TokenBucket(1.0, 0.2, peak=1.0)
+        agg = aggregate_curve([tb, tb, tb])
+        assert agg(10.0) == pytest.approx(3 * tb.constraint_curve()(10.0))
+
+    def test_aggregate_mixes_buckets_and_curves(self):
+        tb = TokenBucket(1.0, 0.2)
+        agg = aggregate_curve([tb, P.line(0.5)])
+        assert agg(2.0) == pytest.approx(1.4 + 1.0)
+
+    def test_aggregate_empty_is_zero(self):
+        assert aggregate_curve([]) == P.zero()

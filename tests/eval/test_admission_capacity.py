@@ -1,0 +1,43 @@
+"""Unit tests for the admission-capacity experiment (ADM1)."""
+
+import pytest
+
+from repro.eval.admission_capacity import (
+    CapacityPoint,
+    admission_capacity,
+    capacity_table,
+)
+
+
+class TestAdmissionCapacity:
+    def test_returns_point(self):
+        p = admission_capacity("decomposed", 2, 15.0, rho=0.05,
+                               max_tries=40)
+        assert isinstance(p, CapacityPoint)
+        assert p.admitted >= 1
+
+    def test_looser_deadline_admits_more(self):
+        tight = admission_capacity("decomposed", 2, 6.0, rho=0.05,
+                                   max_tries=40).admitted
+        loose = admission_capacity("decomposed", 2, 30.0, rho=0.05,
+                                   max_tries=40).admitted
+        assert loose >= tight
+
+    def test_integrated_at_least_decomposed(self):
+        dec = admission_capacity("decomposed", 3, 15.0, rho=0.04,
+                                 max_tries=60).admitted
+        integ = admission_capacity("integrated", 3, 15.0, rho=0.04,
+                                   max_tries=60).admitted
+        assert integ >= dec
+
+    def test_rate_cap_limits_admissions(self):
+        # at most capacity/rho connections fit regardless of deadline
+        p = admission_capacity("decomposed", 2, 1e6, rho=0.2,
+                               max_tries=40)
+        assert p.admitted <= 5  # 1/0.2
+
+    def test_table_renders(self):
+        table = capacity_table(("decomposed",), 2, (10.0, 20.0),
+                               rho=0.05, max_tries=30)
+        assert "decomposed" in table
+        assert "10.0" in table and "20.0" in table

@@ -1,0 +1,60 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import math
+
+import pytest
+
+from repro.eval.ascii_chart import render_chart
+from repro.eval.figures import Series
+
+
+def series(label="s", values=(1.0, 2.0, 4.0)):
+    return Series(label, (0.1, 0.5, 0.9), tuple(values))
+
+
+class TestRenderChart:
+    def test_contains_markers_and_legend(self):
+        out = render_chart([series("alpha"), series("beta", (4, 2, 1))])
+        assert "o=alpha" in out and "x=beta" in out
+        assert "o" in out.splitlines()[0] or any(
+            "o" in ln for ln in out.splitlines())
+
+    def test_title(self):
+        out = render_chart([series()], title="My plot")
+        assert out.splitlines()[0] == "My plot"
+
+    def test_log_scale(self):
+        out = render_chart([series(values=(1.0, 10.0, 100.0))],
+                           log_y=True)
+        assert "100.00" in out
+
+    def test_monotone_series_marks_descend(self):
+        out = render_chart([series(values=(1.0, 2.0, 3.0))], width=30,
+                           height=9)
+        rows = [i for i, ln in enumerate(out.splitlines())
+                if "o" in ln and "|" in ln]
+        # increasing values -> later loads appear on higher (smaller
+        # index) rows; first marker row above last marker row
+        assert rows == sorted(rows)
+
+    def test_empty(self):
+        assert "no series" in render_chart([])
+
+    def test_all_infinite(self):
+        s = Series("s", (0.1, 0.9), (math.inf, math.inf))
+        assert "no finite data" in render_chart([s])
+
+    def test_mismatched_axes(self):
+        a = Series("a", (0.1,), (1.0,))
+        b = Series("b", (0.2,), (1.0,))
+        with pytest.raises(ValueError):
+            render_chart([a, b])
+
+    def test_too_many_series(self):
+        many = [series(f"s{i}") for i in range(9)]
+        with pytest.raises(ValueError):
+            render_chart(many)
+
+    def test_flat_series_does_not_crash(self):
+        out = render_chart([series(values=(2.0, 2.0, 2.0))])
+        assert "|" in out

@@ -1,0 +1,64 @@
+"""Unit tests for the Figure-4 crossover locator."""
+
+import math
+
+import pytest
+
+from repro.analysis.closed_forms import (
+    decomposed_delay,
+    service_curve_delay,
+)
+from repro.eval.crossover import (
+    crossover_table,
+    find_crossover,
+)
+
+
+class TestFindCrossover:
+    def test_small_tandem_has_no_crossover(self):
+        # at n=2 the service-curve method never beats decomposition
+        p = find_crossover(2)
+        assert not p.exists
+        assert p.dominant == "decomposed"
+
+    def test_very_long_tandem_sc_dominates(self):
+        p = find_crossover(16)
+        assert not p.exists
+        assert p.dominant == "service_curve"
+
+    def test_large_tandem_has_crossover(self):
+        p = find_crossover(8)
+        assert p.exists
+        assert 0.0 < p.load < 1.0
+
+    def test_crossover_is_a_root(self):
+        p = find_crossover(8)
+        gap = service_curve_delay(8, p.load) - decomposed_delay(8, p.load)
+        assert gap == pytest.approx(0.0, abs=1e-5)
+
+    def test_ordering_around_crossover(self):
+        p = find_crossover(8)
+        below, above = p.load * 0.9, p.load + (1 - p.load) * 0.1
+        assert service_curve_delay(8, below) < decomposed_delay(8, below)
+        assert service_curve_delay(8, above) > decomposed_delay(8, above)
+
+    def test_compounding_grows_with_size(self):
+        # bigger networks keep the service-curve advantage longer
+        loads = []
+        for n in (6, 8, 12):
+            p = find_crossover(n)
+            assert p.exists, n
+            loads.append(p.load)
+        assert loads == sorted(loads)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            find_crossover(0)
+
+
+class TestTable:
+    def test_renders_all_regimes(self):
+        out = crossover_table((2, 8, 16))
+        assert "decomposed tighter everywhere" in out
+        assert "service_curve tighter below U*" in out
+        assert "service_curve tighter everywhere" in out

@@ -1,0 +1,44 @@
+"""Unit tests for CSV/JSON export of figure data."""
+
+import csv
+import json
+import math
+
+from repro.eval.export import (
+    figure_to_csv,
+    figure_to_json,
+    write_figure_files,
+)
+from repro.eval.figures import FigureData, Series
+
+
+def fig():
+    s = Series("dec (n=2)", (0.1, 0.5), (1.0, 2.0))
+    r = Series("R (n=2)", (0.1, 0.5), (0.5, math.inf))
+    return FigureData("FIGT", "export test", (s,), (r,))
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = figure_to_csv(fig(), tmp_path / "f.csv")
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["panel", "series", "load", "value"]
+        assert ["delay", "dec (n=2)", "0.1", "1.0"] in rows
+        assert ["improvement", "R (n=2)", "0.5", "inf"] in rows
+        assert len(rows) == 5
+
+
+class TestJson:
+    def test_structure(self, tmp_path):
+        path = figure_to_json(fig(), tmp_path / "f.json")
+        doc = json.loads(path.read_text())
+        assert doc["figure_id"] == "FIGT"
+        assert doc["delay"][0]["values"] == [1.0, 2.0]
+        assert doc["improvement"][0]["values"][1] == "inf"
+
+
+class TestBundle:
+    def test_write_all(self, tmp_path):
+        written = write_figure_files([fig()], tmp_path / "out")
+        assert len(written) == 2
+        assert all(p.exists() for p in written)

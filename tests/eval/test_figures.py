@@ -1,0 +1,59 @@
+"""Unit tests for figure regeneration (small sweeps for speed)."""
+
+import pytest
+
+from repro.eval.figures import (
+    FIGURES,
+    Series,
+    delay_series,
+    figure4,
+    figure5,
+    figure6,
+)
+from repro.eval.workloads import Sweep
+
+
+SMALL = Sweep(loads=(0.3, 0.7), hops=(2, 3))
+
+
+class TestSeries:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            Series("s", (0.1, 0.2), (1.0,))
+
+    def test_delay_series_shape(self):
+        s = delay_series("decomposed", 2, (0.2, 0.6))
+        assert s.loads == (0.2, 0.6)
+        assert len(s.values) == 2
+        assert s.values[0] < s.values[1]
+
+    def test_unknown_analyzer(self):
+        with pytest.raises(ValueError):
+            delay_series("quantum", 2, (0.5,))
+
+
+class TestFigures:
+    def test_figure4_structure(self):
+        fig = figure4(SMALL)
+        assert fig.figure_id == "FIG4"
+        # two algorithms x two sizes
+        assert len(fig.delay_series) == 4
+        assert len(fig.improvement_series) == 2
+
+    def test_figure5_improvement_positive(self):
+        fig = figure5(SMALL)
+        for s in fig.improvement_series:
+            assert all(v > 0 for v in s.values)
+
+    def test_figure6_improvement_positive(self):
+        fig = figure6(SMALL)
+        for s in fig.improvement_series:
+            assert all(v > 0 for v in s.values)
+
+    def test_registry(self):
+        assert set(FIGURES) == {"FIG4", "FIG5", "FIG6"}
+
+    def test_default_hops_match_paper(self):
+        fig = figure5(Sweep(loads=(0.5,), hops=(2, 4, 8)))
+        labels = {s.label for s in fig.delay_series}
+        assert "integrated (n=8)" in labels

@@ -1,0 +1,31 @@
+"""Unit tests for the process-parallel sweep evaluator."""
+
+import pytest
+
+from repro.eval.parallel import SweepPoint, evaluate_grid
+
+
+class TestEvaluateGrid:
+    def test_serial_grid_order_and_values(self):
+        pts = evaluate_grid(["decomposed"], [2], [0.3, 0.6],
+                            parallel=False)
+        assert [p.load for p in pts] == [0.3, 0.6]
+        assert pts[0].delay < pts[1].delay
+
+    def test_parallel_matches_serial(self):
+        kwargs = dict(analyzers=["decomposed", "integrated"],
+                      hops=[2, 3], loads=[0.4, 0.8])
+        serial = evaluate_grid(parallel=False, **kwargs)
+        par = evaluate_grid(parallel=True, max_workers=2, **kwargs)
+        assert len(par) == len(serial) == 8
+        for a, b in zip(serial, par):
+            assert a.analyzer == b.analyzer
+            assert a.delay == pytest.approx(b.delay, rel=1e-9)
+
+    def test_single_task_stays_in_process(self):
+        pts = evaluate_grid(["decomposed"], [2], [0.5])
+        assert len(pts) == 1 and isinstance(pts[0], SweepPoint)
+
+    def test_unknown_analyzer_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_grid(["quantum"], [2], [0.5], parallel=False)

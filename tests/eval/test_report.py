@@ -1,0 +1,23 @@
+"""Unit tests for the one-shot report generator."""
+
+from repro.eval.report import generate_report, write_report
+
+
+class TestReport:
+    def test_quick_report_contains_all_sections(self):
+        md = generate_report(quick=True)
+        assert "# Reproduction report" in md
+        assert "FIG4" in md and "FIG5" in md and "FIG6" in md
+        assert "shape checks" in md
+        assert "Tightness" in md
+        assert "Admission capacity" in md
+
+    def test_all_shape_checks_marked_passed(self):
+        md = generate_report(quick=True)
+        assert "- [x]" in md
+        assert "- [ ]" not in md
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "R.md", quick=True)
+        assert path.exists()
+        assert path.read_text().startswith("# Reproduction report")

@@ -1,0 +1,20 @@
+"""Unit tests for the experiment runner and shape checks."""
+
+from repro.eval.runner import run_all, shape_checks
+from repro.eval.workloads import Sweep
+
+
+SMALL = Sweep(loads=(0.3, 0.9), hops=(2, 4))
+
+
+class TestRunner:
+    def test_run_all_returns_every_figure(self):
+        figs = run_all(SMALL)
+        assert set(figs) == {"FIG4", "FIG5", "FIG6"}
+
+    def test_shape_checks_pass_on_small_sweep(self):
+        figs = run_all(SMALL)
+        checks = shape_checks(figs)
+        assert len(checks) == 3
+        for c in checks:
+            assert c.holds, f"{c.claim}: {c.detail}"

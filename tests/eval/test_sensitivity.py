@@ -1,0 +1,34 @@
+"""Unit tests for the sensitivity (elasticity) analysis."""
+
+import pytest
+
+from repro.eval.sensitivity import elasticities
+
+
+class TestElasticities:
+    def test_sigma_elasticity_is_one(self):
+        # every bound is homogeneous of degree 1 in sigma
+        for name in ("decomposed", "integrated"):
+            e = elasticities(name, 3, 0.6)
+            assert e.wrt_sigma == pytest.approx(1.0, abs=1e-6)
+
+    def test_load_elasticity_positive(self):
+        e = elasticities("decomposed", 3, 0.6)
+        assert e.wrt_load > 0
+
+    def test_hops_elasticity_positive_and_superlinear_for_decomposed(self):
+        # decomposition compounds bursts downstream: adding hops grows
+        # the bound faster than linearly
+        e = elasticities("decomposed", 4, 0.7)
+        assert e.wrt_hops > 1.0
+
+    def test_integrated_less_load_sensitive_than_service_curve(self):
+        e_int = elasticities("integrated", 3, 0.8)
+        e_sc = elasticities("service_curve", 3, 0.8)
+        assert e_int.wrt_load < e_sc.wrt_load
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            elasticities("decomposed", 3, 1.5)
+        with pytest.raises(ValueError):
+            elasticities("decomposed", 3, 0.5, rel_step=0.9)

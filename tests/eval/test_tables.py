@@ -1,0 +1,54 @@
+"""Unit tests for the text table renderer."""
+
+import math
+
+import pytest
+
+from repro.eval.figures import FigureData, Series
+from repro.eval.tables import (
+    iter_figure_rows,
+    render_figure,
+    render_series_table,
+)
+
+
+def fig():
+    s1 = Series("a (n=2)", (0.1, 0.5), (1.0, 2.0))
+    s2 = Series("b (n=2)", (0.1, 0.5), (1.5, math.inf))
+    r = Series("R[a,b] (n=2)", (0.1, 0.5), (0.33, math.nan))
+    return FigureData("FIGX", "test figure", (s1, s2), (r,))
+
+
+class TestRenderSeriesTable:
+    def test_aligned_columns(self):
+        out = render_series_table([Series("col", (0.1,), (3.0,))])
+        lines = out.splitlines()
+        assert "U" in lines[0] and "col" in lines[0]
+        assert "0.10" in lines[2] and "3.0000" in lines[2]
+
+    def test_inf_and_nan_rendering(self):
+        out = render_series_table(fig().delay_series +
+                                  fig().improvement_series)
+        assert "inf" in out and "nan" in out
+
+    def test_mismatched_axes_rejected(self):
+        a = Series("a", (0.1,), (1.0,))
+        b = Series("b", (0.2,), (1.0,))
+        with pytest.raises(ValueError):
+            render_series_table([a, b])
+
+    def test_empty(self):
+        assert "no series" in render_series_table([])
+
+
+class TestRenderFigure:
+    def test_contains_both_panels(self):
+        out = render_figure(fig())
+        assert "FIGX" in out
+        assert "delay bound" in out
+        assert "relative improvement" in out
+
+    def test_iter_rows(self):
+        rows = list(iter_figure_rows(fig()))
+        assert ("a (n=2)", 0.1, 1.0) in rows
+        assert len(rows) == 6

@@ -1,0 +1,40 @@
+"""Unit tests for the tightness study."""
+
+import pytest
+
+from repro.eval.tightness import (
+    TightnessRow,
+    default_topologies,
+    render_tightness,
+    tightness_study,
+)
+from repro.network.tandem import build_tandem
+
+
+class TestTightnessStudy:
+    def test_small_study_runs_and_is_sound(self):
+        rows = tightness_study(
+            {"tandem(2,0.8)": lambda: build_tandem(2, 0.8)},
+            horizon=60.0)
+        assert len(rows) == 1
+        r = rows[0]
+        assert 0 < r.observed <= r.integrated + 0.2
+        assert r.integrated <= r.decomposed
+
+    def test_ratios(self):
+        r = TightnessRow("t", "f", observed=5.0, integrated=10.0,
+                         decomposed=20.0)
+        assert r.integrated_ratio == pytest.approx(0.5)
+        assert r.decomposed_ratio == pytest.approx(0.25)
+
+    def test_render(self):
+        r = TightnessRow("t", "f", 5.0, 10.0, 20.0)
+        out = render_tightness([r])
+        assert "50.0%" in out and "25.0%" in out
+
+    def test_default_suite_shape(self):
+        topo = default_topologies()
+        assert len(topo) >= 4
+        for factory in topo.values():
+            net = factory()
+            net.check_stability()

@@ -1,0 +1,36 @@
+"""Unit tests for sweep configurations."""
+
+import pytest
+
+from repro.eval.workloads import Sweep, default_sweep, quick_sweep
+
+
+class TestSweep:
+    def test_default_matches_paper_grid(self):
+        s = default_sweep()
+        assert s.loads[0] == pytest.approx(0.1)
+        assert s.loads[-1] == pytest.approx(0.9)
+        assert len(s.loads) == 9
+        assert s.hops == (2, 4, 6, 8)
+
+    def test_quick_is_small(self):
+        s = quick_sweep()
+        assert len(s.loads) <= 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Sweep(loads=(), hops=(2,))
+        with pytest.raises(ValueError):
+            Sweep(loads=(0.5,), hops=())
+
+    def test_rejects_overload(self):
+        with pytest.raises(ValueError):
+            Sweep(loads=(1.0,), hops=(2,))
+
+    def test_rejects_bad_hops(self):
+        with pytest.raises(ValueError):
+            Sweep(loads=(0.5,), hops=(0,))
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            Sweep(loads=(0.5,), hops=(2,), sigma=0.0)

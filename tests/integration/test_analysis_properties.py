@@ -1,0 +1,112 @@
+"""Property-based tests on analysis-level invariants.
+
+Structural monotonicity laws every sound worst-case analysis must obey:
+enlarging a workload (bigger bursts, higher rates, extra flows) can only
+loosen bounds; shrinking it can only tighten them.  Violations here
+would indicate a non-monotone step in the propagation or kernels.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.core.integrated import IntegratedAnalysis
+from repro.curves.token_bucket import TokenBucket
+from repro.network.flow import Flow
+from repro.network.tandem import CONNECTION0, build_tandem
+from repro.network.topology import Network, ServerSpec
+
+loads = st.floats(min_value=0.05, max_value=0.9)
+sizes = st.integers(min_value=1, max_value=5)
+
+ANALYZERS = [DecomposedAnalysis, IntegratedAnalysis]
+
+
+class TestMonotoneInLoad:
+    @settings(max_examples=15, deadline=None)
+    @given(sizes, loads, st.floats(min_value=0.01, max_value=0.09))
+    def test_bounds_increase_with_load(self, n, u, du):
+        u2 = min(u + du, 0.95)
+        for analyzer_cls in ANALYZERS:
+            a = analyzer_cls().analyze(build_tandem(n, u)) \
+                .delay_of(CONNECTION0)
+            b = analyzer_cls().analyze(build_tandem(n, u2)) \
+                .delay_of(CONNECTION0)
+            assert b >= a - 1e-9
+
+
+class TestMonotoneInBurst:
+    @settings(max_examples=15, deadline=None)
+    @given(sizes, loads, st.floats(min_value=0.1, max_value=3.0))
+    def test_bounds_increase_with_sigma(self, n, u, extra):
+        for analyzer_cls in ANALYZERS:
+            a = analyzer_cls().analyze(build_tandem(n, u, sigma=1.0)) \
+                .delay_of(CONNECTION0)
+            b = analyzer_cls().analyze(
+                build_tandem(n, u, sigma=1.0 + extra)) \
+                .delay_of(CONNECTION0)
+            assert b >= a - 1e-9
+
+
+class TestMonotoneInWorkload:
+    @settings(max_examples=10, deadline=None)
+    @given(loads)
+    def test_adding_a_flow_never_tightens_others(self, u):
+        base = build_tandem(3, min(u, 0.7))
+        extra = Flow("intruder", TokenBucket(1.0, 0.05, peak=1.0),
+                     (2, 3))
+        bigger = base.with_flow(extra)
+        for analyzer_cls in ANALYZERS:
+            rep_a = analyzer_cls().analyze(base)
+            rep_b = analyzer_cls().analyze(bigger)
+            for name in base.flows:
+                assert rep_b.delay_of(name) >= \
+                    rep_a.delay_of(name) - 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(loads)
+    def test_removing_a_flow_never_loosens_others(self, u):
+        net = build_tandem(3, min(u, 0.85))
+        smaller = net.without_flow("short_2")
+        for analyzer_cls in ANALYZERS:
+            rep_a = analyzer_cls().analyze(net)
+            rep_b = analyzer_cls().analyze(smaller)
+            for name in smaller.flows:
+                assert rep_b.delay_of(name) <= \
+                    rep_a.delay_of(name) + 1e-9
+
+
+class TestCapacityScaling:
+    @settings(max_examples=10, deadline=None)
+    @given(sizes, loads, st.floats(min_value=1.5, max_value=100.0))
+    def test_joint_scaling_invariance(self, n, u, c):
+        """Scaling capacity and all rates by c and bursts by c leaves
+        delays unchanged (time-rescaling invariance)."""
+        base = build_tandem(n, u, sigma=1.0, capacity=1.0)
+        scaled = build_tandem(n, u, sigma=c, capacity=c)
+        a = DecomposedAnalysis().analyze(base).delay_of(CONNECTION0)
+        b = DecomposedAnalysis().analyze(scaled).delay_of(CONNECTION0)
+        assert b == pytest.approx(a, rel=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(sizes, loads, st.floats(min_value=1.5, max_value=100.0))
+    def test_faster_links_shrink_delay_proportionally(self, n, u, c):
+        """Same bursts over c-times-faster links: delays shrink by c."""
+        base = build_tandem(n, u, sigma=1.0, capacity=1.0)
+        fast = build_tandem(n, u, sigma=1.0, capacity=c)
+        a = DecomposedAnalysis().analyze(base).delay_of(CONNECTION0)
+        b = DecomposedAnalysis().analyze(fast).delay_of(CONNECTION0)
+        assert b == pytest.approx(a / c, rel=1e-9)
+
+
+class TestPriorityInvariants:
+    def test_sp_total_order_respected_network_wide(self):
+        from repro.network.topology import Discipline
+        tb = TokenBucket(1.0, 0.15, peak=1.0)
+        servers = [ServerSpec(k, 1.0, Discipline.STATIC_PRIORITY)
+                   for k in (1, 2)]
+        flows = [Flow(f"p{p}", tb, (1, 2), priority=p)
+                 for p in range(3)]
+        rep = DecomposedAnalysis().analyze(Network(servers, flows))
+        assert rep.delay_of("p0") <= rep.delay_of("p1") \
+            <= rep.delay_of("p2")

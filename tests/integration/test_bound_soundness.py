@@ -1,0 +1,107 @@
+"""Integration: every analytic bound must dominate simulated delays.
+
+The fluid analyses ignore packetization; a packet-level simulation can
+exceed a fluid bound by at most roughly one packet transmission time per
+hop, so the assertions allow ``n_hops * packet_size / C`` of slack.
+
+This is the strongest end-to-end check in the suite: it exercises the
+curve algebra, the propagation engines, both integrated kernels and the
+simulator together, under adversarial (greedy, synchronized) and random
+traffic.
+"""
+
+import pytest
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.core.integrated import IntegratedAnalysis
+from repro.network.flow import Flow
+from repro.network.tandem import CONNECTION0, build_tandem
+from repro.network.topology import Discipline, Network, ServerSpec
+from repro.curves.token_bucket import TokenBucket
+from repro.sim.simulator import NetworkSimulator, simulate_greedy
+from repro.sim.sources import GreedySource, OnOffSource
+
+PKT = 0.05
+
+
+def slack(net):
+    return PKT * max(f.n_hops for f in net.flows.values()) + 1e-9
+
+
+@pytest.mark.parametrize("n,u", [(2, 0.4), (2, 0.9), (3, 0.7), (5, 0.6)])
+class TestGreedyTraffic:
+    def test_integrated_bound_sound(self, n, u):
+        net = build_tandem(n, u)
+        sim = simulate_greedy(net, horizon=120.0, packet_size=PKT)
+        rep = IntegratedAnalysis().analyze(net)
+        for name in net.flows:
+            assert sim.max_delay(name) <= rep.delay_of(name) + slack(net)
+
+    def test_decomposed_bound_sound(self, n, u):
+        net = build_tandem(n, u)
+        sim = simulate_greedy(net, horizon=120.0, packet_size=PKT)
+        rep = DecomposedAnalysis().analyze(net)
+        for name in net.flows:
+            assert sim.max_delay(name) <= rep.delay_of(name) + slack(net)
+
+
+class TestStaggeredTraffic:
+    def test_staggered_bursts_stay_bounded(self):
+        net = build_tandem(3, 0.8)
+        rep = IntegratedAnalysis().analyze(net)
+        # stagger cross bursts to hit conn0 downstream hops while loaded
+        stagger = {name: 2.0 * i
+                   for i, name in enumerate(sorted(net.flows))}
+        sim = simulate_greedy(net, horizon=120.0, packet_size=PKT,
+                              stagger=stagger)
+        assert sim.max_delay(CONNECTION0) <= \
+            rep.delay_of(CONNECTION0) + slack(net)
+
+
+class TestRandomTraffic:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_onoff_sources_stay_bounded(self, seed):
+        net = build_tandem(3, 0.7)
+        rep = IntegratedAnalysis().analyze(net)
+        sources = {
+            name: OnOffSource(f.bucket, PKT, mean_on=3.0, mean_off=2.0,
+                              seed=seed * 31 + i)
+            for i, (name, f) in enumerate(sorted(net.flows.items()))
+        }
+        sim = NetworkSimulator(net, sources).run(100.0)
+        for name in net.flows:
+            assert sim.max_delay(name) <= rep.delay_of(name) + slack(net)
+
+
+class TestTightness:
+    def test_integrated_bound_not_absurdly_loose_two_hops(self):
+        """Greedy synchronized traffic should get within ~3x of the
+        integrated bound on a small tandem (sanity of tightness, not a
+        formal claim)."""
+        net = build_tandem(2, 0.8)
+        sim = simulate_greedy(net, horizon=150.0, packet_size=PKT)
+        bound = IntegratedAnalysis().analyze(net).delay_of(CONNECTION0)
+        assert sim.max_delay(CONNECTION0) >= bound / 3.0
+
+
+class TestStaticPrioritySoundness:
+    def test_sp_bounds_dominate_simulation(self):
+        tb_hi = TokenBucket(1.0, 0.2, peak=1.0)
+        tb_lo = TokenBucket(1.0, 0.3, peak=1.0)
+        servers = [ServerSpec("s1", 1.0, Discipline.STATIC_PRIORITY),
+                   ServerSpec("s2", 1.0, Discipline.STATIC_PRIORITY)]
+        flows = [Flow("hi", tb_hi, ["s1", "s2"], priority=0),
+                 Flow("lo", tb_lo, ["s1", "s2"], priority=1),
+                 Flow("x1", tb_lo, ["s1"], priority=1),
+                 Flow("x2", tb_lo, ["s2"], priority=1)]
+        net = Network(servers, flows)
+        rep = DecomposedAnalysis().analyze(net)
+        sources = {name: GreedySource(f.bucket, PKT)
+                   for name, f in net.flows.items()}
+        sim = NetworkSimulator(net, sources).run(100.0)
+        # non-preemptive SP adds one packet of blocking per hop on top
+        # of the fluid (preemptive) bound
+        extra = 2 * PKT
+        for name in net.flows:
+            assert sim.max_delay(name) <= \
+                rep.delay_of(name) + slack(net) + extra

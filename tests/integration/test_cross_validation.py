@@ -1,0 +1,92 @@
+"""Integration: the analyses must agree where theory says they coincide.
+
+* On a tandem, the closed forms equal the general engines (also covered
+  per-module, re-checked here at scale).
+* The integrated analysis with singleton partition equals capped
+  decomposition.
+* The relative ordering D_integrated <= D_decomposed holds for every
+  flow on randomized feed-forward topologies (hypothesis).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.closed_forms import decomposed_delay
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.analysis.service_curve import ServiceCurveAnalysis
+from repro.core.integrated import IntegratedAnalysis
+from repro.core.partition import PairAlongPath
+from repro.curves.token_bucket import TokenBucket
+from repro.network.flow import Flow
+from repro.network.tandem import CONNECTION0, build_tandem
+from repro.network.topology import Network, ServerSpec
+
+
+@st.composite
+def random_feedforward(draw):
+    """A random stable feed-forward network on a line of servers.
+
+    Flows pick contiguous server intervals; rates are scaled so every
+    server stays below 90% utilization.
+    """
+    n_servers = draw(st.integers(min_value=2, max_value=5))
+    n_flows = draw(st.integers(min_value=2, max_value=6))
+    flows = []
+    loads = [0.0] * n_servers
+    for i in range(n_flows):
+        a = draw(st.integers(min_value=0, max_value=n_servers - 1))
+        b = draw(st.integers(min_value=a, max_value=n_servers - 1))
+        sigma = draw(st.floats(min_value=0.1, max_value=3.0))
+        rho = draw(st.floats(min_value=0.01, max_value=0.3))
+        # keep total per-server load < 0.9
+        for k in range(a, b + 1):
+            if loads[k] + rho >= 0.9:
+                rho = max(0.005, (0.9 - loads[k]) / 2)
+        for k in range(a, b + 1):
+            loads[k] += rho
+        flows.append(Flow(f"f{i}", TokenBucket(sigma, rho, peak=1.0),
+                          list(range(a, b + 1))))
+    servers = [ServerSpec(k) for k in range(n_servers)]
+    return Network(servers, flows)
+
+
+class TestClosedFormAtScale:
+    @pytest.mark.parametrize("n", [6, 10, 12])
+    def test_large_tandems(self, n):
+        u = 0.75
+        engine = DecomposedAnalysis().analyze(build_tandem(n, u)) \
+            .delay_of(CONNECTION0)
+        assert decomposed_delay(n, u) == pytest.approx(engine, rel=1e-9)
+
+
+class TestAlgorithmOrdering:
+    @settings(max_examples=20, deadline=None)
+    @given(random_feedforward())
+    def test_integrated_never_looser_than_decomposed(self, net):
+        longest = max(net.flows.values(), key=lambda f: f.n_hops)
+        integ = IntegratedAnalysis(
+            strategy=PairAlongPath(longest.name)).analyze(net)
+        dec = DecomposedAnalysis().analyze(net)
+        for name in net.flows:
+            assert integ.delay_of(name) <= dec.delay_of(name) + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_feedforward())
+    def test_all_analyses_finite_on_stable_networks(self, net):
+        for analyzer in (DecomposedAnalysis(), IntegratedAnalysis(),
+                         ServiceCurveAnalysis()):
+            rep = analyzer.analyze(net)
+            for name in net.flows:
+                assert math.isfinite(rep.delay_of(name)) or \
+                    analyzer.name == "service_curve"
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_feedforward())
+    def test_delays_nonnegative(self, net):
+        rep = IntegratedAnalysis().analyze(net)
+        for fd in rep.delays.values():
+            assert fd.total >= 0
+            for _, d in fd.contributions:
+                assert d >= 0

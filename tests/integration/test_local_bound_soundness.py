@@ -1,0 +1,49 @@
+"""Integration: per-hop simulated delays vs local analytic bounds.
+
+Stronger than the end-to-end check — each server's local delay bound
+from the (uncapped) decomposition propagation must dominate every
+per-hop delay the simulator observes at that server, flow by flow.
+"""
+
+import pytest
+
+from repro.analysis.propagation import propagate
+from repro.network.tandem import build_tandem
+from repro.network.generators import parking_lot
+from repro.sim.simulator import simulate_greedy
+
+PKT = 0.05
+
+
+@pytest.mark.parametrize("n,u", [(2, 0.8), (4, 0.6)])
+def test_tandem_local_bounds_dominate(n, u):
+    net = build_tandem(n, u)
+    prop = propagate(net)
+    sim = simulate_greedy(net, horizon=120.0, packet_size=PKT)
+    for flow in net.flows.values():
+        for sid in flow.path:
+            observed = sim.max_hop_delay(flow.name, sid)
+            bound = prop.local[sid].delay_by_flow[flow.name]
+            assert observed <= bound + PKT + 1e-9, \
+                (flow.name, sid, observed, bound)
+
+
+def test_parking_lot_local_bounds_dominate():
+    net = parking_lot(4, 0.8)
+    prop = propagate(net)
+    sim = simulate_greedy(net, horizon=120.0, packet_size=PKT)
+    for flow in net.flows.values():
+        for sid in flow.path:
+            assert sim.max_hop_delay(flow.name, sid) <= \
+                prop.local[sid].delay_by_flow[flow.name] + PKT + 1e-9
+
+
+def test_hop_delays_sum_to_at_most_total():
+    net = build_tandem(3, 0.7)
+    sim = simulate_greedy(net, horizon=60.0, packet_size=PKT)
+    # worst per-hop delays need not be simultaneous, so their sum bounds
+    # the observed end-to-end worst case from above
+    for flow in net.flows.values():
+        hop_sum = sum(sim.max_hop_delay(flow.name, sid)
+                      for sid in flow.path)
+        assert sim.max_delay(flow.name) <= hop_sum + 1e-9

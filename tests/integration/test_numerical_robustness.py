@@ -1,0 +1,91 @@
+"""Numerical robustness: extreme magnitudes must not break the kernels.
+
+Delay analysis tools get fed real-world units: bits and gigabits,
+microseconds and hours.  These tests push very large and very small
+parameter magnitudes through the full stack and assert finite, sound,
+scale-consistent results — no NaNs, no silent overflow.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.core.integrated import IntegratedAnalysis
+from repro.core.theorem1 import theorem1_bound
+from repro.curves.piecewise import PiecewiseLinearCurve as P
+from repro.curves.token_bucket import TokenBucket
+from repro.network.tandem import CONNECTION0, build_tandem
+
+
+SCALES = [1e-6, 1e-3, 1.0, 1e3, 1e9]
+
+
+class TestScaleInvariance:
+    @pytest.mark.parametrize("scale", SCALES)
+    def test_tandem_delays_scale_like_time(self, scale):
+        """Scaling sigma by s and keeping rates fixed multiplies every
+        delay by s (time-rescaling); relative improvements must be
+        scale-free."""
+        base = IntegratedAnalysis().analyze(build_tandem(3, 0.7, 1.0)) \
+            .delay_of(CONNECTION0)
+        scaled = IntegratedAnalysis().analyze(
+            build_tandem(3, 0.7, sigma=scale)).delay_of(CONNECTION0)
+        assert scaled == pytest.approx(base * scale, rel=1e-6)
+
+    @pytest.mark.parametrize("scale", SCALES)
+    def test_capacity_and_burst_rescaling(self, scale):
+        """(sigma, C) -> (s*sigma, s*C) leaves delays unchanged."""
+        base = DecomposedAnalysis().analyze(build_tandem(3, 0.7)) \
+            .delay_of(CONNECTION0)
+        scaled = DecomposedAnalysis().analyze(
+            build_tandem(3, 0.7, sigma=scale, capacity=scale)) \
+            .delay_of(CONNECTION0)
+        assert scaled == pytest.approx(base, rel=1e-6)
+
+
+class TestExtremeKernelInputs:
+    def test_theorem1_tiny_magnitudes(self):
+        f12 = P.affine(1e-9, 1e-10)
+        f1 = P.affine(1e-9, 1e-10)
+        res = theorem1_bound(f12, f1, P.zero(), 1e-6, 1e-6)
+        assert math.isfinite(res.delay_through)
+        assert res.delay_through >= 0
+
+    def test_theorem1_huge_magnitudes(self):
+        f12 = P.affine(1e9, 1e8)
+        f1 = P.affine(1e9, 1e8)
+        res = theorem1_bound(f12, f1, P.zero(), 1e9, 1e9)
+        assert math.isfinite(res.delay_through)
+
+    def test_near_saturation_stays_finite(self):
+        # 99.99% utilization: finite (per-source rates stay <= C/4 so
+        # the peak-limited FIFO bound does not diverge as U -> 1) and
+        # strictly above the half-load bound
+        net = build_tandem(2, 0.9999)
+        d = DecomposedAnalysis().analyze(net).delay_of(CONNECTION0)
+        d_half = DecomposedAnalysis().analyze(build_tandem(2, 0.5)) \
+            .delay_of(CONNECTION0)
+        assert math.isfinite(d)
+        assert d > d_half
+
+    def test_zero_burst_flows(self):
+        tb = TokenBucket(0.0, 0.2, peak=1.0)
+        agg = (tb.constraint_curve() * 3.0).simplified()
+        d = agg.horizontal_deviation(P.line(1.0))
+        assert d == pytest.approx(0.0, abs=1e-12)
+
+    def test_mixed_magnitudes_in_one_aggregate(self):
+        big = TokenBucket(1e6, 0.1).constraint_curve()
+        small = TokenBucket(1e-6, 0.1).constraint_curve()
+        agg = big + small
+        d = agg.horizontal_deviation(P.line(1.0))
+        assert d == pytest.approx(1e6 + 1e-6, rel=1e-9)
+
+    def test_no_nan_in_reports(self):
+        rep = IntegratedAnalysis().analyze(
+            build_tandem(4, 0.5, sigma=1e6, capacity=1e3))
+        for fd in rep.delays.values():
+            assert not math.isnan(fd.total)
+            for _, d in fd.contributions:
+                assert not math.isnan(d)

@@ -1,0 +1,76 @@
+"""Unit tests for Flow (connections)."""
+
+import math
+
+import pytest
+
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import FlowError
+from repro.network.flow import Flow
+
+
+@pytest.fixture
+def tb():
+    return TokenBucket(1.0, 0.25, peak=1.0)
+
+
+class TestConstruction:
+    def test_basic(self, tb):
+        f = Flow("f", tb, [1, 2, 3])
+        assert f.path == (1, 2, 3)
+        assert f.n_hops == 3
+        assert math.isinf(f.deadline)
+
+    def test_empty_name_rejected(self, tb):
+        with pytest.raises(FlowError):
+            Flow("", tb, [1])
+
+    def test_empty_path_rejected(self, tb):
+        with pytest.raises(FlowError):
+            Flow("f", tb, [])
+
+    def test_repeating_path_rejected(self, tb):
+        with pytest.raises(FlowError):
+            Flow("f", tb, [1, 2, 1])
+
+    def test_non_bucket_rejected(self):
+        with pytest.raises(FlowError):
+            Flow("f", "not a bucket", [1])
+
+    def test_bad_deadline_rejected(self, tb):
+        with pytest.raises(FlowError):
+            Flow("f", tb, [1], deadline=0.0)
+
+    def test_frozen(self, tb):
+        f = Flow("f", tb, [1])
+        with pytest.raises(AttributeError):
+            f.name = "g"
+
+
+class TestPathQueries:
+    def test_traverses(self, tb):
+        f = Flow("f", tb, [1, 2])
+        assert f.traverses(1) and f.traverses(2)
+        assert not f.traverses(3)
+
+    def test_hop_index(self, tb):
+        f = Flow("f", tb, ["a", "b", "c"])
+        assert f.hop_index("b") == 1
+
+    def test_hop_index_missing_raises(self, tb):
+        with pytest.raises(FlowError):
+            Flow("f", tb, [1]).hop_index(2)
+
+    def test_next_hop(self, tb):
+        f = Flow("f", tb, [1, 2, 3])
+        assert f.next_hop(1) == 2
+        assert f.next_hop(3) is None
+
+    def test_with_deadline(self, tb):
+        f = Flow("f", tb, [1], priority=2).with_deadline(5.0)
+        assert f.deadline == 5.0
+        assert f.priority == 2
+        assert f.path == (1,)
+
+    def test_str(self, tb):
+        assert "f" in str(Flow("f", tb, [1]))

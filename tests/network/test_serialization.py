@@ -1,0 +1,96 @@
+"""Unit tests for network JSON (de)serialization."""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.errors import TopologyError
+from repro.network.generators import parking_lot
+from repro.network.serialization import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from repro.network.tandem import CONNECTION0, build_tandem
+from repro.network.topology import Network, ServerSpec
+from repro.network.flow import Flow
+from repro.curves.token_bucket import TokenBucket
+
+
+class TestRoundTrip:
+    def test_tandem_roundtrip(self):
+        net = build_tandem(3, 0.6)
+        back = network_from_dict(network_to_dict(net))
+        assert set(back.flows) == set(net.flows)
+        assert back.flow(CONNECTION0).path == net.flow(CONNECTION0).path
+        assert back.flow(CONNECTION0).bucket == \
+            net.flow(CONNECTION0).bucket
+
+    def test_analysis_identical_after_roundtrip(self):
+        net = parking_lot(3, 0.7)
+        back = network_from_dict(network_to_dict(net))
+        a = DecomposedAnalysis().analyze(net).delay_of("long")
+        b = DecomposedAnalysis().analyze(back).delay_of("long")
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_infinite_fields_become_null(self):
+        net = build_tandem(2, 0.5, peak_limited=False)
+        doc = network_to_dict(net)
+        flow_doc = next(f for f in doc["flows"]
+                        if f["name"] == CONNECTION0)
+        assert flow_doc["peak"] is None
+        assert flow_doc["deadline"] is None
+        back = network_from_dict(doc)
+        assert math.isinf(back.flow(CONNECTION0).bucket.peak)
+
+    def test_priorities_and_deadlines_roundtrip(self):
+        tb = TokenBucket(1.0, 0.1, peak=1.0)
+        net = Network(
+            [ServerSpec("s", 2.0, "static_priority")],
+            [Flow("f", tb, ("s",), deadline=7.5, priority=3)])
+        back = network_from_dict(network_to_dict(net))
+        f = back.flow("f")
+        assert f.deadline == 7.5 and f.priority == 3
+        assert back.server("s").capacity == 2.0
+
+    def test_allow_cycles_roundtrip(self):
+        tb = TokenBucket(1.0, 0.1, peak=1.0)
+        net = Network([ServerSpec(0), ServerSpec(1)],
+                      [Flow("a", tb, (0, 1)), Flow("b", tb, (1, 0))],
+                      allow_cycles=True)
+        back = network_from_dict(network_to_dict(net))
+        assert not back.is_feedforward
+
+    def test_json_serializable(self):
+        doc = network_to_dict(build_tandem(2, 0.5))
+        json.dumps(doc)  # must not raise
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        net = build_tandem(2, 0.5)
+        path = save_network(net, tmp_path / "net.json")
+        back = load_network(path)
+        assert set(back.flows) == set(net.flows)
+
+    def test_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(TopologyError):
+            load_network(bad)
+
+
+class TestValidation:
+    def test_missing_keys(self):
+        with pytest.raises(TopologyError):
+            network_from_dict({"servers": [], "flows": [{"name": "f"}]})
+
+    def test_non_serializable_id(self):
+        tb = TokenBucket(1.0, 0.1)
+        net = Network([ServerSpec(("tuple", "id"))],
+                      [Flow("f", tb, (("tuple", "id"),))])
+        with pytest.raises(TopologyError):
+            network_to_dict(net)

@@ -1,0 +1,99 @@
+"""Unit tests for the paper's Figure-3 tandem builder (experiment FIG3)."""
+
+import math
+
+import pytest
+
+from repro.network.tandem import (
+    CONNECTION0,
+    build_tandem,
+    long_name,
+    short_name,
+    tandem_rho,
+)
+
+
+class TestRho:
+    def test_quarter_load(self):
+        assert tandem_rho(0.8) == pytest.approx(0.2)
+
+    def test_rejects_full_load(self):
+        with pytest.raises(ValueError):
+            tandem_rho(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            tandem_rho(0.0)
+
+
+class TestStructure:
+    def test_flow_count_matches_paper(self):
+        # 2n + 1 connections
+        for n in (1, 3, 5):
+            assert len(build_tandem(n, 0.5).flows) == 2 * n + 1
+
+    def test_server_count(self):
+        assert len(build_tandem(5, 0.5).servers) == 5
+
+    def test_connection0_spans_all(self):
+        net = build_tandem(4, 0.5)
+        assert net.flow(CONNECTION0).path == (1, 2, 3, 4)
+
+    def test_interior_ports_carry_four_connections(self):
+        net = build_tandem(5, 0.5)
+        for k in range(2, 6):
+            assert len(net.flows_at(k)) == 4
+
+    def test_first_port_carries_three(self):
+        net = build_tandem(5, 0.5)
+        assert len(net.flows_at(1)) == 3
+
+    def test_cross_paths(self):
+        net = build_tandem(4, 0.5)
+        assert net.flow(short_name(2)).path == (2,)
+        assert net.flow(long_name(2)).path == (2, 3)
+        assert net.flow(long_name(4)).path == (4,)  # truncated at edge
+
+    def test_single_switch(self):
+        net = build_tandem(1, 0.5)
+        assert len(net.flows) == 3
+        assert net.flow(CONNECTION0).path == (1,)
+
+
+class TestLoad:
+    def test_interior_utilization_is_u(self):
+        net = build_tandem(4, 0.72)
+        for k in range(2, 5):
+            assert net.utilization(k) == pytest.approx(0.72)
+
+    def test_first_port_runs_lighter(self):
+        net = build_tandem(4, 0.8)
+        assert net.utilization(1) == pytest.approx(0.6)
+
+    def test_stable_for_all_loads(self):
+        for u in (0.1, 0.5, 0.99):
+            build_tandem(3, u).check_stability()
+
+
+class TestParameters:
+    def test_sigma_scaling(self):
+        net = build_tandem(2, 0.5, sigma=3.0)
+        assert net.flow(CONNECTION0).bucket.sigma == 3.0
+
+    def test_capacity_scaling(self):
+        net = build_tandem(2, 0.8, capacity=155.0)
+        assert net.server(1).capacity == 155.0
+        assert net.flow(CONNECTION0).bucket.rho == pytest.approx(31.0)
+        assert net.utilization(2) == pytest.approx(0.8)
+
+    def test_peak_unlimited(self):
+        net = build_tandem(2, 0.5, peak_limited=False)
+        assert math.isinf(net.flow(CONNECTION0).bucket.peak)
+
+    def test_invalid_hops(self):
+        with pytest.raises(ValueError):
+            build_tandem(0, 0.5)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            build_tandem(2, 0.5, sigma=0.0)

@@ -1,0 +1,132 @@
+"""Unit tests for the single-node FIFO analysis (paper §2.1)."""
+
+import math
+
+import pytest
+
+from repro.curves.piecewise import PiecewiseLinearCurve as P
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import InstabilityError
+from repro.servers.fifo import (
+    capped_output_curve,
+    cruz_output_curve,
+    fifo_backlog_bound,
+    fifo_busy_period,
+    fifo_delay_bound,
+    fifo_local_analysis,
+)
+
+
+def paper_aggregate(rho=0.2, k=3):
+    """k fresh peak-limited sources min(t, 1 + rho t)."""
+    b = TokenBucket(1.0, rho, peak=1.0).constraint_curve()
+    return (b * float(k)).simplified()
+
+
+class TestDelayBound:
+    def test_single_affine_source(self):
+        assert fifo_delay_bound(P.affine(2.0, 0.5), 1.0) == \
+            pytest.approx(2.0)
+
+    def test_paper_first_server(self):
+        # E_1 = 2 sigma / (1 - rho)
+        assert fifo_delay_bound(paper_aggregate(0.2, 3), 1.0) == \
+            pytest.approx(2.0 / 0.8)
+
+    def test_scales_with_capacity(self):
+        agg = P.affine(2.0, 0.5)
+        assert fifo_delay_bound(agg, 2.0) == pytest.approx(1.0)
+
+    def test_unstable_raises(self):
+        with pytest.raises(InstabilityError):
+            fifo_delay_bound(P.affine(1.0, 1.5), 1.0)
+
+    def test_rate_equals_capacity_raises(self):
+        with pytest.raises(InstabilityError):
+            fifo_delay_bound(P.affine(1.0, 1.0), 1.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            fifo_delay_bound(P.affine(1.0, 0.5), -1.0)
+
+
+class TestBacklogAndBusyPeriod:
+    def test_backlog_affine(self):
+        assert fifo_backlog_bound(P.affine(3.0, 0.5), 1.0) == \
+            pytest.approx(3.0)
+
+    def test_backlog_peak_limited(self):
+        # 3 min(t, 1+0.2t) vs t: max at t*=1.25: 3*1.25 - 1.25 = 2.5
+        assert fifo_backlog_bound(paper_aggregate(), 1.0) == \
+            pytest.approx(2.5)
+
+    def test_busy_period_paper(self):
+        assert fifo_busy_period(paper_aggregate(), 1.0) == \
+            pytest.approx(7.5)
+
+    def test_busy_period_underload(self):
+        assert fifo_busy_period(P.line(0.3), 1.0) == 0.0
+
+
+class TestLocalAnalysis:
+    def test_all_flows_share_fifo_delay(self):
+        tb = TokenBucket(1.0, 0.2, peak=1.0)
+        curves = {f"f{i}": tb.constraint_curve() for i in range(3)}
+        la = fifo_local_analysis(curves, 1.0)
+        assert set(la.delay_by_flow) == set(curves)
+        vals = set(la.delay_by_flow.values())
+        assert len(vals) == 1
+        assert vals.pop() == pytest.approx(2.5)
+
+    def test_max_delay(self):
+        tb = TokenBucket(1.0, 0.2, peak=1.0)
+        la = fifo_local_analysis({"a": tb.constraint_curve()}, 1.0)
+        assert la.max_delay == la.delay_by_flow["a"]
+
+    def test_aggregate_recorded(self):
+        tb = TokenBucket(1.0, 0.2, peak=1.0)
+        la = fifo_local_analysis({"a": tb.constraint_curve(),
+                                  "b": tb.constraint_curve()}, 1.0)
+        assert la.aggregate(10.0) == pytest.approx(
+            2 * tb.constraint_curve()(10.0))
+
+    def test_empty_server(self):
+        la = fifo_local_analysis({}, 1.0)
+        assert la.max_delay == 0.0
+        assert la.busy_period == 0.0
+
+
+class TestOutputCurves:
+    def test_cruz_shift(self):
+        b = TokenBucket(1.0, 0.5).constraint_curve()
+        out = cruz_output_curve(b, 2.0)
+        assert out(0.0) == pytest.approx(2.0)
+
+    def test_cruz_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            cruz_output_curve(P.affine(1.0, 0.5), -1.0)
+
+    def test_cruz_rejects_infinite_delay(self):
+        with pytest.raises(ValueError):
+            cruz_output_curve(P.affine(1.0, 0.5), math.inf)
+
+    def test_capped_is_below_cruz(self):
+        b = TokenBucket(2.0, 0.3).constraint_curve()
+        cruz = cruz_output_curve(b, 3.0)
+        capped = capped_output_curve(b, 3.0, 1.0)
+        for t in [0.0, 0.5, 2.0, 10.0]:
+            assert capped(t) <= cruz(t) + 1e-12
+            assert capped(t) <= 1.0 * t + 1e-12
+
+    def test_capped_matches_cruz_for_long_intervals(self):
+        b = TokenBucket(2.0, 0.3).constraint_curve()
+        cruz = cruz_output_curve(b, 3.0)
+        capped = capped_output_curve(b, 3.0, 1.0)
+        assert capped(100.0) == pytest.approx(cruz(100.0))
+
+    def test_output_dominates_input(self):
+        # the output constraint must still bound the original traffic
+        b = TokenBucket(1.0, 0.2, peak=1.0).constraint_curve()
+        out = capped_output_curve(b, 1.5, 1.0)
+        for t in [0.0, 1.0, 4.0, 20.0]:
+            assert out(t) >= b(t) - 1e-9

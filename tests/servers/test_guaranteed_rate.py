@@ -1,0 +1,75 @@
+"""Unit tests for guaranteed-rate (rate-latency) server models."""
+
+import pytest
+
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import AnalysisError
+from repro.servers.guaranteed_rate import (
+    gr_delay_bounds,
+    gr_local_analysis,
+    rate_latency_curve,
+    wfq_service_curve,
+)
+
+
+class TestCurves:
+    def test_rate_latency(self):
+        b = rate_latency_curve(2.0, 1.0)
+        assert b(1.0) == 0.0 and b(2.0) == pytest.approx(2.0)
+
+    def test_wfq_fluid_has_zero_latency(self):
+        b = wfq_service_curve(0.5, 1.0)
+        assert b(0.0) == 0.0 and b(2.0) == pytest.approx(1.0)
+
+    def test_wfq_packet_latency(self):
+        # L/r + L/C with L=1, r=0.5, C=1 -> 3.0
+        b = wfq_service_curve(0.5, 1.0, max_packet=1.0)
+        assert b(3.0) == pytest.approx(0.0, abs=1e-9)
+        assert b(5.0) == pytest.approx(1.0)
+
+    def test_wfq_rejects_overallocation(self):
+        with pytest.raises(AnalysisError):
+            wfq_service_curve(2.0, 1.0)
+
+
+class TestBounds:
+    def test_isolated_flows(self):
+        tb = TokenBucket(1.0, 0.25)
+        curves = {"a": tb.constraint_curve(), "b": tb.constraint_curve()}
+        bounds = gr_delay_bounds(curves, {"a": 0.25, "b": 0.25}, 1.0)
+        # each flow: sigma / reserved = 4.0 in the fluid limit
+        assert bounds["a"] == pytest.approx(4.0)
+        assert bounds["b"] == pytest.approx(4.0)
+
+    def test_bigger_reservation_smaller_delay(self):
+        tb = TokenBucket(1.0, 0.25)
+        curves = {"a": tb.constraint_curve()}
+        d1 = gr_delay_bounds(curves, {"a": 0.25}, 1.0)["a"]
+        d2 = gr_delay_bounds(curves, {"a": 0.5}, 1.0)["a"]
+        assert d2 < d1
+
+    def test_rejects_oversubscription(self):
+        tb = TokenBucket(1.0, 0.6)
+        curves = {"a": tb.constraint_curve(), "b": tb.constraint_curve()}
+        with pytest.raises(AnalysisError):
+            gr_delay_bounds(curves, {"a": 0.6, "b": 0.6}, 1.0)
+
+    def test_gr_independent_of_cross_traffic(self):
+        # the whole point of GR: another flow's burst does not matter
+        tb = TokenBucket(1.0, 0.25)
+        huge = TokenBucket(50.0, 0.25)
+        d_small = gr_delay_bounds(
+            {"a": tb.constraint_curve()}, {"a": 0.25}, 1.0)["a"]
+        d_with_huge = gr_delay_bounds(
+            {"a": tb.constraint_curve(), "b": huge.constraint_curve()},
+            {"a": 0.25, "b": 0.25}, 1.0)["a"]
+        assert d_with_huge == pytest.approx(d_small)
+
+
+class TestLocalAnalysis:
+    def test_fields(self):
+        tb = TokenBucket(1.0, 0.25)
+        la = gr_local_analysis({"a": tb.constraint_curve()},
+                               {"a": 0.25}, 1.0)
+        assert la.delay_by_flow["a"] == pytest.approx(4.0)
+        assert la.backlog == pytest.approx(1.0)

@@ -1,0 +1,74 @@
+"""Unit tests for packetization corrections."""
+
+import pytest
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.core.integrated import IntegratedAnalysis
+from repro.curves.piecewise import PiecewiseLinearCurve as P
+from repro.network.tandem import CONNECTION0, build_tandem
+from repro.servers.packetized import (
+    packetization_slack,
+    packetize_report,
+    packetized_arrival_curve,
+)
+from repro.sim.simulator import simulate_greedy
+
+
+class TestSlack:
+    def test_formula(self):
+        assert packetization_slack(4, 0.05, 1.0) == pytest.approx(0.2)
+
+    def test_scales_with_capacity(self):
+        assert packetization_slack(2, 1.0, 2.0) == pytest.approx(1.0)
+
+    def test_zero_packet(self):
+        assert packetization_slack(3, 0.0, 1.0) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            packetization_slack(-1, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            packetization_slack(1, -0.1, 1.0)
+        with pytest.raises(ValueError):
+            packetization_slack(1, 0.1, 0.0)
+
+
+class TestArrivalCurve:
+    def test_adds_one_packet(self):
+        fluid = P.affine(1.0, 0.5)
+        pk = packetized_arrival_curve(fluid, 0.25)
+        for t in (0.0, 1.0, 4.0):
+            assert pk(t) == pytest.approx(fluid(t) + 0.25)
+
+
+class TestPacketizeReport:
+    def test_totals_gain_per_hop_slack(self, tandem4):
+        fluid = IntegratedAnalysis().analyze(tandem4)
+        pk = packetize_report(fluid, tandem4, max_packet=0.1)
+        assert pk.delay_of(CONNECTION0) == pytest.approx(
+            fluid.delay_of(CONNECTION0) + 4 * 0.1)
+        assert pk.delay_of("short_2") == pytest.approx(
+            fluid.delay_of("short_2") + 0.1)
+
+    def test_contributions_stay_consistent(self, tandem4):
+        fluid = IntegratedAnalysis().analyze(tandem4)
+        pk = packetize_report(fluid, tandem4, max_packet=0.1)
+        fd = pk.delays[CONNECTION0]
+        assert sum(d for _, d in fd.contributions) == \
+            pytest.approx(fd.total)
+
+    def test_meta_records_origin(self, tandem4):
+        pk = packetize_report(DecomposedAnalysis().analyze(tandem4),
+                              tandem4, 0.05)
+        assert pk.meta["fluid_algorithm"] == "decomposed"
+        assert pk.algorithm.endswith("+packetized")
+
+    def test_simulation_within_packetized_bound_without_slack(self):
+        """The packetized bound needs NO extra allowance vs simulation."""
+        net = build_tandem(3, 0.8)
+        pkt = 0.05
+        fluid = IntegratedAnalysis().analyze(net)
+        pk = packetize_report(fluid, net, max_packet=pkt)
+        sim = simulate_greedy(net, horizon=120.0, packet_size=pkt)
+        for name in net.flows:
+            assert sim.max_delay(name) <= pk.delay_of(name) + 1e-9

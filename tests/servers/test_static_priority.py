@@ -1,0 +1,82 @@
+"""Unit tests for the static-priority server analysis."""
+
+import pytest
+
+from repro.curves.piecewise import PiecewiseLinearCurve as P
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import InstabilityError
+from repro.servers.fifo import fifo_delay_bound
+from repro.servers.static_priority import (
+    sp_delay_bounds,
+    sp_leftover_curve,
+    sp_local_analysis,
+)
+
+
+def curves(*specs):
+    """specs: (name, sigma, rho) triples -> {name: affine curve}."""
+    return {n: TokenBucket(s, r).constraint_curve() for n, s, r in specs}
+
+
+class TestLeftoverCurve:
+    def test_no_higher_priority_is_full_line(self):
+        beta = sp_leftover_curve(1.0, P.zero())
+        assert beta == P.line(1.0)
+
+    def test_affine_cross(self):
+        beta = sp_leftover_curve(1.0, P.affine(1.0, 0.25))
+        # [t - 1 - 0.25 t]^+ : latency 1/0.75, then rate 0.75
+        assert beta(1.0) == 0.0
+        assert beta(1.0 / 0.75) == pytest.approx(0.0, abs=1e-9)
+        assert beta(2.0 / 0.75 + 1e-9) > 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            sp_leftover_curve(0.0, P.zero())
+
+
+class TestDelayBounds:
+    def test_highest_priority_sees_fifo_bound(self):
+        cs = curves(("hi", 1.0, 0.2), ("lo", 1.0, 0.2))
+        bounds = sp_delay_bounds(cs, {"hi": 0, "lo": 1}, 1.0)
+        assert bounds["hi"] == pytest.approx(
+            fifo_delay_bound(cs["hi"], 1.0))
+
+    def test_lower_priority_waits_longer(self):
+        cs = curves(("hi", 1.0, 0.2), ("lo", 1.0, 0.2))
+        bounds = sp_delay_bounds(cs, {"hi": 0, "lo": 1}, 1.0)
+        assert bounds["lo"] > bounds["hi"]
+
+    def test_same_priority_is_fifo(self):
+        cs = curves(("a", 1.0, 0.2), ("b", 1.0, 0.2))
+        bounds = sp_delay_bounds(cs, {"a": 0, "b": 0}, 1.0)
+        agg = cs["a"] + cs["b"]
+        expect = fifo_delay_bound(agg, 1.0)
+        assert bounds["a"] == pytest.approx(expect)
+        assert bounds["b"] == pytest.approx(expect)
+
+    def test_three_levels_monotone(self):
+        cs = curves(("p0", 1.0, 0.1), ("p1", 1.0, 0.1), ("p2", 1.0, 0.1))
+        bounds = sp_delay_bounds(cs, {"p0": 0, "p1": 1, "p2": 2}, 1.0)
+        assert bounds["p0"] <= bounds["p1"] <= bounds["p2"]
+
+    def test_unstable_raises(self):
+        cs = curves(("a", 1.0, 0.6), ("b", 1.0, 0.6))
+        with pytest.raises(InstabilityError):
+            sp_delay_bounds(cs, {"a": 0, "b": 1}, 1.0)
+
+    def test_sp_never_better_than_dedicated_line_for_lowest(self):
+        # lowest priority with cross traffic is worse than alone
+        cs = curves(("hi", 1.0, 0.3), ("lo", 1.0, 0.3))
+        bounds = sp_delay_bounds(cs, {"hi": 0, "lo": 1}, 1.0)
+        alone = fifo_delay_bound(cs["lo"], 1.0)
+        assert bounds["lo"] >= alone
+
+
+class TestLocalAnalysis:
+    def test_records_all_fields(self):
+        cs = curves(("hi", 1.0, 0.2), ("lo", 2.0, 0.2))
+        la = sp_local_analysis(cs, {"hi": 0, "lo": 1}, 1.0)
+        assert la.backlog == pytest.approx(3.0)
+        assert la.busy_period == pytest.approx(3.0 / 0.6)
+        assert set(la.delay_by_flow) == {"hi", "lo"}

@@ -1,0 +1,66 @@
+"""Unit tests for simulator queues."""
+
+import pytest
+
+from repro.sim.packet import Packet
+from repro.sim.queues import FifoQueue, StaticPriorityQueue
+
+
+def pkt(flow="f", seq=0, prio=0, size=1.0):
+    return Packet(flow=flow, seq=seq, size=size, created=0.0,
+                  priority=prio)
+
+
+class TestPacket:
+    def test_delay_requires_completion(self):
+        p = pkt()
+        with pytest.raises(ValueError):
+            _ = p.delay
+        p.completed = 3.5
+        assert p.delay == 3.5
+
+
+class TestFifoQueue:
+    def test_order(self):
+        q = FifoQueue()
+        q.push(pkt(seq=0))
+        q.push(pkt(seq=1))
+        assert q.pop().seq == 0
+        assert q.pop().seq == 1
+
+    def test_len_and_backlog(self):
+        q = FifoQueue()
+        q.push(pkt(size=2.0))
+        q.push(pkt(size=3.0))
+        assert len(q) == 2
+        assert q.backlog() == pytest.approx(5.0)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            FifoQueue().pop()
+
+
+class TestStaticPriorityQueue:
+    def test_priority_order(self):
+        q = StaticPriorityQueue()
+        q.push(pkt(flow="lo", prio=5))
+        q.push(pkt(flow="hi", prio=1))
+        assert q.pop().flow == "hi"
+        assert q.pop().flow == "lo"
+
+    def test_fifo_within_level(self):
+        q = StaticPriorityQueue()
+        q.push(pkt(flow="a", seq=0, prio=1))
+        q.push(pkt(flow="a", seq=1, prio=1))
+        assert q.pop().seq == 0
+
+    def test_len_across_levels(self):
+        q = StaticPriorityQueue()
+        q.push(pkt(prio=0))
+        q.push(pkt(prio=3))
+        assert len(q) == 2
+        assert q.backlog() == pytest.approx(2.0)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            StaticPriorityQueue().pop()

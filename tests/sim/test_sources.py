@@ -1,0 +1,113 @@
+"""Unit tests for simulator traffic sources (conformance!)."""
+
+import numpy as np
+import pytest
+
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import SimulationError
+from repro.sim.sources import (
+    GreedySource,
+    OnOffSource,
+    ShapedRandomSource,
+    shape_times,
+)
+
+
+def assert_conformant(times, bucket, L, horizon):
+    """Cumulative emissions must satisfy b(I) over a grid of windows."""
+    times = np.asarray(times)
+    b = bucket.constraint_curve()
+    checkpoints = np.linspace(0.0, horizon, 60)
+    for s in checkpoints:
+        for e in checkpoints:
+            if e <= s:
+                continue
+            sent = L * np.count_nonzero((times >= s) & (times < e))
+            # half-open window (s, e): allowance b(e - s) (+ one packet
+            # of slack for the packet *at* s boundary quantization)
+            assert sent <= b(e - s) + L + 1e-9, (s, e, sent, b(e - s))
+
+
+class TestShaper:
+    def test_burst_then_spaced(self):
+        tb = TokenBucket(1.0, 0.5, peak=2.0)
+        cands = np.zeros(10)
+        out = shape_times(cands, tb, 0.5)
+        # bucket holds 2 packets instantly; peak spacing 0.25 after
+        assert out[0] == 0.0
+        assert np.all(np.diff(out) >= 0.25 - 1e-12)
+
+    def test_tokens_never_negative(self):
+        tb = TokenBucket(1.0, 0.25)
+        out = shape_times(np.zeros(8), tb, 0.5)
+        # after the initial 2 packets, each 0.5-packet needs 2s of tokens
+        assert out[2] >= 2.0 - 1e-9
+
+    def test_preserves_order(self):
+        tb = TokenBucket(2.0, 1.0, peak=4.0)
+        rng = np.random.default_rng(1)
+        out = shape_times(rng.uniform(0, 10, 50), tb, 0.25)
+        assert np.all(np.diff(out) >= -1e-12)
+
+    def test_zero_rate_raises_when_depleted(self):
+        tb = TokenBucket(1.0, 0.0)
+        with pytest.raises(SimulationError):
+            shape_times(np.zeros(5), tb, 0.5)
+
+
+class TestGreedySource:
+    def test_conformance(self):
+        tb = TokenBucket(1.0, 0.2, peak=1.0)
+        src = GreedySource(tb, 0.1)
+        times = src.emission_times(40.0)
+        assert_conformant(times, tb, 0.1, 40.0)
+
+    def test_long_term_rate(self):
+        tb = TokenBucket(1.0, 0.25, peak=1.0)
+        times = GreedySource(tb, 0.1).emission_times(400.0)
+        rate = 0.1 * times.size / 400.0
+        assert rate == pytest.approx(0.25, rel=0.05)
+
+    def test_start_offset(self):
+        tb = TokenBucket(1.0, 0.25, peak=1.0)
+        times = GreedySource(tb, 0.1, start=5.0).emission_times(20.0)
+        assert times.size > 0 and times[0] >= 5.0
+
+    def test_start_beyond_horizon_empty(self):
+        tb = TokenBucket(1.0, 0.25)
+        assert GreedySource(tb, 0.1, start=30.0) \
+            .emission_times(20.0).size == 0
+
+    def test_packet_bigger_than_bucket_rejected(self):
+        with pytest.raises(SimulationError):
+            GreedySource(TokenBucket(0.5, 0.1), 1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            GreedySource(TokenBucket(1.0, 0.1), 0.1, start=-1.0)
+
+
+class TestRandomSources:
+    def test_onoff_conformance(self):
+        tb = TokenBucket(1.0, 0.2, peak=1.0)
+        src = OnOffSource(tb, 0.1, mean_on=2.0, mean_off=3.0, seed=7)
+        times = src.emission_times(50.0)
+        assert_conformant(times, tb, 0.1, 50.0)
+
+    def test_onoff_deterministic_given_seed(self):
+        tb = TokenBucket(1.0, 0.2, peak=1.0)
+        a = OnOffSource(tb, 0.1, seed=3).emission_times(30.0)
+        b = OnOffSource(tb, 0.1, seed=3).emission_times(30.0)
+        assert np.array_equal(a, b)
+
+    def test_poisson_conformance(self):
+        tb = TokenBucket(1.0, 0.3, peak=1.0)
+        src = ShapedRandomSource(tb, 0.1, seed=11)
+        times = src.emission_times(50.0)
+        assert_conformant(times, tb, 0.1, 50.0)
+
+    def test_poisson_seeds_differ(self):
+        tb = TokenBucket(1.0, 0.3)
+        a = ShapedRandomSource(tb, 0.1, seed=1).emission_times(30.0)
+        b = ShapedRandomSource(tb, 0.1, seed=2).emission_times(30.0)
+        assert a.size != b.size or not np.array_equal(a, b)

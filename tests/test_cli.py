@@ -1,0 +1,82 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze"])
+        assert args.hops == 4 and args.load == 0.8
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--figure", "FIG9"])
+
+
+class TestAnalyze:
+    def test_all_analyzers(self, capsys):
+        assert main(["analyze", "--hops", "2", "--load", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "integrated" in out and "decomposed" in out
+        assert "conn0" in out
+
+    def test_single_analyzer_all_flows(self, capsys):
+        rc = main(["analyze", "--hops", "2", "--load", "0.5",
+                   "--analyzer", "integrated", "--all-flows"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "short_1" in out and "long_2" in out
+
+    def test_unknown_analyzer(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--analyzer", "quantum"])
+
+
+class TestFigures:
+    def test_single_quick_figure(self, capsys):
+        assert main(["figures", "--quick", "--figure", "FIG5"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG5" in out and "relative improvement" in out
+        assert "FIG4" not in out
+
+
+class TestSimulate:
+    def test_simulate_reports_soundness(self, capsys):
+        rc = main(["simulate", "--hops", "2", "--load", "0.6",
+                   "--horizon", "30", "--packet", "0.1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "soundness: OK" in out
+
+
+class TestAdmit:
+    def test_admit_counts(self, capsys):
+        rc = main(["admit", "--hops", "2", "--deadline", "20",
+                   "--rho", "0.05", "--analyzer", "decomposed",
+                   "--max", "50"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "admitted" in out
+
+
+class TestExport:
+    def test_writes_files(self, tmp_path, capsys):
+        rc = main(["export", "--quick", "--out", str(tmp_path / "res")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FIG4.csv" in out and "FIG6.json" in out
+        assert (tmp_path / "res" / "FIG5.csv").exists()
+
+
+class TestChart:
+    def test_renders_chart(self, capsys):
+        rc = main(["chart", "--figure", "FIG5", "--quick", "--log"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FIG5" in out and "U=0.20" in out

@@ -1,0 +1,47 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are executable documentation; these tests keep them from
+rotting.  Each runs in a subprocess with the repository's interpreter;
+the slower full-sweep example uses its --quick flag.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+CASES = [
+    ("quickstart.py", []),
+    ("paper_walkthrough.py", []),
+    ("tandem_evaluation.py", ["--quick"]),
+    ("admission_control.py", []),
+    ("simulation_validation.py", []),
+    ("custom_topology.py", []),
+    ("two_server_kernels.py", []),
+    ("atm_cells.py", []),
+    ("feedback_ring.py", []),
+    ("network_diagnosis.py", []),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} missing"
+    proc = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_every_example_file_is_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {c[0] for c in CASES}
+    assert on_disk == covered, (
+        f"examples not smoke-tested: {on_disk - covered} / "
+        f"stale entries: {covered - on_disk}")

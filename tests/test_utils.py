@@ -1,0 +1,75 @@
+"""Unit tests for shared utilities and the exception hierarchy."""
+
+import math
+
+import pytest
+
+from repro import errors
+from repro.utils.tolerance import EPS, close, geq, leq
+from repro.utils.validation import (
+    check_finite,
+    check_nonnegative,
+    check_positive,
+    check_type,
+)
+
+
+class TestTolerance:
+    def test_close_absolute(self):
+        assert close(1.0, 1.0 + EPS / 2)
+        assert not close(1.0, 1.1)
+
+    def test_close_relative_scales(self):
+        assert close(1e9, 1e9 * (1 + 1e-12))
+
+    def test_leq_geq(self):
+        assert leq(1.0, 1.0)
+        assert leq(1.0, 1.0 + 1e-12)
+        assert geq(2.0, 1.0)
+        assert not leq(1.1, 1.0)
+
+
+class TestValidation:
+    def test_check_finite(self):
+        assert check_finite("x", 3) == 3.0
+        with pytest.raises(ValueError, match="x"):
+            check_finite("x", math.nan)
+        with pytest.raises(ValueError):
+            check_finite("x", math.inf)
+
+    def test_check_nonnegative(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1e-9)
+
+    def test_check_positive(self):
+        assert check_positive("x", 1e-9) == 1e-9
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+
+    def test_check_type(self):
+        assert check_type("x", 1, int) == 1
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "s", int)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.CurveError, errors.InstabilityError, errors.TopologyError,
+        errors.FlowError, errors.AnalysisError, errors.SimulationError,
+        errors.AdmissionError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_instability_carries_rates(self):
+        e = errors.InstabilityError("overload", rate=1.5, capacity=1.0)
+        assert e.rate == 1.5 and e.capacity == 1.0
+
+    def test_instability_defaults(self):
+        e = errors.InstabilityError("overload")
+        assert e.rate is None and e.capacity is None
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CurveError("bad curve")
