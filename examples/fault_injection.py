@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Fault injection: which deadline guarantees survive a degraded server?
+
+The paper proves delay bounds for a frozen, healthy network — but the
+admission promises made with those bounds must hold (or be knowingly
+shed) when hardware misbehaves.  This walkthrough takes the paper's
+Figure-5 tandem, turns the analyzed bounds into deadlines with modest
+slack, then injects faults of increasing severity into one switch and
+asks the survivability analysis which connections keep their deadlines.
+
+Run:  python examples/fault_injection.py
+"""
+
+from repro import (
+    BurstInflation,
+    CompositeScenario,
+    IntegratedAnalysis,
+    Network,
+    ServerDegradation,
+    ServerFailure,
+    build_tandem,
+    render_survivability,
+    survivability,
+)
+
+N_HOPS = 4          # the paper's Figure-5 evaluation tandem
+LOAD = 0.6
+SLACK = 1.25        # deadline = 1.25x each flow's healthy bound
+
+
+def main() -> None:
+    analyzer = IntegratedAnalysis()
+    healthy = build_tandem(N_HOPS, LOAD)
+    baseline = analyzer.analyze(healthy)
+
+    # Provision deadlines the way an operator would: the analyzed bound
+    # plus engineering slack.  Survivability is then a crisp question —
+    # does the re-analyzed bound still fit under the deadline?
+    net = Network(
+        healthy.servers.values(),
+        [f.with_deadline(SLACK * baseline.delay_of(f.name))
+         for f in healthy.iter_flows()])
+    print(f"Figure-5 tandem: n={N_HOPS}, U={LOAD}, deadlines at "
+          f"{SLACK}x the integrated bounds\n")
+
+    scenarios = [
+        ServerDegradation(2, 0.95),               # mild: a link flap
+        ServerDegradation(2, 0.80),               # serious: 20% rate loss
+        ServerFailure(2),                         # switch 2 dies outright
+        BurstInflation(1.5),                      # every source misbehaves
+        CompositeScenario([                       # compound event
+            ServerDegradation(3, 0.9),
+            BurstInflation(1.3, ["conn0"]),
+        ]),
+    ]
+    report = survivability(net, scenarios, analyzer)
+    print(render_survivability(report))
+
+    print()
+    if report.survives:
+        print("Every guarantee survives every scenario.")
+    else:
+        lost = ", ".join(report.worst_flows())
+        print(f"Guarantees at risk under at least one fault: {lost}")
+        degraded = report.outcomes[1]  # server 2 at 80%
+        casualties = [v.flow for v in degraded.verdicts
+                      if v.status != "met"]
+        print(f"Under '{degraded.scenario}' only "
+              f"{', '.join(casualties)} lose their deadline — "
+              "connections crossing the faulted switch lose their "
+              "guarantee first, while flows elsewhere keep theirs; "
+              "slack is consumed hop by hop, exactly as the per-hop "
+              "structure of the bounds predicts.")
+
+    # the same question, per scenario, in machine-readable form
+    mild = report.outcomes[0]
+    assert mild.survives, "5% degradation should fit in 25% slack"
+    failed = report.outcomes[2]
+    assert failed.n_severed > 0, "a dead tandem switch severs conn0"
+
+
+if __name__ == "__main__":
+    main()

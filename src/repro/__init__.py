@@ -43,8 +43,10 @@ from repro.core import (
 from repro.curves import PiecewiseLinearCurve, TokenBucket
 from repro.errors import (
     AnalysisError,
+    AnalysisTimeoutError,
     InstabilityError,
     ReproError,
+    ResilienceError,
     TopologyError,
 )
 from repro.network import (
@@ -54,6 +56,17 @@ from repro.network import (
     Network,
     ServerSpec,
     build_tandem,
+)
+from repro.resilience import (
+    BurstInflation,
+    CompositeScenario,
+    FaultScenario,
+    ServerDegradation,
+    ServerFailure,
+    SurvivabilityReport,
+    call_with_budget,
+    render_survivability,
+    survivability,
 )
 from repro.sim import NetworkSimulator, simulate_greedy
 
@@ -89,9 +102,21 @@ __all__ = [
     "AdmissionDecision",
     "NetworkSimulator",
     "simulate_greedy",
+    # resilience
+    "FaultScenario",
+    "ServerDegradation",
+    "ServerFailure",
+    "BurstInflation",
+    "CompositeScenario",
+    "SurvivabilityReport",
+    "survivability",
+    "render_survivability",
+    "call_with_budget",
     # errors
     "ReproError",
     "InstabilityError",
     "TopologyError",
     "AnalysisError",
+    "AnalysisTimeoutError",
+    "ResilienceError",
 ]

@@ -7,17 +7,41 @@ serve.  :class:`AdmissionController` makes the analysis pluggable so the
 evaluation can quantify exactly that effect (more connections admitted
 under Algorithm Integrated than under Algorithm Decomposed for the same
 network — the operational payoff of the paper).
+
+The controller is hardened for online operation:
+
+* **Degraded mode** — an optional fallback analyzer chain (typically
+  integrated → decomposed) answers requests when the primary analysis
+  raises :class:`~repro.errors.AnalysisError` or exceeds a wall-clock
+  budget; admission keeps working, just with looser bounds.
+* **Fail closed** — when every analyzer in the chain fails, the request
+  is rejected rather than admitted blind.
+* **Transactional admit** — controller state mutates only after a
+  complete, positive decision; an analyzer raising mid-test leaves the
+  network and admitted set untouched.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Iterable, Sequence
 
 from repro.admission.requests import AdmissionDecision, ConnectionRequest
-from repro.analysis.base import Analyzer
-from repro.errors import AdmissionError, InstabilityError, TopologyError
+from repro.analysis.base import Analyzer, DelayReport
+from repro.errors import (
+    AdmissionError,
+    AnalysisError,
+    InstabilityError,
+    TopologyError,
+)
 from repro.network.flow import Flow
 from repro.network.topology import Network
+from repro.resilience.budget import call_with_budget
+from repro.resilience.faults import FaultScenario
+from repro.resilience.survivability import (
+    SurvivabilityReport,
+    survivability,
+)
 
 __all__ = ["AdmissionController"]
 
@@ -31,11 +55,24 @@ class AdmissionController:
         Initial network (servers and already-established flows).
     analyzer:
         The end-to-end delay analysis used for admission tests.
+    fallbacks:
+        Analyzers tried, in order, when the one before them raises
+        :class:`~repro.errors.AnalysisError` (including a blown
+        budget).  Typically cheaper/looser analyses.
+    analysis_budget:
+        Optional wall-clock budget in seconds applied to *each*
+        analyzer attempt; a blown budget triggers the next fallback.
     """
 
-    def __init__(self, network: Network, analyzer: Analyzer) -> None:
+    def __init__(self, network: Network, analyzer: Analyzer, *,
+                 fallbacks: Sequence[Analyzer] = (),
+                 analysis_budget: float | None = None) -> None:
+        if analysis_budget is not None and not analysis_budget > 0:
+            raise AdmissionError(
+                f"analysis_budget must be > 0, got {analysis_budget}")
         self._network = network
-        self._analyzer = analyzer
+        self._analyzers: tuple[Analyzer, ...] = (analyzer, *fallbacks)
+        self._budget = analysis_budget
         self._admitted: list[str] = []
 
     # ------------------------------------------------------------------
@@ -46,21 +83,56 @@ class AdmissionController:
         return self._network
 
     @property
+    def analyzer(self) -> Analyzer:
+        """The primary analyzer (head of the fallback chain)."""
+        return self._analyzers[0]
+
+    @property
     def admitted(self) -> tuple[str, ...]:
         """Names of connections admitted through this controller."""
         return tuple(self._admitted)
 
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _flow_from_request(request: ConnectionRequest) -> Flow:
+        """The flow a request would establish (single source of truth)."""
+        return Flow(request.name, request.bucket, request.path,
+                    deadline=request.deadline, priority=request.priority)
+
+    def _analyze(self, candidate: Network) -> tuple[DelayReport, str]:
+        """Run the analyzer chain; return (report, analyzer name).
+
+        Raises :class:`~repro.errors.AnalysisError` only when every
+        analyzer in the chain failed.
+        """
+        failures: list[str] = []
+        for analyzer in self._analyzers:
+            try:
+                if self._budget is not None:
+                    report = call_with_budget(
+                        lambda a=analyzer: a.analyze(candidate),
+                        self._budget,
+                        description=f"{analyzer.name} admission test")
+                else:
+                    report = analyzer.analyze(candidate)
+                return report, analyzer.name
+            except AnalysisError as exc:
+                failures.append(f"{analyzer.name}: {exc}")
+        raise AnalysisError(
+            "every analyzer in the admission chain failed ("
+            + "; ".join(failures) + ")")
+
     def test(self, request: ConnectionRequest) -> AdmissionDecision:
         """Evaluate a request without committing it.
 
         The connection is admitted iff, with it added, every flow in the
         network (existing and new) still meets its deadline according to
-        the configured analyzer.
+        the configured analyzer (or the first fallback that answers).
+        When every analyzer fails, the request is rejected (fail
+        closed) with the accumulated failure reasons.
         """
-        flow = Flow(request.name, request.bucket, request.path,
-                    deadline=request.deadline, priority=request.priority)
+        flow = self._flow_from_request(request)
         try:
             candidate = self._network.with_flow(flow)
         except TopologyError as exc:
@@ -70,7 +142,11 @@ class AdmissionController:
         except InstabilityError as exc:
             return AdmissionDecision(False, f"overload: {exc}")
 
-        report = self._analyzer.analyze(candidate)
+        try:
+            report, used = self._analyze(candidate)
+        except AnalysisError as exc:
+            return AdmissionDecision(False, f"analysis failed: {exc}")
+
         new_bound = report.delay_of(request.name)
         for f in candidate.flows.values():
             bound = report.delay_of(f.name)
@@ -81,18 +157,27 @@ class AdmissionController:
                     False,
                     f"deadline violation: {who} bound {bound:.4g} > "
                     f"deadline {f.deadline:.4g}",
-                    new_flow_bound=new_bound)
+                    new_flow_bound=new_bound, analyzer=used)
         return AdmissionDecision(True, "all deadlines met",
-                                 new_flow_bound=new_bound)
+                                 new_flow_bound=new_bound, analyzer=used,
+                                 candidate_network=candidate)
 
     def admit(self, request: ConnectionRequest) -> AdmissionDecision:
-        """Test a request and, on success, add the connection."""
+        """Test a request and, on success, add the connection.
+
+        The commit is transactional: state changes only after a
+        complete, positive decision, and the network committed is the
+        very candidate the decision analyzed.  An analyzer raising
+        mid-test (any exception the chain does not absorb) propagates
+        with the controller state unchanged.
+        """
         decision = self.test(request)
         if decision.admitted:
-            flow = Flow(request.name, request.bucket, request.path,
-                        deadline=request.deadline,
-                        priority=request.priority)
-            self._network = self._network.with_flow(flow)
+            candidate = decision.candidate_network
+            if candidate is None:  # decision built by hand: recompute
+                candidate = self._network.with_flow(
+                    self._flow_from_request(request))
+            self._network = candidate
             self._admitted.append(request.name)
         return decision
 
@@ -129,3 +214,18 @@ class AdmissionController:
                 break
             count += 1
         return count
+
+    # ------------------------------------------------------------------
+
+    def survivability_report(
+            self, scenarios: Iterable[FaultScenario], *,
+            analyzer: Analyzer | None = None,
+            reroute: bool = True) -> SurvivabilityReport:
+        """Which admitted guarantees survive the given fault scenarios?
+
+        Runs :func:`repro.resilience.survivability` over the current
+        network (established plus admitted connections) with the
+        controller's primary analyzer unless *analyzer* overrides it.
+        """
+        return survivability(self._network, scenarios,
+                             analyzer or self.analyzer, reroute=reroute)

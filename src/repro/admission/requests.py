@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Hashable, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Hashable, Sequence
 
 from repro.curves.token_bucket import TokenBucket
 from repro.errors import AdmissionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing
+    from repro.network.topology import Network
 
 __all__ = ["ConnectionRequest", "AdmissionDecision"]
 
@@ -64,8 +67,21 @@ class AdmissionDecision:
     new_flow_bound:
         The analyzed end-to-end bound of the requested connection
         (``inf`` when the test aborted before producing one).
+    analyzer:
+        Name of the analyzer that produced the decision — the primary
+        one, or whichever fallback answered when the controller runs a
+        degraded-mode chain ("" when no analysis ran).
+    candidate_network:
+        The network *with the requested connection added* that the
+        decision was computed on; ``admit`` commits exactly this
+        network, so the state mutation and the analysis can never
+        drift apart.  ``None`` on decisions that aborted before a
+        candidate existed.
     """
 
     admitted: bool
     reason: str
     new_flow_bound: float = math.inf
+    analyzer: str = ""
+    candidate_network: "Network | None" = field(
+        default=None, repr=False, compare=False)

@@ -6,6 +6,9 @@ Usage (also available as ``python -m repro``)::
     repro figures  [--quick] [--figure FIG5]
     repro simulate --hops 4 --load 0.8 [--horizon 120] [--packet 0.05]
     repro admit    --hops 4 --deadline 30 [--rho 0.02] [--analyzer ...]
+    repro resilience --hops 4 --load 0.8 [--degrade 2=0.8] [--fail 2] ...
+    repro sweep    --analyzers integrated --hops 2,4 --loads 0.3,0.6
+                   [--checkpoint FILE] [--resume] [--timeout S]
 
 Every subcommand operates on the paper's tandem topology; richer
 topologies are a Python-API affair (see examples/custom_topology.py).
@@ -119,6 +122,53 @@ def build_parser() -> argparse.ArgumentParser:
                        help="regenerate the full reproduction report")
     p.add_argument("--out", default="REPORT.md")
     p.add_argument("--quick", action="store_true")
+
+    p = sub.add_parser("resilience",
+                       help="survivability of the tandem's deadline "
+                            "guarantees under fault scenarios")
+    tandem_args(p)
+    p.add_argument("--analyzer", default="integrated",
+                   help="analysis used for baseline and retests "
+                        "(default integrated)")
+    p.add_argument("--slack", type=float, default=1.5,
+                   help="deadline = slack x healthy bound per flow "
+                        "(default 1.5)")
+    p.add_argument("--degrade", action="append", default=[],
+                   metavar="SERVER=FACTOR",
+                   help="degrade SERVER to FACTOR of its capacity "
+                        "(repeatable)")
+    p.add_argument("--fail", action="append", default=[],
+                   metavar="SERVER",
+                   help="fail SERVER outright (repeatable)")
+    p.add_argument("--inflate", action="append", default=[],
+                   metavar="FLOW=FACTOR",
+                   help="inflate FLOW's burst by FACTOR; FLOW 'all' "
+                        "hits every source (repeatable)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print surviving flows too, not just casualties")
+
+    p = sub.add_parser("sweep",
+                       help="fault-tolerant parameter sweep with "
+                            "checkpoint/resume")
+    p.add_argument("--analyzers", default="integrated",
+                   help="comma-separated analyzer names "
+                        "(default integrated)")
+    p.add_argument("--hops", default="2,4",
+                   help="comma-separated tandem sizes (default 2,4)")
+    p.add_argument("--loads", default="0.2,0.5,0.8",
+                   help="comma-separated loads (default 0.2,0.5,0.8)")
+    p.add_argument("--sigma", type=float, default=1.0)
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-task wall-clock limit in seconds")
+    p.add_argument("--retries", type=int, default=1,
+                   help="extra attempts per failing point (default 1)")
+    p.add_argument("--checkpoint", default=None, metavar="FILE",
+                   help="stream completed points to this JSONL file")
+    p.add_argument("--resume", action="store_true",
+                   help="with --checkpoint: evaluate only missing or "
+                        "failed points")
+    p.add_argument("--serial", action="store_true",
+                   help="run in-process instead of a worker pool")
     return parser
 
 
@@ -231,6 +281,90 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _server_id(token: str):
+    """Tandem server ids are ints; fall back to the raw string."""
+    return int(token) if token.lstrip("-").isdigit() else token
+
+
+def _split_kv(spec: str, what: str) -> tuple[str, float]:
+    name, sep, value = spec.partition("=")
+    if not sep or not name:
+        raise SystemExit(f"--{what} expects NAME=FACTOR, got {spec!r}")
+    try:
+        return name, float(value)
+    except ValueError:
+        raise SystemExit(
+            f"--{what} {spec!r}: {value!r} is not a number") from None
+
+
+def _cmd_resilience(args) -> int:
+    from repro.resilience import (
+        BurstInflation,
+        ServerDegradation,
+        ServerFailure,
+        render_survivability,
+        survivability,
+    )
+
+    net = build_tandem(args.hops, args.load, args.sigma)
+    analyzer = _make_analyzer(args.analyzer)
+    baseline = analyzer.analyze(net)
+    deadlined = Network(
+        net.servers.values(),
+        [f.with_deadline(args.slack * baseline.delay_of(f.name))
+         for f in net.iter_flows()])
+
+    scenarios = []
+    for spec in args.degrade:
+        sid, factor = _split_kv(spec, "degrade")
+        scenarios.append(ServerDegradation(_server_id(sid), factor))
+    for spec in args.fail:
+        scenarios.append(ServerFailure(_server_id(spec)))
+    for spec in args.inflate:
+        name, factor = _split_kv(spec, "inflate")
+        scenarios.append(BurstInflation(
+            factor, None if name == "all" else [name]))
+    if not scenarios:
+        # default drill: degrade each server to 90%, one at a time
+        scenarios = [ServerDegradation(sid, 0.9)
+                     for sid in sorted(net.servers)]
+
+    print(f"tandem: n={args.hops}, U={args.load}, sigma={args.sigma}, "
+          f"deadlines at {args.slack:g}x healthy bounds")
+    report = survivability(deadlined, scenarios, analyzer)
+    print(render_survivability(report, verbose=args.verbose))
+    return 0 if report.survives else 1
+
+
+def _cmd_sweep(args) -> int:
+    from repro.eval.parallel import evaluate_grid
+
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint")
+    analyzers = [a for a in args.analyzers.split(",") if a]
+    hops = [int(h) for h in args.hops.split(",") if h]
+    loads = [float(u) for u in args.loads.split(",") if u]
+    points = evaluate_grid(
+        analyzers, hops, loads, sigma=args.sigma,
+        parallel=not args.serial, timeout=args.timeout,
+        retries=args.retries, checkpoint=args.checkpoint,
+        resume=args.resume)
+    print(f"{'analyzer':>15} {'hops':>5} {'load':>6} "
+          f"{'delay':>10}  status")
+    failed = 0
+    for p in points:
+        if p.ok:
+            print(f"{p.analyzer:>15} {p.n_hops:>5} {p.load:>6.2f} "
+                  f"{p.delay:>10.4f}  ok")
+        else:
+            failed += 1
+            print(f"{p.analyzer:>15} {p.n_hops:>5} {p.load:>6.2f} "
+                  f"{'-':>10}  ERROR: {p.error}")
+    print(f"{len(points) - failed}/{len(points)} points ok"
+          + (f", {failed} failed" if failed else ""))
+    return 0 if failed == 0 else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -242,6 +376,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "export": _cmd_export,
         "chart": _cmd_chart,
         "report": _cmd_report,
+        "resilience": _cmd_resilience,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)
 

@@ -43,9 +43,39 @@ class AnalysisError(ReproError):
     """An analysis algorithm could not produce a bound."""
 
 
+class AnalysisTimeoutError(AnalysisError):
+    """An analysis exceeded its wall-clock budget.
+
+    Admission control treats time as a resource: a test that cannot
+    answer within its budget is as useless as one that errors, so the
+    controller falls back to a cheaper analyzer.  The structured
+    attributes let callers adapt (e.g. widen the budget, skip the
+    analyzer) without parsing the message.
+    """
+
+    def __init__(self, message: str, *, budget: float | None = None,
+                 elapsed: float | None = None) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.elapsed = elapsed
+
+
 class SimulationError(ReproError):
     """Invalid simulation configuration or a runtime simulation fault."""
 
 
 class AdmissionError(ReproError):
     """Invalid admission-control request or controller state."""
+
+
+class ResilienceError(ReproError):
+    """Invalid fault scenario or a fault-injection failure.
+
+    Carries the scenario description so survivability sweeps over many
+    scenarios can report which one was ill-formed.
+    """
+
+    def __init__(self, message: str, *,
+                 scenario: str | None = None) -> None:
+        super().__init__(message)
+        self.scenario = scenario

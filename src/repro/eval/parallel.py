@@ -1,4 +1,4 @@
-"""Process-parallel sweep evaluation.
+"""Fault-tolerant process-parallel sweep evaluation.
 
 Figure regeneration is embarrassingly parallel across (algorithm, size,
 load) points; this module fans the grid out over a process pool.  Each
@@ -7,51 +7,265 @@ worker rebuilds its tandem and analyzer from plain picklable parameters
 state to synchronize (the standard single-program multiple-data pattern;
 per the project's HPC guidance we parallelize only the outer,
 coarse-grained loop and keep the numeric kernels vectorized).
+
+A long sweep must survive its workers: one crashed or hung process must
+never cost the whole grid.  The evaluator therefore provides
+
+* **per-task wall-clock timeouts** (a hung analysis is terminated with
+  its pool and the sweep continues),
+* **bounded retries with exponential backoff** (transient failures heal
+  themselves),
+* **crash isolation** (a point that keeps failing is *recorded* as an
+  error entry in the result list, not raised), and
+* **checkpoint/resume** (completed points stream to a JSONL file;
+  ``resume=True`` re-runs only missing or failed points).
+
+Worker processes are daemonic (``multiprocessing.Pool``), so even a
+task that ignores termination cannot outlive the evaluator.
+
+For fault-path testing and chaos drills, the environment variable
+``REPRO_SWEEP_FAULT`` injects a fault into matching worker tasks:
+``"crash@0.5"`` hard-exits the worker evaluating load 0.5, ``"hang@..."``
+sleeps forever, ``"raise@..."`` raises; an empty selector matches every
+task.
 """
 
 from __future__ import annotations
 
+import json
+import math
+import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Sequence
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import IO, Callable, Sequence
 
 from repro.eval.figures import _analyzer_factory  # shared registry
 from repro.network.tandem import CONNECTION0, build_tandem
 
 __all__ = ["SweepPoint", "evaluate_grid"]
 
+#: Ceiling applied per task even when no explicit timeout is requested,
+#: so a wedged worker can never stall a sweep indefinitely.
+DEFAULT_TASK_TIMEOUT = 600.0
+
+_Task = tuple[str, int, float, float]
+
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One (algorithm, size, load) evaluation point and its result."""
+    """One (algorithm, size, load) evaluation point and its result.
+
+    ``error`` is ``None`` for successful points; failed points carry
+    the failure description and ``delay = nan``.  ``attempts`` counts
+    evaluation attempts (1 = first try succeeded).
+    """
 
     analyzer: str
     n_hops: int
     load: float
     sigma: float
     delay: float
+    error: str | None = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """True when the point evaluated successfully."""
+        return self.error is None
 
 
-def _evaluate_one(args: tuple[str, int, float, float]) -> SweepPoint:
+def _maybe_inject_fault(task: _Task) -> None:
+    """Chaos hook: honor ``REPRO_SWEEP_FAULT`` (see module docstring)."""
+    spec = os.environ.get("REPRO_SWEEP_FAULT")
+    if not spec:
+        return
+    kind, _, selector = spec.partition("@")
+    if selector and f"{task[2]:g}" != selector:
+        return
+    if kind == "crash":
+        os._exit(13)
+    elif kind == "hang":
+        time.sleep(3600)
+    elif kind == "raise":
+        raise RuntimeError(f"injected fault on task {task}")
+
+
+def _evaluate_one(args: _Task) -> SweepPoint:
     analyzer_name, n_hops, load, sigma = args
+    _maybe_inject_fault(args)
     analyzer = _analyzer_factory(analyzer_name)()
     net = build_tandem(n_hops, load, sigma)
     delay = analyzer.analyze(net).delay_of(CONNECTION0)
     return SweepPoint(analyzer_name, n_hops, load, sigma, delay)
 
 
+# ----------------------------------------------------------------------
+# checkpointing
+# ----------------------------------------------------------------------
+
+
+def _point_to_record(point: SweepPoint) -> dict:
+    return {
+        "analyzer": point.analyzer,
+        "n_hops": point.n_hops,
+        "load": point.load,
+        "sigma": point.sigma,
+        "delay": None if math.isnan(point.delay) else point.delay,
+        "error": point.error,
+        "attempts": point.attempts,
+    }
+
+
+def _record_to_point(rec: dict) -> SweepPoint:
+    delay = rec.get("delay")
+    return SweepPoint(
+        rec["analyzer"], int(rec["n_hops"]), float(rec["load"]),
+        float(rec["sigma"]),
+        math.nan if delay is None else float(delay),
+        error=rec.get("error"), attempts=int(rec.get("attempts", 1)))
+
+
+def _load_checkpoint(path: Path) -> dict[_Task, SweepPoint]:
+    """Successfully completed points from a checkpoint file.
+
+    Failed (error) entries are *not* returned: resume re-runs them.
+    Corrupt lines (a crash mid-write) are skipped.
+    """
+    done: dict[_Task, SweepPoint] = {}
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            point = _record_to_point(json.loads(line))
+        except (ValueError, KeyError, TypeError):
+            continue
+        if point.ok:
+            done[(point.analyzer, point.n_hops, point.load,
+                  point.sigma)] = point
+    return done
+
+
+class _Checkpointer:
+    """Append-only JSONL sink for completed points (no-op when off)."""
+
+    def __init__(self, path: Path | None, resume: bool) -> None:
+        self._file: IO[str] | None = None
+        if path is None:
+            return
+        mode = "a" if (resume and path.exists()) else "w"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(path, mode, encoding="utf-8")
+
+    def write(self, point: SweepPoint) -> None:
+        if self._file is None:
+            return
+        self._file.write(json.dumps(_point_to_record(point)) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+
+
+def _failure_point(task: _Task, error: str, attempts: int) -> SweepPoint:
+    a, n, u, s = task
+    return SweepPoint(a, n, u, s, math.nan, error=error,
+                      attempts=attempts)
+
+
+def _run_serial(pending: list[tuple[_Task, int]], retries: int,
+                backoff: float,
+                record: Callable[[_Task, SweepPoint], None]) -> None:
+    for task, attempt in pending:
+        while True:
+            try:
+                record(task, replace(_evaluate_one(task),
+                                     attempts=attempt))
+                break
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                if attempt > retries:
+                    record(task, _failure_point(
+                        task, f"{type(exc).__name__}: {exc}", attempt))
+                    break
+                time.sleep(backoff * 2 ** (attempt - 1))
+                attempt += 1
+
+
+def _run_parallel(pending: list[tuple[_Task, int]], workers: int,
+                  timeout: float, retries: int, backoff: float,
+                  record: Callable[[_Task, SweepPoint], None]) -> None:
+    """Pool rounds: each round submits everything pending, a timeout
+    kills the round's pool (the only way to stop a hung worker) and the
+    unfinished remainder rolls into the next round."""
+    while pending:
+        next_round: list[tuple[_Task, int]] = []
+
+        def fail(task: _Task, attempt: int, error: str) -> None:
+            if attempt > retries:
+                record(task, _failure_point(task, error, attempt))
+            else:
+                next_round.append((task, attempt + 1))
+
+        pool = multiprocessing.Pool(processes=workers)
+        try:
+            handles = [(task, attempt,
+                        pool.apply_async(_evaluate_one, (task,)))
+                       for task, attempt in pending]
+            poisoned = False
+            for task, attempt, handle in handles:
+                # after a kill, salvage whatever already finished and
+                # roll the rest into the next round at no attempt cost
+                wait = 0.05 if poisoned else timeout
+                try:
+                    point = handle.get(wait)
+                    record(task, replace(point, attempts=attempt))
+                except multiprocessing.TimeoutError:
+                    if poisoned:
+                        next_round.append((task, attempt))
+                    else:
+                        fail(task, attempt,
+                             f"no result within {timeout:g}s "
+                             "(worker hung or crashed)")
+                        pool.terminate()
+                        poisoned = True
+                except Exception as exc:  # noqa: BLE001 - worker raised
+                    fail(task, attempt,
+                         f"{type(exc).__name__}: {exc}")
+        finally:
+            pool.terminate()
+            pool.join()
+        pending = next_round
+        if pending:
+            max_attempt = max(a for _, a in pending)
+            time.sleep(backoff * 2 ** (max_attempt - 2))
+
+
 def evaluate_grid(analyzers: Sequence[str], hops: Sequence[int],
                   loads: Sequence[float], sigma: float = 1.0,
                   max_workers: int | None = None,
-                  parallel: bool = True) -> list[SweepPoint]:
+                  parallel: bool = True,
+                  timeout: float | None = None,
+                  retries: int = 1,
+                  backoff: float = 0.25,
+                  checkpoint: str | Path | None = None,
+                  resume: bool = False) -> list[SweepPoint]:
     """Evaluate Connection 0's bound over the full parameter grid.
 
     Parameters
     ----------
     analyzers:
         Analyzer names (see :data:`repro.cli.ANALYZERS` keys minus
-        "feedback").
+        "feedback").  Unknown names raise :class:`ValueError` before
+        any work starts.
     hops, loads:
         Grid axes.
     sigma:
@@ -61,17 +275,67 @@ def evaluate_grid(analyzers: Sequence[str], hops: Sequence[int],
     parallel:
         Set False to run in-process (useful under profilers and on
         platforms where fork is unavailable).
+    timeout:
+        Per-task wall-clock limit in seconds (parallel mode); a task
+        that produces no result in time is retried and eventually
+        recorded as an error.  Defaults to a generous
+        :data:`DEFAULT_TASK_TIMEOUT` ceiling so a wedged worker can
+        never stall the sweep.
+    retries:
+        Extra attempts per failing task before its error is recorded.
+    backoff:
+        Base of the exponential retry backoff in seconds (the k-th
+        retry waits ``backoff * 2**(k-1)``).
+    checkpoint:
+        Optional JSONL file; every completed point (success or final
+        error) is appended as it lands, so a killed sweep loses at most
+        in-flight work.
+    resume:
+        With *checkpoint*: load previously completed points and only
+        evaluate missing or failed ones.
 
     Returns
     -------
     list[SweepPoint]
         One point per grid element, in deterministic
-        (analyzer, hops, load) order.
+        (analyzer, hops, load) order.  Failed points carry ``error``
+        (and ``delay = nan``) instead of aborting the sweep; filter
+        with ``point.ok``.
     """
-    tasks = [(a, int(n), float(u), float(sigma))
-             for a in analyzers for n in hops for u in loads]
-    if not parallel or len(tasks) <= 1:
-        return [_evaluate_one(t) for t in tasks]
-    workers = max_workers or min(len(tasks), os.cpu_count() or 1)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_evaluate_one, tasks))
+    for name in analyzers:
+        _analyzer_factory(name)  # fail fast on unknown analyzers
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if backoff < 0:
+        raise ValueError(f"backoff must be >= 0, got {backoff}")
+    if timeout is not None and not timeout > 0:
+        raise ValueError(f"timeout must be > 0, got {timeout}")
+
+    tasks: list[_Task] = [(a, int(n), float(u), float(sigma))
+                          for a in analyzers for n in hops for u in loads]
+    results: dict[_Task, SweepPoint] = {}
+    ckpt_path = Path(checkpoint) if checkpoint is not None else None
+    if ckpt_path is not None and resume and ckpt_path.exists():
+        cached = _load_checkpoint(ckpt_path)
+        results.update((t, cached[t]) for t in tasks if t in cached)
+
+    sink = _Checkpointer(ckpt_path, resume)
+
+    def record(task: _Task, point: SweepPoint) -> None:
+        results[task] = point
+        sink.write(point)
+
+    pending = [(t, 1) for t in tasks if t not in results]
+    try:
+        if not parallel or len(pending) <= 1:
+            _run_serial(pending, retries, backoff, record)
+        else:
+            workers = max_workers or min(len(pending),
+                                         os.cpu_count() or 1)
+            _run_parallel(pending, workers,
+                          timeout if timeout is not None
+                          else DEFAULT_TASK_TIMEOUT,
+                          retries, backoff, record)
+    finally:
+        sink.close()
+    return [results[t] for t in tasks]

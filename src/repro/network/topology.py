@@ -233,6 +233,47 @@ class Network:
                        [f for f in self._flows.values() if f.name != name],
                        allow_cycles=self.allow_cycles)
 
+    def replace_flow(self, flow: Flow) -> "Network":
+        """A new network with the same-named flow swapped for *flow*.
+
+        Used by fault injection (burst inflation) and reroute-and-retest
+        (path replacement); the flow must already exist.
+        """
+        self.flow(flow.name)
+        return Network(
+            self._servers.values(),
+            [flow if f.name == flow.name else f
+             for f in self._flows.values()],
+            allow_cycles=self.allow_cycles)
+
+    def replace_server(self, spec: ServerSpec) -> "Network":
+        """A new network with the same-id server swapped for *spec*.
+
+        Used by fault injection (capacity degradation); the server must
+        already exist.
+        """
+        self.server(spec.server_id)
+        return Network(
+            [spec if s.server_id == spec.server_id else s
+             for s in self._servers.values()],
+            self._flows.values(),
+            allow_cycles=self.allow_cycles)
+
+    def without_server(self, server_id: ServerId) -> "Network":
+        """A new network with *server_id* removed.
+
+        Every flow whose path traverses the server is removed with it
+        (its connection is severed); rerouting severed flows around the
+        failure is the survivability analysis' job, not the topology's.
+        """
+        self.server(server_id)
+        return Network(
+            [s for s in self._servers.values()
+             if s.server_id != server_id],
+            [f for f in self._flows.values()
+             if not f.traverses(server_id)],
+            allow_cycles=self.allow_cycles)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Network({len(self._servers)} servers, "
                 f"{len(self._flows)} flows)")

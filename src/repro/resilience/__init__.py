@@ -1,0 +1,45 @@
+"""Resilience subsystem (system S14): fault injection and survivability.
+
+Answers the operational question the paper's admission story leads to:
+*which deadline guarantees survive a fault?*  Fault scenarios are pure
+``Network -> Network`` transformations; the survivability analysis
+re-runs any analyzer over the faulted counterparts (rerouting severed
+flows where the topology allows) and the budget helper turns wall-clock
+time into a first-class analysis resource.
+"""
+
+from repro.resilience.budget import call_with_budget
+from repro.resilience.faults import (
+    BurstInflation,
+    CompositeScenario,
+    FaultScenario,
+    ServerDegradation,
+    ServerFailure,
+)
+from repro.resilience.survivability import (
+    MET,
+    SEVERED,
+    VIOLATED,
+    FlowVerdict,
+    ScenarioOutcome,
+    SurvivabilityReport,
+    render_survivability,
+    survivability,
+)
+
+__all__ = [
+    "FaultScenario",
+    "ServerDegradation",
+    "ServerFailure",
+    "BurstInflation",
+    "CompositeScenario",
+    "call_with_budget",
+    "MET",
+    "VIOLATED",
+    "SEVERED",
+    "FlowVerdict",
+    "ScenarioOutcome",
+    "SurvivabilityReport",
+    "survivability",
+    "render_survivability",
+]

@@ -1,0 +1,104 @@
+"""Wall-clock budgets for analyses.
+
+Admission control is an *online* service: a test that has not answered
+within its budget is operationally a failed test, whatever it would
+eventually have returned.  :func:`call_with_budget` runs a callable
+under a wall-clock limit and raises
+:class:`repro.errors.AnalysisTimeoutError` (with structured ``budget``
+and ``elapsed`` attributes) when the limit is exceeded, letting the
+admission controller fall back to a cheaper analyzer.
+
+On POSIX main threads the limit is enforced with ``SIGALRM`` — the
+computation is genuinely interrupted.  Elsewhere (worker threads,
+non-POSIX platforms) a thread-based fallback is used: the caller gets
+its timeout on schedule, but the abandoned computation runs to
+completion in the background.  Analyses are pure, so an abandoned run
+has no side effects.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from time import perf_counter
+from typing import Callable, TypeVar
+
+from repro.errors import AnalysisTimeoutError
+from repro.utils.validation import check_positive
+
+__all__ = ["call_with_budget"]
+
+T = TypeVar("T")
+
+
+def _sigalrm_usable() -> bool:
+    return (hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread())
+
+
+def call_with_budget(fn: Callable[[], T], budget: float, *,
+                     description: str = "analysis") -> T:
+    """Run ``fn()`` with a wall-clock *budget* in seconds.
+
+    Returns ``fn()``'s result, or raises
+    :class:`repro.errors.AnalysisTimeoutError` once *budget* seconds
+    have elapsed.  Exceptions raised by *fn* propagate unchanged.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable (close over the arguments).
+    budget:
+        Wall-clock limit in seconds; must be > 0.
+    description:
+        Label used in the timeout message.
+    """
+    check_positive("budget", budget)
+    if _sigalrm_usable():
+        return _call_with_alarm(fn, budget, description)
+    return _call_in_thread(fn, budget, description)
+
+
+def _call_with_alarm(fn: Callable[[], T], budget: float,
+                     description: str) -> T:
+    start = perf_counter()
+
+    def on_alarm(signum, frame):
+        raise AnalysisTimeoutError(
+            f"{description} exceeded its {budget:g}s budget",
+            budget=budget, elapsed=perf_counter() - start)
+
+    prev_handler = signal.signal(signal.SIGALRM, on_alarm)
+    prev_delay, prev_interval = signal.setitimer(
+        signal.ITIMER_REAL, budget)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, prev_handler)
+        if prev_delay:
+            # an outer timer (e.g. the test suite's hang guard) was
+            # pending: re-arm it with whatever time it has left
+            remaining = max(prev_delay - (perf_counter() - start), 1e-3)
+            signal.setitimer(signal.ITIMER_REAL, remaining,
+                             prev_interval)
+
+
+def _call_in_thread(fn: Callable[[], T], budget: float,
+                    description: str) -> T:
+    start = perf_counter()
+    pool = ThreadPoolExecutor(max_workers=1,
+                              thread_name_prefix="repro-budget")
+    future = pool.submit(fn)
+    try:
+        return future.result(timeout=budget)
+    except FutureTimeoutError:
+        raise AnalysisTimeoutError(
+            f"{description} exceeded its {budget:g}s budget",
+            budget=budget, elapsed=perf_counter() - start) from None
+    finally:
+        # never join the (possibly still running) worker; analyses are
+        # pure so the abandoned computation is harmless
+        pool.shutdown(wait=False, cancel_futures=True)

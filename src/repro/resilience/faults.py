@@ -1,0 +1,201 @@
+"""Composable fault models: transform a healthy network into a faulted one.
+
+The paper's admission guarantees are derived for a frozen, healthy
+network; operationally the interesting question is which guarantees
+*survive* a fault.  A :class:`FaultScenario` is a pure transformation
+``Network -> Network`` — scenarios never mutate, so the same scenario
+can be applied to many networks (and many scenarios to one network)
+without interference, mirroring how :mod:`repro.sim.adversary` derives
+stress schedules from the network rather than patching it.
+
+Three primitive scenarios cover the classic fault classes:
+
+* :class:`ServerDegradation` — a server keeps running at a fraction of
+  its nominal rate (link flaps, head-of-line pathologies, CPU
+  contention on a software switch);
+* :class:`ServerFailure` — a server disappears entirely; flows routed
+  through it are severed (survivability analysis may reroute them);
+* :class:`BurstInflation` — sources misbehave within their policing by
+  bursting larger than provisioned (mis-sized token buckets).
+
+:class:`CompositeScenario` sequences primitives into compound events
+("rack loses power *and* the failover link degrades").
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, Iterable, Sequence
+
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import ResilienceError, TopologyError
+from repro.network.flow import Flow
+from repro.network.topology import Network, ServerSpec
+
+__all__ = [
+    "FaultScenario",
+    "ServerDegradation",
+    "ServerFailure",
+    "BurstInflation",
+    "CompositeScenario",
+]
+
+ServerId = Hashable
+
+
+class FaultScenario(abc.ABC):
+    """A pure ``Network -> Network`` fault transformation."""
+
+    @abc.abstractmethod
+    def apply(self, network: Network) -> Network:
+        """The faulted counterpart of *network*.
+
+        Raises :class:`repro.errors.ResilienceError` when the scenario
+        does not fit the network (unknown server or flow).
+        """
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """One-line human-readable description of the fault."""
+
+    def failed_servers(self, network: Network) -> frozenset[ServerId]:
+        """Servers this scenario removes from *network* (default none).
+
+        Survivability analysis uses this set to attempt rerouting
+        severed flows around the failure.
+        """
+        return frozenset()
+
+    def __str__(self) -> str:
+        return self.describe()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.describe()!r})"
+
+
+class ServerDegradation(FaultScenario):
+    """A server survives but serves at ``factor`` of its nominal rate.
+
+    Parameters
+    ----------
+    server_id:
+        The degraded server.
+    factor:
+        Remaining capacity fraction in ``(0, 1]``; ``0.5`` halves the
+        service rate.
+    """
+
+    def __init__(self, server_id: ServerId, factor: float) -> None:
+        if not (0.0 < factor <= 1.0):
+            raise ResilienceError(
+                f"degradation factor must be in (0, 1], got {factor}",
+                scenario=f"degrade({server_id!r})")
+        self.server_id = server_id
+        self.factor = float(factor)
+
+    def describe(self) -> str:
+        return f"server {self.server_id!r} at {self.factor:.0%} capacity"
+
+    def apply(self, network: Network) -> Network:
+        try:
+            spec = network.server(self.server_id)
+        except TopologyError as exc:
+            raise ResilienceError(str(exc),
+                                  scenario=self.describe()) from exc
+        degraded = ServerSpec(spec.server_id,
+                              spec.capacity * self.factor,
+                              spec.discipline)
+        return network.replace_server(degraded)
+
+
+class ServerFailure(FaultScenario):
+    """A server fails outright; flows routed through it are severed."""
+
+    def __init__(self, server_id: ServerId) -> None:
+        self.server_id = server_id
+
+    def describe(self) -> str:
+        return f"server {self.server_id!r} failed"
+
+    def failed_servers(self, network: Network) -> frozenset[ServerId]:
+        return frozenset({self.server_id})
+
+    def severed_flows(self, network: Network) -> tuple[str, ...]:
+        """Names of flows the failure severs, in deterministic order."""
+        return tuple(f.name for f in network.iter_flows()
+                     if f.traverses(self.server_id))
+
+    def apply(self, network: Network) -> Network:
+        try:
+            return network.without_server(self.server_id)
+        except TopologyError as exc:
+            raise ResilienceError(str(exc),
+                                  scenario=self.describe()) from exc
+
+
+class BurstInflation(FaultScenario):
+    """Sources burst ``factor`` times their provisioned sigma.
+
+    Parameters
+    ----------
+    factor:
+        Burst multiplier, must be > 0 (values above 1 model misbehaving
+        sources; below 1 models conservative ones).
+    flows:
+        Names of affected flows; ``None`` inflates every source.
+    """
+
+    def __init__(self, factor: float,
+                 flows: Sequence[str] | None = None) -> None:
+        if not factor > 0:
+            raise ResilienceError(
+                f"burst factor must be > 0, got {factor}",
+                scenario="burst inflation")
+        self.factor = float(factor)
+        self.flows = tuple(flows) if flows is not None else None
+
+    def describe(self) -> str:
+        who = ("all sources" if self.flows is None
+               else ", ".join(self.flows))
+        return f"burst x{self.factor:g} on {who}"
+
+    def apply(self, network: Network) -> Network:
+        names = (tuple(network.flows) if self.flows is None
+                 else self.flows)
+        result = network
+        for name in names:
+            try:
+                flow = result.flow(name)
+            except TopologyError as exc:
+                raise ResilienceError(str(exc),
+                                      scenario=self.describe()) from exc
+            b = flow.bucket
+            inflated = TokenBucket(b.sigma * self.factor, b.rho, b.peak)
+            result = result.replace_flow(
+                Flow(flow.name, inflated, flow.path,
+                     deadline=flow.deadline, priority=flow.priority))
+        return result
+
+
+class CompositeScenario(FaultScenario):
+    """Several faults applied in sequence (a compound event)."""
+
+    def __init__(self, scenarios: Iterable[FaultScenario]) -> None:
+        self.scenarios = tuple(scenarios)
+        if not self.scenarios:
+            raise ResilienceError("composite scenario needs at least "
+                                  "one component", scenario="composite")
+
+    def describe(self) -> str:
+        return " + ".join(s.describe() for s in self.scenarios)
+
+    def failed_servers(self, network: Network) -> frozenset[ServerId]:
+        failed: frozenset[ServerId] = frozenset()
+        for s in self.scenarios:
+            failed |= s.failed_servers(network)
+        return failed
+
+    def apply(self, network: Network) -> Network:
+        for s in self.scenarios:
+            network = s.apply(network)
+        return network

@@ -1,12 +1,46 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and the per-test hang guard.
+
+The resilience subsystem deliberately exercises hung and crashed
+workers; if one of those tests (or a runaway analysis) ever wedged, it
+would take the whole CI run with it.  Every test therefore runs under a
+SIGALRM wall-clock guard — a test that exceeds the limit fails with a
+TimeoutError instead of hanging forever.  Override the limit with the
+``REPRO_TEST_TIMEOUT`` environment variable (seconds; ``0`` disables).
+"""
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
 
 import pytest
 
 from repro.curves.piecewise import PiecewiseLinearCurve
 from repro.curves.token_bucket import TokenBucket
 from repro.network.tandem import build_tandem
+
+TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    if (TEST_TIMEOUT <= 0 or not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        return (yield)
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {TEST_TIMEOUT:g}s hang guard "
+            "(REPRO_TEST_TIMEOUT)")
+
+    prev_handler = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, TEST_TIMEOUT)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, prev_handler)
 
 
 @pytest.fixture

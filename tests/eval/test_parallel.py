@@ -1,4 +1,7 @@
-"""Unit tests for the process-parallel sweep evaluator."""
+"""Unit tests for the fault-tolerant process-parallel sweep evaluator."""
+
+import json
+import math
 
 import pytest
 
@@ -29,3 +32,131 @@ class TestEvaluateGrid:
     def test_unknown_analyzer_raises(self):
         with pytest.raises(ValueError):
             evaluate_grid(["quantum"], [2], [0.5], parallel=False)
+
+    def test_unknown_analyzer_raises_before_pool_start(self):
+        with pytest.raises(ValueError):
+            evaluate_grid(["quantum"], [2], [0.4, 0.5], parallel=True)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"retries": -1}, {"backoff": -0.1}, {"timeout": 0.0},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            evaluate_grid(["decomposed"], [2], [0.5], **kwargs)
+
+
+class TestFaultTolerance:
+    """Crash isolation: a failing point is recorded, never fatal.
+
+    Faults are injected into workers through the REPRO_SWEEP_FAULT
+    environment variable (inherited across fork), targeting the task
+    whose load matches the selector.
+    """
+
+    def test_crashing_worker_recorded_not_raised(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_FAULT", "crash@0.8")
+        points = evaluate_grid(["decomposed"], [2], [0.4, 0.8],
+                               max_workers=2, timeout=3.0,
+                               retries=0, backoff=0.05)
+        by_load = {p.load: p for p in points}
+        assert by_load[0.4].ok
+        assert not by_load[0.8].ok
+        assert math.isnan(by_load[0.8].delay)
+        assert "no result" in by_load[0.8].error
+
+    def test_hanging_worker_times_out(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_FAULT", "hang@0.8")
+        points = evaluate_grid(["decomposed"], [2], [0.4, 0.8, 0.6],
+                               max_workers=2, timeout=2.0,
+                               retries=0, backoff=0.05)
+        by_load = {p.load: p for p in points}
+        assert by_load[0.4].ok and by_load[0.6].ok  # siblings salvaged
+        assert not by_load[0.8].ok
+
+    def test_raising_worker_retried_then_recorded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_FAULT", "raise@0.8")
+        points = evaluate_grid(["decomposed"], [2], [0.4, 0.8],
+                               max_workers=2, timeout=10.0,
+                               retries=2, backoff=0.01)
+        by_load = {p.load: p for p in points}
+        assert by_load[0.4].ok
+        assert not by_load[0.8].ok
+        assert "injected fault" in by_load[0.8].error
+        assert by_load[0.8].attempts == 3  # 1 try + 2 retries
+
+    def test_serial_mode_records_errors_too(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_FAULT", "raise@")
+        points = evaluate_grid(["decomposed"], [2], [0.5],
+                               parallel=False, retries=1, backoff=0.01)
+        assert len(points) == 1
+        assert not points[0].ok and points[0].attempts == 2
+
+    def test_sweep_point_ok_property(self):
+        good = SweepPoint("decomposed", 2, 0.5, 1.0, 3.0)
+        bad = SweepPoint("decomposed", 2, 0.5, 1.0, math.nan,
+                         error="boom")
+        assert good.ok and not bad.ok
+
+
+class TestCheckpointResume:
+    def test_checkpoint_streams_points(self, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        points = evaluate_grid(["decomposed"], [2], [0.3, 0.6],
+                               parallel=False, checkpoint=ck)
+        records = [json.loads(line)
+                   for line in ck.read_text().splitlines()]
+        assert len(records) == 2
+        assert {r["load"] for r in records} == {0.3, 0.6}
+        assert all(r["error"] is None for r in records)
+        assert records[0]["delay"] == pytest.approx(points[0].delay)
+
+    def test_resume_runs_only_missing_points(self, monkeypatch,
+                                             tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        monkeypatch.setenv("REPRO_SWEEP_FAULT", "raise@0.8")
+        first = evaluate_grid(["decomposed"], [2], [0.3, 0.8, 0.6],
+                              max_workers=2, timeout=10.0, retries=0,
+                              backoff=0.01, checkpoint=ck)
+        assert sum(not p.ok for p in first) == 1
+        lines_before = len(ck.read_text().splitlines())
+        assert lines_before == 3  # every point recorded, error included
+
+        monkeypatch.delenv("REPRO_SWEEP_FAULT")
+        second = evaluate_grid(["decomposed"], [2], [0.3, 0.8, 0.6],
+                               max_workers=2, timeout=10.0,
+                               checkpoint=ck, resume=True)
+        assert all(p.ok for p in second)
+        # only the failed point was re-evaluated on resume
+        lines_after = len(ck.read_text().splitlines())
+        assert lines_after - lines_before == 1
+        assert [p.load for p in second] == [0.3, 0.8, 0.6]
+
+    def test_resume_with_complete_checkpoint_runs_nothing(self,
+                                                          tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        first = evaluate_grid(["decomposed"], [2], [0.3, 0.6],
+                              parallel=False, checkpoint=ck)
+        lines = len(ck.read_text().splitlines())
+        second = evaluate_grid(["decomposed"], [2], [0.3, 0.6],
+                               parallel=False, checkpoint=ck,
+                               resume=True)
+        assert len(ck.read_text().splitlines()) == lines  # no new work
+        for a, b in zip(first, second):
+            assert a.delay == pytest.approx(b.delay)
+
+    def test_fresh_run_truncates_stale_checkpoint(self, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        ck.write_text("not json\n")
+        evaluate_grid(["decomposed"], [2], [0.5, 0.7], parallel=False,
+                      checkpoint=ck)
+        records = [json.loads(line)
+                   for line in ck.read_text().splitlines()]
+        assert len(records) == 2
+
+    def test_corrupt_lines_skipped_on_resume(self, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        ck.write_text('{"broken": \n')
+        points = evaluate_grid(["decomposed"], [2], [0.5],
+                               parallel=False, checkpoint=ck,
+                               resume=True)
+        assert points[0].ok

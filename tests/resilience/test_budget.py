@@ -1,0 +1,80 @@
+"""Unit tests for the wall-clock analysis budget."""
+
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.errors import AnalysisError, AnalysisTimeoutError
+from repro.network.tandem import CONNECTION0, build_tandem
+from repro.resilience.budget import call_with_budget
+
+
+class TestCallWithBudget:
+    def test_returns_result_within_budget(self):
+        assert call_with_budget(lambda: 42, 5.0) == 42
+
+    def test_real_analysis_within_budget(self):
+        net = build_tandem(2, 0.5)
+        bound = call_with_budget(
+            lambda: DecomposedAnalysis().analyze(net).delay_of(
+                CONNECTION0), 30.0)
+        assert bound > 0
+
+    def test_timeout_raises_with_attributes(self):
+        with pytest.raises(AnalysisTimeoutError) as ei:
+            call_with_budget(lambda: time.sleep(5), 0.1,
+                             description="slow test")
+        err = ei.value
+        assert err.budget == pytest.approx(0.1)
+        assert err.elapsed >= 0.1
+        assert "slow test" in str(err)
+        assert isinstance(err, AnalysisError)  # chain-catchable
+
+    def test_exceptions_propagate(self):
+        def boom():
+            raise KeyError("inner")
+
+        with pytest.raises(KeyError):
+            call_with_budget(boom, 5.0)
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            call_with_budget(lambda: 1, 0.0)
+
+    def test_alarm_state_restored(self):
+        before = signal.getsignal(signal.SIGALRM)
+        with pytest.raises(AnalysisTimeoutError):
+            call_with_budget(lambda: time.sleep(1), 0.05)
+        assert signal.getsignal(signal.SIGALRM) is before
+        delay, _ = signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.setitimer(signal.ITIMER_REAL, 0)
+
+    def test_thread_fallback_times_out(self):
+        # off the main thread SIGALRM is unusable; the thread-based
+        # fallback must still deliver the timeout
+        result: dict = {}
+
+        def run():
+            try:
+                call_with_budget(lambda: time.sleep(5), 0.1)
+            except AnalysisTimeoutError as exc:
+                result["error"] = exc
+
+        t = threading.Thread(target=run)
+        t.start()
+        t.join(timeout=3)
+        assert isinstance(result.get("error"), AnalysisTimeoutError)
+
+    def test_thread_fallback_returns_value(self):
+        result: dict = {}
+
+        def run():
+            result["value"] = call_with_budget(lambda: 7, 5.0)
+
+        t = threading.Thread(target=run)
+        t.start()
+        t.join(timeout=3)
+        assert result.get("value") == 7

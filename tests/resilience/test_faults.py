@@ -1,0 +1,132 @@
+"""Unit tests for the composable fault scenarios."""
+
+import pytest
+
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import ResilienceError
+from repro.network.flow import Flow
+from repro.network.tandem import build_tandem
+from repro.resilience.faults import (
+    BurstInflation,
+    CompositeScenario,
+    FaultScenario,
+    ServerDegradation,
+    ServerFailure,
+)
+
+
+@pytest.fixture
+def net():
+    return build_tandem(3, 0.6)
+
+
+class TestServerDegradation:
+    def test_scales_only_the_target(self, net):
+        faulted = ServerDegradation(2, 0.5).apply(net)
+        assert faulted.server(2).capacity == pytest.approx(0.5)
+        assert faulted.server(1).capacity == pytest.approx(1.0)
+        assert faulted.server(2).discipline == net.server(2).discipline
+
+    def test_keeps_all_flows(self, net):
+        faulted = ServerDegradation(2, 0.9).apply(net)
+        assert set(faulted.flows) == set(net.flows)
+
+    def test_original_untouched(self, net):
+        ServerDegradation(2, 0.5).apply(net)
+        assert net.server(2).capacity == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("factor", [0.0, -0.5, 1.5])
+    def test_rejects_bad_factor(self, factor):
+        with pytest.raises(ResilienceError):
+            ServerDegradation(1, factor)
+
+    def test_unknown_server(self, net):
+        scenario = ServerDegradation(99, 0.5)
+        with pytest.raises(ResilienceError) as ei:
+            scenario.apply(net)
+        assert ei.value.scenario == scenario.describe()
+
+
+class TestServerFailure:
+    def test_removes_server_and_severs_flows(self, net):
+        scenario = ServerFailure(2)
+        faulted = scenario.apply(net)
+        assert 2 not in faulted.servers
+        for name in scenario.severed_flows(net):
+            assert name not in faulted.flows
+        assert "short_1" in faulted.flows  # does not touch server 2
+
+    def test_severed_flows_listed(self, net):
+        severed = ServerFailure(2).severed_flows(net)
+        assert "conn0" in severed and "short_2" in severed
+        assert "short_1" not in severed
+
+    def test_failed_servers(self, net):
+        assert ServerFailure(2).failed_servers(net) == frozenset({2})
+
+    def test_unknown_server(self, net):
+        with pytest.raises(ResilienceError):
+            ServerFailure("ghost").apply(net)
+
+
+class TestBurstInflation:
+    def test_inflates_one_flow(self, net):
+        faulted = BurstInflation(2.0, ["conn0"]).apply(net)
+        old = net.flow("conn0").bucket
+        new = faulted.flow("conn0").bucket
+        assert new.sigma == pytest.approx(2 * old.sigma)
+        assert new.rho == pytest.approx(old.rho)
+        assert new.peak == old.peak
+        assert faulted.flow("short_1").bucket.sigma == pytest.approx(
+            net.flow("short_1").bucket.sigma)
+
+    def test_inflates_every_source_by_default(self, net):
+        faulted = BurstInflation(3.0).apply(net)
+        for f in net.iter_flows():
+            assert faulted.flow(f.name).bucket.sigma == pytest.approx(
+                3 * f.bucket.sigma)
+
+    def test_preserves_deadline_and_priority(self):
+        flow = Flow("f", TokenBucket(1.0, 0.2), (1,), deadline=7.0,
+                    priority=3)
+        net = build_tandem(1, 0.5).with_flow(flow)
+        faulted = BurstInflation(2.0, ["f"]).apply(net)
+        assert faulted.flow("f").deadline == 7.0
+        assert faulted.flow("f").priority == 3
+
+    @pytest.mark.parametrize("factor", [0.0, -1.0])
+    def test_rejects_bad_factor(self, factor):
+        with pytest.raises(ResilienceError):
+            BurstInflation(factor)
+
+    def test_unknown_flow(self, net):
+        with pytest.raises(ResilienceError):
+            BurstInflation(2.0, ["ghost"]).apply(net)
+
+
+class TestComposite:
+    def test_applies_in_sequence(self, net):
+        scenario = CompositeScenario([
+            ServerDegradation(1, 0.8),
+            BurstInflation(2.0, ["conn0"]),
+        ])
+        faulted = scenario.apply(net)
+        assert faulted.server(1).capacity == pytest.approx(0.8)
+        assert faulted.flow("conn0").bucket.sigma == pytest.approx(2.0)
+
+    def test_failed_servers_union(self, net):
+        scenario = CompositeScenario([ServerFailure(1), ServerFailure(3)])
+        assert scenario.failed_servers(net) == frozenset({1, 3})
+
+    def test_describe_joins(self):
+        scenario = CompositeScenario([ServerFailure(1),
+                                      BurstInflation(2.0)])
+        assert " + " in scenario.describe()
+        assert str(scenario) == scenario.describe()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ResilienceError):
+            CompositeScenario([])
+
+    def test_is_a_fault_scenario(self):
+        assert issubclass(CompositeScenario, FaultScenario)

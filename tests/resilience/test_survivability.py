@@ -1,0 +1,155 @@
+"""Unit tests for survivability analysis (verdicts, reroute, rendering)."""
+
+import math
+
+import pytest
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.curves.token_bucket import TokenBucket
+from repro.network.flow import Flow
+from repro.network.tandem import build_tandem
+from repro.network.topology import Network, ServerSpec
+from repro.resilience.faults import (
+    BurstInflation,
+    ServerDegradation,
+    ServerFailure,
+)
+from repro.resilience.survivability import (
+    MET,
+    SEVERED,
+    VIOLATED,
+    render_survivability,
+    survivability,
+)
+
+ANALYZER = DecomposedAnalysis()
+
+
+def deadlined_tandem(n=3, load=0.6, slack=1.5):
+    """The paper tandem with deadlines at ``slack`` x healthy bounds."""
+    net = build_tandem(n, load)
+    base = ANALYZER.analyze(net)
+    return Network(net.servers.values(),
+                   [f.with_deadline(slack * base.delay_of(f.name))
+                    for f in net.iter_flows()])
+
+
+def diamond(with_deadlines=math.inf):
+    """a -> {b | c} -> d with the target routed over b.
+
+    The helper flows a->c and c->d make the alternate branch part of
+    the observable server graph, so failing b leaves a reroute.
+    """
+    bucket = TokenBucket(1.0, 0.1)
+    servers = [ServerSpec(s, 1.0) for s in "abcd"]
+    flows = [
+        Flow("target", bucket, ("a", "b", "d"), deadline=with_deadlines),
+        Flow("upper", bucket, ("a", "c")),
+        Flow("lower", bucket, ("c", "d")),
+    ]
+    return Network(servers, flows)
+
+
+class TestVerdicts:
+    def test_mild_degradation_survives(self):
+        net = deadlined_tandem()
+        report = survivability(net, [ServerDegradation(2, 0.95)],
+                               ANALYZER)
+        assert report.survives
+        outcome = report.outcomes[0]
+        assert outcome.n_met == len(net.flows)
+        assert outcome.error is None
+        for v in outcome.verdicts:
+            assert v.status == MET
+            assert v.bound >= v.baseline
+
+    def test_heavy_degradation_violates(self):
+        net = deadlined_tandem(slack=1.05)
+        report = survivability(net, [ServerDegradation(2, 0.7)],
+                               ANALYZER)
+        outcome = report.outcomes[0]
+        assert not outcome.survives
+        assert outcome.n_violated >= 1
+        assert set(report.worst_flows()) == {
+            v.flow for v in outcome.verdicts if v.status != MET}
+
+    def test_overloading_degradation_marks_all_violated(self):
+        net = deadlined_tandem(load=0.8)
+        # 0.8 load onto a 50%-capacity server -> utilization 1.6
+        report = survivability(net, [ServerDegradation(2, 0.5)],
+                               ANALYZER)
+        outcome = report.outcomes[0]
+        assert outcome.error is not None
+        assert "InstabilityError" in outcome.error
+        for v in outcome.verdicts:
+            assert v.status == VIOLATED
+            assert math.isinf(v.bound)
+
+    def test_failure_severs_without_alternate_path(self):
+        net = deadlined_tandem()
+        report = survivability(net, [ServerFailure(2)], ANALYZER)
+        outcome = report.outcomes[0]
+        severed = {v.flow for v in outcome.verdicts
+                   if v.status == SEVERED}
+        assert "conn0" in severed and "short_2" in severed
+        assert "short_1" not in severed
+
+    def test_burst_inflation_verdicts(self):
+        net = deadlined_tandem(slack=1.1)
+        report = survivability(net, [BurstInflation(5.0)], ANALYZER)
+        assert not report.survives
+        assert report.outcomes[0].n_violated >= 1
+
+    def test_one_outcome_per_scenario_in_order(self):
+        net = deadlined_tandem()
+        scenarios = [ServerDegradation(1, 0.9), ServerFailure(3)]
+        report = survivability(net, scenarios, ANALYZER)
+        assert [o.scenario for o in report.outcomes] == [
+            s.describe() for s in scenarios]
+        assert report.algorithm == ANALYZER.name
+
+
+class TestReroute:
+    def test_reroutes_around_failure(self):
+        report = survivability(diamond(), [ServerFailure("b")], ANALYZER)
+        verdict = {v.flow: v for v in report.outcomes[0].verdicts}
+        assert verdict["target"].status == MET
+        assert verdict["target"].rerouted
+        assert "rerouted via" in verdict["target"].detail
+        assert math.isfinite(verdict["target"].bound)
+
+    def test_rerouted_flow_still_checked_against_deadline(self):
+        # deadline so tight even the healthy path only just makes it:
+        # the rerouted (also contended) path must be re-tested, and a
+        # near-zero deadline fails it
+        net = diamond(with_deadlines=1e-9)
+        report = survivability(net, [ServerFailure("b")], ANALYZER)
+        verdict = {v.flow: v for v in report.outcomes[0].verdicts}
+        assert verdict["target"].status == VIOLATED
+        assert verdict["target"].rerouted
+
+    def test_reroute_disabled(self):
+        report = survivability(diamond(), [ServerFailure("b")], ANALYZER,
+                               reroute=False)
+        verdict = {v.flow: v for v in report.outcomes[0].verdicts}
+        assert verdict["target"].status == SEVERED
+
+    def test_no_reroute_when_entry_fails(self):
+        report = survivability(diamond(), [ServerFailure("a")], ANALYZER)
+        verdict = {v.flow: v for v in report.outcomes[0].verdicts}
+        assert verdict["target"].status == SEVERED
+
+
+class TestRender:
+    def test_lists_casualties(self):
+        net = deadlined_tandem()
+        report = survivability(net, [ServerFailure(2),
+                                     ServerDegradation(1, 0.95)],
+                               ANALYZER)
+        text = render_survivability(report)
+        assert "server 2 failed" in text
+        assert "conn0: severed" in text
+        assert "SURVIVES" in text and "DEGRADED" in text
+        # surviving flows only shown in verbose mode
+        assert "short_1:" not in text
+        assert "short_1:" in render_survivability(report, verbose=True)

@@ -80,3 +80,61 @@ class TestChart:
         assert rc == 0
         out = capsys.readouterr().out
         assert "FIG5" in out and "U=0.20" in out
+
+
+class TestResilience:
+    def test_default_drill_survives_mild_slack(self, capsys):
+        rc = main(["resilience", "--hops", "2", "--load", "0.5",
+                   "--slack", "3.0"])
+        out = capsys.readouterr().out
+        assert "survivability" in out
+        assert rc == 0 and "SURVIVES" in out
+
+    def test_failure_scenario_degrades(self, capsys):
+        rc = main(["resilience", "--hops", "2", "--load", "0.5",
+                   "--fail", "1"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "severed" in out and "server 1 failed" in out
+
+    def test_explicit_scenarios_parsed(self, capsys):
+        rc = main(["resilience", "--hops", "2", "--load", "0.5",
+                   "--slack", "5.0", "--degrade", "2=0.95",
+                   "--inflate", "conn0=1.1", "--inflate", "all=1.05"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "server 2 at 95% capacity" in out
+        assert "burst x1.1 on conn0" in out
+        assert "burst x1.05 on all sources" in out
+
+    def test_bad_degrade_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["resilience", "--degrade", "2"])
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["resilience", "--degrade", "2=fast"])
+
+
+class TestSweep:
+    def test_serial_sweep_table(self, capsys):
+        rc = main(["sweep", "--serial", "--analyzers", "decomposed",
+                   "--hops", "2", "--loads", "0.3,0.6"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2/2 points ok" in out
+
+    def test_checkpoint_and_resume(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.jsonl")
+        assert main(["sweep", "--serial", "--analyzers", "decomposed",
+                     "--hops", "2", "--loads", "0.4",
+                     "--checkpoint", ck]) == 0
+        assert main(["sweep", "--serial", "--analyzers", "decomposed",
+                     "--hops", "2", "--loads", "0.4",
+                     "--checkpoint", ck, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 points ok" in out
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--resume"])

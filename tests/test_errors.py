@@ -1,0 +1,76 @@
+"""Unit tests for the exception hierarchy and structured attributes."""
+
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    AnalysisError,
+    AnalysisTimeoutError,
+    CurveError,
+    FlowError,
+    InstabilityError,
+    ReproError,
+    ResilienceError,
+    SimulationError,
+    TopologyError,
+)
+from repro.network.tandem import build_tandem
+from repro.network.topology import Network, ServerSpec
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        CurveError, InstabilityError, TopologyError, FlowError,
+        AnalysisError, AnalysisTimeoutError, SimulationError,
+        AdmissionError, ResilienceError,
+    ])
+    def test_everything_is_a_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_timeout_is_an_analysis_error(self):
+        # degraded-mode admission catches AnalysisError to trigger
+        # fallbacks; a blown budget must be caught by the same clause
+        assert issubclass(AnalysisTimeoutError, AnalysisError)
+
+
+class TestInstabilityAttributes:
+    def test_carries_rate_and_capacity(self):
+        net = build_tandem(2, 0.5)
+        overloaded = net.replace_server(ServerSpec(1, 0.1))
+        with pytest.raises(InstabilityError) as ei:
+            overloaded.check_stability()
+        err = ei.value
+        assert err.rate == pytest.approx(
+            sum(f.bucket.rho for f in overloaded.flows_at(1)))
+        assert err.capacity == pytest.approx(0.1)
+        assert err.rate >= err.capacity
+
+    def test_defaults_to_none(self):
+        err = InstabilityError("plain")
+        assert err.rate is None and err.capacity is None
+
+
+class TestTimeoutAttributes:
+    def test_carries_budget_and_elapsed(self):
+        err = AnalysisTimeoutError("slow", budget=0.5, elapsed=0.73)
+        assert err.budget == 0.5
+        assert err.elapsed == 0.73
+
+    def test_defaults_to_none(self):
+        err = AnalysisTimeoutError("slow")
+        assert err.budget is None and err.elapsed is None
+
+
+class TestResilienceAttributes:
+    def test_carries_scenario(self):
+        err = ResilienceError("bad", scenario="server 2 failed")
+        assert err.scenario == "server 2 failed"
+
+    def test_defaults_to_none(self):
+        assert ResilienceError("bad").scenario is None
+
+
+class TestSingleClauseCatch:
+    def test_network_errors_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            Network([ServerSpec(1), ServerSpec(1)], [])

@@ -24,6 +24,7 @@ CASES = [
     ("atm_cells.py", []),
     ("feedback_ring.py", []),
     ("network_diagnosis.py", []),
+    ("fault_injection.py", []),
 ]
 
 
