@@ -1,0 +1,189 @@
+"""BENCH-INC — incremental engine vs cold admission throughput.
+
+Measures what the engine buys on the admission-control workload the
+paper motivates (§1): repeated delay analyses of networks differing by
+one flow.  Workload: a 32-server / 256-flow random feed-forward
+network; each cycle releases one established flow and re-admits it,
+timing the two analyses engine-backed vs cold.
+
+Every engine report is compared against the cold report of the same
+network — a single non-bit-identical bound fails the run.
+
+Runs two ways:
+
+* ``python benchmarks/bench_incremental.py`` — standalone, writes
+  ``BENCH_incremental.json`` to the working directory and exits
+  non-zero on mismatch (or, full size only, on speedup < 5x).  Set
+  ``REPRO_BENCH_QUICK=1`` for the reduced CI configuration (smaller
+  network, identity checked, no speedup gate).
+* ``pytest benchmarks/bench_incremental.py`` — the same run as a test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.core.integrated import IntegratedAnalysis
+from repro.engine import (
+    IncrementalEngine,
+    describe_report_difference,
+    reports_identical,
+)
+from repro.network.generators import random_feedforward
+
+SEED = 2026
+FULL = {"n_servers": 32, "n_flows": 256, "n_cycles": 8}
+QUICK = {"n_servers": 12, "n_flows": 48, "n_cycles": 3}
+SPEEDUP_FLOOR = 5.0  # acceptance: engine >= 5x cold on the full config
+
+
+def _workload(n_servers: int, n_flows: int):
+    return random_feedforward(seed=SEED, n_servers=n_servers,
+                              n_flows=n_flows, max_utilization=0.8)
+
+
+def run_bench(quick: bool = False) -> dict:
+    """Run the cold-vs-engine comparison; returns the result record."""
+    cfg = QUICK if quick else FULL
+    net = _workload(cfg["n_servers"], cfg["n_flows"])
+    cold = DecomposedAnalysis()
+    engine = IncrementalEngine(DecomposedAnalysis(), net)
+
+    t0 = time.perf_counter()
+    warm_report = engine.query()
+    warm_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    cold_report = cold.analyze(net)
+    cold_full_s = time.perf_counter() - t0
+    mismatches: list[str] = []
+    if not reports_identical(warm_report, cold_report):
+        mismatches.append("warmup: "
+                          + str(describe_report_difference(warm_report,
+                                                           cold_report)))
+
+    picks = random.Random(7).sample(sorted(net.flows), cfg["n_cycles"])
+    t_rel = {"engine": 0.0, "cold": 0.0}
+    t_adm = {"engine": 0.0, "cold": 0.0}
+    for name in picks:
+        flow = net.flows[name]
+        t0 = time.perf_counter()
+        r_rel = engine.release(name)
+        t_rel["engine"] += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        r_adm = engine.admit(flow)
+        t_adm["engine"] += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        c_rel = cold.analyze(net.without_flow(name))
+        t_rel["cold"] += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        c_adm = cold.analyze(net)
+        t_adm["cold"] += time.perf_counter() - t0
+        for tag, r, c in (("release", r_rel, c_rel),
+                          ("admit", r_adm, c_adm)):
+            if not reports_identical(r, c):
+                mismatches.append(
+                    f"{tag} {name}: "
+                    + str(describe_report_difference(r, c)))
+
+    n = cfg["n_cycles"]
+    per_cold = (t_rel["cold"] + t_adm["cold"]) / (2 * n)
+    per_engine = (t_rel["engine"] + t_adm["engine"]) / (2 * n)
+    readmit_speedup = (t_adm["cold"] / t_adm["engine"]
+                       if t_adm["engine"] else None)
+    return {
+        "benchmark": "incremental_admission",
+        "quick": quick,
+        "config": {**cfg, "seed": SEED, "analyzer": "decomposed"},
+        "cold_full_analysis_s": cold_full_s,
+        "engine_warmup_s": warm_s,
+        "cold_per_admission_test_s": per_cold,
+        "engine_per_admission_test_s": per_engine,
+        "cold_tests_per_s": 1.0 / per_cold if per_cold else None,
+        "engine_tests_per_s": 1.0 / per_engine if per_engine else None,
+        "speedup": per_cold / per_engine if per_engine else None,
+        "release_speedup": (t_rel["cold"] / t_rel["engine"]
+                            if t_rel["engine"] else None),
+        "readmit_speedup": readmit_speedup,
+        "cache_hit_rate": engine.stats.hit_rate,
+        "engine_stats": engine.stats.as_dict(),
+        "bit_identical": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
+def integrated_identity_check(ops: int = 6) -> list[str]:
+    """Differential admit/release identity for Algorithm Integrated.
+
+    Run at reduced size (Theorem 1 blocks are much heavier than
+    decomposition steps); any difference string returned is a failure.
+    """
+    net = _workload(QUICK["n_servers"], QUICK["n_flows"])
+    cold = IntegratedAnalysis()
+    engine = IncrementalEngine(IntegratedAnalysis(), net)
+    mismatches: list[str] = []
+    picks = random.Random(11).sample(sorted(net.flows), ops // 2)
+    for name in picks:
+        flow = net.flows[name]
+        pairs = [
+            (engine.release(name), cold.analyze(net.without_flow(name))),
+            (engine.admit(flow), cold.analyze(net)),
+        ]
+        for r, c in pairs:
+            if not reports_identical(r, c):
+                mismatches.append(
+                    f"integrated {name}: "
+                    + str(describe_report_difference(r, c)))
+    return mismatches
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+def test_incremental_bit_identical_and_faster():
+    result = run_bench(quick=True)
+    assert result["bit_identical"], result["mismatches"]
+    assert result["speedup"] is not None and result["speedup"] > 1.0
+
+
+def test_incremental_integrated_identity():
+    assert integrated_identity_check() == []
+
+
+# ----------------------------------------------------------------------
+# standalone entry point
+# ----------------------------------------------------------------------
+
+def main() -> int:
+    quick = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+    result = run_bench(quick=quick)
+    result["integrated_mismatches"] = integrated_identity_check()
+
+    out = "BENCH_incremental.json"
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+    size = "quick" if quick else "full"
+    print(f"BENCH-INC ({size}): cold {result['cold_per_admission_test_s']:.4f}s"
+          f" vs engine {result['engine_per_admission_test_s']:.4f}s per"
+          f" admission test — overall {result['speedup']:.2f}x,"
+          f" re-admission {result['readmit_speedup']:.2f}x, cache"
+          f" hit rate {result['cache_hit_rate']:.1%} -> {out}")
+
+    failures = list(result["mismatches"]) + result["integrated_mismatches"]
+    for m in failures:
+        print(f"MISMATCH: {m}", file=sys.stderr)
+    if not quick and result["readmit_speedup"] < SPEEDUP_FLOOR:
+        print(f"FAIL: re-admission speedup "
+              f"{result['readmit_speedup']:.2f}x < "
+              f"{SPEEDUP_FLOOR:g}x floor", file=sys.stderr)
+        return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

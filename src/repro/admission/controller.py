@@ -19,6 +19,12 @@ The controller is hardened for online operation:
 * **Transactional admit** — controller state mutates only after a
   complete, positive decision; an analyzer raising mid-test leaves the
   network and admitted set untouched.
+* **Incremental mode** — ``incremental=True`` wraps the primary
+  analyzer in an :class:`~repro.engine.IncrementalEngine`, so
+  consecutive admission tests reuse every per-server / per-block result
+  the new request does not touch.  Decisions are bit-identical to cold
+  analysis; the cold analyzer stays in the fallback chain, so an engine
+  failure degrades instead of rejecting.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from repro.errors import (
     InstabilityError,
     TopologyError,
 )
+from repro.engine import EngineStats, IncrementalEngine
 from repro.network.flow import Flow
 from repro.network.topology import Network
 from repro.resilience.budget import call_with_budget
@@ -62,16 +69,33 @@ class AdmissionController:
     analysis_budget:
         Optional wall-clock budget in seconds applied to *each*
         analyzer attempt; a blown budget triggers the next fallback.
+    incremental:
+        Wrap *analyzer* in an :class:`~repro.engine.IncrementalEngine`
+        so consecutive admission tests reuse unaffected intermediate
+        results.  The unwrapped analyzer is kept right behind the
+        engine in the fallback chain; transactional semantics are
+        unchanged (the engine is stateless here — the controller still
+        owns the network).
     """
 
     def __init__(self, network: Network, analyzer: Analyzer, *,
                  fallbacks: Sequence[Analyzer] = (),
-                 analysis_budget: float | None = None) -> None:
+                 analysis_budget: float | None = None,
+                 incremental: bool = False) -> None:
         if analysis_budget is not None and not analysis_budget > 0:
             raise AdmissionError(
                 f"analysis_budget must be > 0, got {analysis_budget}")
         self._network = network
-        self._analyzers: tuple[Analyzer, ...] = (analyzer, *fallbacks)
+        self._engine: IncrementalEngine | None = None
+        if incremental:
+            if isinstance(analyzer, IncrementalEngine):
+                self._engine = analyzer
+                analyzer = self._engine.analyzer
+            else:
+                self._engine = IncrementalEngine(analyzer)
+            self._analyzers = (self._engine, analyzer, *fallbacks)
+        else:
+            self._analyzers = (analyzer, *fallbacks)
         self._budget = analysis_budget
         self._admitted: list[str] = []
 
@@ -91,6 +115,16 @@ class AdmissionController:
     def admitted(self) -> tuple[str, ...]:
         """Names of connections admitted through this controller."""
         return tuple(self._admitted)
+
+    @property
+    def engine(self) -> IncrementalEngine | None:
+        """The incremental engine, when ``incremental=True``."""
+        return self._engine
+
+    @property
+    def engine_stats(self) -> EngineStats | None:
+        """Engine counters (hits/misses/saved time), or None."""
+        return self._engine.stats if self._engine is not None else None
 
     # ------------------------------------------------------------------
 

@@ -11,7 +11,7 @@ integrated approach is measured against.
 from __future__ import annotations
 
 from repro.analysis.base import Analyzer, DelayReport, FlowDelay
-from repro.analysis.propagation import propagate
+from repro.analysis.propagation import StepFn, propagate
 from repro.network.topology import Network
 
 __all__ = ["DecomposedAnalysis"]
@@ -36,8 +36,13 @@ class DecomposedAnalysis(Analyzer):
     def __init__(self, capped_propagation: bool = False) -> None:
         self.capped_propagation = bool(capped_propagation)
 
-    def analyze(self, network: Network) -> DelayReport:
-        prop = propagate(network, capped=self.capped_propagation)
+    def analyze(self, network: Network, *,
+                step: StepFn | None = None) -> DelayReport:
+        """Analyze *network*; ``step`` optionally replaces the per-hop
+        computation (the incremental engine passes a memoizing wrapper —
+        see :func:`repro.analysis.propagation.propagate`)."""
+        prop = propagate(network, capped=self.capped_propagation,
+                         step=step)
         delays = {}
         for f in network.iter_flows():
             parts = tuple(

@@ -5,12 +5,21 @@ variant used inside Algorithm Integrated) and the service-curve baseline
 need per-flow constraint curves *at every server's input*.  This module
 implements the single topological sweep that produces them, together
 with the per-server local analyses.
+
+The per-server step is factored into a standalone pure function,
+:func:`server_step`: it consumes a :class:`ServerInput` (capacity,
+discipline, the flows present with their exact input curves) and
+produces a :class:`ServerStep` (the local analysis plus each flow's
+output curve).  Because the step depends on nothing but its input
+value, the incremental engine (:mod:`repro.engine`) can memoize it
+content-addressed and replay cached steps with bit-identical results;
+:func:`propagate` accepts an optional ``step`` hook for exactly that.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Mapping
+from typing import Callable, Hashable, Mapping
 
 from repro.curves.piecewise import PiecewiseLinearCurve
 from repro.errors import AnalysisError
@@ -24,9 +33,143 @@ from repro.servers.fifo import (
 from repro.servers.guaranteed_rate import gr_local_analysis
 from repro.servers.static_priority import sp_local_analysis
 
-__all__ = ["PropagationResult", "propagate", "analyze_server"]
+__all__ = [
+    "PropagationResult",
+    "FlowAtServer",
+    "ServerInput",
+    "ServerStep",
+    "server_step",
+    "propagate",
+    "analyze_server",
+]
 
 ServerId = Hashable
+
+#: Signature of the per-server step hook accepted by :func:`propagate`.
+#: Receives the server id (for dependency bookkeeping) and the full
+#: :class:`ServerInput`; must return exactly what :func:`server_step`
+#: would.  The id is *not* part of the step's mathematical input — two
+#: servers with identical inputs produce identical steps.
+StepFn = Callable[[ServerId, "ServerInput"], "ServerStep"]
+
+
+@dataclass(frozen=True)
+class FlowAtServer:
+    """One flow as seen by a single server's local analysis.
+
+    Attributes
+    ----------
+    name:
+        Flow name (keys the per-flow delay results).
+    curve:
+        Exact constraint curve of the flow at this server's input.
+    has_next:
+        Whether the flow continues to another server (output curve
+        needed) or exits the network here.
+    priority:
+        Priority level (static-priority servers only).
+    rho:
+        Sustained source rate (guaranteed-rate servers reserve it).
+    """
+
+    name: str
+    curve: PiecewiseLinearCurve
+    has_next: bool
+    priority: int
+    rho: float
+
+
+@dataclass(frozen=True)
+class ServerInput:
+    """Everything that determines one server's local analysis step."""
+
+    capacity: float
+    discipline: str
+    capped: bool
+    flows: tuple[FlowAtServer, ...]
+
+
+@dataclass(frozen=True)
+class ServerStep:
+    """Output of one per-server analysis step.
+
+    Attributes
+    ----------
+    local:
+        The server's :class:`LocalAnalysis` (delays/backlog/busy period).
+    out_curves:
+        ``(flow name, curve)`` pairs for every flow with a next hop —
+        the constraint curve entering that next hop, already simplified.
+    """
+
+    local: LocalAnalysis
+    out_curves: tuple[tuple[str, PiecewiseLinearCurve], ...]
+
+
+def _local_analysis(capacity: float, discipline: str,
+                    curves: Mapping[str, PiecewiseLinearCurve],
+                    priorities: Mapping[str, int],
+                    rates: Mapping[str, float]) -> LocalAnalysis:
+    """Dispatch the local analysis on the discipline."""
+    if discipline == Discipline.FIFO:
+        return fifo_local_analysis(curves, capacity)
+    if discipline == Discipline.STATIC_PRIORITY:
+        return sp_local_analysis(curves, dict(priorities), capacity)
+    if discipline == Discipline.GUARANTEED_RATE:
+        # Reserve exactly the sustained rate of each flow — the minimal
+        # allocation that keeps the per-flow bound finite.
+        if any(r <= 0 for r in rates.values()):
+            raise AnalysisError(
+                "guaranteed-rate servers need every flow rate > 0")
+        return gr_local_analysis(curves, dict(rates), capacity)
+    raise AnalysisError(
+        f"no local analysis for discipline {discipline!r}")
+
+
+def server_step(si: ServerInput) -> ServerStep:
+    """The per-server analysis step as a pure function of its input.
+
+    Computes the local analysis and, for every flow that continues,
+    its output constraint curve (Cruz's ``b(I + d)``, optionally
+    intersected with the line rate when ``si.capped``).  Deterministic:
+    identical inputs produce bit-identical outputs.
+    """
+    curves = {fa.name: fa.curve for fa in si.flows}
+    la = _local_analysis(
+        si.capacity, si.discipline, curves,
+        {fa.name: fa.priority for fa in si.flows},
+        {fa.name: fa.rho for fa in si.flows})
+    outs: list[tuple[str, PiecewiseLinearCurve]] = []
+    for fa in si.flows:
+        if not fa.has_next:
+            continue
+        d = la.delay_by_flow[fa.name]
+        if si.capped:
+            out = capped_output_curve(fa.curve, d, si.capacity)
+        else:
+            out = cruz_output_curve(fa.curve, d)
+        outs.append((fa.name, out.simplified()))
+    return ServerStep(local=la, out_curves=tuple(outs))
+
+
+def build_server_input(network: Network, sid: ServerId,
+                       curve_at: Mapping[tuple[str, ServerId],
+                                         PiecewiseLinearCurve],
+                       capped: bool) -> ServerInput:
+    """Assemble the :class:`ServerInput` for one server of a sweep."""
+    spec = network.server(sid)
+    flows = tuple(
+        FlowAtServer(
+            name=f.name,
+            curve=curve_at[(f.name, sid)],
+            has_next=f.next_hop(sid) is not None,
+            priority=f.priority,
+            rho=f.bucket.rho,
+        )
+        for f in network.flows_at(sid))
+    return ServerInput(capacity=spec.capacity,
+                       discipline=spec.discipline,
+                       capped=capped, flows=flows)
 
 
 @dataclass(frozen=True)
@@ -54,29 +197,23 @@ class PropagationResult:
 
 
 def analyze_server(network: Network, server_id: ServerId,
-                    curves: Mapping[str, PiecewiseLinearCurve],
-                    ) -> LocalAnalysis:
-    """Dispatch the local analysis on the server's discipline."""
+                   curves: Mapping[str, PiecewiseLinearCurve],
+                   ) -> LocalAnalysis:
+    """Dispatch the local analysis on the server's discipline.
+
+    Thin wrapper around the discipline dispatch kept for callers that
+    analyze one server outside a sweep (diagnostics, tests).
+    """
     spec = network.server(server_id)
-    if spec.discipline == Discipline.FIFO:
-        return fifo_local_analysis(curves, spec.capacity)
-    if spec.discipline == Discipline.STATIC_PRIORITY:
-        priorities = {f.name: f.priority
-                      for f in network.flows_at(server_id)}
-        return sp_local_analysis(curves, priorities, spec.capacity)
-    if spec.discipline == Discipline.GUARANTEED_RATE:
-        # Reserve exactly the sustained rate of each flow — the minimal
-        # allocation that keeps the per-flow bound finite.
-        rates = {f.name: f.bucket.rho for f in network.flows_at(server_id)}
-        if any(r <= 0 for r in rates.values()):
-            raise AnalysisError(
-                "guaranteed-rate servers need every flow rate > 0")
-        return gr_local_analysis(curves, rates, spec.capacity)
-    raise AnalysisError(
-        f"no local analysis for discipline {spec.discipline!r}")
+    flows_here = network.flows_at(server_id)
+    return _local_analysis(
+        spec.capacity, spec.discipline, curves,
+        {f.name: f.priority for f in flows_here},
+        {f.name: f.bucket.rho for f in flows_here})
 
 
-def propagate(network: Network, capped: bool = False) -> PropagationResult:
+def propagate(network: Network, capped: bool = False,
+              step: StepFn | None = None) -> PropagationResult:
     """Run the decomposition-style topological sweep over *network*.
 
     At each server (in topological order of the server graph) the local
@@ -85,6 +222,14 @@ def propagate(network: Network, capped: bool = False) -> PropagationResult:
     output characterization — optionally intersected with the upstream
     server's line rate when ``capped`` is True (the integrated method's
     self-regulation cap; plain Algorithm Decomposed uses ``False``).
+
+    Parameters
+    ----------
+    step:
+        Optional replacement for :func:`server_step` — the incremental
+        engine passes a memoizing wrapper here.  A custom step MUST be
+        extensionally equal to :func:`server_step` (same outputs for
+        same inputs) or the resulting bounds are undefined.
     """
     network.check_stability()
 
@@ -94,22 +239,13 @@ def propagate(network: Network, capped: bool = False) -> PropagationResult:
 
     local: dict[ServerId, LocalAnalysis] = {}
     for sid in network.topological_servers():
-        flows_here = network.flows_at(sid)
-        if not flows_here:
+        if not network.flows_at(sid):
             continue
-        curves = {f.name: curve_at[(f.name, sid)] for f in flows_here}
-        la = analyze_server(network, sid, curves)
-        local[sid] = la
-        capacity = network.server(sid).capacity
-        for f in flows_here:
-            nxt = f.next_hop(sid)
-            if nxt is None:
-                continue
-            d = la.delay_by_flow[f.name]
-            if capped:
-                out = capped_output_curve(curves[f.name], d, capacity)
-            else:
-                out = cruz_output_curve(curves[f.name], d)
-            curve_at[(f.name, nxt)] = out.simplified()
+        si = build_server_input(network, sid, curve_at, capped)
+        res = step(sid, si) if step is not None else server_step(si)
+        local[sid] = res.local
+        for name, out in res.out_curves:
+            nxt = network.flow(name).next_hop(sid)
+            curve_at[(name, nxt)] = out
 
     return PropagationResult(local=local, curve_at=curve_at, capped=capped)

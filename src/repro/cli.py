@@ -6,6 +6,7 @@ Usage (also available as ``python -m repro``)::
     repro figures  [--quick] [--figure FIG5]
     repro simulate --hops 4 --load 0.8 [--horizon 120] [--packet 0.05]
     repro admit    --hops 4 --deadline 30 [--rho 0.02] [--analyzer ...]
+                   [--incremental]
     repro resilience --hops 4 --load 0.8 [--degrade 2=0.8] [--fail 2] ...
     repro sweep    --analyzers integrated --hops 2,4 --loads 0.3,0.6
                    [--checkpoint FILE] [--resume] [--timeout S]
@@ -104,6 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--analyzer", default="integrated",
                    help="admission test analysis (default integrated)")
     p.add_argument("--max", type=int, default=500, dest="max_tries")
+    p.add_argument("--incremental", action="store_true",
+                   help="engine-backed admission: cache per-hop results "
+                        "across tests (bit-identical decisions) and "
+                        "print the engine's cache statistics")
 
     p = sub.add_parser("export",
                        help="write figure data as CSV + JSON files")
@@ -236,7 +241,8 @@ def _cmd_simulate(args) -> int:
 
 def _cmd_admit(args) -> int:
     empty = Network([ServerSpec(k) for k in range(1, args.hops + 1)], [])
-    controller = AdmissionController(empty, _make_analyzer(args.analyzer))
+    controller = AdmissionController(empty, _make_analyzer(args.analyzer),
+                                     incremental=args.incremental)
 
     def make(k: int) -> ConnectionRequest:
         return ConnectionRequest(
@@ -247,6 +253,8 @@ def _cmd_admit(args) -> int:
     print(f"{args.analyzer}: admitted {count} identical connections "
           f"(deadline {args.deadline:g}, rho {args.rho:g}, "
           f"{args.hops} hops)")
+    if controller.engine_stats is not None:
+        print(controller.engine_stats.render())
     return 0
 
 

@@ -15,23 +15,199 @@ class use the SP pair kernel (:mod:`repro.core.sp_subsystem` — the
 extension the paper's §5 announces); every other non-FIFO block falls
 back to singleton analysis, keeping the algorithm sound for arbitrary
 mixed networks.
+
+The per-block computation is factored into the pure function
+:func:`evaluate_block`: it consumes a :class:`BlockInput` (server
+parameters plus every incident flow's exact entry curve and role) and
+returns a :class:`BlockOutcome` (per-flow class delays and output
+curves).  Identical inputs produce bit-identical outcomes, which is
+what lets the incremental engine (:mod:`repro.engine`) memoize blocks
+content-addressed; :meth:`IntegratedAnalysis.analyze` accepts an
+optional ``block_step`` hook for exactly that.
 """
 
 from __future__ import annotations
 
-from typing import Hashable
+from dataclasses import dataclass
+from typing import Callable, Hashable
 
 from repro.analysis.base import Analyzer, DelayReport, FlowDelay
-from repro.analysis.propagation import analyze_server
+from repro.analysis.propagation import _local_analysis
 from repro.core.partition import PairAlongPath, PartitionStrategy
 from repro.core.subsystem import TwoServerSubsystem
 from repro.curves.piecewise import PiecewiseLinearCurve
+from repro.errors import AnalysisError
 from repro.network.topology import Discipline, Network
 from repro.servers.fifo import capped_output_curve
 
-__all__ = ["IntegratedAnalysis"]
+__all__ = [
+    "IntegratedAnalysis",
+    "FlowAtBlock",
+    "BlockInput",
+    "BlockOutcome",
+    "evaluate_block",
+]
 
 ServerId = Hashable
+
+#: Roles a flow can play inside a block.  "through" traverses both
+#: servers of a pair (j then k); "cross1"/"cross2" enter only j / only
+#: k; "local" is the single role at singleton blocks.
+_EXIT_INDEX = {"through": -1, "cross1": 0, "cross2": -1, "local": 0}
+
+
+@dataclass(frozen=True)
+class FlowAtBlock:
+    """One flow as seen by a block's joint analysis.
+
+    ``curve`` is the exact constraint curve at the flow's entry server
+    *within* the block (server j for through/cross1/local, server k for
+    cross2).  ``has_next`` says whether the flow continues past the
+    block (an output curve is needed).
+    """
+
+    name: str
+    role: str
+    curve: PiecewiseLinearCurve
+    has_next: bool
+    priority: int
+    rho: float
+
+
+@dataclass(frozen=True)
+class BlockInput:
+    """Everything that determines one block's joint analysis.
+
+    Deliberately free of server *ids* — two blocks with identical
+    parameters, flow sets and entry curves produce identical outcomes
+    regardless of where they sit in the network, so the incremental
+    engine can share cache entries between them.
+    """
+
+    kind: str                       # "fifo_pair" | "sp_pair" | "singleton"
+    capacities: tuple[float, ...]   # one per block server, in block order
+    disciplines: tuple[str, ...]
+    use_family_kernel: bool
+    flows: tuple[FlowAtBlock, ...]
+
+
+@dataclass(frozen=True)
+class BlockOutcome:
+    """Result of one block's joint analysis.
+
+    Attributes
+    ----------
+    delays:
+        ``(flow name, class delay)`` in block flow order — the block's
+        contribution to each flow's end-to-end bound.
+    out_curves:
+        ``(flow name, curve)`` for every flow with ``has_next`` — the
+        constraint curve at the flow's next server, already simplified.
+    kernel:
+        Which kernel produced the through bound ("theorem1" / "family" /
+        "tie" / "sp_theorem1"), None for singleton blocks.
+    """
+
+    delays: tuple[tuple[str, float], ...]
+    out_curves: tuple[tuple[str, PiecewiseLinearCurve], ...]
+    kernel: str | None
+
+
+#: Signature of the per-block hook accepted by ``analyze``.  Receives
+#: the block's server ids (for dependency bookkeeping) and the full
+#: :class:`BlockInput`; must return exactly what :func:`evaluate_block`
+#: would.
+BlockStepFn = Callable[[tuple, BlockInput], BlockOutcome]
+
+
+def _evaluate_singleton(bi: BlockInput) -> BlockOutcome:
+    curves = {fa.name: fa.curve for fa in bi.flows}
+    la = _local_analysis(
+        bi.capacities[0], bi.disciplines[0], curves,
+        {fa.name: fa.priority for fa in bi.flows},
+        {fa.name: fa.rho for fa in bi.flows})
+    delays: list[tuple[str, float]] = []
+    outs: list[tuple[str, PiecewiseLinearCurve]] = []
+    for fa in bi.flows:
+        d = la.delay_by_flow[fa.name]
+        delays.append((fa.name, d))
+        if fa.has_next:
+            outs.append((fa.name, capped_output_curve(
+                fa.curve, d, bi.capacities[0]).simplified()))
+    return BlockOutcome(tuple(delays), tuple(outs), None)
+
+
+def _evaluate_fifo_pair(bi: BlockInput) -> BlockOutcome:
+    c1, c2 = bi.capacities
+    through = {fa.name: fa.curve for fa in bi.flows
+               if fa.role == "through"}
+    cross1 = {fa.name: fa.curve for fa in bi.flows
+              if fa.role == "cross1"}
+    cross2 = {fa.name: fa.curve for fa in bi.flows
+              if fa.role == "cross2"}
+
+    sub = TwoServerSubsystem(
+        through, cross1, cross2, c1, c2,
+        use_family_kernel=bi.use_family_kernel)
+    res = sub.analyze()
+    outputs = sub.output_curves(res)
+
+    class_delay = {"through": res.delay_through,
+                   "cross1": res.delay_server1,
+                   "cross2": res.delay_server2}
+    delays = tuple((fa.name, class_delay[fa.role]) for fa in bi.flows)
+    outs = tuple((fa.name, outputs[fa.name].simplified())
+                 for fa in bi.flows if fa.has_next)
+    return BlockOutcome(delays, outs, res.winning_kernel)
+
+
+def _evaluate_sp_pair(bi: BlockInput) -> BlockOutcome:
+    from repro.core.sp_subsystem import sp_pair_bound
+
+    c1, c2 = bi.capacities
+    through = {fa.name: fa.curve for fa in bi.flows
+               if fa.role == "through"}
+    cross1 = {fa.name: fa.curve for fa in bi.flows
+              if fa.role == "cross1"}
+    cross2 = {fa.name: fa.curve for fa in bi.flows
+              if fa.role == "cross2"}
+    priorities = {fa.name: fa.priority for fa in bi.flows}
+
+    res = sp_pair_bound(through, cross1, cross2, priorities, c1, c2)
+
+    delays: list[tuple[str, float]] = []
+    outs: list[tuple[str, PiecewiseLinearCurve]] = []
+    for fa in bi.flows:
+        if fa.role == "through":
+            d = res.delay_through
+            out_cap = c2
+        elif fa.role == "cross1":
+            d = res.delay1_by_flow[fa.name]
+            out_cap = c1
+        else:
+            d = res.delay2_by_flow[fa.name]
+            out_cap = c2
+        delays.append((fa.name, d))
+        if fa.has_next:
+            outs.append((fa.name, capped_output_curve(
+                fa.curve, d, out_cap).simplified()))
+    return BlockOutcome(tuple(delays), tuple(outs), "sp_theorem1")
+
+
+def evaluate_block(bi: BlockInput) -> BlockOutcome:
+    """Joint analysis of one block as a pure function of its input.
+
+    Deterministic: identical :class:`BlockInput` values (bit-identical
+    curves included) produce bit-identical outcomes — the contract the
+    incremental engine's content-addressed cache relies on.
+    """
+    if bi.kind == "singleton":
+        return _evaluate_singleton(bi)
+    if bi.kind == "fifo_pair":
+        return _evaluate_fifo_pair(bi)
+    if bi.kind == "sp_pair":
+        return _evaluate_sp_pair(bi)
+    raise AnalysisError(f"unknown block kind {bi.kind!r}")
 
 
 class IntegratedAnalysis(Analyzer):
@@ -73,7 +249,70 @@ class IntegratedAnalysis(Analyzer):
                          if f.next_hop(j) == k}
         return len(through_prios) == 1
 
-    def analyze(self, network: Network) -> DelayReport:
+    def effective_blocks(self, network: Network,
+                         partition) -> list[tuple[str, tuple]]:
+        """Resolve the partition into ``(kind, block)`` work units.
+
+        Paired blocks that are neither all-FIFO nor SP-applicable fall
+        back to per-server singleton analysis (soundness for arbitrary
+        mixed networks), exactly like the pre-refactor control flow.
+        """
+        units: list[tuple[str, tuple]] = []
+        for block in partition:
+            if len(block) == 2 and self._pair_is_fifo(network, block):
+                units.append(("fifo_pair", tuple(block)))
+            elif len(block) == 2 and \
+                    self._sp_pair_applicable(network, block):
+                units.append(("sp_pair", tuple(block)))
+            else:
+                units.extend(("singleton", (sid,)) for sid in block)
+        return units
+
+    def build_block_input(self, network: Network, kind: str, block: tuple,
+                          curve_at) -> BlockInput:
+        """Assemble the :class:`BlockInput` for one work unit."""
+        flows: list[FlowAtBlock] = []
+        if kind == "singleton":
+            sid = block[0]
+            for f in network.flows_at(sid):
+                flows.append(FlowAtBlock(
+                    f.name, "local", curve_at[(f.name, sid)],
+                    f.next_hop(sid) is not None, f.priority,
+                    f.bucket.rho))
+        else:
+            j, k = block
+            through: set[str] = set()
+            for f in network.flows_at(j):
+                if f.next_hop(j) == k:
+                    through.add(f.name)
+                    flows.append(FlowAtBlock(
+                        f.name, "through", curve_at[(f.name, j)],
+                        f.next_hop(k) is not None, f.priority,
+                        f.bucket.rho))
+                else:
+                    flows.append(FlowAtBlock(
+                        f.name, "cross1", curve_at[(f.name, j)],
+                        f.next_hop(j) is not None, f.priority,
+                        f.bucket.rho))
+            for f in network.flows_at(k):
+                if f.name not in through:
+                    flows.append(FlowAtBlock(
+                        f.name, "cross2", curve_at[(f.name, k)],
+                        f.next_hop(k) is not None, f.priority,
+                        f.bucket.rho))
+        return BlockInput(
+            kind=kind,
+            capacities=tuple(network.server(s).capacity for s in block),
+            disciplines=tuple(network.server(s).discipline for s in block),
+            use_family_kernel=self.use_family_kernel,
+            flows=tuple(flows))
+
+    def analyze(self, network: Network, *,
+                block_step: BlockStepFn | None = None) -> DelayReport:
+        """Analyze *network*; ``block_step`` optionally replaces the
+        per-block computation (the incremental engine passes a
+        memoizing wrapper extensionally equal to
+        :func:`evaluate_block`)."""
         network.check_stability()
         partition = self.strategy.partition(network)
 
@@ -86,18 +325,14 @@ class IntegratedAnalysis(Analyzer):
             f.name: [] for f in network.iter_flows()}
         kernel_wins: dict[tuple, str] = {}
 
-        for block in partition:
-            if len(block) == 2 and self._pair_is_fifo(network, block):
-                self._process_pair(network, block, curve_at, contribs,
-                                   kernel_wins)
-            elif len(block) == 2 and \
-                    self._sp_pair_applicable(network, block):
-                self._process_sp_pair(network, block, curve_at,
-                                      contribs, kernel_wins)
-            else:
-                for sid in block:
-                    self._process_singleton(network, sid, curve_at,
-                                            contribs)
+        for kind, block in self.effective_blocks(network, partition):
+            if kind == "singleton" and not network.flows_at(block[0]):
+                continue
+            bi = self.build_block_input(network, kind, block, curve_at)
+            outcome = (block_step(block, bi) if block_step is not None
+                       else evaluate_block(bi))
+            self._apply_outcome(network, block, bi, outcome, curve_at,
+                                contribs, kernel_wins)
 
         delays = {}
         for f in network.iter_flows():
@@ -117,111 +352,22 @@ class IntegratedAnalysis(Analyzer):
 
     # ------------------------------------------------------------------
 
-    def _process_singleton(self, network: Network, sid: ServerId,
-                           curve_at, contribs) -> None:
-        flows_here = network.flows_at(sid)
-        if not flows_here:
-            return
-        curves = {f.name: curve_at[(f.name, sid)] for f in flows_here}
-        la = analyze_server(network, sid, curves)
-        capacity = network.server(sid).capacity
-        for f in flows_here:
-            d = la.delay_by_flow[f.name]
-            contribs[f.name].append(((sid,), d))
-            nxt = f.next_hop(sid)
-            if nxt is not None:
-                curve_at[(f.name, nxt)] = capped_output_curve(
-                    curves[f.name], d, capacity).simplified()
-
-    def _process_pair(self, network: Network, block, curve_at, contribs,
-                      kernel_wins) -> None:
-        j, k = block
-        cj = network.server(j).capacity
-        ck = network.server(k).capacity
-
-        through: dict[str, PiecewiseLinearCurve] = {}
-        cross1: dict[str, PiecewiseLinearCurve] = {}
-        cross2: dict[str, PiecewiseLinearCurve] = {}
-        for f in network.flows_at(j):
-            if f.next_hop(j) == k:
-                through[f.name] = curve_at[(f.name, j)]
+    @staticmethod
+    def _apply_outcome(network: Network, block: tuple, bi: BlockInput,
+                       outcome: BlockOutcome, curve_at, contribs,
+                       kernel_wins) -> None:
+        """Fold one block's outcome into the sweep state."""
+        role_of = {fa.name: fa.role for fa in bi.flows}
+        for name, d in outcome.delays:
+            role = role_of[name]
+            if role == "through":
+                element: tuple = tuple(block)
             else:
-                cross1[f.name] = curve_at[(f.name, j)]
-        for f in network.flows_at(k):
-            if f.name not in through:
-                cross2[f.name] = curve_at[(f.name, k)]
-
-        sub = TwoServerSubsystem(
-            through, cross1, cross2, cj, ck,
-            use_family_kernel=self.use_family_kernel)
-        res = sub.analyze()
-        kernel_wins[(j, k)] = res.winning_kernel
-        outputs = sub.output_curves(res)
-
-        for f in network.flows_at(j):
-            if f.name in through:
-                contribs[f.name].append(((j, k), res.delay_through))
-                nxt = f.next_hop(k)
-            else:
-                contribs[f.name].append(((j,), res.delay_server1))
-                nxt = f.next_hop(j)
-            if nxt is not None:
-                curve_at[(f.name, nxt)] = outputs[f.name].simplified()
-        for f in network.flows_at(k):
-            if f.name in through:
-                continue
-            contribs[f.name].append(((k,), res.delay_server2))
-            nxt = f.next_hop(k)
-            if nxt is not None:
-                curve_at[(f.name, nxt)] = outputs[f.name].simplified()
-
-    def _process_sp_pair(self, network: Network, block, curve_at,
-                         contribs, kernel_wins) -> None:
-        from repro.core.sp_subsystem import sp_pair_bound
-        from repro.servers.fifo import capped_output_curve
-
-        j, k = block
-        cj = network.server(j).capacity
-        ck = network.server(k).capacity
-        through: dict[str, PiecewiseLinearCurve] = {}
-        cross1: dict[str, PiecewiseLinearCurve] = {}
-        cross2: dict[str, PiecewiseLinearCurve] = {}
-        priorities: dict[str, int] = {}
-        for f in network.flows_at(j):
-            priorities[f.name] = f.priority
-            if f.next_hop(j) == k:
-                through[f.name] = curve_at[(f.name, j)]
-            else:
-                cross1[f.name] = curve_at[(f.name, j)]
-        for f in network.flows_at(k):
-            priorities[f.name] = f.priority
-            if f.name not in through:
-                cross2[f.name] = curve_at[(f.name, k)]
-
-        res = sp_pair_bound(through, cross1, cross2, priorities, cj, ck)
-        kernel_wins[(j, k)] = "sp_theorem1"
-
-        for f in network.flows_at(j):
-            if f.name in through:
-                contribs[f.name].append(((j, k), res.delay_through))
-                nxt = f.next_hop(k)
-                if nxt is not None:
-                    curve_at[(f.name, nxt)] = capped_output_curve(
-                        through[f.name], res.delay_through,
-                        ck).simplified()
-            else:
-                d = res.delay1_by_flow[f.name]
-                contribs[f.name].append(((j,), d))
-                nxt = f.next_hop(j)
-                if nxt is not None:
-                    curve_at[(f.name, nxt)] = capped_output_curve(
-                        cross1[f.name], d, cj).simplified()
-        for f in network.flows_at(k):
-            if f.name in through:
-                continue
-            d = res.delay2_by_flow[f.name]
-            contribs[f.name].append(((k,), d))
-            nxt = f.next_hop(k)
-            if nxt is not None:
-                curve_at[(f.name, nxt)] = capped_output_curve(
-                    cross2[f.name], d, ck).simplified()
+                element = (block[_EXIT_INDEX[role]],)
+            contribs[name].append((element, d))
+        for name, curve in outcome.out_curves:
+            exit_sid = block[_EXIT_INDEX[role_of[name]]]
+            nxt = network.flow(name).next_hop(exit_sid)
+            curve_at[(name, nxt)] = curve
+        if outcome.kernel is not None and len(block) == 2:
+            kernel_wins[tuple(block)] = outcome.kernel

@@ -170,10 +170,30 @@ class PiecewiseLinearCurve:
         """True when every segment slope is >= 0 (up to tolerance)."""
         return bool(np.all(self.slopes() >= -eps))
 
+    def _shape_holds(self, sign: float, eps: float) -> bool:
+        """Shared convexity/concavity test; ``sign`` +1 convex, -1 concave.
+
+        A kink violates the shape when the slope changes the wrong way
+        by more than *eps* — unless the preceding segment is so narrow
+        that the curve deviates from its convex (concave) envelope by at
+        most *eps* in **value**.  The width-weighted let-out keeps
+        representation-level artifacts (e.g. denormal-width segments
+        produced by max/min of near-identical curves) from flipping the
+        classification of a curve that is convex for every practical
+        purpose.
+        """
+        s = self.slopes()
+        if s.size <= 1:
+            return True
+        defect = sign * -np.diff(s)
+        if np.all(defect <= eps):
+            return True
+        widths = np.diff(self.x)
+        return bool(np.all((defect <= eps) | (defect * widths <= eps)))
+
     def is_convex(self, eps: float = EPS) -> bool:
         """True when segment slopes are nondecreasing (up to tolerance)."""
-        s = self.slopes()
-        return bool(np.all(np.diff(s) >= -eps)) if s.size > 1 else True
+        return self._shape_holds(1.0, eps)
 
     def is_concave(self, eps: float = EPS) -> bool:
         """True when segment slopes are nonincreasing (up to tolerance).
@@ -182,8 +202,7 @@ class PiecewiseLinearCurve:
         ``(0, inf)``; the jump at 0 is ignored, matching the arrival-curve
         convention.
         """
-        s = self.slopes()
-        return bool(np.all(np.diff(s) <= eps)) if s.size > 1 else True
+        return self._shape_holds(-1.0, eps)
 
     def value_at_zero(self) -> float:
         """The curve value at ``t = 0`` (a token bucket's burst)."""

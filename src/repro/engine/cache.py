@@ -1,0 +1,81 @@
+"""Content-addressed result cache with LRU eviction.
+
+Keys are :func:`repro.utils.hashing.stable_digest` digests over the
+*exact* inputs of a per-server / per-block computation; values are the
+immutable result objects (:class:`~repro.analysis.propagation.
+ServerStep`, :class:`~repro.core.integrated.BlockOutcome`).  Because a
+key covers every bit of every input, a hit is guaranteed to reproduce
+the cold computation bit-identically — invalidation is therefore a
+*performance* concern (bounding memory), never a correctness one.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["CacheEntry", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached result plus the wall-clock cost of computing it.
+
+    ``compute_time`` is what a future hit saves; the engine aggregates
+    it into :class:`~repro.engine.stats.EngineStats.saved_s`.
+    """
+
+    value: object
+    compute_time: float
+
+
+class ResultCache:
+    """A bounded LRU mapping of content digests to results.
+
+    Parameters
+    ----------
+    max_entries:
+        Entry cap; the least recently used entry is evicted beyond it.
+        ``None`` (default) means unbounded — intermediate results are
+        small (a few curve arrays each), so unbounded is safe for any
+        realistic admission session.
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1 or None, got {max_entries}")
+        self._entries: OrderedDict[bytes, CacheEntry] = OrderedDict()
+        self.max_entries = max_entries
+        self.evictions = 0
+
+    def get(self, key: bytes) -> CacheEntry | None:
+        """The entry for *key* (refreshing its recency), or None."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: bytes, value: object,
+            compute_time: float) -> None:
+        """Store a result; evicts the LRU entry when over capacity."""
+        self._entries[key] = CacheEntry(value, compute_time)
+        self._entries.move_to_end(key)
+        if (self.max_entries is not None
+                and len(self._entries) > self.max_entries):
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (e.g. on an out-of-band network change)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[bytes]:
+        return iter(self._entries)

@@ -1,0 +1,110 @@
+"""Dependency tracking between flows, servers and downstream results.
+
+The engine's invalidation rule comes straight from the analyses'
+structure: a per-server (or per-block) result depends on
+
+1. the server specs involved,
+2. the set of flows incident to the server and their descriptors, and
+3. each incident flow's *input* curve — which is the output of the
+   flow's previous hop.
+
+Changing a flow therefore dirties exactly the servers on its path
+(dependency 2) plus, through dependency 3, everything reachable from
+them in the server graph — burstiness propagates strictly downstream
+in a feed-forward network.  :func:`affected_cone` computes that set;
+everything outside it is guaranteed to receive bit-identical inputs
+and can reuse its previous result without recomputation.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.network.flow import Flow
+from repro.network.topology import Network
+
+__all__ = ["DependencyGraph", "affected_cone"]
+
+ServerId = Hashable
+
+
+class DependencyGraph:
+    """Server-to-flow incidence plus downstream reachability for one
+    network snapshot.
+
+    Built once per analyzed network; immutable thereafter (the network
+    itself is immutable).
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        flows_by_server: dict[ServerId, set[str]] = {
+            sid: set() for sid in network.servers}
+        successors: dict[ServerId, set[ServerId]] = {
+            sid: set() for sid in network.servers}
+        for f in network.flows.values():
+            for sid in f.path:
+                flows_by_server[sid].add(f.name)
+            for a, b in zip(f.path, f.path[1:]):
+                successors[a].add(b)
+        self._flows_by_server: Mapping[ServerId, frozenset[str]] = {
+            sid: frozenset(names)
+            for sid, names in flows_by_server.items()}
+        self._successors = successors
+
+    def flows_at(self, server_id: ServerId) -> frozenset[str]:
+        """Names of the flows traversing *server_id* (empty if none)."""
+        return self._flows_by_server.get(server_id, frozenset())
+
+    def servers_of(self, flow_names: Iterable[str]) -> set[ServerId]:
+        """Union of the named flows' path servers (unknown names are
+        ignored — the caller may hold names from another snapshot)."""
+        out: set[ServerId] = set()
+        flows = self.network.flows
+        for name in flow_names:
+            f = flows.get(name)
+            if f is not None:
+                out.update(f.path)
+        return out
+
+    def downstream_closure(self,
+                           servers: Iterable[ServerId]) -> set[ServerId]:
+        """*servers* plus every server reachable from them.
+
+        Multi-source BFS over the flow-induced server graph; linear in
+        the size of the reached subgraph, so small cones stay cheap.
+        """
+        frontier = [s for s in servers if s in self._successors]
+        seen: set[ServerId] = set(frontier)
+        while frontier:
+            nxt: list[ServerId] = []
+            for s in frontier:
+                for succ in self._successors[s]:
+                    if succ not in seen:
+                        seen.add(succ)
+                        nxt.append(succ)
+            frontier = nxt
+        return seen
+
+
+def affected_cone(old: DependencyGraph | None, new: DependencyGraph,
+                  changed_flows: Iterable[Flow]) -> set[ServerId]:
+    """Servers whose results may change between two network snapshots.
+
+    Seeds are every server on a changed flow's path (in either
+    snapshot); the cone closes the seeds downstream in *both* server
+    graphs, because an admitted flow adds propagation edges while a
+    released flow's effects linger along its former path.
+
+    The cone is a sound over-approximation: any server outside it has
+    an unchanged incident flow set and receives bit-identical input
+    curves, hence produces a bit-identical result.
+    """
+    seeds: set[ServerId] = set()
+    for f in changed_flows:
+        seeds.update(f.path)
+    cone = set(seeds)
+    if old is not None:
+        cone |= old.downstream_closure(seeds & set(old.network.servers))
+    cone |= new.downstream_closure(seeds & set(new.network.servers))
+    return cone

@@ -1,0 +1,396 @@
+"""The incremental engine: dependency-tracked memoization of delay
+analyses.
+
+:class:`IncrementalEngine` wraps an :class:`~repro.analysis.base.
+Analyzer` and serves repeated analyses of *evolving* networks — the
+admission-control workload, where consecutive networks differ by a
+handful of flows.  Three mechanisms cooperate:
+
+1. **Dependency graph** (:mod:`repro.engine.depgraph`): which servers
+   each flow touches, and what is downstream of them.  Changing flows
+   dirties exactly the affected cone.
+2. **Fast reuse**: per-server / per-block results from the previous
+   sweep are replayed verbatim for every block outside the cone — no
+   hashing, no computation.
+3. **Content-addressed cache** (:mod:`repro.engine.cache`): blocks
+   inside the cone are keyed by a stable digest of their *exact*
+   inputs (specs, flow roles, IEEE-754 bits of every curve); a hit —
+   e.g. releasing a flow back to a previously seen state — replays the
+   stored result.
+
+Because every reused result was originally produced by the very same
+pure per-block function the cold analyzer runs
+(:func:`repro.analysis.propagation.server_step`,
+:func:`repro.core.integrated.evaluate_block`), engine reports are
+**bit-identical** to cold reports.  When the wrapped analyzer is not
+one the engine understands — or the network is not feed-forward — the
+engine transparently falls back to a cold full analysis (counted in
+:class:`~repro.engine.stats.EngineStats.fallbacks`), so it is a safe
+drop-in anywhere an analyzer is accepted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+from repro.analysis.base import Analyzer, DelayReport
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.analysis.propagation import ServerInput, server_step
+from repro.core.integrated import (
+    BlockInput,
+    IntegratedAnalysis,
+    evaluate_block,
+)
+from repro.engine.cache import ResultCache
+from repro.engine.depgraph import DependencyGraph, affected_cone
+from repro.engine.stats import EngineStats
+from repro.errors import EngineError
+from repro.network.flow import Flow
+from repro.network.topology import Network
+from repro.utils.hashing import stable_digest
+
+__all__ = [
+    "IncrementalEngine",
+    "reports_identical",
+    "describe_report_difference",
+]
+
+ServerId = Hashable
+
+#: Sweep-unit record: the result object plus its original compute time
+#: (what a reuse saves).
+_Record = tuple[object, float]
+
+
+def _server_key(si: ServerInput) -> bytes:
+    """Content digest of one decomposition step's exact inputs."""
+    parts: list[object] = ["step", si.capacity, si.discipline, si.capped]
+    for fa in si.flows:
+        parts.extend((fa.name, fa.has_next, fa.priority, fa.rho,
+                      fa.curve.x, fa.curve.y, fa.curve.final_slope))
+    return stable_digest(*parts)
+
+
+def _block_key(bi: BlockInput) -> bytes:
+    """Content digest of one integrated block's exact inputs."""
+    parts: list[object] = ["block", bi.kind, bi.capacities,
+                           bi.disciplines, bi.use_family_kernel]
+    for fa in bi.flows:
+        parts.extend((fa.name, fa.role, fa.has_next, fa.priority, fa.rho,
+                      fa.curve.x, fa.curve.y, fa.curve.final_slope))
+    return stable_digest(*parts)
+
+
+def reports_identical(a: DelayReport, b: DelayReport) -> bool:
+    """True when two reports are exactly equal — algorithm, every
+    flow's bound and contribution breakdown, and all metadata.
+
+    Floats are compared with ``==`` (no tolerance): the engine's
+    contract is bit-identity, not approximation.
+    """
+    return (a.algorithm == b.algorithm
+            and dict(a.delays) == dict(b.delays)
+            and dict(a.meta) == dict(b.meta))
+
+
+def describe_report_difference(a: DelayReport,
+                               b: DelayReport) -> str | None:
+    """Human-readable description of the first divergence, or None."""
+    if a.algorithm != b.algorithm:
+        return f"algorithm {a.algorithm!r} != {b.algorithm!r}"
+    if set(a.delays) != set(b.delays):
+        odd = sorted(set(a.delays) ^ set(b.delays))
+        return f"flow sets differ: {odd}"
+    for name in sorted(a.delays):
+        fa, fb = a.delays[name], b.delays[name]
+        if fa.total != fb.total:
+            return (f"flow {name!r}: total {fa.total!r} != {fb.total!r}")
+        if fa.contributions != fb.contributions:
+            return (f"flow {name!r}: contributions differ: "
+                    f"{fa.contributions} != {fb.contributions}")
+    if dict(a.meta) != dict(b.meta):
+        keys = {k for k in set(a.meta) | set(b.meta)
+                if a.meta.get(k) != b.meta.get(k)}
+        return f"meta differs on keys {sorted(map(str, keys))}"
+    return None
+
+
+@dataclass
+class _SweepMemo:
+    """Everything remembered from the engine's last incremental sweep."""
+
+    network: Network
+    depgraph: DependencyGraph
+    fingerprint: tuple
+    outcomes: dict[tuple, _Record]
+    report: DelayReport
+
+
+class IncrementalEngine(Analyzer):
+    """Analyzer wrapper that memoizes per-hop / per-block results.
+
+    Parameters
+    ----------
+    analyzer:
+        The wrapped analysis.  :class:`~repro.analysis.decomposed.
+        DecomposedAnalysis` and :class:`~repro.core.integrated.
+        IntegratedAnalysis` run incrementally; anything else falls back
+        to cold full analysis on every query.
+    network:
+        Optional initial network for the stateful
+        :meth:`admit` / :meth:`release` / :meth:`query` interface.  The
+        stateless :meth:`analyze` works without it.
+    max_cache_entries:
+        Bound on the content-addressed cache (LRU beyond it);
+        ``None`` = unbounded.
+    self_check:
+        Run a cold full analysis after every incremental sweep and
+        raise :class:`~repro.errors.EngineError` unless the reports are
+        bit-identical.  For differential harnesses and paranoid
+        deployments; roughly doubles the cost of every query.
+    """
+
+    def __init__(self, analyzer: Analyzer,
+                 network: Network | None = None, *,
+                 max_cache_entries: int | None = None,
+                 self_check: bool = False) -> None:
+        if isinstance(analyzer, IncrementalEngine):
+            raise EngineError("cannot wrap an IncrementalEngine in "
+                              "another IncrementalEngine")
+        self._analyzer = analyzer
+        if isinstance(analyzer, DecomposedAnalysis):
+            self._mode = "decomposed"
+        elif isinstance(analyzer, IntegratedAnalysis):
+            self._mode = "integrated"
+        else:
+            self._mode = None
+        self.name = f"incremental+{analyzer.name}"
+        self.stats = EngineStats()
+        self._cache = ResultCache(max_cache_entries)
+        self._memo: _SweepMemo | None = None
+        self._network = network
+        self._self_check = bool(self_check)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def analyzer(self) -> Analyzer:
+        """The wrapped (cold) analyzer."""
+        return self._analyzer
+
+    @property
+    def network(self) -> Network | None:
+        """Current network of the stateful admit/release interface."""
+        return self._network
+
+    @property
+    def cache_size(self) -> int:
+        """Number of entries in the content-addressed cache."""
+        return len(self._cache)
+
+    @property
+    def supports_incremental(self) -> bool:
+        """False when every query cold-falls-back (unknown analyzer)."""
+        return self._mode is not None
+
+    def _fingerprint(self) -> tuple:
+        """The wrapped analyzer's current configuration.
+
+        Changing configuration between queries invalidates fast reuse
+        (the memoized sweep was produced under different settings);
+        the content cache is safe regardless because the relevant flags
+        are part of every key.
+        """
+        if self._mode == "decomposed":
+            return ("decomposed", self._analyzer.capped_propagation)
+        strategy = self._analyzer.strategy
+        return ("integrated", self._analyzer.use_family_kernel,
+                type(strategy).__qualname__,
+                getattr(strategy, "flow_name", None))
+
+    # ------------------------------------------------------------------
+    # core analysis
+    # ------------------------------------------------------------------
+
+    def analyze(self, network: Network) -> DelayReport:
+        """Bounds for *network*, reusing whatever the last analysis of
+        a similar network already established.
+
+        Falls back to a cold full analysis (same return value, no
+        caching) for unsupported analyzers and non-feed-forward
+        networks.  Results are always bit-identical to
+        ``self.analyzer.analyze(network)``.
+        """
+        self.stats.queries += 1
+        if self._mode is None or not network.is_feedforward:
+            self.stats.fallbacks += 1
+            return self._analyzer.analyze(network)
+
+        memo = self._memo
+        fingerprint = self._fingerprint()
+        if (memo is not None and memo.fingerprint == fingerprint
+                and memo.network.version == network.version):
+            return memo.report
+
+        depgraph = DependencyGraph(network)
+        cone, reusable = self._plan(memo, network, depgraph, fingerprint)
+        if cone is not None and not cone and reusable:
+            # nothing changed at all: the previous report stands
+            return memo.report
+        self.stats.invalidations += len(cone) if cone is not None else 0
+
+        outcomes: dict[tuple, _Record] = {}
+        if self._mode == "decomposed":
+            report = self._analyzer.analyze(
+                network, step=self._make_server_step(
+                    cone, reusable, outcomes))
+        else:
+            report = self._analyzer.analyze(
+                network, block_step=self._make_block_step(
+                    cone, reusable, outcomes))
+        self._memo = _SweepMemo(network, depgraph, fingerprint,
+                                outcomes, report)
+
+        if self._self_check:
+            self.stats.self_checks += 1
+            cold = self._analyzer.analyze(network)
+            diff = describe_report_difference(report, cold)
+            if diff is not None:
+                raise EngineError(
+                    f"incremental result diverged from cold analysis: "
+                    f"{diff}")
+        return report
+
+    def _plan(self, memo: _SweepMemo | None, network: Network,
+              depgraph: DependencyGraph, fingerprint: tuple,
+              ) -> tuple[set[ServerId] | None, dict[tuple, _Record]]:
+        """The invalidation pass: (dirty cone, reusable sweep units).
+
+        A ``None`` cone means "everything dirty, nothing structurally
+        comparable" (first query, changed analyzer config, changed
+        server set); fast reuse is disabled and only the content cache
+        applies.
+        """
+        if memo is None or memo.fingerprint != fingerprint:
+            return None, {}
+        old = memo.network
+        if (dict(old.servers) != dict(network.servers)
+                or old.allow_cycles != network.allow_cycles):
+            return None, {}
+        old_flows: Mapping[str, Flow] = old.flows
+        new_flows: Mapping[str, Flow] = network.flows
+        changed: list[Flow] = [
+            f for name, f in old_flows.items()
+            if name not in new_flows or new_flows[name] != f]
+        changed += [
+            f for name, f in new_flows.items()
+            if name not in old_flows or old_flows[name] != f]
+        if not changed:
+            return set(), memo.outcomes
+        cone = affected_cone(memo.depgraph, depgraph, changed)
+        return cone, memo.outcomes
+
+    # ------------------------------------------------------------------
+    # sweep hooks
+    # ------------------------------------------------------------------
+
+    def _lookup(self, unit: tuple, in_cone: bool,
+                reusable: dict[tuple, _Record],
+                outcomes: dict[tuple, _Record], key_fn, compute_fn,
+                payload):
+        """Shared reuse → cache → compute ladder for one sweep unit."""
+        if not in_cone:
+            rec = reusable.get(unit)
+            if rec is not None:
+                outcomes[unit] = rec
+                self.stats.fast_reuses += 1
+                self.stats.saved_s += rec[1]
+                return rec[0]
+        key = key_fn(payload)
+        entry = self._cache.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self.stats.saved_s += entry.compute_time
+            outcomes[unit] = (entry.value, entry.compute_time)
+            return entry.value
+        t0 = time.perf_counter()
+        value = compute_fn(payload)
+        dt = time.perf_counter() - t0
+        self.stats.misses += 1
+        self.stats.spent_s += dt
+        self._cache.put(key, value, dt)
+        outcomes[unit] = (value, dt)
+        return value
+
+    def _make_server_step(self, cone, reusable, outcomes):
+        def step(sid, si: ServerInput):
+            in_cone = cone is None or sid in cone
+            return self._lookup(("server", sid), in_cone, reusable,
+                                outcomes, _server_key, server_step, si)
+        return step
+
+    def _make_block_step(self, cone, reusable, outcomes):
+        def block_step(block: tuple, bi: BlockInput):
+            in_cone = cone is None or any(s in cone for s in block)
+            return self._lookup((bi.kind, block), in_cone, reusable,
+                                outcomes, _block_key, evaluate_block, bi)
+        return block_step
+
+    # ------------------------------------------------------------------
+    # stateful admission interface
+    # ------------------------------------------------------------------
+
+    def _require_network(self) -> Network:
+        if self._network is None:
+            raise EngineError(
+                "engine has no base network; construct with "
+                "IncrementalEngine(analyzer, network) to use "
+                "admit/release/query")
+        return self._network
+
+    def query(self) -> DelayReport:
+        """Bounds for the current network (cheap when nothing changed)."""
+        return self.analyze(self._require_network())
+
+    def admit(self, flow: Flow) -> DelayReport:
+        """Add *flow* and return the new network's report.
+
+        Transactional: if the topology rejects the flow or the
+        analysis raises (e.g. the flow overloads a server), the
+        engine's network is unchanged.
+        """
+        candidate = self._require_network().with_flow(flow)
+        report = self.analyze(candidate)
+        self._network = candidate
+        return report
+
+    def admit_batch(self, flows: Iterable[Flow]) -> DelayReport:
+        """Admit several flows in ONE invalidation pass.
+
+        Coalescing N pending requests dirties the union cone once and
+        runs a single sweep, instead of N sweeps with overlapping
+        cones.  All-or-nothing: any failure leaves the network as it
+        was.
+        """
+        candidate = self._require_network()
+        for flow in flows:
+            candidate = candidate.with_flow(flow)
+        report = self.analyze(candidate)
+        self._network = candidate
+        return report
+
+    def release(self, name: str) -> DelayReport:
+        """Remove flow *name* and return the new network's report."""
+        candidate = self._require_network().without_flow(name)
+        report = self.analyze(candidate)
+        self._network = candidate
+        return report
+
+    def reset_cache(self) -> None:
+        """Drop every cached result and sweep memo (not the stats)."""
+        self._cache.clear()
+        self._memo = None

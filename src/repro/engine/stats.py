@@ -1,0 +1,97 @@
+"""Counter block for the incremental engine.
+
+Separated from the engine so evaluation code and the CLI can render
+statistics without importing the engine internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EngineStats"]
+
+
+@dataclass
+class EngineStats:
+    """Operational counters of one :class:`~repro.engine.IncrementalEngine`.
+
+    Attributes
+    ----------
+    queries:
+        Analyses answered by the engine (incremental or fallback).
+    hits:
+        Block/step results served from the content-addressed cache.
+    misses:
+        Block/step results that had to be computed.
+    fast_reuses:
+        Results reused from the previous sweep without even hashing
+        (the block was outside the invalidation cone).
+    invalidations:
+        Servers dirtied by network changes, summed over queries.
+    fallbacks:
+        Queries answered by a cold full analysis (unsupported analyzer
+        or network shape).
+    self_checks:
+        Differential self-checks performed (``self_check=True``).
+    saved_s:
+        Estimated wall-clock seconds saved: the original compute time
+        of every result served from cache or reused.
+    spent_s:
+        Wall-clock seconds spent computing cache misses.
+    """
+
+    queries: int = 0
+    hits: int = 0
+    misses: int = 0
+    fast_reuses: int = 0
+    invalidations: int = 0
+    fallbacks: int = 0
+    self_checks: int = 0
+    saved_s: float = 0.0
+    spent_s: float = 0.0
+    _extra: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def reused(self) -> int:
+        """Results not recomputed (cache hits plus fast reuses)."""
+        return self.hits + self.fast_reuses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of block/step evaluations served without computing."""
+        total = self.reused + self.misses
+        return self.reused / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot (JSON-serializable)."""
+        return {
+            "queries": self.queries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "fast_reuses": self.fast_reuses,
+            "invalidations": self.invalidations,
+            "fallbacks": self.fallbacks,
+            "self_checks": self.self_checks,
+            "hit_rate": self.hit_rate,
+            "saved_s": self.saved_s,
+            "spent_s": self.spent_s,
+        }
+
+    def render(self) -> str:
+        """Aligned human-readable counter block."""
+        d = self.as_dict()
+        lines = ["engine stats:"]
+        for key in ("queries", "hits", "misses", "fast_reuses",
+                    "invalidations", "fallbacks", "self_checks"):
+            lines.append(f"  {key:<14}{d[key]:>10d}")
+        lines.append(f"  {'hit_rate':<14}{d['hit_rate']:>10.1%}")
+        lines.append(f"  {'saved_s':<14}{d['saved_s']:>10.4f}")
+        lines.append(f"  {'spent_s':<14}{d['spent_s']:>10.4f}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.queries = self.hits = self.misses = 0
+        self.fast_reuses = self.invalidations = 0
+        self.fallbacks = self.self_checks = 0
+        self.saved_s = self.spent_s = 0.0

@@ -79,3 +79,14 @@ class ResilienceError(ReproError):
                  scenario: str | None = None) -> None:
         super().__init__(message)
         self.scenario = scenario
+
+
+class EngineError(AnalysisError):
+    """The incremental analysis engine detected an internal
+    inconsistency (e.g. a self-check found cached results diverging
+    from a cold analysis).
+
+    Subclasses :class:`AnalysisError` on purpose: admission control's
+    fallback chain treats an engine failure like any other analysis
+    failure and degrades to a cold analyzer instead of failing open.
+    """

@@ -35,15 +35,20 @@ class CapacityPoint:
 
 def admission_capacity(analyzer_name: str, n_hops: int, deadline: float,
                        rho: float = 0.02, sigma: float = 1.0,
-                       max_tries: int = 500) -> CapacityPoint:
+                       max_tries: int = 500, *,
+                       incremental: bool = False) -> CapacityPoint:
     """Count admissible identical connections under one analyzer.
 
     Connections are peak-limited token buckets ``(sigma, rho)``
     traversing the whole tandem with the given end-to-end *deadline*.
+    With ``incremental=True`` the controller runs engine-backed
+    admission (same counts, bit-identical decisions, less recomputation
+    across the k admission tests of the sweep).
     """
     network = Network([ServerSpec(k) for k in range(1, n_hops + 1)], [])
     controller = AdmissionController(network,
-                                     _analyzer_factory(analyzer_name)())
+                                     _analyzer_factory(analyzer_name)(),
+                                     incremental=incremental)
 
     def make(k: int) -> ConnectionRequest:
         return ConnectionRequest(
@@ -56,7 +61,8 @@ def admission_capacity(analyzer_name: str, n_hops: int, deadline: float,
 
 def capacity_table(analyzers: Sequence[str], n_hops: int,
                    deadlines: Sequence[float], rho: float = 0.02,
-                   max_tries: int = 500) -> str:
+                   max_tries: int = 500, *,
+                   incremental: bool = False) -> str:
     """Aligned text table: admitted connections per (deadline, analyzer)."""
     header = f"{'deadline':>9}" + "".join(f"{a:>15}" for a in analyzers)
     lines = [header, "-" * len(header)]
@@ -64,7 +70,8 @@ def capacity_table(analyzers: Sequence[str], n_hops: int,
         row = f"{deadline:9.1f}"
         for a in analyzers:
             point = admission_capacity(a, n_hops, deadline, rho,
-                                       max_tries=max_tries)
+                                       max_tries=max_tries,
+                                       incremental=incremental)
             row += f"{point.admitted:15d}"
         lines.append(row)
     return "\n".join(lines)

@@ -39,7 +39,7 @@ import os
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import IO, Callable, Sequence
+from typing import Callable, Sequence
 
 from repro.eval.figures import _analyzer_factory  # shared registry
 from repro.network.tandem import CONNECTION0, build_tandem
@@ -149,26 +149,47 @@ def _load_checkpoint(path: Path) -> dict[_Task, SweepPoint]:
 
 
 class _Checkpointer:
-    """Append-only JSONL sink for completed points (no-op when off)."""
+    """Atomic JSONL sink for completed points (no-op when off).
+
+    Every write rewrites the whole file via ``<path>.tmp`` +
+    :func:`os.replace`, so the checkpoint on disk is always a complete,
+    parseable JSONL snapshot — a crash mid-write can no longer leave a
+    truncated last line (the old content survives instead).  Point
+    volume is modest (one line per grid point), so rewriting is cheap
+    relative to the analyses being checkpointed.
+    """
 
     def __init__(self, path: Path | None, resume: bool) -> None:
-        self._file: IO[str] | None = None
+        self._path: Path | None = path
+        self._lines: list[str] = []
         if path is None:
             return
-        mode = "a" if (resume and path.exists()) else "w"
         path.parent.mkdir(parents=True, exist_ok=True)
-        self._file = open(path, mode, encoding="utf-8")
+        if resume and path.exists():
+            self._lines = [ln for ln in path.read_text(
+                encoding="utf-8").splitlines() if ln.strip()]
+        else:
+            self._replace()
+
+    def _replace(self) -> None:
+        assert self._path is not None
+        tmp = self._path.with_name(self._path.name + ".tmp")
+        content = "".join(line + "\n" for line in self._lines)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(content)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._path)
 
     def write(self, point: SweepPoint) -> None:
-        if self._file is None:
+        if self._path is None:
             return
-        self._file.write(json.dumps(_point_to_record(point)) + "\n")
-        self._file.flush()
+        self._lines.append(json.dumps(_point_to_record(point)))
+        self._replace()
 
     def close(self) -> None:
-        if self._file is not None:
-            self._file.close()
-            self._file = None
+        self._path = None
+        self._lines = []
 
 
 # ----------------------------------------------------------------------

@@ -15,6 +15,7 @@ from typing import Hashable, Sequence
 
 from repro.curves.token_bucket import TokenBucket
 from repro.errors import FlowError
+from repro.utils.hashing import stable_digest
 
 __all__ = ["Flow"]
 
@@ -97,6 +98,19 @@ class Flow:
         """The server after *server* on the path, or None at the exit."""
         i = self.hop_index(server)
         return self.path[i + 1] if i + 1 < len(self.path) else None
+
+    def content_key(self) -> bytes:
+        """A stable digest of everything that defines this flow.
+
+        Two flows share a content key iff name, traffic descriptor,
+        path, deadline and priority are all bit-identical; the
+        incremental engine (:mod:`repro.engine`) uses this to detect
+        which flows actually changed between two networks.
+        """
+        return stable_digest(
+            "flow", self.name, self.bucket.sigma, self.bucket.rho,
+            self.bucket.peak, tuple(str(s) for s in self.path),
+            self.deadline, self.priority)
 
     def with_deadline(self, deadline: float) -> "Flow":
         """A copy of this flow with a different deadline."""

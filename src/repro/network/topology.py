@@ -11,6 +11,7 @@ stability hooks are provided.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator, Mapping
 
@@ -18,6 +19,7 @@ import networkx as nx
 
 from repro.errors import InstabilityError, TopologyError
 from repro.network.flow import Flow
+from repro.utils.hashing import stable_digest
 from repro.utils.validation import check_positive
 
 __all__ = ["ServerSpec", "Network", "Discipline"]
@@ -59,6 +61,20 @@ class ServerSpec:
             raise TopologyError(
                 f"unknown discipline {self.discipline!r}; "
                 f"expected one of {Discipline.ALL}")
+
+    def content_key(self) -> bytes:
+        """A stable digest of this server's identity and parameters."""
+        return stable_digest("server", str(self.server_id),
+                             self.capacity, self.discipline)
+
+
+#: Monotonically increasing structural version counter.  Every Network
+#: instance — including the derived ones produced by with_flow/
+#: without_flow/replace_* — gets a fresh version at construction, so
+#: version equality implies object identity and the incremental engine
+#: can use it as a cheap same-network check before falling back to
+#: content comparison.
+_STRUCT_VERSION = itertools.count(1)
 
 
 class Network:
@@ -106,6 +122,8 @@ class Network:
 
         self._graph = self._build_server_graph()
         self.allow_cycles = bool(allow_cycles)
+        self.version = next(_STRUCT_VERSION)
+        self._content_key: bytes | None = None
         self._is_dag = nx.is_directed_acyclic_graph(self._graph)
         if not self._is_dag and not self.allow_cycles:
             cycle = nx.find_cycle(self._graph)
@@ -171,6 +189,25 @@ class Network:
     def is_feedforward(self) -> bool:
         """True when the server graph is acyclic."""
         return self._is_dag
+
+    def content_key(self) -> bytes:
+        """A stable digest of the whole network's structure.
+
+        Covers every server spec and every flow (in sorted order, so
+        construction order is irrelevant).  Two networks with equal
+        content keys produce bit-identical analysis results; the
+        incremental engine uses this for whole-network memoization and
+        to detect out-of-band structural changes.  Computed lazily and
+        cached — Network is immutable after construction.
+        """
+        if self._content_key is None:
+            parts: list[object] = ["network", self.allow_cycles]
+            for sid in sorted(self._servers, key=str):
+                parts.append(self._servers[sid].content_key())
+            for name in sorted(self._flows):
+                parts.append(self._flows[name].content_key())
+            self._content_key = stable_digest(*parts)
+        return self._content_key
 
     def topological_servers(self) -> list[ServerId]:
         """Server ids in a (deterministic) topological order.

@@ -1,0 +1,94 @@
+"""Stable content hashing for incremental-analysis cache keys.
+
+The incremental engine (:mod:`repro.engine`) keys cached intermediate
+results by the *content* of everything that determines them: server
+specs, flow descriptors and exact constraint curves.  Python's builtin
+``hash`` is salted per process and therefore useless for that; this
+module provides a deterministic digest over the small set of value
+types the engine needs.
+
+Floats are hashed by their IEEE-754 bit pattern (``struct.pack('<d')``),
+so two inputs get the same key *iff* they are bit-identical — exactly
+the contract the engine needs for bit-identical cached results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["stable_digest", "digest_update"]
+
+_FLOAT = struct.Struct("<d")
+_INT = struct.Struct("<q")
+
+
+def digest_update(h, obj) -> None:
+    """Feed one value into a hashlib digest, canonically.
+
+    Supported: ``None``, ``bool``, ``int``, ``float``, ``str``,
+    ``bytes``, numpy arrays and (nested) tuples/lists.  Every value is
+    prefixed with a type tag so e.g. ``1`` and ``1.0`` and ``"1"`` hash
+    differently and sequences cannot collide by concatenation.
+    """
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, bool):
+        h.update(b"b1" if obj else b"b0")
+    elif isinstance(obj, int):
+        try:
+            h.update(b"i")
+            h.update(_INT.pack(obj))
+        except struct.error:  # arbitrary-precision fallback
+            h.update(b"I")
+            h.update(str(obj).encode("ascii"))
+    elif isinstance(obj, float):
+        h.update(b"f")
+        h.update(_FLOAT.pack(obj))
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        h.update(b"s")
+        h.update(_INT.pack(len(data)))
+        h.update(data)
+    elif isinstance(obj, bytes):
+        h.update(b"y")
+        h.update(_INT.pack(len(obj)))
+        h.update(obj)
+    elif isinstance(obj, np.ndarray):
+        data = np.ascontiguousarray(obj, dtype=np.float64).tobytes()
+        h.update(b"a")
+        h.update(_INT.pack(len(data)))
+        h.update(data)
+    elif isinstance(obj, (tuple, list)):
+        h.update(b"(")
+        for item in obj:
+            digest_update(h, item)
+        h.update(b")")
+    else:
+        raise TypeError(
+            f"stable_digest cannot hash {type(obj).__name__!r}; "
+            "convert to a supported primitive first")
+
+
+def stable_digest(*parts: object) -> bytes:
+    """A 16-byte deterministic digest of the given values.
+
+    Deterministic across processes and Python invocations (unlike
+    builtin ``hash``), collision-resistant (blake2b), and sensitive to
+    every bit of every float fed in.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        digest_update(h, part)
+    return h.digest()
+
+
+def digest_many(parts: Iterable[object]) -> bytes:
+    """Like :func:`stable_digest` but over an iterable."""
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        digest_update(h, part)
+    return h.digest()

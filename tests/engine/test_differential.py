@@ -1,0 +1,107 @@
+"""Differential fuzz harness: engine reports == cold reports, exactly.
+
+Seeded random admit/release sequences are replayed twice — once through
+the :class:`~repro.engine.IncrementalEngine` and once with a cold
+analyzer on the same network snapshots.  Every pair of
+:class:`~repro.analysis.base.DelayReport` objects must be bit-identical
+(``==`` on every float, not approximately equal).  This is the
+enforcement of the engine's correctness contract for both Algorithm
+Decomposed and Algorithm Integrated.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.core.integrated import IntegratedAnalysis
+from repro.curves.token_bucket import TokenBucket
+from repro.engine import (
+    IncrementalEngine,
+    describe_report_difference,
+    reports_identical,
+)
+from repro.errors import AnalysisError, InstabilityError
+from repro.network.flow import Flow
+from repro.network.generators import random_feedforward
+
+
+def random_ops(rng, base, n_ops, max_extra=8):
+    """A seeded admit/release schedule against *base*'s server line.
+
+    Yields ("admit", flow) / ("release", name) ops that are always
+    legal for a controller that applies them in order.
+    """
+    servers = sorted(base.servers, key=str)
+    live = set(base.flows)
+    ops = []
+    fresh = 0
+    for _ in range(n_ops):
+        removable = [n for n in sorted(live) if n.startswith("fz")]
+        if removable and (len(removable) >= max_extra
+                          or rng.random() < 0.4):
+            name = rng.choice(removable)
+            live.discard(name)
+            ops.append(("release", name))
+        else:
+            start = rng.randrange(len(servers) - 1)
+            length = rng.randint(2, min(4, len(servers) - start))
+            path = tuple(servers[start:start + length])
+            name = f"fz{fresh}"
+            fresh += 1
+            live.add(name)
+            ops.append(("admit", Flow(
+                name,
+                TokenBucket(rng.uniform(0.2, 2.0),
+                            rng.uniform(0.01, 0.1)),
+                path, deadline=rng.uniform(20.0, 200.0))))
+    return ops
+
+
+def run_differential(analyzer_factory, seed, n_servers=8, n_flows=10,
+                     n_ops=14):
+    base = random_feedforward(seed=seed, n_servers=n_servers,
+                              n_flows=n_flows, max_utilization=0.5)
+    engine = IncrementalEngine(analyzer_factory(), base)
+    cold = analyzer_factory()
+    rng = random.Random(seed * 31 + 7)
+
+    net = base
+    for op in random_ops(rng, base, n_ops):
+        if op[0] == "admit":
+            candidate = net.with_flow(op[1])
+            apply_engine = lambda: engine.admit(op[1])  # noqa: E731
+        else:
+            candidate = net.without_flow(op[1])
+            apply_engine = lambda: engine.release(op[1])  # noqa: E731
+        try:
+            want = cold.analyze(candidate)
+        except (AnalysisError, InstabilityError) as exc:
+            # overload etc.: the engine must fail the same way and
+            # leave its state untouched
+            with pytest.raises(type(exc)):
+                apply_engine()
+            assert engine.network is not candidate
+            continue
+        got = apply_engine()
+        assert reports_identical(got, want), (
+            f"op {op[0]} diverged: "
+            f"{describe_report_difference(got, want)}")
+        net = candidate
+    assert engine.stats.reused > 0  # the run actually exercised reuse
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4])
+def test_decomposed_differential(seed):
+    run_differential(DecomposedAnalysis, seed)
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_integrated_differential(seed):
+    run_differential(IntegratedAnalysis, seed, n_servers=6,
+                     n_flows=6, n_ops=8)
+
+
+def test_capped_decomposed_differential():
+    run_differential(lambda: DecomposedAnalysis(capped_propagation=True),
+                     seed=5)

@@ -1,0 +1,222 @@
+"""Unit tests for the incremental analysis engine."""
+
+import pytest
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.analysis.service_curve import ServiceCurveAnalysis
+from repro.core.integrated import IntegratedAnalysis
+from repro.curves.token_bucket import TokenBucket
+from repro.engine import (
+    DependencyGraph,
+    IncrementalEngine,
+    ResultCache,
+    affected_cone,
+    describe_report_difference,
+    reports_identical,
+)
+from repro.errors import AnalysisError, EngineError
+from repro.network.flow import Flow
+from repro.network.generators import random_feedforward
+from repro.network.topology import Network, ServerSpec
+
+
+def tandem(n=4, capacity=10.0):
+    return Network([ServerSpec(k, capacity=capacity)
+                    for k in range(1, n + 1)], [])
+
+
+def flow(name, path, rho=0.5, deadline=60.0):
+    return Flow(name, TokenBucket(1.0, rho), tuple(path),
+                deadline=deadline)
+
+
+class TestEngineBasics:
+    def test_query_matches_cold(self):
+        net = tandem().with_flow(flow("a", [1, 2, 3]))
+        cold = DecomposedAnalysis().analyze(net)
+        eng = IncrementalEngine(DecomposedAnalysis(), net)
+        assert reports_identical(eng.query(), cold)
+        assert eng.stats.queries == 1 and eng.stats.misses > 0
+
+    def test_repeated_query_is_memoized(self):
+        net = tandem().with_flow(flow("a", [1, 2]))
+        eng = IncrementalEngine(DecomposedAnalysis(), net)
+        first = eng.query()
+        misses = eng.stats.misses
+        assert eng.query() is first
+        assert eng.stats.misses == misses  # nothing recomputed
+
+    def test_admit_release_roundtrip_hits_cache(self):
+        net = tandem().with_flow(flow("a", [1, 2, 3, 4]))
+        eng = IncrementalEngine(DecomposedAnalysis(), net)
+        baseline = eng.query()
+        eng.admit(flow("b", [2, 3]))
+        eng.release("b")
+        back = eng.query()
+        assert reports_identical(back, baseline)
+        assert eng.stats.hits > 0  # release returned to cached states
+
+    def test_admit_is_transactional_on_topology_error(self):
+        net = tandem()
+        eng = IncrementalEngine(DecomposedAnalysis(), net)
+        with pytest.raises(Exception):
+            eng.admit(flow("bad", [1, 99]))  # unknown server
+        assert eng.network is net
+
+    def test_admit_batch_single_sweep(self):
+        net = tandem().with_flow(flow("a", [1, 2]))
+        eng = IncrementalEngine(DecomposedAnalysis(), net)
+        eng.query()
+        queries = eng.stats.queries
+        report = eng.admit_batch([flow("b", [2, 3]), flow("c", [3, 4])])
+        assert eng.stats.queries == queries + 1
+        assert set(report.delays) == {"a", "b", "c"}
+        assert len(eng.network.flows) == 3
+
+    def test_stateless_engine_rejects_admit(self):
+        eng = IncrementalEngine(DecomposedAnalysis())
+        with pytest.raises(EngineError):
+            eng.query()
+        with pytest.raises(EngineError):
+            eng.admit(flow("a", [1]))
+
+    def test_engine_error_is_analysis_error(self):
+        assert issubclass(EngineError, AnalysisError)
+
+    def test_no_nested_engines(self):
+        inner = IncrementalEngine(DecomposedAnalysis())
+        with pytest.raises(EngineError):
+            IncrementalEngine(inner)
+
+
+class TestFallback:
+    def test_unsupported_analyzer_falls_back_cold(self):
+        net = tandem().with_flow(flow("a", [1, 2]))
+        eng = IncrementalEngine(ServiceCurveAnalysis(), net)
+        assert not eng.supports_incremental
+        cold = ServiceCurveAnalysis().analyze(net)
+        assert reports_identical(eng.query(), cold)
+        assert eng.stats.fallbacks == 1
+        assert eng.stats.misses == 0  # nothing went through the cache
+
+    def test_config_change_invalidates_fast_reuse(self):
+        net = tandem().with_flow(flow("a", [1, 2]))
+        analyzer = DecomposedAnalysis()
+        eng = IncrementalEngine(analyzer, net)
+        eng.query()
+        analyzer.capped_propagation = True
+        capped = eng.query()
+        cold = DecomposedAnalysis(capped_propagation=True).analyze(net)
+        assert reports_identical(capped, cold)
+
+    def test_self_check_mode_runs_clean(self):
+        net = random_feedforward(seed=5, n_servers=6, n_flows=10)
+        eng = IncrementalEngine(DecomposedAnalysis(), net,
+                                self_check=True)
+        eng.query()
+        name = sorted(net.flows)[0]
+        eng.release(name)
+        eng.admit(net.flows[name])
+        assert eng.stats.self_checks == 3
+
+
+class TestIntegratedEngine:
+    def test_integrated_query_matches_cold(self):
+        net = random_feedforward(seed=9, n_servers=6, n_flows=8)
+        cold = IntegratedAnalysis().analyze(net)
+        eng = IncrementalEngine(IntegratedAnalysis(), net)
+        assert reports_identical(eng.query(), cold)
+
+    def test_integrated_release_matches_cold(self):
+        net = random_feedforward(seed=9, n_servers=6, n_flows=8)
+        eng = IncrementalEngine(IntegratedAnalysis(), net)
+        eng.query()
+        name = sorted(net.flows)[2]
+        got = eng.release(name)
+        cold = IntegratedAnalysis().analyze(net.without_flow(name))
+        assert reports_identical(got, cold)
+
+
+class TestDependencyGraph:
+    def test_flows_at_and_closure(self):
+        net = tandem(4).with_flow(flow("a", [1, 2])) \
+                       .with_flow(flow("b", [3, 4]))
+        dg = DependencyGraph(net)
+        assert dg.flows_at(1) == {"a"}
+        assert dg.flows_at(3) == {"b"}
+        assert dg.downstream_closure([1]) == {1, 2}
+        assert dg.servers_of(["a", "nope"]) == {1, 2}
+
+    def test_affected_cone_covers_both_snapshots(self):
+        old = tandem(4).with_flow(flow("a", [1, 2]))
+        moved = flow("a", [3, 4])
+        new = tandem(4).with_flow(moved)
+        cone = affected_cone(DependencyGraph(old),
+                             DependencyGraph(new),
+                             [old.flows["a"], moved])
+        assert cone == {1, 2, 3, 4}
+
+    def test_cone_excludes_untouched_upstream(self):
+        net = tandem(4).with_flow(flow("a", [1, 2, 3, 4]))
+        dg = DependencyGraph(net)
+        cone = affected_cone(dg, dg, [flow("x", [3])])
+        assert cone == {3, 4}  # 1 and 2 stay clean
+
+
+class TestResultCache:
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(b"a", 1, 0.1)
+        cache.put(b"b", 2, 0.1)
+        assert cache.get(b"a").value == 1  # refresh 'a'
+        cache.put(b"c", 3, 0.1)
+        assert b"b" not in cache and b"a" in cache
+        assert cache.evictions == 1
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+
+class TestReportComparison:
+    def test_identical_and_difference_description(self):
+        net = tandem().with_flow(flow("a", [1, 2]))
+        r1 = DecomposedAnalysis().analyze(net)
+        r2 = DecomposedAnalysis().analyze(net)
+        assert reports_identical(r1, r2)
+        assert describe_report_difference(r1, r2) is None
+        r3 = DecomposedAnalysis().analyze(
+            net.with_flow(flow("b", [1, 2])))
+        assert not reports_identical(r1, r3)
+        assert "flow sets differ" in describe_report_difference(r1, r3)
+
+
+class TestControllerIntegration:
+    def test_incremental_controller_same_decisions(self):
+        from repro.admission.controller import AdmissionController
+        from repro.admission.requests import ConnectionRequest
+
+        def make(k):
+            return ConnectionRequest(
+                f"c{k}", TokenBucket(1.0, 0.02, peak=1.0),
+                (1, 2, 3, 4), 30.0)
+
+        cold = AdmissionController(tandem(), DecomposedAnalysis())
+        inc = AdmissionController(tandem(), DecomposedAnalysis(),
+                                  incremental=True)
+        assert inc.engine is not None and inc.engine_stats is not None
+        n_cold = cold.admissible_count(make, max_tries=40)
+        n_inc = inc.admissible_count(make, max_tries=40)
+        assert n_cold == n_inc
+        assert inc.engine_stats.queries > 0
+        assert cold.engine is None and cold.engine_stats is None
+
+    def test_cli_admit_incremental(self, capsys):
+        from repro.cli import main
+
+        rc = main(["admit", "--hops", "3", "--deadline", "25",
+                   "--analyzer", "decomposed", "--incremental",
+                   "--max", "20"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "admitted" in out and "engine stats:" in out

@@ -160,3 +160,64 @@ class TestCheckpointResume:
                                parallel=False, checkpoint=ck,
                                resume=True)
         assert points[0].ok
+
+
+class TestAtomicCheckpoint:
+    """The checkpoint file is replaced atomically on every write."""
+
+    def _point(self, load=0.5):
+        return SweepPoint("decomposed", 2, load, 1.0, 3.0)
+
+    def test_writes_go_through_os_replace(self, monkeypatch, tmp_path):
+        from repro.eval import parallel as mod
+
+        replaced = []
+        real = mod.os.replace
+        monkeypatch.setattr(
+            mod.os, "replace",
+            lambda src, dst: (replaced.append((str(src), str(dst))),
+                              real(src, dst))[1])
+        ck = tmp_path / "sweep.jsonl"
+        cp = mod._Checkpointer(ck, resume=False)
+        cp.write(self._point(0.3))
+        cp.write(self._point(0.6))
+        cp.close()
+        # one replace for the initial truncation, one per point
+        assert len(replaced) == 3
+        assert all(src == str(ck) + ".tmp" and dst == str(ck)
+                   for src, dst in replaced)
+        assert not (tmp_path / "sweep.jsonl.tmp").exists()
+        assert len(ck.read_text().splitlines()) == 2
+
+    def test_failed_write_preserves_previous_snapshot(
+            self, monkeypatch, tmp_path):
+        from repro.eval import parallel as mod
+
+        ck = tmp_path / "sweep.jsonl"
+        cp = mod._Checkpointer(ck, resume=False)
+        cp.write(self._point(0.3))
+        before = ck.read_text()
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(mod.os, "replace", boom)
+        with pytest.raises(OSError):
+            cp.write(self._point(0.6))
+        # the visible checkpoint is still the complete previous snapshot
+        assert ck.read_text() == before
+        assert json.loads(before.splitlines()[0])["load"] == 0.3
+
+    def test_resume_appends_to_existing_lines(self, tmp_path):
+        from repro.eval import parallel as mod
+
+        ck = tmp_path / "sweep.jsonl"
+        cp = mod._Checkpointer(ck, resume=False)
+        cp.write(self._point(0.3))
+        cp.close()
+        cp2 = mod._Checkpointer(ck, resume=True)
+        cp2.write(self._point(0.6))
+        cp2.close()
+        loads = [json.loads(ln)["load"]
+                 for ln in ck.read_text().splitlines()]
+        assert loads == [0.3, 0.6]

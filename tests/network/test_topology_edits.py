@@ -1,0 +1,103 @@
+"""Edge cases of the structural edit methods used by fault injection
+and the incremental engine: ``replace_server``, ``without_server`` and
+``replace_flow``."""
+
+import pytest
+
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import TopologyError
+from repro.network.flow import Flow
+from repro.network.topology import Network, ServerSpec
+
+
+def flow(name, path, rho=0.1):
+    return Flow(name, TokenBucket(1.0, rho), tuple(path))
+
+
+def net3():
+    return Network([ServerSpec(k) for k in (1, 2, 3)],
+                   [flow("a", [1, 2, 3]), flow("b", [2, 3]),
+                    flow("c", [3])])
+
+
+class TestReplaceServer:
+    def test_swaps_spec_keeps_flows(self):
+        out = net3().replace_server(ServerSpec(2, capacity=5.0))
+        assert out.server(2).capacity == 5.0
+        assert set(out.flows) == {"a", "b", "c"}
+
+    def test_unknown_server_raises(self):
+        with pytest.raises(TopologyError):
+            net3().replace_server(ServerSpec(9))
+
+    def test_original_untouched(self):
+        base = net3()
+        base.replace_server(ServerSpec(1, capacity=2.0))
+        assert base.server(1).capacity != 2.0
+
+    def test_version_counter_advances(self):
+        base = net3()
+        out = base.replace_server(ServerSpec(1, capacity=2.0))
+        assert out.version > base.version
+
+    def test_content_key_tracks_spec_change(self):
+        base = net3()
+        same = Network(base.servers.values(), base.flows.values())
+        changed = base.replace_server(ServerSpec(1, capacity=2.0))
+        assert base.content_key() == same.content_key()
+        assert base.content_key() != changed.content_key()
+
+
+class TestWithoutServer:
+    def test_severs_traversing_flows(self):
+        out = net3().without_server(2)
+        assert set(out.servers) == {1, 3}
+        # 'a' and 'b' traverse server 2 and are severed with it
+        assert set(out.flows) == {"c"}
+
+    def test_no_dangling_path_references(self):
+        out = net3().without_server(2)
+        for f in out.flows.values():
+            assert all(sid in out.servers for sid in f.path)
+
+    def test_removing_every_server_leaves_empty_network(self):
+        out = net3().without_server(3).without_server(2) \
+                    .without_server(1)
+        assert not out.servers and not out.flows
+        out.check_stability()  # trivially stable
+
+    def test_unknown_server_raises(self):
+        with pytest.raises(TopologyError):
+            net3().without_server(0)
+
+    def test_result_rejects_flow_through_removed_server(self):
+        out = net3().without_server(2)
+        with pytest.raises(TopologyError):
+            out.with_flow(flow("d", [1, 2]))
+
+
+class TestReplaceFlow:
+    def test_swaps_same_name(self):
+        out = net3().replace_flow(flow("b", [1, 2], rho=0.3))
+        assert out.flow("b").path == (1, 2)
+        assert out.flow("b").bucket.rho == 0.3
+        assert len(out.flows) == 3
+
+    def test_unknown_flow_raises(self):
+        with pytest.raises(TopologyError):
+            net3().replace_flow(flow("zz", [1]))
+
+    def test_new_path_must_exist(self):
+        with pytest.raises(TopologyError):
+            net3().replace_flow(flow("a", [1, 2, 99]))
+
+    def test_replace_on_empty_network_raises(self):
+        empty = Network([], [])
+        with pytest.raises(TopologyError):
+            empty.replace_flow(flow("a", [1]))
+
+    def test_duplicate_ids_still_rejected_after_edits(self):
+        out = net3().without_flow("a")
+        with pytest.raises(TopologyError):
+            Network(list(out.servers.values()) + [ServerSpec(1)],
+                    out.flows.values())
