@@ -9,6 +9,7 @@ summation, and the sampled-grid convolution fallback.
 import numpy as np
 import pytest
 
+from repro.context import MetricsRegistry, activate_registry
 from repro.curves import numeric
 from repro.curves.piecewise import PiecewiseLinearCurve as P
 from repro.curves.token_bucket import TokenBucket, aggregate_curve
@@ -60,3 +61,24 @@ def test_kern_pseudo_inverse_vectorized(benchmark):
     targets = np.linspace(0.0, float(agg(100.0)), 512)
     out = benchmark(lambda: agg.pseudo_inverse(targets))
     assert np.all(np.diff(out) >= -1e-9)
+
+
+def test_kern_hdev_counting_active(benchmark):
+    """Same hdev workload with a metrics registry activated.
+
+    Compared against ``test_kern_hdev_large_aggregate`` this isolates
+    the per-operation cost of the thread-local kernel-count hook when
+    it actually counts (the inactive path is covered by the NullContext
+    gate in ``bench_context_overhead.py``).
+    """
+    agg = aggregate_curve(many_bucket_curves(32))
+    line = P.line(1.5)
+    reg = MetricsRegistry()
+
+    def counted():
+        with activate_registry(reg):
+            return agg.horizontal_deviation(line)
+
+    d = benchmark(counted)
+    assert d > 0
+    assert reg.get("curve.hdev") > 0

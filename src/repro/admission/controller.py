@@ -34,6 +34,7 @@ from typing import Iterable, Sequence
 
 from repro.admission.requests import AdmissionDecision, ConnectionRequest
 from repro.analysis.base import Analyzer, DelayReport
+from repro.context import NULL_CONTEXT, AnalysisContext, Deadline
 from repro.errors import (
     AdmissionError,
     AnalysisError,
@@ -43,7 +44,6 @@ from repro.errors import (
 from repro.engine import EngineStats, IncrementalEngine
 from repro.network.flow import Flow
 from repro.network.topology import Network
-from repro.resilience.budget import call_with_budget
 from repro.resilience.faults import FaultScenario
 from repro.resilience.survivability import (
     SurvivabilityReport,
@@ -69,6 +69,20 @@ class AdmissionController:
     analysis_budget:
         Optional wall-clock budget in seconds applied to *each*
         analyzer attempt; a blown budget triggers the next fallback.
+        Enforced cooperatively: every attempt runs under a fresh
+        :class:`~repro.context.Deadline` checked at server-step / block
+        boundaries, so enforcement works on any thread with no signal
+        handlers and no leaked workers.
+    signal_backstop:
+        Additionally arm ``SIGALRM`` for each budgeted attempt (no-op
+        off the POSIX main thread).  Opt-in guard for analyzers that
+        never checkpoint — e.g. third-party :class:`Analyzer`
+        subclasses predating the context layer.
+    context:
+        Default :class:`~repro.context.AnalysisContext` for every
+        admission test (tracing, metrics); per-call ``ctx=`` arguments
+        override it.  Budget deadlines are swapped into derived copies,
+        never into this object.
     incremental:
         Wrap *analyzer* in an :class:`~repro.engine.IncrementalEngine`
         so consecutive admission tests reuse unaffected intermediate
@@ -81,6 +95,8 @@ class AdmissionController:
     def __init__(self, network: Network, analyzer: Analyzer, *,
                  fallbacks: Sequence[Analyzer] = (),
                  analysis_budget: float | None = None,
+                 signal_backstop: bool = False,
+                 context: AnalysisContext | None = None,
                  incremental: bool = False) -> None:
         if analysis_budget is not None and not analysis_budget > 0:
             raise AdmissionError(
@@ -97,6 +113,8 @@ class AdmissionController:
         else:
             self._analyzers = (analyzer, *fallbacks)
         self._budget = analysis_budget
+        self._signal_backstop = bool(signal_backstop)
+        self._context = context if context is not None else NULL_CONTEXT
         self._admitted: list[str] = []
 
     # ------------------------------------------------------------------
@@ -126,6 +144,11 @@ class AdmissionController:
         """Engine counters (hits/misses/saved time), or None."""
         return self._engine.stats if self._engine is not None else None
 
+    @property
+    def context(self) -> AnalysisContext:
+        """Default execution context for admission tests."""
+        return self._context
+
     # ------------------------------------------------------------------
 
     @staticmethod
@@ -134,7 +157,26 @@ class AdmissionController:
         return Flow(request.name, request.bucket, request.path,
                     deadline=request.deadline, priority=request.priority)
 
-    def _analyze(self, candidate: Network) -> tuple[DelayReport, str]:
+    def _attempt(self, analyzer: Analyzer, candidate: Network,
+                 ctx: AnalysisContext) -> DelayReport:
+        """One analyzer attempt under the configured budget.
+
+        A fresh cooperative :class:`~repro.context.Deadline` per
+        attempt (fallbacks get a full budget each); the optional
+        ``SIGALRM`` backstop covers analyzers that never checkpoint.
+        """
+        if self._budget is None:
+            return analyzer.run(candidate, ctx)
+        deadline = Deadline(self._budget,
+                            f"{analyzer.name} admission test")
+        attempt_ctx = ctx.with_deadline(deadline)
+        if self._signal_backstop:
+            with deadline.signal_backstop():
+                return analyzer.run(candidate, attempt_ctx)
+        return analyzer.run(candidate, attempt_ctx)
+
+    def _analyze(self, candidate: Network,
+                 ctx: AnalysisContext) -> tuple[DelayReport, str]:
         """Run the analyzer chain; return (report, analyzer name).
 
         Raises :class:`~repro.errors.AnalysisError` only when every
@@ -143,21 +185,18 @@ class AdmissionController:
         failures: list[str] = []
         for analyzer in self._analyzers:
             try:
-                if self._budget is not None:
-                    report = call_with_budget(
-                        lambda a=analyzer: a.analyze(candidate),
-                        self._budget,
-                        description=f"{analyzer.name} admission test")
-                else:
-                    report = analyzer.analyze(candidate)
+                with ctx.span("admission_test", analyzer=analyzer.name):
+                    report = self._attempt(analyzer, candidate, ctx)
                 return report, analyzer.name
             except AnalysisError as exc:
+                ctx.count("admission.analyzer_failures")
                 failures.append(f"{analyzer.name}: {exc}")
         raise AnalysisError(
             "every analyzer in the admission chain failed ("
             + "; ".join(failures) + ")")
 
-    def test(self, request: ConnectionRequest) -> AdmissionDecision:
+    def test(self, request: ConnectionRequest, *,
+             ctx: AnalysisContext | None = None) -> AdmissionDecision:
         """Evaluate a request without committing it.
 
         The connection is admitted iff, with it added, every flow in the
@@ -165,7 +204,22 @@ class AdmissionController:
         the configured analyzer (or the first fallback that answers).
         When every analyzer fails, the request is rejected (fail
         closed) with the accumulated failure reasons.
+
+        *ctx* overrides the controller's default context for this test.
         """
+        if ctx is None:
+            ctx = self._context
+        with ctx.span("admission_request", request=request.name):
+            decision = self._test(request, ctx)
+            ctx.annotate(admitted=decision.admitted,
+                         reason=decision.reason)
+        ctx.count("admission.requests")
+        ctx.count("admission.admitted" if decision.admitted
+                  else "admission.rejected")
+        return decision
+
+    def _test(self, request: ConnectionRequest,
+              ctx: AnalysisContext) -> AdmissionDecision:
         flow = self._flow_from_request(request)
         try:
             candidate = self._network.with_flow(flow)
@@ -177,7 +231,7 @@ class AdmissionController:
             return AdmissionDecision(False, f"overload: {exc}")
 
         try:
-            report, used = self._analyze(candidate)
+            report, used = self._analyze(candidate, ctx)
         except AnalysisError as exc:
             return AdmissionDecision(False, f"analysis failed: {exc}")
 
@@ -196,7 +250,8 @@ class AdmissionController:
                                  new_flow_bound=new_bound, analyzer=used,
                                  candidate_network=candidate)
 
-    def admit(self, request: ConnectionRequest) -> AdmissionDecision:
+    def admit(self, request: ConnectionRequest, *,
+              ctx: AnalysisContext | None = None) -> AdmissionDecision:
         """Test a request and, on success, add the connection.
 
         The commit is transactional: state changes only after a
@@ -205,7 +260,7 @@ class AdmissionController:
         mid-test (any exception the chain does not absorb) propagates
         with the controller state unchanged.
         """
-        decision = self.test(request)
+        decision = self.test(request, ctx=ctx)
         if decision.admitted:
             candidate = decision.candidate_network
             if candidate is None:  # decision built by hand: recompute
@@ -223,7 +278,8 @@ class AdmissionController:
         self._network = self._network.without_flow(name)
         self._admitted.remove(name)
 
-    def admissible_count(self, make_request, max_tries: int = 1000) -> int:
+    def admissible_count(self, make_request, max_tries: int = 1000, *,
+                         ctx: AnalysisContext | None = None) -> int:
         """Admit identical connections until one is rejected.
 
         Parameters
@@ -233,6 +289,8 @@ class AdmissionController:
             candidate.
         max_tries:
             Safety bound on the loop.
+        ctx:
+            Context override applied to every admission test.
 
         Returns
         -------
@@ -244,7 +302,7 @@ class AdmissionController:
             req = make_request(k)
             if not math.isfinite(req.deadline):
                 raise AdmissionError("requests need finite deadlines")
-            if not self.admit(req).admitted:
+            if not self.admit(req, ctx=ctx).admitted:
                 break
             count += 1
         return count
@@ -254,7 +312,8 @@ class AdmissionController:
     def survivability_report(
             self, scenarios: Iterable[FaultScenario], *,
             analyzer: Analyzer | None = None,
-            reroute: bool = True) -> SurvivabilityReport:
+            reroute: bool = True,
+            ctx: AnalysisContext | None = None) -> SurvivabilityReport:
         """Which admitted guarantees survive the given fault scenarios?
 
         Runs :func:`repro.resilience.survivability` over the current
@@ -262,4 +321,5 @@ class AdmissionController:
         controller's primary analyzer unless *analyzer* overrides it.
         """
         return survivability(self._network, scenarios,
-                             analyzer or self.analyzer, reroute=reroute)
+                             analyzer or self.analyzer, reroute=reroute,
+                             ctx=ctx if ctx is not None else self._context)

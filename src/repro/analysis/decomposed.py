@@ -11,7 +11,8 @@ integrated approach is measured against.
 from __future__ import annotations
 
 from repro.analysis.base import Analyzer, DelayReport, FlowDelay
-from repro.analysis.propagation import StepFn, propagate
+from repro.analysis.propagation import propagate
+from repro.context import NULL_CONTEXT, AnalysisContext
 from repro.network.topology import Network
 
 __all__ = ["DecomposedAnalysis"]
@@ -37,12 +38,14 @@ class DecomposedAnalysis(Analyzer):
         self.capped_propagation = bool(capped_propagation)
 
     def analyze(self, network: Network, *,
-                step: StepFn | None = None) -> DelayReport:
-        """Analyze *network*; ``step`` optionally replaces the per-hop
-        computation (the incremental engine passes a memoizing wrapper —
-        see :func:`repro.analysis.propagation.propagate`)."""
-        prop = propagate(network, capped=self.capped_propagation,
-                         step=step)
+                ctx: AnalysisContext = NULL_CONTEXT) -> DelayReport:
+        """Analyze *network* under *ctx* (deadline checks and spans at
+        every server step; the incremental engine installs its
+        memoizing step interceptor on a derived context — see
+        :func:`repro.analysis.propagation.propagate`)."""
+        with ctx.analysis_scope(self.name):
+            prop = propagate(network, capped=self.capped_propagation,
+                             ctx=ctx)
         delays = {}
         for f in network.iter_flows():
             parts = tuple(

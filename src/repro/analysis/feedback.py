@@ -28,6 +28,7 @@ from typing import Hashable
 
 from repro.analysis.base import Analyzer, DelayReport, FlowDelay
 from repro.analysis.propagation import analyze_server
+from repro.context import NULL_CONTEXT, AnalysisContext
 from repro.curves.piecewise import PiecewiseLinearCurve
 from repro.errors import AnalysisError
 from repro.network.topology import Network
@@ -81,8 +82,14 @@ class FeedbackAnalysis(Analyzer):
 
     # ------------------------------------------------------------------
 
-    def analyze(self, network: Network) -> DelayReport:
+    def analyze(self, network: Network, *,
+                ctx: AnalysisContext = NULL_CONTEXT) -> DelayReport:
         network.check_stability()
+        with ctx.analysis_scope(self.name):
+            return self._analyze(network, ctx)
+
+    def _analyze(self, network: Network,
+                 ctx: AnalysisContext) -> DelayReport:
         server_ids = sorted(network.servers, key=str)
 
         # state: per-(flow, server) input constraint curves, seeded with
@@ -98,6 +105,7 @@ class FeedbackAnalysis(Analyzer):
         iterations = 0
         prev_max = 0.0
         for iterations in range(1, self.max_iterations + 1):
+            ctx.checkpoint("fixed-point sweep")
             # one Jacobi sweep: delays from current curves, then curves
             # from current curves (not the freshly updated ones — keeps
             # the map monotone and order-independent)

@@ -12,15 +12,19 @@ discipline, the flows present with their exact input curves) and
 produces a :class:`ServerStep` (the local analysis plus each flow's
 output curve).  Because the step depends on nothing but its input
 value, the incremental engine (:mod:`repro.engine`) can memoize it
-content-addressed and replay cached steps with bit-identical results;
-:func:`propagate` accepts an optional ``step`` hook for exactly that.
+content-addressed and replay cached steps with bit-identical results:
+:func:`propagate` routes every step through
+:meth:`repro.context.AnalysisContext.run_server_step`, whose optional
+step interceptor is exactly that memoizing wrapper (and which also
+carries the cooperative deadline and per-step tracing).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable, Mapping
+from typing import Hashable, Mapping
 
+from repro.context import NULL_CONTEXT, AnalysisContext
 from repro.curves.piecewise import PiecewiseLinearCurve
 from repro.errors import AnalysisError
 from repro.network.topology import Discipline, Network
@@ -44,13 +48,6 @@ __all__ = [
 ]
 
 ServerId = Hashable
-
-#: Signature of the per-server step hook accepted by :func:`propagate`.
-#: Receives the server id (for dependency bookkeeping) and the full
-#: :class:`ServerInput`; must return exactly what :func:`server_step`
-#: would.  The id is *not* part of the step's mathematical input — two
-#: servers with identical inputs produce identical steps.
-StepFn = Callable[[ServerId, "ServerInput"], "ServerStep"]
 
 
 @dataclass(frozen=True)
@@ -213,7 +210,7 @@ def analyze_server(network: Network, server_id: ServerId,
 
 
 def propagate(network: Network, capped: bool = False,
-              step: StepFn | None = None) -> PropagationResult:
+              ctx: AnalysisContext = NULL_CONTEXT) -> PropagationResult:
     """Run the decomposition-style topological sweep over *network*.
 
     At each server (in topological order of the server graph) the local
@@ -225,11 +222,14 @@ def propagate(network: Network, capped: bool = False,
 
     Parameters
     ----------
-    step:
-        Optional replacement for :func:`server_step` — the incremental
-        engine passes a memoizing wrapper here.  A custom step MUST be
-        extensionally equal to :func:`server_step` (same outputs for
-        same inputs) or the resulting bounds are undefined.
+    ctx:
+        Execution context.  Each step runs through
+        :meth:`~repro.context.AnalysisContext.run_server_step` with
+        :func:`server_step` as the pure compute, so the context's
+        cooperative deadline is checked at every server boundary, each
+        step gets a span, and an installed step interceptor (the
+        incremental engine's memoizer) transparently replaces the
+        computation.
     """
     network.check_stability()
 
@@ -242,7 +242,7 @@ def propagate(network: Network, capped: bool = False,
         if not network.flows_at(sid):
             continue
         si = build_server_input(network, sid, curve_at, capped)
-        res = step(sid, si) if step is not None else server_step(si)
+        res = ctx.run_server_step(sid, si, server_step)
         local[sid] = res.local
         for name, out in res.out_curves:
             nxt = network.flow(name).next_hop(sid)

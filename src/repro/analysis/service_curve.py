@@ -30,6 +30,7 @@ import math
 
 from repro.analysis.base import Analyzer, DelayReport, FlowDelay
 from repro.analysis.propagation import PropagationResult, propagate
+from repro.context import NULL_CONTEXT, AnalysisContext
 from repro.curves.operations import convolve_all
 from repro.curves.piecewise import PiecewiseLinearCurve
 from repro.network.topology import Discipline, Network
@@ -84,11 +85,17 @@ class ServiceCurveAnalysis(Analyzer):
                 cross = cross + prop.curve_at[(g.name, sid)]
         return induced_fifo_service_curve(spec.capacity, cross.simplified())
 
-    def analyze(self, network: Network) -> DelayReport:
-        prop = propagate(network, capped=self.capped_propagation)
+    def analyze(self, network: Network, *,
+                ctx: AnalysisContext = NULL_CONTEXT) -> DelayReport:
+        with ctx.analysis_scope(self.name):
+            return self._analyze(network, ctx)
+
+    def _analyze(self, network: Network, ctx: AnalysisContext) -> DelayReport:
+        prop = propagate(network, capped=self.capped_propagation, ctx=ctx)
         delays = {}
         net_curves = {}
         for f in network.iter_flows():
+            ctx.checkpoint("service-curve convolution")
             betas = []
             dead = False
             for sid in f.path:

@@ -6,10 +6,11 @@ Usage (also available as ``python -m repro``)::
     repro figures  [--quick] [--figure FIG5]
     repro simulate --hops 4 --load 0.8 [--horizon 120] [--packet 0.05]
     repro admit    --hops 4 --deadline 30 [--rho 0.02] [--analyzer ...]
-                   [--incremental]
+                   [--incremental] [--trace out.json]
     repro resilience --hops 4 --load 0.8 [--degrade 2=0.8] [--fail 2] ...
     repro sweep    --analyzers integrated --hops 2,4 --loads 0.3,0.6
                    [--checkpoint FILE] [--resume] [--timeout S]
+                   [--profile]
 
 Every subcommand operates on the paper's tandem topology; richer
 topologies are a Python-API affair (see examples/custom_topology.py).
@@ -19,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro.admission.controller import AdmissionController
@@ -109,6 +111,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="engine-backed admission: cache per-hop results "
                         "across tests (bit-identical decisions) and "
                         "print the engine's cache statistics")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a structured JSON trace of the run "
+                        "(per-request and per-server spans, curve-op "
+                        "counters, engine cache stats) to FILE")
 
     p = sub.add_parser("export",
                        help="write figure data as CSV + JSON files")
@@ -174,6 +180,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "failed points")
     p.add_argument("--serial", action="store_true",
                    help="run in-process instead of a worker pool")
+    p.add_argument("--profile", action="store_true",
+                   help="profile every point (wall-clock + curve-op "
+                        "counters per point, kept in checkpoint "
+                        "records) and print a per-point timing column")
     return parser
 
 
@@ -240,9 +250,13 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_admit(args) -> int:
+    from repro.context import NULL_CONTEXT, AnalysisContext
+
+    ctx = AnalysisContext.tracing() if args.trace else NULL_CONTEXT
     empty = Network([ServerSpec(k) for k in range(1, args.hops + 1)], [])
     controller = AdmissionController(empty, _make_analyzer(args.analyzer),
-                                     incremental=args.incremental)
+                                     incremental=args.incremental,
+                                     context=ctx)
 
     def make(k: int) -> ConnectionRequest:
         return ConnectionRequest(
@@ -255,6 +269,14 @@ def _cmd_admit(args) -> int:
           f"{args.hops} hops)")
     if controller.engine_stats is not None:
         print(controller.engine_stats.render())
+    if args.trace:
+        meta: dict = {"command": "admit", "analyzer": args.analyzer,
+                      "hops": args.hops, "deadline": args.deadline,
+                      "rho": args.rho, "admitted": count}
+        if controller.engine_stats is not None:
+            meta["engine"] = controller.engine_stats.as_dict()
+        path = ctx.write_trace(args.trace, **meta)
+        print(f"wrote trace {path}")
     return 0
 
 
@@ -345,6 +367,7 @@ def _cmd_resilience(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    from repro.context import AnalysisContext, MetricsRegistry
     from repro.eval.parallel import evaluate_grid
 
     if args.resume and not args.checkpoint:
@@ -352,22 +375,41 @@ def _cmd_sweep(args) -> int:
     analyzers = [a for a in args.analyzers.split(",") if a]
     hops = [int(h) for h in args.hops.split(",") if h]
     loads = [float(u) for u in args.loads.split(",") if u]
+
+    # live progress sourced from the sweep's metrics registry
+    ctx = AnalysisContext(metrics=MetricsRegistry())
+    start = time.perf_counter()
+
+    def progress(done: int, total: int, errors: int) -> None:
+        m = ctx.metrics
+        done = int(m.get("sweep.done"))
+        total = int(m.get("sweep.total"))
+        errors = int(m.get("sweep.errors"))
+        elapsed = time.perf_counter() - start
+        eta = elapsed / done * (total - done) if done else 0.0
+        print(f"\r{done}/{total} points, {errors} errors, "
+              f"ETA {eta:.0f}s ", end="", file=sys.stderr, flush=True)
+
     points = evaluate_grid(
         analyzers, hops, loads, sigma=args.sigma,
         parallel=not args.serial, timeout=args.timeout,
         retries=args.retries, checkpoint=args.checkpoint,
-        resume=args.resume)
+        resume=args.resume, ctx=ctx, profile=args.profile,
+        progress=progress)
+    print(file=sys.stderr)
+    timing = f" {'time':>8} " if args.profile else "  "
     print(f"{'analyzer':>15} {'hops':>5} {'load':>6} "
-          f"{'delay':>10}  status")
+          f"{'delay':>10}{timing} status")
     failed = 0
     for p in points:
+        timing = f" {p.elapsed_s:>7.3f}s " if args.profile else "  "
         if p.ok:
             print(f"{p.analyzer:>15} {p.n_hops:>5} {p.load:>6.2f} "
-                  f"{p.delay:>10.4f}  ok")
+                  f"{p.delay:>10.4f}{timing}ok")
         else:
             failed += 1
             print(f"{p.analyzer:>15} {p.n_hops:>5} {p.load:>6.2f} "
-                  f"{'-':>10}  ERROR: {p.error}")
+                  f"{'-':>10}{timing}ERROR: {p.error}")
     print(f"{len(points) - failed}/{len(points)} points ok"
           + (f", {failed} failed" if failed else ""))
     return 0 if failed == 0 else 1

@@ -1,0 +1,28 @@
+"""Execution context for analyses: deadlines, tracing, metrics.
+
+See ``docs/OBSERVABILITY.md`` for the lifecycle, the span schema and
+the JSON trace format.
+"""
+
+from repro.context.context import NULL_CONTEXT, AnalysisContext, NullContext
+from repro.context.deadline import Deadline
+from repro.context.metrics import (
+    MetricsRegistry,
+    activate_registry,
+    active_registry,
+    kernel_count,
+)
+from repro.context.tracing import Span, Tracer
+
+__all__ = [
+    "AnalysisContext",
+    "NullContext",
+    "NULL_CONTEXT",
+    "Deadline",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "kernel_count",
+    "active_registry",
+    "activate_registry",
+]

@@ -1,0 +1,150 @@
+"""Cooperative wall-clock deadlines.
+
+A :class:`Deadline` is a start time plus a budget.  It enforces nothing
+by itself: code under a deadline calls :meth:`check` at natural
+boundaries (per-server steps, per-block evaluations, per-scenario
+retests) and gets an :class:`~repro.errors.AnalysisTimeoutError` once
+the budget is exhausted — on any thread, with no signal handlers and no
+leaked workers, unlike the ``SIGALRM``-or-thread design this replaces
+as the primary mechanism (:mod:`repro.resilience.budget` keeps the
+signal path as an opt-in backstop for non-cooperative code).
+
+Deadlines are also *cancellable*: :meth:`cancel` makes every subsequent
+:meth:`check` raise, which is how an abandoned thread-fallback
+computation is told to stop instead of running to completion.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Callable
+
+from repro.errors import AnalysisTimeoutError
+
+__all__ = ["Deadline"]
+
+
+def _sigalrm_usable() -> bool:
+    return (hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread())
+
+
+class Deadline:
+    """A wall-clock budget checked cooperatively.
+
+    Parameters
+    ----------
+    budget:
+        Wall-clock limit in seconds; must be > 0.
+    description:
+        Label used in timeout messages ("integrated admission test").
+    clock:
+        Monotonic time source (injectable for tests); defaults to
+        :func:`time.perf_counter`.  The deadline starts at construction.
+    """
+
+    __slots__ = ("budget", "description", "_clock", "_start", "_cancelled")
+
+    def __init__(self, budget: float, description: str = "analysis", *,
+                 clock: Callable[[], float] = perf_counter) -> None:
+        if not budget > 0:
+            raise ValueError(f"budget must be > 0, got {budget}")
+        self.budget = float(budget)
+        self.description = description
+        self._clock = clock
+        self._start = clock()
+        self._cancelled = False
+
+    # ------------------------------------------------------------------
+
+    def restart(self) -> None:
+        """Reset the clock (and any cancellation) to a fresh budget."""
+        self._start = self._clock()
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the deadline cancelled: every later check raises."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True after :meth:`cancel`."""
+        return self._cancelled
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline (re)started."""
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (may be negative)."""
+        return self.budget - self.elapsed()
+
+    def expired(self) -> bool:
+        """True when the budget is spent or the deadline was cancelled."""
+        return self._cancelled or self.elapsed() >= self.budget
+
+    def check(self, what: str | None = None) -> None:
+        """Raise :class:`AnalysisTimeoutError` when expired or cancelled.
+
+        *what* optionally names the phase that noticed ("propagation",
+        "block evaluation") for the error message.
+        """
+        if self._cancelled:
+            raise AnalysisTimeoutError(
+                f"{self.description} was cancelled"
+                + (f" during {what}" if what else ""),
+                budget=self.budget, elapsed=self.elapsed())
+        elapsed = self.elapsed()
+        if elapsed >= self.budget:
+            raise AnalysisTimeoutError(
+                f"{self.description} exceeded its {self.budget:g}s budget"
+                + (f" during {what}" if what else ""),
+                budget=self.budget, elapsed=elapsed)
+
+    # ------------------------------------------------------------------
+    # opt-in signal backstop
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def signal_backstop(self):
+        """Arm ``SIGALRM`` for the remaining budget (opt-in backstop).
+
+        Cooperative checks are the primary mechanism; this guards code
+        that never checkpoints (third-party analyzers, tight numeric
+        loops).  No-op off the POSIX main thread and when the budget is
+        already spent (the next :meth:`check` handles that).  An outer
+        pending timer (e.g. a test-suite hang guard) is re-armed with
+        its remaining time on exit, mirroring the behavior of
+        :func:`repro.resilience.budget.call_with_budget`.
+        """
+        remaining = self.remaining()
+        if not _sigalrm_usable() or remaining <= 0:
+            yield self
+            return
+
+        def on_alarm(signum, frame):
+            raise AnalysisTimeoutError(
+                f"{self.description} exceeded its {self.budget:g}s "
+                f"budget (signal backstop)",
+                budget=self.budget, elapsed=self.elapsed())
+
+        t0 = perf_counter()
+        prev_handler = signal.signal(signal.SIGALRM, on_alarm)
+        prev_delay, prev_interval = signal.setitimer(
+            signal.ITIMER_REAL, remaining)
+        try:
+            yield self
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, prev_handler)
+            if prev_delay:
+                left = max(prev_delay - (perf_counter() - t0), 1e-3)
+                signal.setitimer(signal.ITIMER_REAL, left, prev_interval)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("cancelled" if self._cancelled
+                 else f"{self.remaining():.3f}s left")
+        return f"Deadline({self.description!r}, {self.budget:g}s, {state})"

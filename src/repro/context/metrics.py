@@ -1,0 +1,146 @@
+"""Metrics registry: named counters and timers for one analysis run.
+
+:class:`MetricsRegistry` is the single accounting substrate of the
+execution layer — the incremental engine's :class:`~repro.engine.stats.
+EngineStats`, the report generator's per-section timings and the sweep
+progress line all read and write the same counter namespace instead of
+keeping private ``perf_counter`` bookkeeping.
+
+The curve kernels (:mod:`repro.curves.piecewise`,
+:mod:`repro.curves.numeric`) are too low-level to thread an explicit
+context through every call, so this module also provides a *thread-local
+active registry*: :func:`kernel_count` is a cheap no-op until an
+:class:`~repro.context.AnalysisContext` activates its registry around an
+analysis, at which point every curve operation is counted.  The
+inactive-path cost is one thread-local attribute read and a ``None``
+check — negligible next to the numpy work each kernel performs.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+
+__all__ = [
+    "MetricsRegistry",
+    "kernel_count",
+    "active_registry",
+    "activate_registry",
+]
+
+
+class MetricsRegistry:
+    """Named counters and accumulating timers.
+
+    Counters are plain floats (``inc``/``add``); timers accumulate
+    wall-clock seconds and an invocation count under
+    ``<name>.s`` / ``<name>.n``.  The registry is deliberately schema
+    free: layers agree on dotted names (``engine.hits``,
+    ``curve.convolve``, ``sweep.done`` …) documented in
+    ``docs/OBSERVABILITY.md``.
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+
+    # -- counters ------------------------------------------------------
+
+    def inc(self, name: str, n: float = 1.0) -> None:
+        """Add *n* (default 1) to counter *name*."""
+        self._counters[name] = self._counters.get(name, 0.0) + n
+
+    #: Alias — ``add`` reads better for accumulating measured values.
+    add = inc
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        """Current value of counter *name*."""
+        return self._counters.get(name, default)
+
+    def set(self, name: str, value: float) -> None:
+        """Overwrite counter *name* (used by gauges like ``sweep.total``)."""
+        self._counters[name] = float(value)
+
+    # -- timers --------------------------------------------------------
+
+    @contextmanager
+    def timed(self, name: str):
+        """Time a block; accumulates ``<name>.s`` and ``<name>.n``."""
+        t0 = perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(name + ".s", perf_counter() - t0)
+            self.inc(name + ".n")
+
+    def timer_s(self, name: str) -> float:
+        """Accumulated seconds of timer *name*."""
+        return self.get(name + ".s")
+
+    # -- views ---------------------------------------------------------
+
+    def as_dict(self, prefix: str = "") -> dict[str, float]:
+        """Plain-dict snapshot, optionally filtered by name *prefix*."""
+        if not prefix:
+            return dict(self._counters)
+        return {k: v for k, v in self._counters.items()
+                if k.startswith(prefix)}
+
+    def merge_into(self, other: "MetricsRegistry") -> None:
+        """Add every counter of this registry into *other*."""
+        for name, value in self._counters.items():
+            other.add(name, value)
+
+    def reset(self, prefix: str = "") -> None:
+        """Zero every counter, or only those matching *prefix*."""
+        if not prefix:
+            self._counters.clear()
+        else:
+            for k in [k for k in self._counters if k.startswith(prefix)]:
+                del self._counters[k]
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricsRegistry({len(self._counters)} counters)"
+
+
+# ----------------------------------------------------------------------
+# thread-local active registry (the curve kernels' counting hook)
+# ----------------------------------------------------------------------
+
+_ACTIVE = threading.local()
+
+
+def active_registry() -> MetricsRegistry | None:
+    """The registry currently activated on this thread, if any."""
+    return getattr(_ACTIVE, "reg", None)
+
+
+def kernel_count(name: str, n: float = 1.0) -> None:
+    """Count one low-level kernel operation.
+
+    No-op (one attribute read) unless a registry is active on this
+    thread; the curve kernels call this unconditionally.
+    """
+    reg = getattr(_ACTIVE, "reg", None)
+    if reg is not None:
+        reg.inc(name, n)
+
+
+@contextmanager
+def activate_registry(reg: MetricsRegistry | None):
+    """Make *reg* the active registry on this thread for the block.
+
+    Nested activations stack (the innermost wins); activating ``None``
+    temporarily disables counting.
+    """
+    prev = getattr(_ACTIVE, "reg", None)
+    _ACTIVE.reg = reg
+    try:
+        yield reg
+    finally:
+        _ACTIVE.reg = prev

@@ -1,0 +1,202 @@
+"""Structured span tracing for analyses.
+
+A :class:`Tracer` records a tree of :class:`Span` objects — one per
+meaningful unit of work (an admission test, one analyzer attempt, one
+per-server step, one Theorem-1 block evaluation) — with wall-clock
+timings and free-form attributes.  The whole trace exports as plain
+JSON (schema in ``docs/OBSERVABILITY.md``) so a slow bound can be
+explained after the fact: *which* server's step, under *which*
+analyzer, spent the time.
+
+Spans survive failure: when a cooperative deadline expires mid-sweep,
+the exception propagates through every open span, each of which is
+closed with ``status="aborted"`` — the partial trace is flushed, not
+lost, which is exactly what a timeout post-mortem needs.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Iterator
+
+__all__ = ["Span", "Tracer"]
+
+#: Default bound on recorded spans; beyond it new spans are counted but
+#: dropped so a long admission loop cannot exhaust memory.
+DEFAULT_MAX_SPANS = 100_000
+
+
+def _json_safe(value):
+    """Coerce an attribute value to something JSON can carry."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+@dataclass
+class Span:
+    """One timed unit of work.
+
+    Attributes
+    ----------
+    name:
+        Span kind ("admission_test", "analyze", "server_step", …).
+    start_s:
+        Start time relative to the tracer's epoch (seconds).
+    duration_s:
+        Wall-clock duration; 0.0 until the span closes.
+    status:
+        "ok", "aborted" (an exception — e.g. a deadline — unwound
+        through the span) or "open" (still running / never closed).
+    attrs:
+        Free-form attributes (server id, algorithm, cache verdict …).
+    children:
+        Nested spans, in start order.
+    """
+
+    name: str
+    start_s: float
+    duration_s: float = 0.0
+    status: str = "open"
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation of this span and its subtree."""
+        d: dict = {
+            "name": self.name,
+            "start_s": round(self.start_s, 9),
+            "duration_s": round(self.duration_s, 9),
+            "status": self.status,
+        }
+        if self.attrs:
+            d["attrs"] = {k: _json_safe(v) for k, v in self.attrs.items()}
+        if self.children:
+            d["children"] = [c.as_dict() for c in self.children]
+        return d
+
+
+class Tracer:
+    """Records a forest of nested spans with one shared epoch.
+
+    Parameters
+    ----------
+    max_spans:
+        Bound on recorded spans; spans opened beyond it are still timed
+        as no-ops but dropped (``dropped`` counts them).
+    """
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        self._epoch = perf_counter()
+        self._roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._max_spans = max_spans
+        self._n_spans = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def roots(self) -> tuple[Span, ...]:
+        """Top-level spans recorded so far."""
+        return tuple(self._roots)
+
+    @property
+    def n_spans(self) -> int:
+        """Total spans recorded (excludes dropped ones)."""
+        return self._n_spans
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 outside any span)."""
+        return len(self._stack)
+
+    def current(self) -> Span | None:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def annotate(self, **attrs) -> None:
+        """Merge *attrs* into the innermost open span (no-op outside)."""
+        if self._stack:
+            self._stack[-1].attrs.update(attrs)
+
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span | None]:
+        """Open a child span for the duration of the block.
+
+        Yields the :class:`Span` (or None when over ``max_spans``).
+        An exception unwinding through the block closes the span with
+        ``status="aborted"`` and an ``error`` attribute, then
+        propagates — partial traces stay exportable.
+        """
+        if self._n_spans >= self._max_spans:
+            self.dropped += 1
+            yield None
+            return
+        now = perf_counter() - self._epoch
+        sp = Span(name=name, start_s=now, attrs=dict(attrs))
+        self._n_spans += 1
+        if self._stack:
+            self._stack[-1].children.append(sp)
+        else:
+            self._roots.append(sp)
+        self._stack.append(sp)
+        try:
+            yield sp
+            sp.status = "ok"
+        except BaseException as exc:
+            sp.status = "aborted"
+            sp.attrs.setdefault("error", f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            sp.duration_s = (perf_counter() - self._epoch) - sp.start_s
+            # flush_open may already have closed us (timeout export)
+            if self._stack and self._stack[-1] is sp:
+                self._stack.pop()
+
+    def flush_open(self, reason: str = "flushed while open") -> int:
+        """Close every still-open span (e.g. before an emergency export).
+
+        Returns the number of spans closed.  Normally unnecessary —
+        :meth:`span` closes its span even on exceptions — but callers
+        exporting from inside an open span (a timeout handler) use this
+        to make the trace self-consistent.
+        """
+        n = 0
+        now = perf_counter() - self._epoch
+        while self._stack:
+            sp = self._stack.pop()
+            sp.duration_s = now - sp.start_s
+            sp.status = "aborted"
+            sp.attrs.setdefault("error", reason)
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of the whole trace."""
+        return {
+            "n_spans": self._n_spans,
+            "dropped_spans": self.dropped,
+            "spans": [sp.as_dict() for sp in self._roots],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The trace as a JSON string."""
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def write(self, path: str | Path) -> Path:
+        """Write the trace (plus open-span flush) to *path* as JSON."""
+        self.flush_open("flushed at export")
+        path = Path(path)
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path

@@ -22,17 +22,20 @@ parameters plus every incident flow's exact entry curve and role) and
 returns a :class:`BlockOutcome` (per-flow class delays and output
 curves).  Identical inputs produce bit-identical outcomes, which is
 what lets the incremental engine (:mod:`repro.engine`) memoize blocks
-content-addressed; :meth:`IntegratedAnalysis.analyze` accepts an
-optional ``block_step`` hook for exactly that.
+content-addressed: every block runs through
+:meth:`repro.context.AnalysisContext.run_block_step`, whose optional
+block interceptor is exactly that memoizing wrapper (and which also
+carries the cooperative deadline and per-block tracing).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable
+from typing import Hashable
 
 from repro.analysis.base import Analyzer, DelayReport, FlowDelay
 from repro.analysis.propagation import _local_analysis
+from repro.context import NULL_CONTEXT, AnalysisContext
 from repro.core.partition import PairAlongPath, PartitionStrategy
 from repro.core.subsystem import TwoServerSubsystem
 from repro.curves.piecewise import PiecewiseLinearCurve
@@ -111,13 +114,6 @@ class BlockOutcome:
     delays: tuple[tuple[str, float], ...]
     out_curves: tuple[tuple[str, PiecewiseLinearCurve], ...]
     kernel: str | None
-
-
-#: Signature of the per-block hook accepted by ``analyze``.  Receives
-#: the block's server ids (for dependency bookkeeping) and the full
-#: :class:`BlockInput`; must return exactly what :func:`evaluate_block`
-#: would.
-BlockStepFn = Callable[[tuple, BlockInput], BlockOutcome]
 
 
 def _evaluate_singleton(bi: BlockInput) -> BlockOutcome:
@@ -308,12 +304,18 @@ class IntegratedAnalysis(Analyzer):
             flows=tuple(flows))
 
     def analyze(self, network: Network, *,
-                block_step: BlockStepFn | None = None) -> DelayReport:
-        """Analyze *network*; ``block_step`` optionally replaces the
-        per-block computation (the incremental engine passes a
-        memoizing wrapper extensionally equal to
-        :func:`evaluate_block`)."""
+                ctx: AnalysisContext = NULL_CONTEXT) -> DelayReport:
+        """Analyze *network* under *ctx*: the cooperative deadline is
+        checked at every block boundary, each block gets a span, and a
+        block interceptor installed on the context (the incremental
+        engine's memoizing wrapper, extensionally equal to
+        :func:`evaluate_block`) transparently replaces the per-block
+        computation."""
         network.check_stability()
+        with ctx.analysis_scope(self.name):
+            return self._analyze(network, ctx)
+
+    def _analyze(self, network: Network, ctx: AnalysisContext) -> DelayReport:
         partition = self.strategy.partition(network)
 
         curve_at: dict[tuple[str, ServerId], PiecewiseLinearCurve] = {}
@@ -329,8 +331,7 @@ class IntegratedAnalysis(Analyzer):
             if kind == "singleton" and not network.flows_at(block[0]):
                 continue
             bi = self.build_block_input(network, kind, block, curve_at)
-            outcome = (block_step(block, bi) if block_step is not None
-                       else evaluate_block(bi))
+            outcome = ctx.run_block_step(block, bi, evaluate_block)
             self._apply_outcome(network, block, bi, outcome, curve_at,
                                 contribs, kernel_wins)
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.context.metrics import kernel_count
 from repro.curves.piecewise import PiecewiseLinearCurve
 from repro.utils.grid import TimeGrid
 
@@ -57,6 +58,7 @@ def grid_convolve(f: np.ndarray, g: np.ndarray) -> np.ndarray:
     vectorized shifted-minimum update — O(n^2) work but only O(n) Python
     iterations, each a fused numpy kernel.
     """
+    kernel_count("curve.grid_convolve")
     f = np.asarray(f, dtype=float)
     g = np.asarray(g, dtype=float)
     if f.shape != g.shape or f.ndim != 1:
@@ -78,6 +80,7 @@ def grid_deconvolve(f: np.ndarray, g: np.ndarray) -> np.ndarray:
     as with :func:`grid_convolve` — the horizon must cover the busy
     period of the element being analyzed.
     """
+    kernel_count("curve.grid_deconvolve")
     f = np.asarray(f, dtype=float)
     g = np.asarray(g, dtype=float)
     if f.shape != g.shape or f.ndim != 1:
@@ -128,6 +131,7 @@ def grid_hdev(arrival: np.ndarray, service: np.ndarray,
     points.  Returns ``inf`` when the service samples never reach the
     arrival's maximum (horizon too small or unstable system).
     """
+    kernel_count("curve.grid_hdev")
     service = np.asarray(service, dtype=float)
     arrival = np.asarray(arrival, dtype=float)
     lags = grid_pseudo_inverse(service, grid, arrival)
@@ -151,4 +155,5 @@ def grid_hdev(arrival: np.ndarray, service: np.ndarray,
 
 def grid_vdev(arrival: np.ndarray, service: np.ndarray) -> float:
     """Vertical deviation ``sup_t [arrival(t) - service(t)]`` on a grid."""
+    kernel_count("curve.grid_vdev")
     return float(np.max(np.asarray(arrival) - np.asarray(service)))

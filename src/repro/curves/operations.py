@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.context.metrics import kernel_count
 from repro.curves.piecewise import PiecewiseLinearCurve
 from repro.curves import numeric
 from repro.errors import CurveError
@@ -29,10 +30,24 @@ _FALLBACK_RESOLUTION = 4096
 
 def _auto_grid(*curves: PiecewiseLinearCurve,
                horizon: float | None = None) -> TimeGrid:
-    """A grid whose horizon safely covers all breakpoints of *curves*."""
+    """A grid whose horizon safely covers the features of *curves*.
+
+    The characteristic time of a curve is its last breakpoint plus —
+    when the tail keeps growing — the time the final slope needs to
+    double the last breakpoint value.  Sizing by breakpoints alone is
+    not enough: a near-degenerate curve like ``affine(sigma, rho)`` has
+    its single breakpoint at 0 and would get the minimal 1.0 horizon
+    regardless of how slowly its tail accumulates, silently truncating
+    every sampled sup/inf that needs ``t ~ sigma/rho`` to settle.
+    """
     if horizon is None:
-        last = max(float(c.x[-1]) for c in curves)
-        horizon = max(1.0, 4.0 * last)
+        tc = 0.0
+        for c in curves:
+            t = float(c.x[-1])
+            if c.final_slope > 0:
+                t += max(float(c.y[-1]), 0.0) / c.final_slope
+            tc = max(tc, t)
+        horizon = max(1.0, 4.0 * tc)
     return make_grid(horizon, _FALLBACK_RESOLUTION)
 
 
@@ -47,6 +62,7 @@ def convolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve,
     try:
         return f.convolve(g)
     except CurveError:
+        kernel_count("curve.fallbacks")
         grid = _auto_grid(f, g, horizon=horizon)
         out = numeric.grid_convolve(numeric.sample(f, grid),
                                     numeric.sample(g, grid))
@@ -72,8 +88,10 @@ def deconvolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve,
 
     The output-traffic bound of a flow with arrival curve ``f`` served
     with service curve ``g``.  The horizon must cover the element's busy
-    period; by default four times the farthest breakpoint is used.
+    period; by default four times the curves' characteristic time
+    (see :func:`_auto_grid`) is used.
     """
+    kernel_count("curve.deconvolve")
     grid = _auto_grid(f, g, horizon=horizon)
     out = numeric.grid_deconvolve(numeric.sample(f, grid),
                                   numeric.sample(g, grid))

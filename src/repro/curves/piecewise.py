@@ -34,6 +34,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.context.metrics import kernel_count
 from repro.errors import CurveError
 from repro.utils.tolerance import EPS, close
 
@@ -301,6 +302,7 @@ class PiecewiseLinearCurve:
     # ------------------------------------------------------------------
 
     def _minmax(self, other: "PiecewiseLinearCurve", take_min: bool):
+        kernel_count("curve.minmax")
         xs = self._binary_grid(other)
         # Within each shared segment the difference is affine, so any
         # sign change pinpoints one intersection to add as a breakpoint.
@@ -414,6 +416,7 @@ class PiecewiseLinearCurve:
         """
         if not self.is_nondecreasing():
             raise CurveError("pseudo_inverse requires a nondecreasing curve")
+        kernel_count("curve.pseudo_inverse")
         va = np.atleast_1d(np.asarray(v, dtype=float))
         out = np.empty_like(va)
 
@@ -463,12 +466,14 @@ class PiecewiseLinearCurve:
         :func:`repro.curves.numeric.grid_convolve` there.
         """
         if self.is_concave() and other.is_concave():
+            kernel_count("curve.convolve")
             a = self + other.value_at_zero()
             b = other + self.value_at_zero()
             return a.minimum(b)
         if (self.is_convex() and other.is_convex()
                 and abs(self.value_at_zero()) <= EPS
                 and abs(other.value_at_zero()) <= EPS):
+            kernel_count("curve.convolve")
             return _convolve_convex(self, other)
         raise CurveError(
             "exact convolution implemented for concave/concave and "
@@ -486,6 +491,7 @@ class PiecewiseLinearCurve:
 
         Returns ``inf`` when *self* eventually outgrows *other*.
         """
+        kernel_count("curve.vdev")
         if self.final_slope > other.final_slope + EPS:
             return _INF
         xs = np.union1d(self.x, other.x)
@@ -503,6 +509,7 @@ class PiecewiseLinearCurve:
         if not other.is_nondecreasing():
             raise CurveError("horizontal_deviation needs nondecreasing "
                              "service curve")
+        kernel_count("curve.hdev")
         if self.final_slope > other.final_slope + EPS:
             return _INF
         # h(t) = other^{-1}(self(t)) - t is affine between "kink"
@@ -552,6 +559,7 @@ class PiecewiseLinearCurve:
         period is the first positive instant where the backlog bound hits
         zero.  Returns ``inf`` when the curves never cross.
         """
+        kernel_count("curve.crossing")
         diff = self - other
         xs = diff.x
         ys = diff.y

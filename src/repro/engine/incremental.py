@@ -38,6 +38,7 @@ from typing import Hashable, Iterable, Mapping
 from repro.analysis.base import Analyzer, DelayReport
 from repro.analysis.decomposed import DecomposedAnalysis
 from repro.analysis.propagation import ServerInput, server_step
+from repro.context import NULL_CONTEXT, AnalysisContext
 from repro.core.integrated import (
     BlockInput,
     IntegratedAnalysis,
@@ -216,7 +217,8 @@ class IncrementalEngine(Analyzer):
     # core analysis
     # ------------------------------------------------------------------
 
-    def analyze(self, network: Network) -> DelayReport:
+    def analyze(self, network: Network, *,
+                ctx: AnalysisContext = NULL_CONTEXT) -> DelayReport:
         """Bounds for *network*, reusing whatever the last analysis of
         a similar network already established.
 
@@ -224,34 +226,47 @@ class IncrementalEngine(Analyzer):
         caching) for unsupported analyzers and non-feed-forward
         networks.  Results are always bit-identical to
         ``self.analyzer.analyze(network)``.
+
+        *ctx* flows into the wrapped analyzer (deadline checks and
+        spans at every sweep unit); the engine installs its memoizing
+        interceptors on a derived context, and mirrors its cache
+        counters (``engine.hits`` …) into the context's registry so
+        traces carry the cache behavior of the very query they time.
         """
         self.stats.queries += 1
+        ctx.count("engine.queries")
         if self._mode is None or not network.is_feedforward:
             self.stats.fallbacks += 1
-            return self._analyzer.analyze(network)
+            ctx.count("engine.fallbacks")
+            return self._analyzer.run(network, ctx)
 
         memo = self._memo
         fingerprint = self._fingerprint()
         if (memo is not None and memo.fingerprint == fingerprint
                 and memo.network.version == network.version):
+            ctx.count("engine.memo_replays")
             return memo.report
 
         depgraph = DependencyGraph(network)
         cone, reusable = self._plan(memo, network, depgraph, fingerprint)
         if cone is not None and not cone and reusable:
             # nothing changed at all: the previous report stands
+            ctx.count("engine.memo_replays")
             return memo.report
-        self.stats.invalidations += len(cone) if cone is not None else 0
+        n_dirty = len(cone) if cone is not None else 0
+        self.stats.invalidations += n_dirty
+        ctx.count("engine.invalidations", n_dirty)
+        ctx.annotate(dirty_cone=n_dirty,
+                     full_rebuild=cone is None)
 
         outcomes: dict[tuple, _Record] = {}
         if self._mode == "decomposed":
-            report = self._analyzer.analyze(
-                network, step=self._make_server_step(
-                    cone, reusable, outcomes))
+            sweep_ctx = ctx.with_interceptors(
+                step=self._make_server_step(cone, reusable, outcomes, ctx))
         else:
-            report = self._analyzer.analyze(
-                network, block_step=self._make_block_step(
-                    cone, reusable, outcomes))
+            sweep_ctx = ctx.with_interceptors(
+                block=self._make_block_step(cone, reusable, outcomes, ctx))
+        report = self._analyzer.analyze(network, ctx=sweep_ctx)
         self._memo = _SweepMemo(network, depgraph, fingerprint,
                                 outcomes, report)
 
@@ -301,20 +316,28 @@ class IncrementalEngine(Analyzer):
     def _lookup(self, unit: tuple, in_cone: bool,
                 reusable: dict[tuple, _Record],
                 outcomes: dict[tuple, _Record], key_fn, compute_fn,
-                payload):
-        """Shared reuse → cache → compute ladder for one sweep unit."""
+                payload, ctx: AnalysisContext):
+        """Shared reuse → cache → compute ladder for one sweep unit.
+
+        Runs *inside* the span the context opened for this unit, so the
+        cache verdict is annotated onto the unit's own span.
+        """
         if not in_cone:
             rec = reusable.get(unit)
             if rec is not None:
                 outcomes[unit] = rec
                 self.stats.fast_reuses += 1
                 self.stats.saved_s += rec[1]
+                ctx.count("engine.fast_reuses")
+                ctx.annotate(cache="fast_reuse")
                 return rec[0]
         key = key_fn(payload)
         entry = self._cache.get(key)
         if entry is not None:
             self.stats.hits += 1
             self.stats.saved_s += entry.compute_time
+            ctx.count("engine.hits")
+            ctx.annotate(cache="hit")
             outcomes[unit] = (entry.value, entry.compute_time)
             return entry.value
         t0 = time.perf_counter()
@@ -322,22 +345,29 @@ class IncrementalEngine(Analyzer):
         dt = time.perf_counter() - t0
         self.stats.misses += 1
         self.stats.spent_s += dt
+        ctx.count("engine.misses")
+        ctx.count("engine.spent_s", dt)
+        ctx.annotate(cache="miss")
         self._cache.put(key, value, dt)
         outcomes[unit] = (value, dt)
         return value
 
-    def _make_server_step(self, cone, reusable, outcomes):
+    def _make_server_step(self, cone, reusable, outcomes,
+                          ctx: AnalysisContext):
         def step(sid, si: ServerInput):
             in_cone = cone is None or sid in cone
             return self._lookup(("server", sid), in_cone, reusable,
-                                outcomes, _server_key, server_step, si)
+                                outcomes, _server_key, server_step, si,
+                                ctx)
         return step
 
-    def _make_block_step(self, cone, reusable, outcomes):
+    def _make_block_step(self, cone, reusable, outcomes,
+                         ctx: AnalysisContext):
         def block_step(block: tuple, bi: BlockInput):
             in_cone = cone is None or any(s in cone for s in block)
             return self._lookup((bi.kind, block), in_cone, reusable,
-                                outcomes, _block_key, evaluate_block, bi)
+                                outcomes, _block_key, evaluate_block, bi,
+                                ctx)
         return block_step
 
     # ------------------------------------------------------------------
@@ -352,11 +382,12 @@ class IncrementalEngine(Analyzer):
                 "admit/release/query")
         return self._network
 
-    def query(self) -> DelayReport:
+    def query(self, *, ctx: AnalysisContext = NULL_CONTEXT) -> DelayReport:
         """Bounds for the current network (cheap when nothing changed)."""
-        return self.analyze(self._require_network())
+        return self.analyze(self._require_network(), ctx=ctx)
 
-    def admit(self, flow: Flow) -> DelayReport:
+    def admit(self, flow: Flow, *,
+              ctx: AnalysisContext = NULL_CONTEXT) -> DelayReport:
         """Add *flow* and return the new network's report.
 
         Transactional: if the topology rejects the flow or the
@@ -364,11 +395,12 @@ class IncrementalEngine(Analyzer):
         engine's network is unchanged.
         """
         candidate = self._require_network().with_flow(flow)
-        report = self.analyze(candidate)
+        report = self.analyze(candidate, ctx=ctx)
         self._network = candidate
         return report
 
-    def admit_batch(self, flows: Iterable[Flow]) -> DelayReport:
+    def admit_batch(self, flows: Iterable[Flow], *,
+                    ctx: AnalysisContext = NULL_CONTEXT) -> DelayReport:
         """Admit several flows in ONE invalidation pass.
 
         Coalescing N pending requests dirties the union cone once and
@@ -379,14 +411,15 @@ class IncrementalEngine(Analyzer):
         candidate = self._require_network()
         for flow in flows:
             candidate = candidate.with_flow(flow)
-        report = self.analyze(candidate)
+        report = self.analyze(candidate, ctx=ctx)
         self._network = candidate
         return report
 
-    def release(self, name: str) -> DelayReport:
+    def release(self, name: str, *,
+                ctx: AnalysisContext = NULL_CONTEXT) -> DelayReport:
         """Remove flow *name* and return the new network's report."""
         candidate = self._require_network().without_flow(name)
-        report = self.analyze(candidate)
+        report = self.analyze(candidate, ctx=ctx)
         self._network = candidate
         return report
 

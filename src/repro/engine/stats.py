@@ -2,16 +2,40 @@
 
 Separated from the engine so evaluation code and the CLI can render
 statistics without importing the engine internals.
+
+Since the :class:`~repro.context.AnalysisContext` refactor the stats
+are a *view* over a :class:`~repro.context.MetricsRegistry` (namespace
+``engine.*``) instead of private attribute bookkeeping: the engine
+writes its counters into the registry, traces export them alongside
+curve-kernel op counts, and this class keeps the familiar attribute
+API (``stats.hits``, ``stats.hit_rate``, ``stats.render()``) on top.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.context import MetricsRegistry
 
 __all__ = ["EngineStats"]
 
+#: Integer counters, in render order.
+_COUNTERS = ("queries", "hits", "misses", "fast_reuses",
+             "invalidations", "fallbacks", "self_checks")
+#: Seconds accumulators.
+_SECONDS = ("saved_s", "spent_s")
 
-@dataclass
+
+def _counter(name: str, cast):
+    key = "engine." + name
+
+    def fget(self) -> float:
+        return cast(self.registry.get(key))
+
+    def fset(self, value) -> None:
+        self.registry.set(key, float(value))
+
+    return property(fget, fset, doc=f"``{key}`` registry counter.")
+
+
 class EngineStats:
     """Operational counters of one :class:`~repro.engine.IncrementalEngine`.
 
@@ -38,18 +62,28 @@ class EngineStats:
         of every result served from cache or reused.
     spent_s:
         Wall-clock seconds spent computing cache misses.
+
+    Parameters
+    ----------
+    registry:
+        Backing :class:`~repro.context.MetricsRegistry`; a private one
+        is created when omitted.  Counters live under ``engine.*``.
     """
 
-    queries: int = 0
-    hits: int = 0
-    misses: int = 0
-    fast_reuses: int = 0
-    invalidations: int = 0
-    fallbacks: int = 0
-    self_checks: int = 0
-    saved_s: float = 0.0
-    spent_s: float = 0.0
-    _extra: dict = field(default_factory=dict, repr=False)
+    __slots__ = ("registry",)
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    queries = _counter("queries", int)
+    hits = _counter("hits", int)
+    misses = _counter("misses", int)
+    fast_reuses = _counter("fast_reuses", int)
+    invalidations = _counter("invalidations", int)
+    fallbacks = _counter("fallbacks", int)
+    self_checks = _counter("self_checks", int)
+    saved_s = _counter("saved_s", float)
+    spent_s = _counter("spent_s", float)
 
     @property
     def reused(self) -> int:
@@ -64,25 +98,17 @@ class EngineStats:
 
     def as_dict(self) -> dict:
         """Plain-dict snapshot (JSON-serializable)."""
-        return {
-            "queries": self.queries,
-            "hits": self.hits,
-            "misses": self.misses,
-            "fast_reuses": self.fast_reuses,
-            "invalidations": self.invalidations,
-            "fallbacks": self.fallbacks,
-            "self_checks": self.self_checks,
-            "hit_rate": self.hit_rate,
-            "saved_s": self.saved_s,
-            "spent_s": self.spent_s,
-        }
+        out: dict = {name: getattr(self, name) for name in _COUNTERS}
+        out["hit_rate"] = self.hit_rate
+        for name in _SECONDS:
+            out[name] = getattr(self, name)
+        return out
 
     def render(self) -> str:
         """Aligned human-readable counter block."""
         d = self.as_dict()
         lines = ["engine stats:"]
-        for key in ("queries", "hits", "misses", "fast_reuses",
-                    "invalidations", "fallbacks", "self_checks"):
+        for key in _COUNTERS:
             lines.append(f"  {key:<14}{d[key]:>10d}")
         lines.append(f"  {'hit_rate':<14}{d['hit_rate']:>10.1%}")
         lines.append(f"  {'saved_s':<14}{d['saved_s']:>10.4f}")
@@ -91,7 +117,8 @@ class EngineStats:
 
     def reset(self) -> None:
         """Zero every counter."""
-        self.queries = self.hits = self.misses = 0
-        self.fast_reuses = self.invalidations = 0
-        self.fallbacks = self.self_checks = 0
-        self.saved_s = self.spent_s = 0.0
+        self.registry.reset("engine.")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = ", ".join(f"{k}={v!r}" for k, v in self.as_dict().items())
+        return f"EngineStats({pairs})"

@@ -39,8 +39,9 @@ import os
 import time
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
+from repro.context import NULL_CONTEXT, AnalysisContext, MetricsRegistry
 from repro.eval.figures import _analyzer_factory  # shared registry
 from repro.network.tandem import CONNECTION0, build_tandem
 
@@ -59,7 +60,11 @@ class SweepPoint:
 
     ``error`` is ``None`` for successful points; failed points carry
     the failure description and ``delay = nan``.  ``attempts`` counts
-    evaluation attempts (1 = first try succeeded).
+    evaluation attempts (1 = first try succeeded).  ``elapsed_s`` is
+    the wall-clock evaluation time of the successful attempt, and
+    ``phases`` — populated only under ``profile=True`` — carries the
+    point's :class:`~repro.context.MetricsRegistry` counters (curve
+    kernel invocations, server steps, per-phase timers).
     """
 
     analyzer: str
@@ -69,6 +74,8 @@ class SweepPoint:
     delay: float
     error: str | None = None
     attempts: int = 1
+    elapsed_s: float = 0.0
+    phases: Mapping[str, float] | None = None
 
     @property
     def ok(self) -> bool:
@@ -92,13 +99,24 @@ def _maybe_inject_fault(task: _Task) -> None:
         raise RuntimeError(f"injected fault on task {task}")
 
 
-def _evaluate_one(args: _Task) -> SweepPoint:
+def _evaluate_one(args: _Task, profile: bool = False) -> SweepPoint:
     analyzer_name, n_hops, load, sigma = args
     _maybe_inject_fault(args)
+    start = time.perf_counter()
     analyzer = _analyzer_factory(analyzer_name)()
     net = build_tandem(n_hops, load, sigma)
-    delay = analyzer.analyze(net).delay_of(CONNECTION0)
-    return SweepPoint(analyzer_name, n_hops, load, sigma, delay)
+    if not profile:
+        delay = analyzer.analyze(net).delay_of(CONNECTION0)
+        return SweepPoint(analyzer_name, n_hops, load, sigma, delay,
+                          elapsed_s=time.perf_counter() - start)
+    ctx = AnalysisContext(metrics=MetricsRegistry())
+    with ctx.metrics.timed("point"):
+        delay = analyzer.run(net, ctx).delay_of(CONNECTION0)
+    phases = {k: round(float(v), 9)
+              for k, v in sorted(ctx.metrics.as_dict().items())}
+    return SweepPoint(analyzer_name, n_hops, load, sigma, delay,
+                      elapsed_s=time.perf_counter() - start,
+                      phases=phases)
 
 
 # ----------------------------------------------------------------------
@@ -107,7 +125,7 @@ def _evaluate_one(args: _Task) -> SweepPoint:
 
 
 def _point_to_record(point: SweepPoint) -> dict:
-    return {
+    rec = {
         "analyzer": point.analyzer,
         "n_hops": point.n_hops,
         "load": point.load,
@@ -115,16 +133,23 @@ def _point_to_record(point: SweepPoint) -> dict:
         "delay": None if math.isnan(point.delay) else point.delay,
         "error": point.error,
         "attempts": point.attempts,
+        "elapsed_s": point.elapsed_s,
     }
+    if point.phases is not None:
+        rec["phases"] = dict(point.phases)
+    return rec
 
 
 def _record_to_point(rec: dict) -> SweepPoint:
     delay = rec.get("delay")
+    phases = rec.get("phases")
     return SweepPoint(
         rec["analyzer"], int(rec["n_hops"]), float(rec["load"]),
         float(rec["sigma"]),
         math.nan if delay is None else float(delay),
-        error=rec.get("error"), attempts=int(rec.get("attempts", 1)))
+        error=rec.get("error"), attempts=int(rec.get("attempts", 1)),
+        elapsed_s=float(rec.get("elapsed_s", 0.0)),
+        phases=None if phases is None else dict(phases))
 
 
 def _load_checkpoint(path: Path) -> dict[_Task, SweepPoint]:
@@ -205,11 +230,12 @@ def _failure_point(task: _Task, error: str, attempts: int) -> SweepPoint:
 
 def _run_serial(pending: list[tuple[_Task, int]], retries: int,
                 backoff: float,
-                record: Callable[[_Task, SweepPoint], None]) -> None:
+                record: Callable[[_Task, SweepPoint], None],
+                profile: bool = False) -> None:
     for task, attempt in pending:
         while True:
             try:
-                record(task, replace(_evaluate_one(task),
+                record(task, replace(_evaluate_one(task, profile),
                                      attempts=attempt))
                 break
             except Exception as exc:  # noqa: BLE001 - isolation boundary
@@ -223,7 +249,8 @@ def _run_serial(pending: list[tuple[_Task, int]], retries: int,
 
 def _run_parallel(pending: list[tuple[_Task, int]], workers: int,
                   timeout: float, retries: int, backoff: float,
-                  record: Callable[[_Task, SweepPoint], None]) -> None:
+                  record: Callable[[_Task, SweepPoint], None],
+                  profile: bool = False) -> None:
     """Pool rounds: each round submits everything pending, a timeout
     kills the round's pool (the only way to stop a hung worker) and the
     unfinished remainder rolls into the next round."""
@@ -239,7 +266,7 @@ def _run_parallel(pending: list[tuple[_Task, int]], workers: int,
         pool = multiprocessing.Pool(processes=workers)
         try:
             handles = [(task, attempt,
-                        pool.apply_async(_evaluate_one, (task,)))
+                        pool.apply_async(_evaluate_one, (task, profile)))
                        for task, attempt in pending]
             poisoned = False
             for task, attempt, handle in handles:
@@ -278,7 +305,11 @@ def evaluate_grid(analyzers: Sequence[str], hops: Sequence[int],
                   retries: int = 1,
                   backoff: float = 0.25,
                   checkpoint: str | Path | None = None,
-                  resume: bool = False) -> list[SweepPoint]:
+                  resume: bool = False,
+                  ctx: AnalysisContext = NULL_CONTEXT,
+                  profile: bool = False,
+                  progress: Callable[[int, int, int], None] | None = None,
+                  ) -> list[SweepPoint]:
     """Evaluate Connection 0's bound over the full parameter grid.
 
     Parameters
@@ -314,6 +345,20 @@ def evaluate_grid(analyzers: Sequence[str], hops: Sequence[int],
     resume:
         With *checkpoint*: load previously completed points and only
         evaluate missing or failed ones.
+    ctx:
+        Execution context for the sweep driver.  The grid size and live
+        completion state land in its registry (``sweep.total``,
+        ``sweep.done``, ``sweep.errors``, ``sweep.retries``,
+        ``sweep.point_s``) and a deadline on *ctx* is checked between
+        points.  Workers run in separate processes and do not see *ctx*.
+    profile:
+        Evaluate each point under a fresh profiling context and attach
+        its counters to :attr:`SweepPoint.phases` (and to checkpoint
+        records).  Adds per-point instrumentation overhead.
+    progress:
+        Optional ``progress(done, total, errors)`` callback invoked
+        after every recorded point (from the driver process) — the hook
+        behind the CLI's live progress line.
 
     Returns
     -------
@@ -342,21 +387,43 @@ def evaluate_grid(analyzers: Sequence[str], hops: Sequence[int],
 
     sink = _Checkpointer(ckpt_path, resume)
 
+    total = len(tasks)
+    done = len(results)
+    errors = 0
+    if ctx.metrics is not None:
+        ctx.metrics.set("sweep.total", float(total))
+        ctx.metrics.set("sweep.done", float(done))
+        ctx.metrics.set("sweep.errors", 0.0)
+
     def record(task: _Task, point: SweepPoint) -> None:
+        nonlocal done, errors
         results[task] = point
         sink.write(point)
+        ctx.checkpoint("sweep point recorded")
+        done += 1
+        ctx.count("sweep.done")
+        ctx.count("sweep.point_s", point.elapsed_s)
+        if point.attempts > 1:
+            ctx.count("sweep.retries", point.attempts - 1)
+        if not point.ok:
+            errors += 1
+            ctx.count("sweep.errors")
+        if progress is not None:
+            progress(done, total, errors)
 
     pending = [(t, 1) for t in tasks if t not in results]
-    try:
-        if not parallel or len(pending) <= 1:
-            _run_serial(pending, retries, backoff, record)
-        else:
-            workers = max_workers or min(len(pending),
-                                         os.cpu_count() or 1)
-            _run_parallel(pending, workers,
-                          timeout if timeout is not None
-                          else DEFAULT_TASK_TIMEOUT,
-                          retries, backoff, record)
-    finally:
-        sink.close()
+    with ctx.span("sweep", points=len(tasks), pending=len(pending),
+                  profile=profile):
+        try:
+            if not parallel or len(pending) <= 1:
+                _run_serial(pending, retries, backoff, record, profile)
+            else:
+                workers = max_workers or min(len(pending),
+                                             os.cpu_count() or 1)
+                _run_parallel(pending, workers,
+                              timeout if timeout is not None
+                              else DEFAULT_TASK_TIMEOUT,
+                              retries, backoff, record, profile)
+        finally:
+            sink.close()
     return [results[t] for t in tasks]

@@ -5,19 +5,27 @@ within its budget is operationally a failed test, whatever it would
 eventually have returned.  :func:`call_with_budget` runs a callable
 under a wall-clock limit and raises
 :class:`repro.errors.AnalysisTimeoutError` (with structured ``budget``
-and ``elapsed`` attributes) when the limit is exceeded, letting the
-admission controller fall back to a cheaper analyzer.
+and ``elapsed`` attributes) when the limit is exceeded.
 
-On POSIX main threads the limit is enforced with ``SIGALRM`` — the
-computation is genuinely interrupted.  Elsewhere (worker threads,
-non-POSIX platforms) a thread-based fallback is used: the caller gets
-its timeout on schedule, but the abandoned computation runs to
-completion in the background.  Analyses are pure, so an abandoned run
-has no side effects.
+The primary mechanism is the **cooperative**
+:class:`~repro.context.Deadline`: a callable that accepts an
+:class:`~repro.context.AnalysisContext` argument is invoked in the
+caller's thread with a deadline-bearing context, and every
+``ctx.checkpoint()`` — analyses check at server-step and block
+boundaries — raises once the budget is spent.  This works on any
+thread, installs no signal handlers, and leaks no workers.
+
+For legacy zero-argument callables the old enforcement survives:
+``SIGALRM`` on POSIX main threads, a worker thread elsewhere.  The
+thread fallback no longer abandons its computation blind — it cancels
+the deadline it handed the worker, so a context-aware callable stops at
+its next checkpoint instead of running to completion, and shuts the
+executor down with ``cancel_futures=True`` so queued work never starts.
 """
 
 from __future__ import annotations
 
+import inspect
 import signal
 import threading
 from concurrent.futures import ThreadPoolExecutor
@@ -25,6 +33,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from time import perf_counter
 from typing import Callable, TypeVar
 
+from repro.context import AnalysisContext, Deadline
 from repro.errors import AnalysisTimeoutError
 from repro.utils.validation import check_positive
 
@@ -32,73 +41,146 @@ __all__ = ["call_with_budget"]
 
 T = TypeVar("T")
 
+#: Accepted ``mechanism`` values.
+_MECHANISMS = ("auto", "cooperative", "signal", "thread")
+
 
 def _sigalrm_usable() -> bool:
     return (hasattr(signal, "SIGALRM")
             and threading.current_thread() is threading.main_thread())
 
 
-def call_with_budget(fn: Callable[[], T], budget: float, *,
-                     description: str = "analysis") -> T:
-    """Run ``fn()`` with a wall-clock *budget* in seconds.
+def _context_mode(fn: Callable) -> str | None:
+    """How *fn* expects the context: "positional", "keyword", or None.
 
-    Returns ``fn()``'s result, or raises
+    A callable is context-aware when it has a *required* positional
+    parameter or any parameter named ``ctx`` (keyword-only ``ctx`` is
+    passed by name).  Defaulted positionals do NOT count: the legacy
+    ``lambda a=analyzer: a.analyze(net)`` closure idiom must keep
+    running as a zero-argument callable.
+    """
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):  # builtins, odd callables
+        return None
+    for param in sig.parameters.values():
+        if (param.kind in (param.POSITIONAL_ONLY,
+                           param.POSITIONAL_OR_KEYWORD)
+                and (param.default is param.empty
+                     or param.name == "ctx")):
+            return "positional"
+        if param.kind == param.KEYWORD_ONLY and param.name == "ctx":
+            return "keyword"
+    return None
+
+
+def _bind_context(fn: Callable[..., T], mode: str,
+                  ctx: AnalysisContext) -> Callable[[], T]:
+    if mode == "keyword":
+        return lambda: fn(ctx=ctx)
+    return lambda: fn(ctx)
+
+
+def call_with_budget(fn: Callable[..., T], budget: float, *,
+                     description: str = "analysis",
+                     ctx: AnalysisContext | None = None,
+                     mechanism: str = "auto") -> T:
+    """Run *fn* with a wall-clock *budget* in seconds.
+
+    Returns *fn*'s result, or raises
     :class:`repro.errors.AnalysisTimeoutError` once *budget* seconds
     have elapsed.  Exceptions raised by *fn* propagate unchanged.
 
     Parameters
     ----------
     fn:
-        Zero-argument callable (close over the arguments).
+        Either a callable accepting one positional argument — it
+        receives an :class:`~repro.context.AnalysisContext` carrying a
+        fresh :class:`~repro.context.Deadline` and is expected to
+        checkpoint cooperatively — or a legacy zero-argument callable
+        (close over the arguments), enforced preemptively.
     budget:
         Wall-clock limit in seconds; must be > 0.
     description:
         Label used in the timeout message.
+    ctx:
+        Optional base context for context-aware callables; the deadline
+        is swapped into a derived copy, so tracing/metrics flow through
+        while the caller's own deadline is untouched.
+    mechanism:
+        ``"auto"`` (default) picks ``"cooperative"`` for context-aware
+        callables, else ``"signal"`` where usable, else ``"thread"``.
+        Explicit values force one path: ``"cooperative"`` requires a
+        context-aware *fn*; ``"signal"`` requires a POSIX main thread;
+        ``"thread"`` runs *fn* in a worker and, on timeout, cancels the
+        worker's deadline (observed at its next checkpoint) before
+        abandoning it.
     """
     check_positive("budget", budget)
-    if _sigalrm_usable():
-        return _call_with_alarm(fn, budget, description)
-    return _call_in_thread(fn, budget, description)
+    if mechanism not in _MECHANISMS:
+        raise ValueError(f"mechanism must be one of {_MECHANISMS}, "
+                         f"got {mechanism!r}")
+    mode = _context_mode(fn)
+    if mechanism == "auto":
+        if mode is not None:
+            mechanism = "cooperative"
+        elif _sigalrm_usable():
+            mechanism = "signal"
+        else:
+            mechanism = "thread"
+
+    if mechanism == "cooperative":
+        if mode is None:
+            raise ValueError(
+                "mechanism='cooperative' needs a callable accepting a "
+                "context argument; got a zero-argument callable")
+        deadline = Deadline(budget, description)
+        base = ctx if ctx is not None else AnalysisContext()
+        return _bind_context(fn, mode, base.with_deadline(deadline))()
+    if mechanism == "signal":
+        if not _sigalrm_usable():
+            raise ValueError("mechanism='signal' needs SIGALRM on the "
+                             "main thread")
+        return _call_with_alarm(fn, budget, description, ctx, mode)
+    return _call_in_thread(fn, budget, description, ctx, mode)
 
 
-def _call_with_alarm(fn: Callable[[], T], budget: float,
-                     description: str) -> T:
-    start = perf_counter()
-
-    def on_alarm(signum, frame):
-        raise AnalysisTimeoutError(
-            f"{description} exceeded its {budget:g}s budget",
-            budget=budget, elapsed=perf_counter() - start)
-
-    prev_handler = signal.signal(signal.SIGALRM, on_alarm)
-    prev_delay, prev_interval = signal.setitimer(
-        signal.ITIMER_REAL, budget)
-    try:
+def _call_with_alarm(fn: Callable[..., T], budget: float,
+                     description: str, ctx: AnalysisContext | None,
+                     mode: str | None) -> T:
+    deadline = Deadline(budget, description)
+    with deadline.signal_backstop():
+        if mode is not None:
+            base = ctx if ctx is not None else AnalysisContext()
+            return _bind_context(fn, mode, base.with_deadline(deadline))()
         return fn()
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0)
-        signal.signal(signal.SIGALRM, prev_handler)
-        if prev_delay:
-            # an outer timer (e.g. the test suite's hang guard) was
-            # pending: re-arm it with whatever time it has left
-            remaining = max(prev_delay - (perf_counter() - start), 1e-3)
-            signal.setitimer(signal.ITIMER_REAL, remaining,
-                             prev_interval)
 
 
-def _call_in_thread(fn: Callable[[], T], budget: float,
-                    description: str) -> T:
+def _call_in_thread(fn: Callable[..., T], budget: float,
+                    description: str, ctx: AnalysisContext | None,
+                    mode: str | None) -> T:
     start = perf_counter()
+    deadline = Deadline(budget, description)
+    if mode is not None:
+        base = ctx if ctx is not None else AnalysisContext()
+        call = _bind_context(fn, mode, base.with_deadline(deadline))
+    else:
+        call = fn
     pool = ThreadPoolExecutor(max_workers=1,
                               thread_name_prefix="repro-budget")
-    future = pool.submit(fn)
+    future = pool.submit(call)
     try:
         return future.result(timeout=budget)
     except FutureTimeoutError:
+        # Tell the abandoned computation to stop: a context-aware
+        # callable raises at its next checkpoint instead of running to
+        # completion.  Zero-argument callables cannot observe this but
+        # are pure, so the leak is bounded by their own runtime.
+        deadline.cancel()
         raise AnalysisTimeoutError(
             f"{description} exceeded its {budget:g}s budget",
             budget=budget, elapsed=perf_counter() - start) from None
     finally:
-        # never join the (possibly still running) worker; analyses are
-        # pure so the abandoned computation is harmless
+        # never join the (possibly still running) worker; shut down
+        # without waiting and drop anything still queued
         pool.shutdown(wait=False, cancel_futures=True)

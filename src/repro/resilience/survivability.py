@@ -27,7 +27,13 @@ from typing import Iterable
 import networkx as nx
 
 from repro.analysis.base import Analyzer, DelayReport
-from repro.errors import AnalysisError, InstabilityError, TopologyError
+from repro.context import NULL_CONTEXT, AnalysisContext
+from repro.errors import (
+    AnalysisError,
+    AnalysisTimeoutError,
+    InstabilityError,
+    TopologyError,
+)
 from repro.network.flow import Flow
 from repro.network.topology import Network
 from repro.resilience.faults import FaultScenario
@@ -162,7 +168,9 @@ def _verdict(flow: Flow, report: DelayReport, baseline: float,
 def survivability(network: Network,
                   scenarios: Iterable[FaultScenario],
                   analyzer: Analyzer,
-                  reroute: bool = True) -> SurvivabilityReport:
+                  reroute: bool = True, *,
+                  ctx: AnalysisContext = NULL_CONTEXT,
+                  ) -> SurvivabilityReport:
     """Re-analyze *network* under every scenario and judge every flow.
 
     Parameters
@@ -178,24 +186,40 @@ def survivability(network: Network,
     reroute:
         Attempt to reroute severed flows around failed servers before
         declaring them severed.
+    ctx:
+        Execution context: the baseline and every scenario retest get a
+        span, deadlines are checked between scenarios, and per-scenario
+        verdict counts land in the registry.
 
     Returns
     -------
     SurvivabilityReport
         One :class:`ScenarioOutcome` per scenario, in input order.
     """
-    baseline = analyzer.analyze(network)
+    with ctx.span("survivability_baseline", analyzer=analyzer.name):
+        baseline = analyzer.run(network, ctx)
     outcomes = []
     for scenario in scenarios:
-        outcomes.append(_evaluate_scenario(network, scenario, analyzer,
-                                           baseline, reroute))
+        ctx.checkpoint("survivability scenario")
+        with ctx.span("scenario", scenario=scenario.describe()):
+            outcome = _evaluate_scenario(network, scenario, analyzer,
+                                         baseline, reroute, ctx)
+            ctx.annotate(met=outcome.n_met, violated=outcome.n_violated,
+                         severed=outcome.n_severed,
+                         survives=outcome.survives)
+        ctx.count("survivability.scenarios")
+        if not outcome.survives:
+            ctx.count("survivability.degraded")
+        outcomes.append(outcome)
     return SurvivabilityReport(algorithm=analyzer.name,
                                outcomes=tuple(outcomes))
 
 
 def _evaluate_scenario(network: Network, scenario: FaultScenario,
                        analyzer: Analyzer, baseline: DelayReport,
-                       reroute: bool) -> ScenarioOutcome:
+                       reroute: bool,
+                       ctx: AnalysisContext = NULL_CONTEXT,
+                       ) -> ScenarioOutcome:
     faulted = scenario.apply(network)
     failed = scenario.failed_servers(network)
 
@@ -219,7 +243,11 @@ def _evaluate_scenario(network: Network, scenario: FaultScenario,
     report: DelayReport | None = None
     try:
         faulted.check_stability()
-        report = analyzer.analyze(faulted)
+        report = analyzer.run(faulted, ctx)
+    except AnalysisTimeoutError:
+        # the caller's deadline expired: abort the whole sweep rather
+        # than recording a misleading "violated" verdict
+        raise
     except (InstabilityError, AnalysisError) as exc:
         error = f"{type(exc).__name__}: {exc}"
 

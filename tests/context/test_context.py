@@ -1,0 +1,151 @@
+"""Unit tests for AnalysisContext / NullContext plumbing."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.context import (
+    NULL_CONTEXT,
+    AnalysisContext,
+    Deadline,
+    MetricsRegistry,
+    NullContext,
+    Tracer,
+    active_registry,
+)
+from repro.errors import AnalysisTimeoutError
+from tests.context.test_deadline import FakeClock
+
+
+def _unit(flows=()):
+    """A stand-in for ServerInput/BlockInput (only .flows/.kind used)."""
+    return SimpleNamespace(flows=flows, kind="theorem1")
+
+
+class TestBuilders:
+    def test_tracing_builder_is_fully_instrumented(self):
+        ctx = AnalysisContext.tracing()
+        assert ctx.tracer is not None
+        assert ctx.metrics is not None
+        assert ctx.deadline is None
+
+    def test_with_deadline_shares_observability(self):
+        base = AnalysisContext.tracing()
+        dl = Deadline(10.0)
+        derived = base.with_deadline(dl)
+        assert derived.deadline is dl
+        assert derived.tracer is base.tracer
+        assert derived.metrics is base.metrics
+        assert base.deadline is None  # original untouched
+
+    def test_null_context_derivations_enforce(self):
+        clock = FakeClock()
+        dl = Deadline(1.0, clock=clock)
+        derived = NULL_CONTEXT.with_deadline(dl)
+        # a NullContext-derived copy must be a real enforcing context
+        assert not isinstance(derived, NullContext)
+        clock.advance(2.0)
+        with pytest.raises(AnalysisTimeoutError):
+            derived.checkpoint("after expiry")
+
+    def test_with_interceptors_shares_deadline(self):
+        dl = Deadline(10.0)
+        base = AnalysisContext(deadline=dl)
+        step = lambda sid, si: "memo"  # noqa: E731
+        derived = base.with_interceptors(step=step)
+        assert derived.step_interceptor is step
+        assert derived.deadline is dl
+
+
+class TestPrimitives:
+    def test_checkpoint_count_annotate_are_noops_unconfigured(self):
+        ctx = AnalysisContext()
+        ctx.checkpoint("free")
+        ctx.count("x")
+        ctx.annotate(k=1)
+        with ctx.span("s"):
+            pass
+        with ctx.timed("t"):
+            pass
+
+    def test_count_lands_in_registry(self):
+        ctx = AnalysisContext(metrics=MetricsRegistry())
+        ctx.count("admission.requests")
+        ctx.count("engine.spent_s", 0.5)
+        assert ctx.metrics.get("admission.requests") == 1.0
+        assert ctx.metrics.get("engine.spent_s") == 0.5
+
+    def test_analysis_scope_activates_registry(self):
+        ctx = AnalysisContext.tracing()
+        assert active_registry() is None
+        with ctx.analysis_scope("decomposed"):
+            assert active_registry() is ctx.metrics
+        assert active_registry() is None
+        (root,) = ctx.tracer.roots
+        assert root.name == "analyze"
+        assert root.attrs["algorithm"] == "decomposed"
+
+    def test_null_singleton_is_pure_passthrough(self):
+        si = _unit()
+        out = NULL_CONTEXT.run_server_step("s1", si, lambda x: ("pure", x))
+        assert out == ("pure", si)
+
+
+class TestStepDispatch:
+    def test_interceptor_replaces_compute(self):
+        calls = []
+        ctx = AnalysisContext(
+            step_interceptor=lambda sid, si: calls.append(sid) or "memo")
+        out = ctx.run_server_step("s1", _unit(), lambda si: "pure")
+        assert out == "memo"
+        assert calls == ["s1"]
+
+    def test_compute_used_without_interceptor(self):
+        ctx = AnalysisContext(metrics=MetricsRegistry())
+        out = ctx.run_server_step("s1", _unit(), lambda si: "pure")
+        assert out == "pure"
+        assert ctx.metrics.get("analysis.server_steps") == 1.0
+
+    def test_block_step_traced_and_counted(self):
+        ctx = AnalysisContext.tracing()
+        out = ctx.run_block_step((1, 2), _unit(flows=("f",)),
+                                 lambda bi: "joint")
+        assert out == "joint"
+        assert ctx.metrics.get("analysis.block_steps") == 1.0
+        (sp,) = ctx.tracer.roots
+        assert sp.name == "block"
+        assert sp.attrs["servers"] == str((1, 2))
+
+    def test_deadline_checked_at_step_boundary(self):
+        clock = FakeClock()
+        dl = Deadline(1.0, "unit test", clock=clock)
+        ctx = AnalysisContext(deadline=dl)
+        ctx.run_server_step("s1", _unit(), lambda si: None)
+        clock.advance(2.0)
+        with pytest.raises(AnalysisTimeoutError):
+            ctx.run_server_step("s1", _unit(), lambda si: None)
+        with pytest.raises(AnalysisTimeoutError):
+            ctx.run_block_step((1,), _unit(), lambda bi: None)
+
+
+class TestExport:
+    def test_export_merges_spans_counters_meta(self, tmp_path):
+        ctx = AnalysisContext.tracing()
+        with ctx.span("analyze", algorithm="integrated"):
+            ctx.count("curve.convolve", 4)
+        blob = ctx.export(command="unit-test")
+        assert blob["trace_version"] == 1
+        assert blob["meta"] == {"command": "unit-test"}
+        assert blob["counters"]["curve.convolve"] == 4.0
+        assert blob["spans"][0]["name"] == "analyze"
+
+        path = ctx.write_trace(tmp_path / "t.json", command="unit-test")
+        assert json.loads(path.read_text()) == blob
+
+    def test_write_trace_flushes_open_spans(self, tmp_path):
+        ctx = AnalysisContext.tracing()
+        ctx.tracer.span("left_open").__enter__()
+        path = ctx.write_trace(tmp_path / "partial.json")
+        blob = json.loads(path.read_text())
+        assert blob["spans"][0]["status"] == "aborted"

@@ -1,0 +1,161 @@
+"""Unit tests for the cooperative Deadline."""
+
+import signal
+
+import pytest
+
+from repro.context import Deadline
+from repro.errors import AnalysisError, AnalysisTimeoutError
+
+
+class FakeClock:
+    """Injectable monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestDeadline:
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+    def test_fresh_deadline_passes_check(self):
+        clock = FakeClock()
+        dl = Deadline(2.0, clock=clock)
+        dl.check()
+        assert not dl.expired()
+        assert dl.remaining() == pytest.approx(2.0)
+
+    def test_check_raises_after_budget(self):
+        clock = FakeClock()
+        dl = Deadline(2.0, "my test", clock=clock)
+        clock.advance(2.5)
+        assert dl.expired()
+        with pytest.raises(AnalysisTimeoutError) as ei:
+            dl.check("propagation")
+        err = ei.value
+        assert err.budget == pytest.approx(2.0)
+        assert err.elapsed == pytest.approx(2.5)
+        assert "my test" in str(err)
+        assert "propagation" in str(err)
+        assert isinstance(err, AnalysisError)  # chain-catchable
+
+    def test_elapsed_and_remaining_track_clock(self):
+        clock = FakeClock()
+        dl = Deadline(5.0, clock=clock)
+        clock.advance(1.5)
+        assert dl.elapsed() == pytest.approx(1.5)
+        assert dl.remaining() == pytest.approx(3.5)
+
+    def test_restart_resets_clock(self):
+        clock = FakeClock()
+        dl = Deadline(1.0, clock=clock)
+        clock.advance(5.0)
+        assert dl.expired()
+        dl.restart()
+        assert not dl.expired()
+        dl.check()
+
+    def test_cancel_makes_check_raise(self):
+        clock = FakeClock()
+        dl = Deadline(100.0, "abandoned work", clock=clock)
+        dl.check()
+        dl.cancel()
+        assert dl.cancelled
+        assert dl.expired()
+        with pytest.raises(AnalysisTimeoutError) as ei:
+            dl.check("next checkpoint")
+        assert "cancelled" in str(ei.value)
+        assert "next checkpoint" in str(ei.value)
+
+    def test_restart_clears_cancellation(self):
+        dl = Deadline(10.0)
+        dl.cancel()
+        dl.restart()
+        assert not dl.cancelled
+        dl.check()
+
+
+class TestSignalBackstop:
+    def test_preempts_noncooperative_code(self):
+        import time
+
+        dl = Deadline(0.1, "tight loop")
+        with pytest.raises(AnalysisTimeoutError) as ei:
+            with dl.signal_backstop():
+                time.sleep(5)
+        assert "signal backstop" in str(ei.value)
+
+    def test_restores_handler_and_timer(self):
+        import time
+
+        before = signal.getsignal(signal.SIGALRM)
+        dl = Deadline(0.05)
+        with pytest.raises(AnalysisTimeoutError):
+            with dl.signal_backstop():
+                time.sleep(1)
+        assert signal.getsignal(signal.SIGALRM) is before
+        delay, interval = signal.setitimer(signal.ITIMER_REAL, 0)
+        try:
+            # only the suite's own hang guard may remain pending — the
+            # backstop's 0.05s timer must be gone
+            assert delay == 0.0 or delay > 10.0
+        finally:
+            if delay:  # re-arm the hang guard we just read off
+                signal.setitimer(signal.ITIMER_REAL, delay, interval)
+
+    def test_noop_when_budget_already_spent(self):
+        clock = FakeClock()
+        dl = Deadline(1.0, clock=clock)
+        clock.advance(2.0)
+        # must not arm a zero/negative timer; the block runs and the
+        # next cooperative check reports the expiry
+        with dl.signal_backstop():
+            pass
+        with pytest.raises(AnalysisTimeoutError):
+            dl.check()
+
+    def test_noop_off_main_thread(self):
+        import threading
+
+        outcome: dict = {}
+
+        def run():
+            dl = Deadline(0.05)
+            try:
+                with dl.signal_backstop():
+                    outcome["entered"] = True
+            except Exception as exc:  # pragma: no cover
+                outcome["error"] = exc
+
+        t = threading.Thread(target=run)
+        t.start()
+        t.join(timeout=3)
+        assert outcome.get("entered") is True
+        assert "error" not in outcome
+
+    def test_rearms_outer_timer(self):
+        import time
+
+        fired = []
+        prev = signal.signal(signal.SIGALRM, lambda s, f: fired.append(s))
+        signal.setitimer(signal.ITIMER_REAL, 10.0)
+        try:
+            dl = Deadline(5.0)
+            with dl.signal_backstop():
+                time.sleep(0.01)
+            delay, _ = signal.setitimer(signal.ITIMER_REAL, 0)
+            assert 0.0 < delay <= 10.0
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, prev)
+        assert not fired

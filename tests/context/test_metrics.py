@@ -1,0 +1,106 @@
+"""Unit tests for MetricsRegistry and the thread-local kernel hook."""
+
+import threading
+
+import pytest
+
+from repro.context import (
+    MetricsRegistry,
+    activate_registry,
+    active_registry,
+    kernel_count,
+)
+
+
+class TestMetricsRegistry:
+    def test_inc_get(self):
+        reg = MetricsRegistry()
+        assert reg.get("a") == 0.0
+        reg.inc("a")
+        reg.inc("a", 2.5)
+        assert reg.get("a") == pytest.approx(3.5)
+
+    def test_set_overwrites(self):
+        reg = MetricsRegistry()
+        reg.inc("gauge", 7)
+        reg.set("gauge", 2)
+        assert reg.get("gauge") == 2.0
+
+    def test_timed_accumulates_seconds_and_count(self):
+        reg = MetricsRegistry()
+        with reg.timed("phase"):
+            pass
+        with reg.timed("phase"):
+            pass
+        assert reg.get("phase.n") == 2.0
+        assert reg.timer_s("phase") >= 0.0
+        assert reg.timer_s("phase") == reg.get("phase.s")
+
+    def test_as_dict_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.inc("engine.hits")
+        reg.inc("curve.convolve", 3)
+        assert reg.as_dict("engine.") == {"engine.hits": 1.0}
+        assert set(reg.as_dict()) == {"engine.hits", "curve.convolve"}
+
+    def test_merge_into_adds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("x", 2)
+        b.inc("x", 3)
+        b.inc("y", 1)
+        b.merge_into(a)
+        assert a.get("x") == 5.0
+        assert a.get("y") == 1.0
+        assert b.get("x") == 3.0  # source unchanged
+
+    def test_reset_prefix(self):
+        reg = MetricsRegistry()
+        reg.inc("engine.hits")
+        reg.inc("curve.convolve")
+        reg.reset("engine.")
+        assert reg.get("engine.hits") == 0.0
+        assert reg.get("curve.convolve") == 1.0
+        reg.reset()
+        assert len(reg) == 0
+
+
+class TestActiveRegistry:
+    def test_kernel_count_noop_without_registry(self):
+        assert active_registry() is None
+        kernel_count("curve.convolve")  # must not raise
+
+    def test_kernel_count_lands_in_active_registry(self):
+        reg = MetricsRegistry()
+        with activate_registry(reg):
+            assert active_registry() is reg
+            kernel_count("curve.convolve")
+            kernel_count("curve.convolve", 2)
+        assert active_registry() is None
+        assert reg.get("curve.convolve") == 3.0
+
+    def test_nested_activations_stack(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with activate_registry(outer):
+            kernel_count("op")
+            with activate_registry(inner):
+                kernel_count("op")
+            with activate_registry(None):  # disable counting
+                kernel_count("op")
+            kernel_count("op")
+        assert outer.get("op") == 2.0
+        assert inner.get("op") == 1.0
+
+    def test_registry_is_thread_local(self):
+        reg = MetricsRegistry()
+        seen: dict = {}
+
+        def other_thread():
+            seen["active"] = active_registry()
+            kernel_count("op")  # must be a no-op over there
+
+        with activate_registry(reg):
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join(timeout=3)
+        assert seen["active"] is None
+        assert reg.get("op") == 0.0

@@ -1,0 +1,108 @@
+"""Unit tests for the span tracer."""
+
+import json
+
+import pytest
+
+from repro.context import Tracer
+
+
+class TestSpanNesting:
+    def test_sibling_and_child_structure(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("a1"):
+                pass
+            with tr.span("a2"):
+                pass
+        with tr.span("b"):
+            pass
+        assert [s.name for s in tr.roots] == ["a", "b"]
+        (a, b) = tr.roots
+        assert [c.name for c in a.children] == ["a1", "a2"]
+        assert b.children == []
+        assert tr.n_spans == 4
+        assert tr.depth == 0
+
+    def test_span_timing_and_status(self):
+        tr = Tracer()
+        with tr.span("work") as sp:
+            assert sp.status == "open"
+        assert sp.status == "ok"
+        assert sp.duration_s >= 0.0
+        assert sp.start_s >= 0.0
+
+    def test_attrs_and_annotate(self):
+        tr = Tracer()
+        with tr.span("s", server=3):
+            tr.annotate(delay=1.5)
+        (sp,) = tr.roots
+        assert sp.attrs == {"server": 3, "delay": 1.5}
+
+    def test_annotate_outside_span_is_noop(self):
+        tr = Tracer()
+        tr.annotate(ignored=True)
+        assert tr.roots == ()
+
+    def test_exception_aborts_span_and_propagates(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("outer"):
+                with tr.span("inner"):
+                    raise RuntimeError("boom")
+        (outer,) = tr.roots
+        (inner,) = outer.children
+        assert inner.status == "aborted"
+        assert outer.status == "aborted"
+        assert "boom" in inner.attrs["error"]
+        assert tr.depth == 0
+
+
+class TestCaps:
+    def test_max_spans_drops_but_keeps_counting(self):
+        tr = Tracer(max_spans=2)
+        for _ in range(5):
+            with tr.span("s") as sp:
+                pass
+        assert tr.n_spans == 2
+        assert tr.dropped == 3
+        assert sp is None  # over-cap spans yield None
+
+    def test_rejects_bad_max_spans(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+
+class TestExport:
+    def test_as_dict_round_trips_through_json(self):
+        tr = Tracer()
+        with tr.span("analyze", algorithm="decomposed"):
+            with tr.span("server_step", server="1", weird=object()):
+                pass
+        blob = json.loads(tr.to_json())
+        assert blob["n_spans"] == 2
+        (root,) = blob["spans"]
+        assert root["name"] == "analyze"
+        (child,) = root["children"]
+        # non-JSON attr values are coerced via repr
+        assert isinstance(child["attrs"]["weird"], str)
+
+    def test_flush_open_closes_stack(self):
+        tr = Tracer()
+        cm = tr.span("hanging")
+        cm.__enter__()
+        assert tr.depth == 1
+        n = tr.flush_open("timeout post-mortem")
+        assert n == 1
+        assert tr.depth == 0
+        (sp,) = tr.roots
+        assert sp.status == "aborted"
+        assert sp.attrs["error"] == "timeout post-mortem"
+
+    def test_write_flushes_and_writes(self, tmp_path):
+        tr = Tracer()
+        cm = tr.span("open_at_export")
+        cm.__enter__()
+        path = tr.write(tmp_path / "trace.json")
+        blob = json.loads(path.read_text())
+        assert blob["spans"][0]["status"] == "aborted"

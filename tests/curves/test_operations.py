@@ -88,3 +88,52 @@ class TestBusyPeriod:
         b1 = busy_period(P.affine(1.0, 0.5), 1.0)
         b2 = busy_period(P.affine(2.0, 1.0), 2.0)
         assert b1 == pytest.approx(b2)
+
+
+class TestAutoGridRateAware:
+    """The fallback horizon must track rates, not just breakpoints.
+
+    The previous formula was ``max(1.0, 4 * last_breakpoint)``: a
+    near-degenerate curve such as ``affine(sigma, rho)`` — whose only
+    breakpoint sits at 0 — always received the minimal 1.0 horizon no
+    matter how slowly its tail accumulates.  The horizon now covers the
+    curve's characteristic time ``x[-1] + y[-1] / final_slope`` (the
+    tail's value-doubling scale) times the same safety factor.
+    """
+
+    def test_degenerate_affine_is_rate_aware(self):
+        from repro.curves.operations import _auto_grid
+        grid = _auto_grid(P.affine(1.0, 0.2))
+        # 4 * (0 + 1.0 / 0.2); the old formula returned 1.0
+        assert grid.horizon == pytest.approx(20.0)
+
+    def test_breakpoint_driven_horizon_unchanged(self):
+        from repro.curves.operations import _auto_grid
+        flat_tail = P([0.0, 5.0], [0.0, 5.0], 0.0)
+        # final slope 0: characteristic time is the last breakpoint,
+        # exactly as before
+        assert _auto_grid(flat_tail).horizon == pytest.approx(20.0)
+
+    def test_constant_curve_keeps_floor(self):
+        from repro.curves.operations import _auto_grid
+        assert _auto_grid(P.constant(3.0)).horizon == 1.0
+
+    def test_widest_curve_wins(self):
+        from repro.curves.operations import _auto_grid
+        a = P.affine(4.0, 0.25)            # characteristic time 16
+        b = P.rate_latency(0.5, 0.2)       # characteristic time 0.2
+        assert _auto_grid(a, b).horizon == pytest.approx(64.0)
+
+    def test_sampled_fallback_bound_changes(self):
+        """Regression pin: the default-horizon deconvolution of
+        near-degenerate operands no longer equals the old 1.0-horizon
+        result (the sampled bound genuinely moved)."""
+        f = P.affine(4.0, 0.25)
+        g = P.rate_latency(0.5, 0.2)
+        # old formula: max(1.0, 4 * 0.2) == 1.0
+        old = deconvolve(f, g, horizon=1.0)
+        new = deconvolve(f, g)
+        assert old != new
+        exact_burst = 4.0 + 0.25 * 0.2  # sup at j = latency
+        assert new(0.0) == pytest.approx(exact_burst, abs=0.01)
+        assert new.final_slope == pytest.approx(0.25, abs=0.01)

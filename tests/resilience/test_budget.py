@@ -78,3 +78,105 @@ class TestCallWithBudget:
         t.start()
         t.join(timeout=3)
         assert result.get("value") == 7
+
+
+class TestCooperativeMechanism:
+    """The context path: no signals, no threads, any call site."""
+
+    def test_context_aware_callable_gets_deadline(self):
+        seen: dict = {}
+
+        def fn(ctx):
+            seen["deadline"] = ctx.deadline
+            return "done"
+
+        assert call_with_budget(fn, 5.0) == "done"
+        assert seen["deadline"] is not None
+        assert seen["deadline"].budget == pytest.approx(5.0)
+
+    def test_keyword_only_ctx_supported(self):
+        def fn(*, ctx):
+            return ctx.deadline.budget
+
+        assert call_with_budget(fn, 2.0) == pytest.approx(2.0)
+
+    def test_cooperative_timeout_via_checkpoint(self):
+        def fn(ctx):
+            for _ in range(1000):
+                time.sleep(0.01)
+                ctx.checkpoint("loop")
+            return "never"
+
+        t0 = time.perf_counter()
+        with pytest.raises(AnalysisTimeoutError):
+            call_with_budget(fn, 0.1, description="coop test")
+        assert time.perf_counter() - t0 < 2.0  # stopped at a checkpoint
+
+    def test_base_context_observability_flows_through(self):
+        from repro.context import AnalysisContext
+
+        base = AnalysisContext.tracing()
+
+        def fn(ctx):
+            assert ctx.metrics is base.metrics  # shared, not replaced
+            ctx.count("probe")
+            return 1
+
+        call_with_budget(fn, 5.0, ctx=base)
+        assert base.metrics.get("probe") == 1.0
+        assert base.deadline is None  # caller's own context untouched
+
+    def test_legacy_closure_default_is_not_context_aware(self):
+        # the `lambda a=analyzer: ...` idiom must stay a zero-arg call
+        marker = object()
+        out = call_with_budget(lambda a=marker: a, 5.0)
+        assert out is marker
+
+    def test_cooperative_mechanism_rejects_zero_arg_callable(self):
+        with pytest.raises(ValueError):
+            call_with_budget(lambda: 1, 5.0, mechanism="cooperative")
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ValueError):
+            call_with_budget(lambda: 1, 5.0, mechanism="psychic")
+
+
+class TestThreadCancellation:
+    """An abandoned worker must observe its cancellation and stop."""
+
+    def test_abandoned_worker_stops_at_next_checkpoint(self):
+        started = threading.Event()
+        outcome: dict = {}
+
+        def fn(ctx):
+            started.set()
+            try:
+                for _ in range(500):
+                    time.sleep(0.02)
+                    ctx.checkpoint("abandoned loop")
+                outcome["result"] = "ran to completion"
+            except AnalysisTimeoutError as exc:
+                outcome["result"] = "stopped"
+                outcome["error"] = exc
+
+        with pytest.raises(AnalysisTimeoutError):
+            call_with_budget(fn, 0.1, mechanism="thread",
+                             description="leak test")
+        assert started.wait(timeout=2)
+        for _ in range(100):  # the worker stops within ~a checkpoint
+            if "result" in outcome:
+                break
+            time.sleep(0.05)
+        assert outcome.get("result") == "stopped"
+        assert "cancelled" in str(outcome["error"])
+
+    def test_thread_mechanism_timeout_attributes(self):
+        with pytest.raises(AnalysisTimeoutError) as ei:
+            call_with_budget(lambda: time.sleep(5), 0.1,
+                             mechanism="thread", description="worker")
+        assert ei.value.budget == pytest.approx(0.1)
+        assert "worker" in str(ei.value)
+
+    def test_thread_mechanism_returns_value(self):
+        assert call_with_budget(lambda: 11, 5.0,
+                                mechanism="thread") == 11
