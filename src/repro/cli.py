@@ -11,6 +11,8 @@ Usage (also available as ``python -m repro``)::
     repro sweep    --analyzers integrated --hops 2,4 --loads 0.3,0.6
                    [--checkpoint FILE] [--resume] [--timeout S]
                    [--profile]
+    repro validate --seeds 20 [--quick] [--out DIR] [--budget S]
+                   [--replay CASE.json] [--trace out.json]
 
 Every subcommand operates on the paper's tandem topology; richer
 topologies are a Python-API affair (see examples/custom_topology.py).
@@ -184,6 +186,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="profile every point (wall-clock + curve-op "
                         "counters per point, kept in checkpoint "
                         "records) and print a per-point timing column")
+
+    p = sub.add_parser("validate",
+                       help="differential validation: fuzz the bounds "
+                            "against the simulator and the sampled "
+                            "kernels")
+    p.add_argument("--seeds", type=int, default=20,
+                   help="number of random topologies to fuzz "
+                        "(default 20)")
+    p.add_argument("--quick", action="store_true",
+                   help="small topologies, short simulations and a "
+                        "reduced kernel workload (CI smoke mode)")
+    p.add_argument("--horizon", type=float, default=80.0,
+                   help="simulation horizon per topology (default 80)")
+    p.add_argument("--packet", type=float, default=0.05,
+                   help="simulated packet size (default 0.05)")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="write shrunk JSON repro cases for any "
+                        "violations into DIR")
+    p.add_argument("--budget", type=float, default=None, metavar="S",
+                   help="cooperative wall-clock budget in seconds; on "
+                        "expiry a partial report is printed")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="record violating topologies as found, "
+                        "without minimizing them")
+    p.add_argument("--replay", default=None, metavar="FILE",
+                   help="replay one saved repro case instead of "
+                        "fuzzing")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a structured JSON trace of the run "
+                        "(per-seed spans, validate.* counters) to FILE")
     return parser
 
 
@@ -415,6 +447,47 @@ def _cmd_sweep(args) -> int:
     return 0 if failed == 0 else 1
 
 
+def _cmd_validate(args) -> int:
+    from repro.context import AnalysisContext, Deadline, MetricsRegistry
+    from repro.context.tracing import Tracer
+    from repro.validate import load_case, replay, run_validation
+
+    deadline = (Deadline(args.budget, "validation run")
+                if args.budget else None)
+    ctx = AnalysisContext(deadline=deadline,
+                          metrics=MetricsRegistry(),
+                          tracer=Tracer() if args.trace else None)
+
+    if args.replay:
+        case = load_case(args.replay)
+        violations = replay(case, ctx=ctx)
+        print(f"replayed {args.replay} "
+              f"(oracle={case.oracle}, seed={case.seed})")
+        for v in violations:
+            print(f"  VIOLATION flow={v.flow}: {v.detail}")
+        print("still reproduces" if violations
+              else "no longer reproduces")
+        if args.trace:
+            path = ctx.write_trace(args.trace, command="validate",
+                                   replay=args.replay)
+            print(f"wrote trace {path}")
+        return 1 if violations else 0
+
+    report = run_validation(
+        args.seeds, quick=args.quick, horizon=args.horizon,
+        packet_size=args.packet, out_dir=args.out,
+        shrink=not args.no_shrink, ctx=ctx)
+    print(report.render())
+    if args.out and report.cases:
+        print(f"wrote {len(report.cases)} repro case(s) to {args.out}")
+    if args.trace:
+        path = ctx.write_trace(args.trace, command="validate",
+                               seeds=len(report.seeds),
+                               violations=len(report.cases))
+        print(f"wrote trace {path}")
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -428,6 +501,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": _cmd_report,
         "resilience": _cmd_resilience,
         "sweep": _cmd_sweep,
+        "validate": _cmd_validate,
     }
     return handlers[args.command](args)
 

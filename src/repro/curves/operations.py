@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
+import numpy as np
+
 from repro.context.metrics import kernel_count
 from repro.curves.piecewise import PiecewiseLinearCurve
 from repro.curves import numeric
@@ -28,9 +30,8 @@ __all__ = [
 _FALLBACK_RESOLUTION = 4096
 
 
-def _auto_grid(*curves: PiecewiseLinearCurve,
-               horizon: float | None = None) -> TimeGrid:
-    """A grid whose horizon safely covers the features of *curves*.
+def _auto_horizon(*curves: PiecewiseLinearCurve) -> float:
+    """The horizon that safely covers the features of *curves*.
 
     The characteristic time of a curve is its last breakpoint plus —
     when the tail keeps growing — the time the final slope needs to
@@ -40,14 +41,20 @@ def _auto_grid(*curves: PiecewiseLinearCurve,
     regardless of how slowly its tail accumulates, silently truncating
     every sampled sup/inf that needs ``t ~ sigma/rho`` to settle.
     """
+    tc = 0.0
+    for c in curves:
+        t = float(c.x[-1])
+        if c.final_slope > 0:
+            t += max(float(c.y[-1]), 0.0) / c.final_slope
+        tc = max(tc, t)
+    return max(1.0, 4.0 * tc)
+
+
+def _auto_grid(*curves: PiecewiseLinearCurve,
+               horizon: float | None = None) -> TimeGrid:
+    """A grid whose horizon safely covers the features of *curves*."""
     if horizon is None:
-        tc = 0.0
-        for c in curves:
-            t = float(c.x[-1])
-            if c.final_slope > 0:
-                t += max(float(c.y[-1]), 0.0) / c.final_slope
-            tc = max(tc, t)
-        horizon = max(1.0, 4.0 * tc)
+        horizon = _auto_horizon(*curves)
     return make_grid(horizon, _FALLBACK_RESOLUTION)
 
 
@@ -71,14 +78,24 @@ def convolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve,
 
 def convolve_all(curves: Iterable[PiecewiseLinearCurve],
                  horizon: float | None = None) -> PiecewiseLinearCurve:
-    """Min-plus convolution of an iterable of curves (left fold)."""
+    """Min-plus convolution of an iterable of curves (left fold).
+
+    *horizon* is a **minimum** coverage for the sampled fallbacks, not
+    the literal grid size: the accumulator's characteristic time grows
+    with every fold, so each pairwise fallback re-derives its grid from
+    the current operands and only widens it to the caller's *horizon*.
+    (Reusing one fixed horizon for every fold truncated late folds —
+    the accumulator's tail past the grid was extrapolated with a single
+    slope, silently inflating the result.)
+    """
     it = iter(curves)
     try:
         acc = next(it)
     except StopIteration:
         raise CurveError("convolve_all needs at least one curve") from None
     for c in it:
-        acc = convolve(acc, c, horizon=horizon)
+        h = None if horizon is None else max(horizon, _auto_horizon(acc, c))
+        acc = convolve(acc, c, horizon=h)
     return acc
 
 
@@ -100,10 +117,26 @@ def deconvolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve,
     # offsets).  Keep
     # the first 75% of the samples and extend with f's long-term rate —
     # the analytically correct tail slope of f ⊘ g for stable systems.
+    # The graft itself is continuous: the tail is anchored at the last
+    # kept breakpoint's value, so no vertical jump can appear at the
+    # splice (pinned against closed-form token-bucket / rate-latency
+    # cases in tests/curves/test_operations.py).
     keep = max(2, (3 * grid.n) // 4)
     sub = TimeGrid(grid.times[keep - 1], keep)
     curve = numeric.to_curve(out[:keep], sub)
-    return PiecewiseLinearCurve(curve.x, curve.y, f.long_term_rate())
+    # The grid sup evaluates only on-grid offsets and the reconstruction
+    # interpolates between on-grid instants, so the raw samples sit up
+    # to ~dt * slope *below* the exact supremum — the unsound direction
+    # for an output-traffic bound.  Lift the whole curve by the
+    # resolution-derived worst case so the result dominates the exact
+    # f ⊘ g everywhere (the pad vanishes as the resolution grows).
+    pad = 0.5 * grid.dt * (_max_abs_slope(f) + _max_abs_slope(g))
+    return PiecewiseLinearCurve(curve.x, curve.y + pad, f.long_term_rate())
+
+
+def _max_abs_slope(c: PiecewiseLinearCurve) -> float:
+    """Largest absolute segment slope of *c* (Lipschitz constant)."""
+    return float(np.max(np.abs(c.slopes())))
 
 
 def hdev(arrival: PiecewiseLinearCurve,

@@ -152,11 +152,20 @@ def _record_to_point(rec: dict) -> SweepPoint:
         phases=None if phases is None else dict(phases))
 
 
+def _point_key(point: SweepPoint) -> _Task:
+    return (point.analyzer, point.n_hops, point.load, point.sigma)
+
+
 def _load_checkpoint(path: Path) -> dict[_Task, SweepPoint]:
     """Successfully completed points from a checkpoint file.
 
-    Failed (error) entries are *not* returned: resume re-runs them.
-    Corrupt lines (a crash mid-write) are skipped.
+    Records are replayed in file order with last-write-wins per task: a
+    killed run can leave the same point recorded more than once (e.g.
+    success from one attempt, then an error from a re-queued attempt
+    after a resume), and only the *latest* record counts.  Failed
+    (error) entries are not returned: resume re-runs them — including
+    when the error superseded an earlier success.  Corrupt lines (a
+    crash mid-write) are skipped.
     """
     done: dict[_Task, SweepPoint] = {}
     for line in path.read_text().splitlines():
@@ -168,8 +177,9 @@ def _load_checkpoint(path: Path) -> dict[_Task, SweepPoint]:
         except (ValueError, KeyError, TypeError):
             continue
         if point.ok:
-            done[(point.analyzer, point.n_hops, point.load,
-                  point.sigma)] = point
+            done[_point_key(point)] = point
+        else:
+            done.pop(_point_key(point), None)
     return done
 
 
@@ -182,24 +192,38 @@ class _Checkpointer:
     truncated last line (the old content survives instead).  Point
     volume is modest (one line per grid point), so rewriting is cheap
     relative to the analyses being checkpointed.
+
+    On resume the carried-over lines are deduplicated per task with
+    last-write-wins: a killed run can leave the same point both
+    completed-in-file and re-queued, and without the dedupe every
+    crash/resume cycle appended another record for it — growing the
+    file and leaving its history ambiguous.  One record per task
+    survives the rewrite; corrupt lines are dropped (the rewrite
+    re-snapshots only parseable state).
     """
 
     def __init__(self, path: Path | None, resume: bool) -> None:
         self._path: Path | None = path
-        self._lines: list[str] = []
+        self._latest: dict[_Task, str] = {}
         if path is None:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
         if resume and path.exists():
-            self._lines = [ln for ln in path.read_text(
-                encoding="utf-8").splitlines() if ln.strip()]
-        else:
-            self._replace()
+            for line in path.read_text(encoding="utf-8").splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    point = _record_to_point(json.loads(line))
+                except (ValueError, KeyError, TypeError):
+                    continue
+                self._latest[_point_key(point)] = line
+        self._replace()
 
     def _replace(self) -> None:
         assert self._path is not None
         tmp = self._path.with_name(self._path.name + ".tmp")
-        content = "".join(line + "\n" for line in self._lines)
+        content = "".join(line + "\n" for line in self._latest.values())
         with open(tmp, "w", encoding="utf-8") as fh:
             fh.write(content)
             fh.flush()
@@ -209,12 +233,13 @@ class _Checkpointer:
     def write(self, point: SweepPoint) -> None:
         if self._path is None:
             return
-        self._lines.append(json.dumps(_point_to_record(point)))
+        self._latest[_point_key(point)] = json.dumps(
+            _point_to_record(point))
         self._replace()
 
     def close(self) -> None:
         self._path = None
-        self._lines = []
+        self._latest = {}
 
 
 # ----------------------------------------------------------------------

@@ -10,6 +10,7 @@ are conservative (the bounds can only be tighter than they look).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
@@ -35,11 +36,25 @@ class TightnessRow:
 
     @property
     def integrated_ratio(self) -> float:
-        return self.observed / self.integrated if self.integrated else 0.0
+        """``observed / integrated``; NaN when the bound is zero/missing.
+
+        A zero or missing bound used to yield ``0.0``, which silently
+        read as "infinitely tight" in the table — NaN keeps the broken
+        bound visible (rendered as ``n/a``).
+        """
+        return _ratio(self.observed, self.integrated)
 
     @property
     def decomposed_ratio(self) -> float:
-        return self.observed / self.decomposed if self.decomposed else 0.0
+        """``observed / decomposed``; NaN when the bound is zero/missing."""
+        return _ratio(self.observed, self.decomposed)
+
+
+def _ratio(observed: float, bound: float) -> float:
+    """Observed-over-bound ratio; NaN for zero/missing bounds."""
+    if not bound or math.isnan(bound):
+        return float("nan")
+    return observed / bound
 
 
 def _longest_flow(net: Network) -> str:
@@ -85,6 +100,11 @@ def tightness_study(topologies: Mapping[str, Callable[[], Network]]
     return rows
 
 
+def _fmt_ratio(ratio: float) -> str:
+    """``n/a`` for NaN ratios (zero/missing bound), ``xx.x%`` otherwise."""
+    return f"{'n/a':>8}" if math.isnan(ratio) else f"{ratio:8.1%}"
+
+
 def render_tightness(rows: Sequence[TightnessRow]) -> str:
     """Aligned text table of a tightness study."""
     header = (f"{'topology':>20} {'observed':>9} {'integ.':>8} "
@@ -93,6 +113,6 @@ def render_tightness(rows: Sequence[TightnessRow]) -> str:
     for r in rows:
         lines.append(
             f"{r.topology:>20} {r.observed:9.3f} {r.integrated:8.3f} "
-            f"{r.integrated_ratio:8.1%} {r.decomposed:8.3f} "
-            f"{r.decomposed_ratio:8.1%}")
+            f"{_fmt_ratio(r.integrated_ratio)} {r.decomposed:8.3f} "
+            f"{_fmt_ratio(r.decomposed_ratio)}")
     return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Differential validation: fuzz the analytic bounds against each other.
+
+The paper's value proposition is that Algorithm Integrated yields
+*provably correct* end-to-end delay bounds that are tighter than
+Algorithm Decomposed — so any simulated delay exceeding an analytic
+bound, or any flow where ``Integrated > Decomposed`` on a feed-forward
+network, is a reproduction-killing defect.  This package hunts for such
+defects systematically with three randomized oracles
+(:mod:`repro.validate.oracles`):
+
+* **soundness** — for seeded random topologies, run the adversarial
+  packet-level simulation and assert every observed delay stays below
+  each analytic bound plus the documented per-hop packetization slack;
+* **ordering / monotonicity** — ``Integrated <= Decomposed`` per flow,
+  and every bound monotone under burst and utilization inflation;
+* **kernel differential** — the exact piecewise-linear kernels
+  (:meth:`~repro.curves.piecewise.PiecewiseLinearCurve.convolve`,
+  ``hdev``, ``vdev``) against the sampled :mod:`repro.curves.numeric`
+  kernels on the same operands, within a resolution-derived tolerance.
+
+Violations are shrunk to minimal failing networks
+(:mod:`repro.validate.shrink`) and emitted as self-contained JSON repro
+cases (:mod:`repro.validate.repro_case`) that replay via
+``repro validate --replay case.json``.  The fuzz driver lives in
+:mod:`repro.validate.runner` and behind ``repro validate --seeds N``.
+"""
+
+from repro.validate.oracles import (
+    Violation,
+    check_kernels,
+    check_monotonicity,
+    check_ordering,
+    check_soundness,
+    default_analyzers,
+    packetization_slack,
+)
+from repro.validate.repro_case import (
+    ReproCase,
+    load_case,
+    replay,
+    save_case,
+)
+from repro.validate.runner import (
+    ValidationReport,
+    run_validation,
+    topology_for_seed,
+)
+from repro.validate.shrink import shrink_network
+
+__all__ = [
+    "Violation",
+    "check_soundness",
+    "check_ordering",
+    "check_monotonicity",
+    "check_kernels",
+    "default_analyzers",
+    "packetization_slack",
+    "shrink_network",
+    "ReproCase",
+    "save_case",
+    "load_case",
+    "replay",
+    "ValidationReport",
+    "run_validation",
+    "topology_for_seed",
+]

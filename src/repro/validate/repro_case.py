@@ -1,0 +1,145 @@
+"""Self-contained JSON repro cases for oracle violations.
+
+A :class:`ReproCase` packages everything needed to re-run one failed
+oracle property after the fuzz run is gone: the oracle name, the seed
+and oracle parameters, the recorded violation, and — for the
+network-level oracles — the (shrunk) violating topology serialized via
+:mod:`repro.network.serialization`.  Cases round-trip through plain
+JSON so they can be committed next to the fix they motivated and
+replayed with ``repro validate --replay case.json``.
+
+:func:`replay` re-runs the named oracle on the embedded inputs and
+returns the violations it finds *now* — an empty list means the defect
+is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.context import NULL_CONTEXT, AnalysisContext
+from repro.network.serialization import (
+    network_from_dict,
+    network_to_dict,
+)
+from repro.network.topology import Network
+from repro.validate.oracles import (
+    Violation,
+    check_kernels,
+    check_monotonicity,
+    check_ordering,
+    check_soundness,
+)
+
+__all__ = ["ReproCase", "case_to_dict", "case_from_dict",
+           "save_case", "load_case", "replay"]
+
+#: Schema version stamped into every saved case.
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ReproCase:
+    """One replayable oracle violation.
+
+    ``network`` is the serialized (usually shrunk) topology for the
+    soundness/ordering/monotonicity oracles and ``None`` for kernel
+    cases, which are fully determined by ``seed`` and ``params``.
+    """
+
+    oracle: str
+    seed: int
+    violation: dict
+    params: dict = field(default_factory=dict)
+    network: dict | None = None
+
+    def network_obj(self) -> Network | None:
+        """The embedded topology as a live :class:`Network`."""
+        if self.network is None:
+            return None
+        return network_from_dict(self.network)
+
+
+def case_to_dict(case: ReproCase) -> dict:
+    """JSON-ready representation of *case*."""
+    return {
+        "version": FORMAT_VERSION,
+        "oracle": case.oracle,
+        "seed": case.seed,
+        "params": dict(case.params),
+        "violation": dict(case.violation),
+        "network": case.network,
+    }
+
+
+def case_from_dict(doc: dict) -> ReproCase:
+    """Rebuild a :class:`ReproCase` from :func:`case_to_dict` output."""
+    version = doc.get("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported repro-case version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})")
+    try:
+        return ReproCase(
+            oracle=doc["oracle"],
+            seed=int(doc["seed"]),
+            params=dict(doc.get("params") or {}),
+            violation=dict(doc["violation"]),
+            network=doc.get("network"),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed repro case: {exc}") from exc
+
+
+def save_case(case: ReproCase, path: str | Path) -> Path:
+    """Write *case* to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(case_to_dict(case), indent=2) + "\n")
+    return path
+
+
+def load_case(path: str | Path) -> ReproCase:
+    """Read a repro case from a JSON file."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: invalid JSON: {exc}") from exc
+    return case_from_dict(doc)
+
+
+def replay(case: ReproCase, *,
+           ctx: AnalysisContext = NULL_CONTEXT) -> list[Violation]:
+    """Re-run *case*'s oracle on its embedded inputs.
+
+    Returns the violations found now; an empty list means the recorded
+    defect no longer reproduces.
+    """
+    params = case.params
+    if case.oracle == "kernel":
+        return check_kernels(
+            case.seed,
+            trials=int(params.get("trials", 8)),
+            resolution=int(params.get("resolution", 1024)),
+            ctx=ctx)
+
+    net = case.network_obj()
+    if net is None:
+        raise ValueError(
+            f"repro case for oracle {case.oracle!r} has no network")
+    if case.oracle == "soundness":
+        return check_soundness(
+            net, params.get("target"),
+            horizon=float(params.get("horizon", 80.0)),
+            packet_size=float(params.get("packet_size", 0.05)),
+            ctx=ctx)
+    if case.oracle == "ordering":
+        return check_ordering(net, ctx=ctx)
+    if case.oracle == "monotonicity":
+        return check_monotonicity(
+            net,
+            burst_factor=float(params.get("burst_factor", 2.0)),
+            rate_factor=float(params.get("rate_factor", 1.25)),
+            ctx=ctx)
+    raise ValueError(f"unknown oracle {case.oracle!r}")

@@ -1,0 +1,112 @@
+"""Greedy shrinking of violating networks to minimal repro cases.
+
+A fuzzed violation on a random 6-server / 10-flow network is hard to
+read; the same violation on 2 servers and 2 flows usually points
+straight at the defect.  :func:`shrink_network` performs the classic
+greedy delta-debugging loop: repeatedly try the candidate reductions
+
+1. drop one flow,
+2. drop one server (with every flow routed through it),
+3. halve one flow's burst,
+
+keeping a reduction whenever the caller's *predicate* (``True`` =
+"the violation still reproduces") holds on the reduced network, until
+no single reduction preserves the failure.  The result is 1-minimal
+with respect to these reductions: removing any single remaining
+element or halving any remaining burst makes the violation vanish.
+
+Predicates are arbitrary callables — typically a closure re-running
+one oracle from :mod:`repro.validate.oracles` — and are treated as
+failure-prone: a predicate that *raises* on a candidate (e.g. the
+reduced network lost the simulated target flow) counts as "violation
+gone" and the candidate is discarded.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.context import NULL_CONTEXT, AnalysisContext
+from repro.curves.token_bucket import TokenBucket
+from repro.network.flow import Flow
+from repro.network.topology import Network
+
+__all__ = ["shrink_network"]
+
+#: Bursts below this size are no longer halved (a zero burst would
+#: change the curve family, not just its scale).
+_MIN_SIGMA = 1e-3
+
+
+def _candidates(net: Network,
+                protect: frozenset[str]) -> Iterable[Network]:
+    """Single-step reductions of *net*, protected flows kept intact."""
+    protected_servers = {
+        sid for name in protect if name in net.flows
+        for sid in net.flow(name).path
+    }
+    for flow in net.iter_flows():
+        if flow.name not in protect and len(net.flows) > 1:
+            yield net.without_flow(flow.name)
+    for sid in sorted(net.servers, key=str):
+        if sid not in protected_servers and len(net.servers) > 1:
+            yield net.without_server(sid)
+    for flow in net.iter_flows():
+        if flow.bucket.sigma > _MIN_SIGMA:
+            bucket = TokenBucket(flow.bucket.sigma / 2.0,
+                                 flow.bucket.rho, flow.bucket.peak)
+            yield net.replace_flow(Flow(
+                flow.name, bucket, flow.path,
+                deadline=flow.deadline, priority=flow.priority))
+
+
+def shrink_network(network: Network,
+                   predicate: Callable[[Network], bool], *,
+                   protect: Iterable[str] = (),
+                   max_steps: int = 200,
+                   ctx: AnalysisContext = NULL_CONTEXT) -> Network:
+    """Greedily minimize *network* while *predicate* keeps holding.
+
+    Parameters
+    ----------
+    network:
+        The violating network (predicate must hold on it; when it does
+        not, the network is returned unchanged).
+    predicate:
+        ``True`` when the violation still reproduces on a candidate.
+        Exceptions raised by the predicate count as ``False``.
+    protect:
+        Flow names that must survive shrinking (the violating flow and
+        the simulation target); their servers are protected too.
+    max_steps:
+        Ceiling on predicate evaluations — shrinking an expensive
+        soundness violation re-simulates per candidate, so runaway
+        loops must be bounded.  Counted on ``validate.shrink_steps``.
+    ctx:
+        Execution context: a deadline on it is checked between
+        candidate evaluations.
+    """
+    protect = frozenset(protect)
+
+    def holds(candidate: Network) -> bool:
+        try:
+            return bool(predicate(candidate))
+        except Exception:  # noqa: BLE001 - predicate boundary
+            return False
+
+    steps = 0
+    current = network
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        for candidate in _candidates(current, protect):
+            ctx.checkpoint("shrink candidate")
+            if steps >= max_steps:
+                break
+            steps += 1
+            ctx.count("validate.shrink_steps")
+            if holds(candidate):
+                current = candidate
+                improved = True
+                break
+    return current

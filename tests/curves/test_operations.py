@@ -47,6 +47,33 @@ class TestConvolveFacade:
         f = P.line(1.0)
         assert convolve_all([f]) is f
 
+    def test_convolve_all_rederives_horizon_per_fold(self):
+        """Regression: a caller-supplied horizon used to be reused
+        verbatim for *every* pairwise sampled fallback, so late folds
+        of a long left fold were truncated to the first fold's window
+        and their extrapolated tails went wrong far from the origin.
+        The horizon is now a minimum: each fold samples at least its
+        own characteristic window."""
+        concave = P.line(1.0).minimum(P.affine(1.0, 0.2))
+        convex = P.rate_latency(0.9, 3.0)
+        late = P.rate_latency(0.15, 30.0)  # structure past the window
+        t = 60.0
+        ts = np.linspace(0.0, t, 1201)
+        f, g, h = (c.sample(ts) for c in (concave, convex, late))
+        fg = np.array([np.min(f[:i + 1] + g[i::-1])
+                       for i in range(len(ts))])
+        brute = float(np.min(fg + h[::-1]))  # ((f*g)*h)(t) on the grid
+        assert brute > 1.0  # the true fold is far from degenerate
+
+        fixed = convolve_all([concave, convex, late], horizon=8.0)
+        assert fixed(t) == pytest.approx(brute, abs=0.1)
+        # the old behavior — every fold clamped to the caller's 8.0
+        # window — saw only the zero prefix of the 30-latency curve
+        # and extrapolated the whole fold to 0 (an unsound bound)
+        old = convolve(convolve(concave, convex, horizon=8.0),
+                       late, horizon=8.0)
+        assert old(t) == 0.0
+
 
 class TestDeconvolve:
     def test_output_burstiness(self):
@@ -55,6 +82,32 @@ class TestDeconvolve:
                          horizon=50.0)
         assert out(0.0) == pytest.approx(1.5, abs=0.05)
         assert out.final_slope == pytest.approx(0.25, abs=0.01)
+
+    def test_sampled_result_is_sound_upper_envelope(self):
+        """The sampled sup sits up to ``dt * slope`` *below* the exact
+        deconvolution — unsound for an output-traffic bound.  The
+        resolution-derived pad must lift the whole result to at least
+        the closed form, while staying a tight envelope."""
+        out = deconvolve(P.affine(1.0, 0.25), P.rate_latency(1.0, 2.0),
+                         horizon=50.0)
+        exact = P.affine(1.5, 0.25)  # sigma + rho*T, slope rho
+        ts = np.linspace(0.0, 120.0, 601)  # well past the 75% splice
+        gap = out.sample(ts) - exact.sample(ts)
+        assert np.all(gap >= -1e-9)
+        assert float(np.max(gap)) < 0.05
+
+    def test_tail_splice_is_continuous(self):
+        """The grafted long-term-rate tail must join the kept prefix
+        without a jump: finite differences across the splice stay
+        bounded by the curve's own max slope."""
+        f = P.line(1.0).minimum(P.affine(1.0, 0.2))
+        g = P.rate_latency(1.0, 1.0)
+        out = deconvolve(f, g, horizon=20.0)
+        assert out.final_slope == pytest.approx(0.2, abs=1e-9)
+        ts = np.linspace(10.0, 25.0, 3001)  # straddles 0.75 * 20
+        dv = np.abs(np.diff(out.sample(ts)))
+        max_slope = float(np.max(np.abs(out.slopes())))
+        assert np.all(dv <= max_slope * (ts[1] - ts[0]) + 1e-9)
 
 
 class TestDeviationFacade:

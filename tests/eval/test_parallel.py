@@ -126,9 +126,12 @@ class TestCheckpointResume:
                                max_workers=2, timeout=10.0,
                                checkpoint=ck, resume=True)
         assert all(p.ok for p in second)
-        # only the failed point was re-evaluated on resume
-        lines_after = len(ck.read_text().splitlines())
-        assert lines_after - lines_before == 1
+        # the re-evaluated point replaced its error record in place:
+        # one record per task, never an error-then-success duplicate
+        records = [json.loads(line)
+                   for line in ck.read_text().splitlines()]
+        assert len(records) == lines_before
+        assert all(r["error"] is None for r in records)
         assert [p.load for p in second] == [0.3, 0.8, 0.6]
 
     def test_resume_with_complete_checkpoint_runs_nothing(self,
@@ -221,3 +224,56 @@ class TestAtomicCheckpoint:
         loads = [json.loads(ln)["load"]
                  for ln in ck.read_text().splitlines()]
         assert loads == [0.3, 0.6]
+
+    def test_crash_replay_dedupes_duplicate_records(self, tmp_path):
+        """Regression: a killed run could leave the same task recorded
+        twice (success, then a re-queued attempt after resume); every
+        crash/resume cycle appended yet another duplicate.  Resuming
+        now rewrites the file with one record per task,
+        last-write-wins, corrupt lines dropped."""
+        import math as _math
+
+        from repro.eval import parallel as mod
+
+        ck = tmp_path / "sweep.jsonl"
+        stale = mod._point_to_record(
+            SweepPoint("decomposed", 2, 0.5, 1.0, 1.0))
+        fresh = mod._point_to_record(
+            SweepPoint("decomposed", 2, 0.5, 1.0, 2.0))
+        other = mod._point_to_record(
+            SweepPoint("decomposed", 3, 0.5, 1.0, 9.0))
+        ck.write_text(json.dumps(stale) + "\n"
+                      + '{"broken": \n'           # crash mid-write
+                      + json.dumps(fresh) + "\n"  # duplicate of stale
+                      + json.dumps(other) + "\n")
+
+        cp = mod._Checkpointer(ck, resume=True)
+        records = [json.loads(ln)
+                   for ln in ck.read_text().splitlines()]
+        assert len(records) == 2  # deduped at load, before any write
+        by_hops = {r["n_hops"]: r for r in records}
+        assert by_hops[2]["delay"] == 2.0  # last write won
+        assert by_hops[3]["delay"] == 9.0
+
+        cp.write(SweepPoint("decomposed", 2, 0.5, 1.0, 3.0))
+        cp.close()
+        records = [json.loads(ln)
+                   for ln in ck.read_text().splitlines()]
+        assert len(records) == 2  # still one record per task
+        assert {r["n_hops"]: r["delay"]
+                for r in records}[2] == 3.0
+        assert not _math.isnan(records[0]["delay"])
+
+    def test_load_checkpoint_error_evicts_earlier_success(
+            self, tmp_path):
+        from repro.eval import parallel as mod
+
+        ck = tmp_path / "sweep.jsonl"
+        good = mod._point_to_record(
+            SweepPoint("decomposed", 2, 0.5, 1.0, 1.0))
+        bad = mod._point_to_record(
+            SweepPoint("decomposed", 2, 0.5, 1.0, math.nan,
+                       error="boom"))
+        ck.write_text(json.dumps(good) + "\n" + json.dumps(bad) + "\n")
+        # the later error supersedes the success: resume must re-run it
+        assert mod._load_checkpoint(ck) == {}

@@ -1,5 +1,7 @@
 """Unit tests for the tightness study."""
 
+import math
+
 import pytest
 
 from repro.eval.tightness import (
@@ -31,6 +33,27 @@ class TestTightnessStudy:
         r = TightnessRow("t", "f", 5.0, 10.0, 20.0)
         out = render_tightness([r])
         assert "50.0%" in out and "25.0%" in out
+
+    def test_zero_bound_ratio_is_nan_not_zero(self):
+        # a 0.0 ratio would read as "infinitely tight"; an undefined
+        # ratio must be NaN
+        r = TightnessRow("t", "f", observed=5.0, integrated=0.0,
+                         decomposed=20.0)
+        assert math.isnan(r.integrated_ratio)
+        assert r.decomposed_ratio == pytest.approx(0.25)
+
+    def test_nan_bound_ratio_is_nan(self):
+        r = TightnessRow("t", "f", observed=5.0,
+                         integrated=math.nan, decomposed=math.nan)
+        assert math.isnan(r.integrated_ratio)
+        assert math.isnan(r.decomposed_ratio)
+
+    def test_render_undefined_ratio_as_na(self):
+        r = TightnessRow("t", "f", observed=5.0, integrated=0.0,
+                         decomposed=20.0)
+        out = render_tightness([r])
+        assert "n/a" in out and "25.0%" in out
+        assert "0.0%" not in out
 
     def test_default_suite_shape(self):
         topo = default_topologies()

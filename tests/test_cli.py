@@ -138,3 +138,47 @@ class TestSweep:
     def test_resume_requires_checkpoint(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--resume"])
+
+
+class TestValidate:
+    def test_quick_run_is_clean(self, capsys):
+        rc = main(["validate", "--seeds", "2", "--quick"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "validated 2 seed(s): 0 violation(s)" in out
+        assert "all oracles held" in out
+
+    def test_budget_expiry_reports_partial(self, capsys):
+        rc = main(["validate", "--seeds", "5", "--quick",
+                   "--budget", "1e-9"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "TIMED OUT" in out
+
+    def test_trace_written(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        rc = main(["validate", "--seeds", "1", "--quick",
+                   "--trace", str(trace)])
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        assert doc["meta"]["command"] == "validate"
+        assert doc["counters"]["validate.seeds"] == 1
+
+    def test_replay_round_trip(self, tmp_path, capsys):
+        from repro.network.generators import random_feedforward
+        from repro.network.serialization import network_to_dict
+        from repro.validate import ReproCase, save_case
+
+        case = ReproCase(
+            oracle="ordering", seed=4,
+            violation={"flow": "f0", "detail": "x",
+                       "observed": 2.0, "allowed": 1.0},
+            network=network_to_dict(
+                random_feedforward(4, n_servers=2, n_flows=2)))
+        path = save_case(case, tmp_path / "case.json")
+        rc = main(["validate", "--replay", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no longer reproduces" in out

@@ -1,0 +1,86 @@
+"""Unit tests for JSON repro cases and their replay."""
+
+import pytest
+
+from repro.network.generators import random_feedforward
+from repro.network.serialization import network_to_dict
+from repro.validate import ReproCase, load_case, replay, save_case
+from repro.validate.repro_case import case_from_dict, case_to_dict
+
+
+def _network_case(oracle="ordering", seed=5):
+    net = random_feedforward(seed, n_servers=3, n_flows=3)
+    return ReproCase(
+        oracle=oracle, seed=seed,
+        violation={"oracle": oracle, "flow": "f0", "detail": "x",
+                   "observed": 2.0, "allowed": 1.0, "margin": 1.0},
+        params={}, network=network_to_dict(net))
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        case = _network_case()
+        path = save_case(case, tmp_path / "case.json")
+        loaded = load_case(path)
+        assert loaded == case
+        assert loaded.network_obj().flows.keys() == \
+            case.network_obj().flows.keys()
+
+    def test_dict_round_trip_stamps_version(self):
+        doc = case_to_dict(_network_case())
+        assert doc["version"] == 1
+        assert case_from_dict(doc) == _network_case()
+
+    def test_unknown_version_rejected(self):
+        doc = case_to_dict(_network_case())
+        doc["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            case_from_dict(doc)
+
+    def test_malformed_doc_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            case_from_dict({"version": 1, "oracle": "kernel"})
+
+    def test_invalid_json_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_case(bad)
+
+    def test_kernel_case_has_no_network(self):
+        case = ReproCase(oracle="kernel", seed=3,
+                         violation={}, params={"trials": 2})
+        assert case.network_obj() is None
+
+
+class TestReplay:
+    def test_ordering_replay_on_healthy_network_is_clean(self):
+        assert replay(_network_case("ordering")) == []
+
+    def test_monotonicity_replay(self):
+        case = _network_case("monotonicity")
+        assert replay(case) == []
+
+    def test_soundness_replay_uses_params(self):
+        case = _network_case("soundness")
+        case = ReproCase(oracle="soundness", seed=case.seed,
+                         violation=case.violation,
+                         params={"target": "f0", "horizon": 20.0,
+                                 "packet_size": 0.05},
+                         network=case.network)
+        assert replay(case) == []
+
+    def test_kernel_replay_is_deterministic(self):
+        case = ReproCase(oracle="kernel", seed=11, violation={},
+                         params={"trials": 2, "resolution": 512})
+        assert replay(case) == replay(case) == []
+
+    def test_network_oracle_without_network_rejected(self):
+        case = ReproCase(oracle="ordering", seed=0, violation={})
+        with pytest.raises(ValueError, match="no network"):
+            replay(case)
+
+    def test_unknown_oracle_rejected(self):
+        case = _network_case("quantum")
+        with pytest.raises(ValueError, match="unknown oracle"):
+            replay(case)

@@ -1,0 +1,110 @@
+"""Unit tests for the fuzz driver."""
+
+import pytest
+
+from repro.context import AnalysisContext, Deadline, MetricsRegistry
+from repro.network.serialization import network_to_dict
+from repro.validate import (
+    load_case,
+    replay,
+    run_validation,
+    topology_for_seed,
+)
+
+
+class _Zero:
+    """Analyzer stub claiming a zero delay bound — always unsound."""
+
+    def run(self, net, ctx):
+        return self
+
+    def delay_of(self, name: str) -> float:
+        return 0.0
+
+
+class TestTopologyForSeed:
+    def test_deterministic(self):
+        a = topology_for_seed(12)
+        b = topology_for_seed(12)
+        assert network_to_dict(a) == network_to_dict(b)
+
+    def test_population_varies(self):
+        shapes = {(len(topology_for_seed(s).servers),
+                   len(topology_for_seed(s).flows))
+                  for s in range(12)}
+        assert len(shapes) > 3
+
+    def test_quick_caps_size(self):
+        for seed in range(12):
+            net = topology_for_seed(seed, quick=True)
+            assert len(net.servers) <= 3 and len(net.flows) <= 4
+
+    def test_generated_networks_are_stable(self):
+        for seed in range(8):
+            topology_for_seed(seed).check_stability()
+
+
+class TestRunValidation:
+    def test_clean_run(self):
+        report = run_validation(2, quick=True)
+        assert report.ok and not report.timed_out
+        assert report.seeds == (0, 1)
+        assert report.counters["validate.soundness_checks"] > 0
+        assert report.counters["validate.kernel_checks"] > 0
+        assert "all oracles held" in report.render()
+
+    def test_explicit_seed_list(self):
+        report = run_validation([5, 9], quick=True)
+        assert report.seeds == (5, 9)
+
+    def test_violations_become_replayable_cases(self, tmp_path):
+        analyzers = {"integrated": _Zero(), "decomposed": _Zero()}
+        report = run_validation(1, quick=True, analyzers=analyzers,
+                                out_dir=tmp_path, shrink=False)
+        assert not report.ok
+        assert report.cases
+        assert all(c.oracle == "soundness" for c in report.cases)
+        files = sorted(tmp_path.glob("case_*.json"))
+        assert len(files) == len(report.cases)
+        case = load_case(files[0])
+        assert case.network is not None
+        # the real analyzers hold on the recorded topology, so the
+        # replay (which uses them) comes back clean
+        assert replay(case) == []
+        assert "VIOLATION" in report.render()
+
+    def test_shrunk_case_is_smaller_or_equal(self, tmp_path):
+        analyzers = {"integrated": _Zero(), "decomposed": _Zero()}
+        full = run_validation(1, quick=True, analyzers=analyzers,
+                              shrink=False)
+        # shrinking uses the *real* analyzers in the predicate, under
+        # which the violation vanishes immediately -> network kept
+        shrunk = run_validation(1, quick=True, analyzers=analyzers,
+                                shrink=True)
+        n_full = len(full.cases[0].network["flows"])
+        n_shrunk = len(shrunk.cases[0].network["flows"])
+        assert n_shrunk <= n_full
+
+    def test_deadline_yields_partial_report(self):
+        ctx = AnalysisContext(
+            deadline=Deadline(1e-9, "validation test"),
+            metrics=MetricsRegistry())
+        report = run_validation(3, quick=True, ctx=ctx)
+        assert report.timed_out and not report.ok
+        assert report.seeds == ()
+        assert "TIMED OUT" in report.render()
+
+    def test_counters_land_on_caller_registry(self):
+        ctx = AnalysisContext(metrics=MetricsRegistry())
+        run_validation(1, quick=True, ctx=ctx)
+        assert ctx.metrics.get("validate.seeds") == 1
+        assert ctx.metrics.get("validate.ordering_checks") > 0
+
+
+class TestAcceptance:
+    def test_ten_full_seeds_hold(self):
+        # the full 50-seed acceptance run lives in CI as
+        # ``repro validate``; ten unshrunk full-size seeds keep the
+        # same oracles honest within the unit-test budget
+        report = run_validation(10)
+        assert report.ok, report.render()

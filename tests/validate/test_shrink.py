@@ -1,0 +1,72 @@
+"""Unit tests for greedy network shrinking."""
+
+import pytest
+
+from repro.context import AnalysisContext, Deadline, MetricsRegistry
+from repro.errors import AnalysisTimeoutError
+from repro.network.generators import random_feedforward
+from repro.validate import shrink_network
+
+
+def _net():
+    return random_feedforward(1, n_servers=4, n_flows=5,
+                              max_utilization=0.7)
+
+
+class TestShrinkNetwork:
+    def test_shrinks_to_protected_flow(self):
+        net = _net()
+        out = shrink_network(net, lambda n: "f0" in n.flows,
+                             protect=["f0"])
+        assert set(out.flows) == {"f0"}
+        # only f0's servers survive
+        assert set(out.servers) == set(out.flow("f0").path)
+
+    def test_burst_halved_to_one_minimality(self):
+        net = random_feedforward(2, n_servers=2, n_flows=1)
+        sigma0 = net.flow("f0").bucket.sigma
+        out = shrink_network(
+            net, lambda n: n.flow("f0").bucket.sigma > sigma0 / 10,
+            protect=["f0"])
+        sigma = out.flow("f0").bucket.sigma
+        # halving once more would break the predicate: 1-minimal
+        assert sigma0 / 10 < sigma <= sigma0 / 5
+
+    def test_vanished_violation_returns_input(self):
+        net = _net()
+        assert shrink_network(net, lambda n: False) is net
+
+    def test_raising_predicate_counts_as_gone(self):
+        from repro.network.serialization import network_to_dict
+
+        net = _net()
+        original = network_to_dict(net)
+
+        def fragile(n):
+            if network_to_dict(n) != original:
+                raise RuntimeError("network changed")
+            return True
+
+        assert shrink_network(net, fragile) is net
+
+    def test_max_steps_bounds_predicate_calls(self):
+        net = _net()
+        calls = []
+
+        def count(n):
+            calls.append(1)
+            return True
+
+        shrink_network(net, count, max_steps=3)
+        assert len(calls) == 3
+
+    def test_steps_counted_and_deadline_respected(self):
+        ctx = AnalysisContext(metrics=MetricsRegistry())
+        shrink_network(_net(), lambda n: "f0" in n.flows,
+                       protect=["f0"], ctx=ctx)
+        assert ctx.metrics.get("validate.shrink_steps") > 0
+
+        expired = AnalysisContext(
+            deadline=Deadline(1e-9, "shrink test"))
+        with pytest.raises(AnalysisTimeoutError):
+            shrink_network(_net(), lambda n: True, ctx=expired)
