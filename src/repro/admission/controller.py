@@ -30,7 +30,7 @@ The controller is hardened for online operation:
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.admission.requests import AdmissionDecision, ConnectionRequest
 from repro.analysis.base import Analyzer, DelayReport
@@ -90,6 +90,17 @@ class AdmissionController:
         engine in the fallback chain; transactional semantics are
         unchanged (the engine is stateless here — the controller still
         owns the network).
+    analyzer_gate:
+        Optional ``gate(analyzer) -> bool`` consulted before every
+        analyzer attempt; a False verdict skips the analyzer (recorded
+        as a chain failure) without running it.  The admission service
+        wires circuit breakers and load-shedding floors through this
+        hook.
+    analyzer_listener:
+        Optional ``listener(analyzer, exc_or_None)`` called after every
+        *attempted* analyzer (skipped ones excluded) with the
+        :class:`~repro.errors.AnalysisError` it raised, or ``None`` on
+        success — the feedback edge circuit breakers learn from.
     """
 
     def __init__(self, network: Network, analyzer: Analyzer, *,
@@ -97,7 +108,11 @@ class AdmissionController:
                  analysis_budget: float | None = None,
                  signal_backstop: bool = False,
                  context: AnalysisContext | None = None,
-                 incremental: bool = False) -> None:
+                 incremental: bool = False,
+                 analyzer_gate: Callable[[Analyzer], bool] | None = None,
+                 analyzer_listener: Callable[
+                     [Analyzer, AnalysisError | None], None] | None = None,
+                 ) -> None:
         if analysis_budget is not None and not analysis_budget > 0:
             raise AdmissionError(
                 f"analysis_budget must be > 0, got {analysis_budget}")
@@ -115,7 +130,33 @@ class AdmissionController:
         self._budget = analysis_budget
         self._signal_backstop = bool(signal_backstop)
         self._context = context if context is not None else NULL_CONTEXT
+        self._gate = analyzer_gate
+        self._listener = analyzer_listener
         self._admitted: list[str] = []
+
+    @classmethod
+    def from_state(cls, network: Network, admitted: Iterable[str],
+                   analyzer: Analyzer, **kwargs) -> "AdmissionController":
+        """Rebuild a controller from recovered state.
+
+        *network* must already contain every flow named in *admitted*
+        (crash recovery replays the journal into the network first);
+        unknown names raise :class:`~repro.errors.AdmissionError`.
+        """
+        controller = cls(network, analyzer, **kwargs)
+        names = list(admitted)
+        for name in names:
+            try:
+                network.flow(name)
+            except TopologyError:
+                raise AdmissionError(
+                    f"recovered admitted set names flow {name!r} which "
+                    "is not in the recovered network", flow=name) from None
+        if len(set(names)) != len(names):
+            raise AdmissionError(
+                "recovered admitted set contains duplicate names")
+        controller._admitted = names
+        return controller
 
     # ------------------------------------------------------------------
 
@@ -128,6 +169,11 @@ class AdmissionController:
     def analyzer(self) -> Analyzer:
         """The primary analyzer (head of the fallback chain)."""
         return self._analyzers[0]
+
+    @property
+    def chain(self) -> tuple[Analyzer, ...]:
+        """Every analyzer in the chain, in attempt order."""
+        return self._analyzers
 
     @property
     def admitted(self) -> tuple[str, ...]:
@@ -184,13 +230,22 @@ class AdmissionController:
         """
         failures: list[str] = []
         for analyzer in self._analyzers:
+            if self._gate is not None and not self._gate(analyzer):
+                ctx.count("admission.analyzer_skipped")
+                failures.append(f"{analyzer.name}: skipped (gated off)")
+                continue
             try:
                 with ctx.span("admission_test", analyzer=analyzer.name):
                     report = self._attempt(analyzer, candidate, ctx)
-                return report, analyzer.name
             except AnalysisError as exc:
                 ctx.count("admission.analyzer_failures")
                 failures.append(f"{analyzer.name}: {exc}")
+                if self._listener is not None:
+                    self._listener(analyzer, exc)
+            else:
+                if self._listener is not None:
+                    self._listener(analyzer, None)
+                return report, analyzer.name
         raise AnalysisError(
             "every analyzer in the admission chain failed ("
             + "; ".join(failures) + ")")
@@ -262,19 +317,46 @@ class AdmissionController:
         """
         decision = self.test(request, ctx=ctx)
         if decision.admitted:
-            candidate = decision.candidate_network
-            if candidate is None:  # decision built by hand: recompute
-                candidate = self._network.with_flow(
-                    self._flow_from_request(request))
-            self._network = candidate
-            self._admitted.append(request.name)
+            self.commit(request, decision)
         return decision
 
+    def commit(self, request: ConnectionRequest,
+               decision: AdmissionDecision) -> None:
+        """Apply a positive decision produced by :meth:`test`.
+
+        Split out of :meth:`admit` so write-ahead services can persist
+        the decision durably *between* the test and the state mutation;
+        committing a rejected decision raises
+        :class:`~repro.errors.AdmissionError`.
+        """
+        if not decision.admitted:
+            raise AdmissionError(
+                f"cannot commit rejected decision for {request.name!r}: "
+                f"{decision.reason}", flow=request.name)
+        if request.name in self._admitted:
+            raise AdmissionError(
+                f"connection {request.name!r} is already admitted",
+                flow=request.name)
+        candidate = decision.candidate_network
+        if candidate is None:  # decision built by hand: recompute
+            candidate = self._network.with_flow(
+                self._flow_from_request(request))
+        self._network = candidate
+        self._admitted.append(request.name)
+
     def release(self, name: str) -> None:
-        """Tear down a previously admitted connection."""
+        """Tear down a previously admitted connection.
+
+        Raises a typed :class:`~repro.errors.AdmissionError` carrying
+        the unknown ``flow`` name when *name* was never admitted (or
+        was already released) — never a bare :class:`KeyError` —
+        so callers like journal replay can treat a double-release
+        structurally (idempotent skip) instead of crashing.
+        """
         if name not in self._admitted:
             raise AdmissionError(
-                f"connection {name!r} was not admitted by this controller")
+                f"connection {name!r} was not admitted by this controller",
+                flow=name)
         self._network = self._network.without_flow(name)
         self._admitted.remove(name)
 

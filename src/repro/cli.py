@@ -13,6 +13,9 @@ Usage (also available as ``python -m repro``)::
                    [--profile]
     repro validate --seeds 20 [--quick] [--out DIR] [--budget S]
                    [--replay CASE.json] [--trace out.json]
+    repro serve    --journal DIR --hops 4 --deadline 30 [--count N]
+                   [--interval S] [--budget S] [--shed-latency S]
+    repro recover  --journal DIR [--no-verify] [--show-bounds]
 
 Every subcommand operates on the paper's tandem topology; richer
 topologies are a Python-API affair (see examples/custom_topology.py).
@@ -186,6 +189,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="profile every point (wall-clock + curve-op "
                         "counters per point, kept in checkpoint "
                         "records) and print a per-point timing column")
+
+    p = sub.add_parser("serve",
+                       help="journaled admission service: admit a "
+                            "stream of identical connections with "
+                            "write-ahead durability, circuit breakers "
+                            "and graceful SIGTERM/SIGINT shutdown")
+    p.add_argument("--journal", required=True, metavar="DIR",
+                   help="write-ahead journal directory (must be fresh "
+                        "unless --resume)")
+    p.add_argument("--resume", action="store_true",
+                   help="recover DIR's journal and continue serving "
+                        "from the reconstructed state")
+    p.add_argument("--hops", type=int, default=4)
+    p.add_argument("--deadline", type=float, default=30.0)
+    p.add_argument("--rho", type=float, default=0.02,
+                   help="per-connection rate (default 0.02)")
+    p.add_argument("--analyzer", default="integrated",
+                   help="primary admission analysis (default integrated)")
+    p.add_argument("--count", type=int, default=100,
+                   help="connections to attempt (default 100)")
+    p.add_argument("--interval", type=float, default=0.0, metavar="S",
+                   help="sleep between admissions (throttles the "
+                        "stream; default 0)")
+    p.add_argument("--budget", type=float, default=None, metavar="S",
+                   help="per-analyzer wall-clock budget per test")
+    p.add_argument("--shed-latency", type=float, default=None,
+                   metavar="S", dest="shed_latency",
+                   help="latency SLO that triggers automatic load "
+                        "shedding (cache, then closed-form bounds)")
+    p.add_argument("--snapshot-every", type=int, default=64,
+                   dest="snapshot_every", metavar="K",
+                   help="journaled ops between snapshots (default 64)")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="run the primary analyzer cold (no engine rung)")
+
+    p = sub.add_parser("recover",
+                       help="crash recovery: replay a journal "
+                            "directory and re-verify its bounds")
+    p.add_argument("--journal", required=True, metavar="DIR")
+    p.add_argument("--no-verify", action="store_true",
+                   help="structural replay only; skip the bit-identical "
+                        "bound re-verification")
+    p.add_argument("--show-bounds", action="store_true",
+                   help="print the recovered per-flow delay bounds")
 
     p = sub.add_parser("validate",
                        help="differential validation: fuzz the bounds "
@@ -447,6 +494,91 @@ def _cmd_sweep(args) -> int:
     return 0 if failed == 0 else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.errors import JournalError, RecoveryError
+    from repro.service import AdmissionService, recover_service
+
+    try:
+        if args.resume:
+            service = recover_service(
+                args.journal,
+                analyzer=_make_analyzer(args.analyzer),
+                analysis_budget=args.budget,
+                incremental=not args.no_incremental,
+                snapshot_every=args.snapshot_every,
+                shed_latency_s=args.shed_latency)
+            print(f"recovered {len(service.admitted)} connection(s) "
+                  f"from {args.journal}")
+        else:
+            empty = Network(
+                [ServerSpec(k) for k in range(1, args.hops + 1)], [])
+            service = AdmissionService(
+                empty, _make_analyzer(args.analyzer),
+                journal_dir=args.journal,
+                analysis_budget=args.budget,
+                incremental=not args.no_incremental,
+                snapshot_every=args.snapshot_every,
+                shed_latency_s=args.shed_latency)
+    except (JournalError, RecoveryError) as exc:
+        raise SystemExit(f"serve: {exc}") from None
+
+    def make(k: int) -> ConnectionRequest:
+        return ConnectionRequest(
+            f"conn_{k}", TokenBucket(1.0, args.rho, peak=1.0),
+            tuple(range(1, args.hops + 1)), args.deadline)
+
+    admitted = rejected = 0
+    start = len(service.admitted)
+    with service.graceful_shutdown():
+        for k in range(start, start + args.count):
+            if service.shutdown_requested:
+                print("shutdown requested: checkpointing and exiting",
+                      file=sys.stderr)
+                break
+            outcome = service.admit(make(k))
+            if outcome.admitted:
+                admitted += 1
+                print(f"seq {outcome.seq}: admitted conn_{k} "
+                      f"bound={outcome.bound:.4f} "
+                      f"[{outcome.degradation}]")
+            else:
+                rejected += 1
+                print(f"rejected conn_{k} [{outcome.degradation}]: "
+                      f"{outcome.reason}")
+                break
+            if args.interval > 0:
+                time.sleep(args.interval)
+    print(f"served {admitted} admission(s), {rejected} rejection(s); "
+          f"journal at {args.journal} "
+          f"(breakers: {service.breaker_states()})")
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro.errors import JournalError, RecoveryError
+    from repro.service import recover_state, verify_recovery
+
+    try:
+        state = recover_state(args.journal)
+    except (JournalError, RecoveryError) as exc:
+        raise SystemExit(f"recover: {exc}") from None
+    print(f"recovered {args.journal}: {len(state.admitted)} admitted "
+          f"connection(s), last seq {state.last_seq} "
+          f"(snapshot seq {state.snapshot_seq}, "
+          f"{state.replayed} replayed, {state.skipped} idempotent "
+          f"skip(s), {state.corrupt_lines} corrupt line(s))")
+    for name in state.admitted:
+        print(f"  {name}")
+    if args.no_verify:
+        return 0
+    report = verify_recovery(args.journal)
+    print(report.render())
+    if args.show_bounds and report.final_bounds:
+        for name, bound in sorted(report.final_bounds.items()):
+            print(f"  {name}: {bound:.6f}")
+    return 0 if report.ok else 1
+
+
 def _cmd_validate(args) -> int:
     from repro.context import AnalysisContext, Deadline, MetricsRegistry
     from repro.context.tracing import Tracer
@@ -501,6 +633,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": _cmd_report,
         "resilience": _cmd_resilience,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
+        "recover": _cmd_recover,
         "validate": _cmd_validate,
     }
     return handlers[args.command](args)

@@ -65,7 +65,17 @@ class SimulationError(ReproError):
 
 
 class AdmissionError(ReproError):
-    """Invalid admission-control request or controller state."""
+    """Invalid admission-control request or controller state.
+
+    ``flow`` names the offending connection when the error concerns a
+    specific one (e.g. releasing a flow that was never admitted), so
+    services can handle it structurally — the journal replay path uses
+    it to make double-releases idempotent instead of parsing messages.
+    """
+
+    def __init__(self, message: str, *, flow: str | None = None) -> None:
+        super().__init__(message)
+        self.flow = flow
 
 
 class ResilienceError(ReproError):
@@ -79,6 +89,40 @@ class ResilienceError(ReproError):
                  scenario: str | None = None) -> None:
         super().__init__(message)
         self.scenario = scenario
+
+
+class CircuitOpenError(AnalysisError):
+    """An analyzer attempt was refused by an open circuit breaker.
+
+    Subclasses :class:`AnalysisError` on purpose: a chain that skips a
+    breaker-protected analyzer treats the skip like any other analysis
+    failure and falls through to the next rung instead of crashing.
+    """
+
+    def __init__(self, message: str, *,
+                 breaker: str | None = None,
+                 retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.breaker = breaker
+        self.retry_after = retry_after
+
+
+class ServiceError(ReproError):
+    """Invalid admission-service configuration or runtime state."""
+
+
+class JournalError(ServiceError):
+    """The write-ahead journal is unreadable, unwritable or corrupt."""
+
+
+class RecoveryError(ServiceError):
+    """Crash recovery could not reconstruct a consistent controller.
+
+    Raised when the journal cannot be replayed (missing base record,
+    structurally impossible operations) or when post-recovery
+    verification finds re-analyzed bounds diverging from the journaled
+    ones.
+    """
 
 
 class EngineError(AnalysisError):

@@ -44,6 +44,7 @@ from typing import Callable, Mapping, Sequence
 from repro.context import NULL_CONTEXT, AnalysisContext, MetricsRegistry
 from repro.eval.figures import _analyzer_factory  # shared registry
 from repro.network.tandem import CONNECTION0, build_tandem
+from repro.utils.durable import atomic_write_text
 
 __all__ = ["SweepPoint", "evaluate_grid"]
 
@@ -186,12 +187,14 @@ def _load_checkpoint(path: Path) -> dict[_Task, SweepPoint]:
 class _Checkpointer:
     """Atomic JSONL sink for completed points (no-op when off).
 
-    Every write rewrites the whole file via ``<path>.tmp`` +
-    :func:`os.replace`, so the checkpoint on disk is always a complete,
-    parseable JSONL snapshot — a crash mid-write can no longer leave a
-    truncated last line (the old content survives instead).  Point
-    volume is modest (one line per grid point), so rewriting is cheap
-    relative to the analyses being checkpointed.
+    Every write rewrites the whole file through
+    :func:`repro.utils.durable.atomic_write_text` (tmp + fsync +
+    ``os.replace`` + parent-directory fsync), so the checkpoint on disk
+    is always a complete, parseable JSONL snapshot that survives power
+    loss — a crash mid-write can no longer leave a truncated last line
+    (the old content survives instead).  Point volume is modest (one
+    line per grid point), so rewriting is cheap relative to the
+    analyses being checkpointed.
 
     On resume the carried-over lines are deduplicated per task with
     last-write-wins: a killed run can leave the same point both
@@ -222,13 +225,8 @@ class _Checkpointer:
 
     def _replace(self) -> None:
         assert self._path is not None
-        tmp = self._path.with_name(self._path.name + ".tmp")
         content = "".join(line + "\n" for line in self._latest.values())
-        with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(content)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, self._path)
+        atomic_write_text(self._path, content)
 
     def write(self, point: SweepPoint) -> None:
         if self._path is None:

@@ -8,6 +8,12 @@ flows where the topology allows) and the budget helper turns wall-clock
 time into a first-class analysis resource.
 """
 
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+)
 from repro.resilience.budget import call_with_budget
 from repro.resilience.faults import (
     BurstInflation,
@@ -28,6 +34,10 @@ from repro.resilience.survivability import (
 )
 
 __all__ = [
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
     "FaultScenario",
     "ServerDegradation",
     "ServerFailure",

@@ -1,0 +1,222 @@
+"""Circuit breakers: stop hammering an analyzer that keeps failing.
+
+A long-lived admission service cannot afford to spend its whole
+analysis budget re-timing-out against a wedged analyzer on every
+request.  A :class:`CircuitBreaker` wraps one analyzer (one *rung* of
+the admission fallback chain) with the classic three-state protocol:
+
+* **closed** — requests flow through; consecutive failures are counted
+  and ``failure_threshold`` of them trip the breaker;
+* **open** — requests are refused instantly (the chain falls through to
+  the next rung) until ``reset_timeout`` seconds have passed;
+* **half-open** — after the cooldown one trial request is let through;
+  success closes the breaker, failure re-opens it (with the cooldown
+  restarting).
+
+Breakers are time-driven, so the clock is injectable for deterministic
+tests, and every transition/refusal is exported through the
+:class:`~repro.context.MetricsRegistry` under ``breaker.<name>.*`` —
+the same counter namespace the rest of the execution layer uses (see
+``docs/OBSERVABILITY.md``).
+
+Thread-safety: state transitions happen under a lock so a service
+serving concurrent admission queries sees consistent counts; the
+protected *call* itself runs outside the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.context.metrics import MetricsRegistry
+from repro.errors import CircuitOpenError, ResilienceError
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Numeric gauge values for the ``breaker.<name>.state`` metric.
+_STATE_GAUGE = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing.
+
+    Parameters
+    ----------
+    name:
+        Label used in error messages and metric names (typically the
+        protected analyzer's ``name``).
+    failure_threshold:
+        Consecutive failures (in closed state) that trip the breaker.
+    reset_timeout:
+        Seconds the breaker stays open before letting a probe through.
+    clock:
+        Monotonic time source; injectable for tests.
+    metrics:
+        Optional registry receiving ``breaker.<name>.*`` counters.
+    """
+
+    def __init__(self, name: str, *, failure_threshold: int = 3,
+                 reset_timeout: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 metrics: MetricsRegistry | None = None) -> None:
+        if failure_threshold < 1:
+            raise ResilienceError(
+                f"failure_threshold must be >= 1, got {failure_threshold}",
+                scenario=f"breaker({name})")
+        if not reset_timeout > 0:
+            raise ResilienceError(
+                f"reset_timeout must be > 0, got {reset_timeout}",
+                scenario=f"breaker({name})")
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    # ------------------------------------------------------------------
+
+    def _count(self, what: str, n: float = 1.0) -> None:
+        if self._metrics is not None:
+            self._metrics.inc(f"breaker.{self.name}.{what}", n)
+
+    def _gauge_state(self) -> None:
+        if self._metrics is not None:
+            self._metrics.set(f"breaker.{self.name}.state",
+                              _STATE_GAUGE[self._state])
+
+    def _maybe_half_open(self) -> None:
+        """Open → half-open once the cooldown elapsed (lock held)."""
+        if (self._state == OPEN
+                and self._clock() - self._opened_at >= self.reset_timeout):
+            self._state = HALF_OPEN
+            self._probing = False
+            self._gauge_state()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state (evaluates the open→half-open timeout)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._consecutive_failures
+
+    def allow(self) -> bool:
+        """May a request pass right now?
+
+        In half-open state only the *first* caller after the cooldown
+        is admitted as the probe; concurrent callers are refused until
+        the probe reports back.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probing:
+                self._probing = True
+                self._count("probes")
+                return True
+            self._count("rejections")
+            return False
+
+    def record_success(self) -> None:
+        """Report a successful protected call."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state != CLOSED:
+                self._count("closes")
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._probing = False
+            self._count("successes")
+            self._gauge_state()
+
+    def record_failure(self) -> None:
+        """Report a failed protected call."""
+        with self._lock:
+            self._maybe_half_open()
+            self._consecutive_failures += 1
+            self._count("failures")
+            if self._state == HALF_OPEN:
+                self._trip()
+            elif (self._state == CLOSED and self._consecutive_failures
+                    >= self.failure_threshold):
+                self._trip()
+            self._gauge_state()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._probing = False
+        self._count("opens")
+
+    def trip(self) -> None:
+        """Force the breaker open (operator override, tests)."""
+        with self._lock:
+            self._trip()
+            self._gauge_state()
+
+    def reset(self) -> None:
+        """Force the breaker closed and zero the failure count."""
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._probing = False
+            self._gauge_state()
+
+    # ------------------------------------------------------------------
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Run ``fn(*args, **kwargs)`` under this breaker.
+
+        Raises :class:`~repro.errors.CircuitOpenError` without calling
+        *fn* when the breaker refuses; otherwise records success or
+        failure (any exception counts as failure and propagates).
+        """
+        if not self.allow():
+            with self._lock:
+                retry = max(0.0, self.reset_timeout
+                            - (self._clock() - self._opened_at))
+            raise CircuitOpenError(
+                f"circuit breaker {self.name!r} is open "
+                f"(retry in {retry:.3g}s)",
+                breaker=self.name, retry_after=retry)
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot for traces and status lines."""
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout": self.reset_timeout,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CircuitBreaker({self.name!r}, state={self.state!r}, "
+                f"failures={self.consecutive_failures})")

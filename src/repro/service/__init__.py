@@ -1,0 +1,66 @@
+"""Durable admission service (system S17): journal, recovery, breakers.
+
+Everything the in-process :class:`~repro.admission.AdmissionController`
+deliberately does *not* do lives here:
+
+* :mod:`repro.service.journal` — a write-ahead JSONL journal (fsync'd
+  appends, atomic snapshot rotation) recording every admit/release;
+* :mod:`repro.service.recovery` — crash recovery that replays
+  snapshot + journal into an identical controller and re-verifies the
+  journaled delay bounds bit-identically;
+* :mod:`repro.service.degrade` — the conservative closed-form analyzer
+  answering as the last degradation rung when everything else is down;
+* :mod:`repro.service.service` — :class:`AdmissionService`, tying the
+  controller, per-analyzer circuit breakers
+  (:class:`~repro.resilience.CircuitBreaker`), load-shedding and the
+  journal together, with a graceful SIGTERM/SIGINT shutdown path.
+
+CLI: ``repro serve`` runs a journaled admission stream, ``repro
+recover`` rebuilds and verifies state after a crash.  Operational
+details (journal format, breaker tuning, degradation semantics) are in
+``docs/OPERATIONS.md``.
+"""
+
+from repro.service.degrade import ConservativeAnalysis
+from repro.service.journal import (
+    Journal,
+    load_journal,
+    request_from_record,
+    request_to_record,
+)
+from repro.service.recovery import (
+    RecoveredState,
+    RecoveryReport,
+    recover_service,
+    recover_state,
+    verify_recovery,
+)
+from repro.service.service import (
+    DEGRADATION_CACHED,
+    DEGRADATION_CLOSED_FORM,
+    DEGRADATION_DEGRADED,
+    DEGRADATION_NORMAL,
+    DEGRADATION_UNAVAILABLE,
+    AdmissionService,
+    ServiceDecision,
+)
+
+__all__ = [
+    "AdmissionService",
+    "ServiceDecision",
+    "ConservativeAnalysis",
+    "Journal",
+    "load_journal",
+    "request_to_record",
+    "request_from_record",
+    "RecoveredState",
+    "RecoveryReport",
+    "recover_state",
+    "recover_service",
+    "verify_recovery",
+    "DEGRADATION_NORMAL",
+    "DEGRADATION_CACHED",
+    "DEGRADATION_DEGRADED",
+    "DEGRADATION_CLOSED_FORM",
+    "DEGRADATION_UNAVAILABLE",
+]

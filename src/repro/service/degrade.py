@@ -1,0 +1,94 @@
+"""Conservative closed-form bounds: the last degradation rung.
+
+When every real analyzer in the admission chain is unavailable (open
+circuit breakers, blown budgets, repeated crashes) the service still
+has to answer.  :class:`ConservativeAnalysis` produces sound but loose
+end-to-end bounds from pure arithmetic — no curve kernels, no grids,
+no convolution — so it can neither hang nor run out of budget:
+
+* At each server the entire competing aggregate is summed into one
+  token bucket (total burst ``sigma_tot``, total rate ``rho_tot``).
+* The server's local delay bound is its **busy-period length**
+  ``sigma_tot / (capacity - rho_tot)`` — the time a work-conserving
+  server needs to drain the worst-case backlog.  Any packet of any flow
+  leaves within the busy period regardless of scheduling order, so the
+  bound holds for FIFO, static-priority and guaranteed-rate servers
+  alike (it is the classic order-free bound, strictly looser than every
+  analyzer in this package).
+* Bursts inflate downstream exactly as in Algorithm Decomposed:
+  a flow entering server *k* carries ``sigma + rho * (delay so far)``.
+  Servers are processed in topological order, so every upstream delay
+  is final before it is consumed.
+
+The analysis is ``O(servers x flows)`` and allocation-light; on the
+paper's 32-server tandem it answers in microseconds.  Its looseness is
+the price of availability — decisions it produces are tagged
+``closed_form`` so operators can tell exactly which admissions were
+made under full degradation (see ``docs/OPERATIONS.md``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import Analyzer, DelayReport, FlowDelay
+from repro.context import NULL_CONTEXT, AnalysisContext
+from repro.errors import AnalysisError
+from repro.network.topology import Network
+
+__all__ = ["ConservativeAnalysis", "conservative_bounds"]
+
+
+def conservative_bounds(network: Network) -> dict[str, FlowDelay]:
+    """Per-flow conservative end-to-end bounds (see module docstring).
+
+    Raises :class:`~repro.errors.AnalysisError` on cyclic networks —
+    the burst-inflation recursion needs a topological order.
+    """
+    if not network.is_feedforward:
+        raise AnalysisError(
+            "conservative closed-form bounds need a feed-forward "
+            "network (cyclic server graph has no topological order)")
+    # delay accumulated by each flow over the servers processed so far
+    acc: dict[str, float] = {f.name: 0.0 for f in network.iter_flows()}
+    contributions: dict[str, list[tuple[object, float]]] = {
+        name: [] for name in acc}
+    for sid in network.topological_servers():
+        spec = network.server(sid)
+        flows = network.flows_at(sid)
+        if not flows:
+            continue
+        sigma_tot = sum(f.bucket.sigma + f.bucket.rho * acc[f.name]
+                        for f in flows)
+        rho_tot = sum(f.bucket.rho for f in flows)
+        # check_stability() guarantees rho_tot < capacity
+        local = sigma_tot / (spec.capacity - rho_tot)
+        for f in flows:
+            acc[f.name] += local
+            contributions[f.name].append((sid, local))
+    return {
+        name: FlowDelay(name, total, tuple(contributions[name]))
+        for name, total in acc.items()
+    }
+
+
+class ConservativeAnalysis(Analyzer):
+    """Analyzer facade over :func:`conservative_bounds`.
+
+    Plugs into the admission fallback chain like any other analyzer, so
+    the degraded service reuses the controller's transactional
+    admission logic unchanged.  Bounds are *sound upper bounds* but
+    markedly looser than Decomposed/Integrated — admission under this
+    analyzer rejects connections the network could serve.
+    """
+
+    name = "conservative"
+
+    def analyze(self, network: Network, *,
+                ctx: AnalysisContext = NULL_CONTEXT) -> DelayReport:
+        network.check_stability()
+        with ctx.analysis_scope(self.name):
+            ctx.checkpoint("conservative bounds")
+            delays = conservative_bounds(network)
+            ctx.count("analysis.conservative_runs")
+        return DelayReport(self.name, delays,
+                           meta={"note": "order-free busy-period bounds; "
+                                         "sound but loose"})

@@ -1,0 +1,325 @@
+"""Crash recovery: replay snapshot + journal into an identical service.
+
+Recovery is two separable steps:
+
+1. :func:`recover_state` — pure structural replay.  Start from the
+   snapshot (or the journal's ``base`` record), apply every ``admit``
+   and ``release`` in sequence order.  Replay is **idempotent**: an
+   admit whose flow already exists and a release whose flow is already
+   gone are counted as skips, not errors — both legitimately occur when
+   a crash lands between a snapshot and the journal rotation, or when a
+   double-release was journaled.
+2. :func:`verify_recovery` — differential re-verification.  Every
+   replayed admission's bound is *re-analyzed* on the reconstructed
+   candidate network with the analyzer that originally answered (cold
+   equivalent for engine answers) and compared **bit-identically**
+   (``float.hex``) against the journaled value; the final network is
+   additionally checked against the snapshot's per-flow bounds when the
+   snapshot is the newest state.  Any mismatch means the journal and
+   the code disagree about history — the recovered controller must not
+   be trusted to re-admit traffic.
+
+``repro recover`` drives both and :func:`recover_service` rebuilds a
+live :class:`~repro.service.AdmissionService` that continues journaling
+where the dead process stopped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.admission.controller import AdmissionController
+from repro.analysis.base import Analyzer
+from repro.context import NULL_CONTEXT, AnalysisContext
+from repro.errors import AnalysisError, JournalError, RecoveryError
+from repro.network.serialization import network_from_dict
+from repro.network.topology import Network
+from repro.service.degrade import ConservativeAnalysis
+from repro.service.journal import load_journal, request_from_record
+
+__all__ = [
+    "RecoveredState",
+    "RecoveryReport",
+    "recover_state",
+    "recover_service",
+    "verify_recovery",
+    "resolve_analyzer",
+]
+
+
+def resolve_analyzer(name: str) -> Analyzer:
+    """Build the analyzer a journal record names.
+
+    Engine answers are journaled with their cold-equivalent name
+    (``incremental+integrated`` verifies as ``integrated`` — the engine
+    is bit-identical to its wrapped analyzer by construction), and the
+    degraded rung's ``conservative`` resolves to
+    :class:`~repro.service.degrade.ConservativeAnalysis`.
+    """
+    if name.startswith("incremental+"):
+        name = name[len("incremental+"):]
+    if name == "conservative":
+        return ConservativeAnalysis()
+    from repro.analysis.decomposed import DecomposedAnalysis
+    from repro.analysis.feedback import FeedbackAnalysis
+    from repro.analysis.service_curve import ServiceCurveAnalysis
+    from repro.core.integrated import IntegratedAnalysis
+
+    registry = {
+        "decomposed": DecomposedAnalysis,
+        "service_curve": ServiceCurveAnalysis,
+        "integrated": IntegratedAnalysis,
+        "feedback": FeedbackAnalysis,
+    }
+    try:
+        return registry[name]()
+    except KeyError:
+        raise RecoveryError(
+            f"journal names unknown analyzer {name!r}") from None
+
+
+@dataclass(frozen=True)
+class RecoveredState:
+    """Result of a structural journal replay."""
+
+    network: Network
+    admitted: tuple[str, ...]
+    analyzer_name: str
+    last_seq: int
+    snapshot_seq: int  #: 0 when no snapshot existed
+    replayed: int      #: records applied
+    skipped: int       #: idempotent skips (duplicate admit / release)
+    corrupt_lines: int
+    records: tuple[dict, ...] = field(repr=False)
+
+
+def recover_state(directory: str | Path) -> RecoveredState:
+    """Structurally replay a journal directory (no re-analysis).
+
+    Raises :class:`~repro.errors.RecoveryError` when the journal has
+    neither snapshot nor base record, or a record is structurally
+    impossible (e.g. admit onto an unknown server).
+    """
+    snapshot, records, corrupt = load_journal(directory)
+
+    if snapshot is not None:
+        try:
+            network = network_from_dict(snapshot["network"])
+            admitted = list(snapshot.get("admitted", []))
+            analyzer_name = str(snapshot.get("analyzer", "integrated"))
+            snapshot_seq = int(snapshot.get("seq", 0))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RecoveryError(f"malformed snapshot: {exc}") from exc
+    else:
+        if not records or records[0].get("op") != "base":
+            raise RecoveryError(
+                "journal has no snapshot and no base record; "
+                "state cannot be reconstructed")
+        base = records[0]
+        try:
+            network = network_from_dict(base["network"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RecoveryError(f"malformed base record: {exc}") from exc
+        analyzer_name = str(base.get("analyzer", "integrated"))
+        admitted = []
+        snapshot_seq = 0
+        records = records[1:]
+
+    last_seq = snapshot_seq
+    replayed = skipped = 0
+    for rec in records:
+        op = rec.get("op")
+        seq = int(rec.get("seq", 0))
+        last_seq = max(last_seq, seq)
+        if op == "base":
+            # a resumed journal may re-journal nothing; a second base
+            # record is meaningless mid-history
+            raise RecoveryError(
+                f"unexpected base record mid-journal (seq {seq})")
+        if op == "admit":
+            try:
+                request = request_from_record(rec["request"])
+            except (KeyError, JournalError) as exc:
+                raise RecoveryError(
+                    f"unreplayable admit record (seq {seq}): "
+                    f"{exc}") from exc
+            if request.name in network.flows:
+                skipped += 1  # idempotent: already applied
+                if request.name not in admitted:
+                    admitted.append(request.name)
+                continue
+            flow = AdmissionController._flow_from_request(request)
+            network = network.with_flow(flow)
+            admitted.append(request.name)
+            replayed += 1
+        elif op == "release":
+            name = rec.get("flow")
+            if name not in network.flows:
+                skipped += 1  # idempotent: double release
+                if name in admitted:
+                    admitted.remove(name)
+                continue
+            network = network.without_flow(name)
+            if name in admitted:
+                admitted.remove(name)
+            replayed += 1
+        else:
+            raise RecoveryError(
+                f"unknown journal op {op!r} (seq {seq})")
+
+    return RecoveredState(
+        network=network, admitted=tuple(admitted),
+        analyzer_name=analyzer_name, last_seq=last_seq,
+        snapshot_seq=snapshot_seq, replayed=replayed, skipped=skipped,
+        corrupt_lines=corrupt, records=tuple(records))
+
+
+# ----------------------------------------------------------------------
+# bit-identical verification
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Outcome of the differential recovery verification."""
+
+    checked: int
+    mismatches: tuple[str, ...]
+    final_bounds: dict[str, float]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def render(self) -> str:
+        lines = [f"re-verified {self.checked} journaled bound(s): "
+                 + ("all bit-identical" if self.ok
+                    else f"{len(self.mismatches)} MISMATCH(ES)")]
+        lines += [f"  MISMATCH {m}" for m in self.mismatches]
+        return "\n".join(lines)
+
+
+def verify_recovery(directory: str | Path, *,
+                    ctx: AnalysisContext = NULL_CONTEXT) -> RecoveryReport:
+    """Re-analyze every journaled admission and demand bit-identity.
+
+    Replays the journal a second time, re-running the recorded
+    ``verify_analyzer`` on each reconstructed candidate network and
+    comparing ``float.hex`` representations.  Also re-checks the
+    snapshot's per-flow bounds when no newer records exist.  Analysis
+    failures during verification are reported as mismatches (history
+    claims a bound existed; we cannot reproduce it).
+    """
+    snapshot, records, _ = load_journal(directory)
+    state = recover_state(directory)
+
+    analyzers: dict[str, Analyzer] = {}
+
+    def analyzer_for(name: str) -> Analyzer:
+        if name not in analyzers:
+            analyzers[name] = resolve_analyzer(name)
+        return analyzers[name]
+
+    mismatches: list[str] = []
+    checked = 0
+
+    # -- step-by-step: each admit's bound on its candidate network -----
+    if snapshot is not None:
+        network = network_from_dict(snapshot["network"])
+    else:
+        network = network_from_dict(records[0]["network"])
+        records = records[1:]
+    for rec in records:
+        op = rec.get("op")
+        seq = int(rec.get("seq", 0))
+        if op == "admit":
+            request = request_from_record(rec["request"])
+            flow = AdmissionController._flow_from_request(request)
+            if request.name in network.flows:
+                continue  # idempotent skip: no journaled bound to check
+            network = network.with_flow(flow)
+            expected_hex = rec.get("bound_hex")
+            verify_name = rec.get("verify_analyzer") or rec.get("analyzer")
+            if expected_hex is None or verify_name is None:
+                continue
+            ctx.checkpoint(f"verify admit seq {seq}")
+            try:
+                report = analyzer_for(verify_name).run(network, ctx)
+                got = report.delay_of(request.name)
+            except (AnalysisError, KeyError) as exc:
+                mismatches.append(
+                    f"seq {seq} flow {request.name!r}: re-analysis with "
+                    f"{verify_name!r} failed: {exc}")
+                continue
+            checked += 1
+            if float(got).hex() != expected_hex:
+                mismatches.append(
+                    f"seq {seq} flow {request.name!r} ({verify_name}): "
+                    f"journaled {float.fromhex(expected_hex)!r} != "
+                    f"re-analyzed {got!r}")
+        elif op == "release":
+            name = rec.get("flow")
+            if name in network.flows:
+                network = network.without_flow(name)
+
+    # -- snapshot bounds, when the snapshot is the newest state --------
+    final_bounds: dict[str, float] = {}
+    if (snapshot is not None and snapshot.get("bounds_hex")
+            and state.last_seq == state.snapshot_seq):
+        verify_name = str(snapshot.get("analyzer", "integrated"))
+        try:
+            report = analyzer_for(verify_name).run(state.network, ctx)
+        except AnalysisError as exc:
+            mismatches.append(
+                f"snapshot re-analysis with {verify_name!r} failed: {exc}")
+        else:
+            for fname, expected_hex in snapshot["bounds_hex"].items():
+                try:
+                    got = report.delay_of(fname)
+                except KeyError:
+                    mismatches.append(
+                        f"snapshot flow {fname!r} missing from "
+                        "re-analysis")
+                    continue
+                checked += 1
+                final_bounds[fname] = got
+                if float(got).hex() != expected_hex:
+                    mismatches.append(
+                        f"snapshot flow {fname!r} ({verify_name}): "
+                        f"journaled {float.fromhex(expected_hex)!r} != "
+                        f"re-analyzed {got!r}")
+
+    return RecoveryReport(checked=checked, mismatches=tuple(mismatches),
+                          final_bounds=final_bounds)
+
+
+def recover_service(directory: str | Path, *,
+                    analyzer: Analyzer | None = None,
+                    verify: bool = True,
+                    ctx: AnalysisContext = NULL_CONTEXT,
+                    **service_kwargs):
+    """Rebuild a live :class:`~repro.service.AdmissionService`.
+
+    Replays the journal, optionally runs :func:`verify_recovery`
+    (raising :class:`~repro.errors.RecoveryError` on any bound
+    mismatch), and returns a service whose journal *resumes* the
+    directory — sequence numbers continue, nothing is clobbered.
+
+    *analyzer* overrides the journaled primary analyzer; extra keyword
+    arguments are forwarded to the service constructor.
+    """
+    from repro.service.service import AdmissionService
+
+    state = recover_state(directory)
+    if verify:
+        report = verify_recovery(directory, ctx=ctx)
+        if not report.ok:
+            raise RecoveryError(
+                "recovered state failed bound verification:\n"
+                + report.render())
+    primary = analyzer if analyzer is not None else resolve_analyzer(
+        state.analyzer_name)
+    return AdmissionService(
+        state.network, primary, journal_dir=directory, resume=True,
+        admitted=state.admitted, ctx=ctx, **service_kwargs)

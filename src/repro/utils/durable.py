@@ -1,0 +1,151 @@
+"""Crash-durable file primitives shared by checkpointers and journals.
+
+POSIX gives three separate durability obligations that are easy to get
+only two-thirds right:
+
+1. file *contents* reach the disk only after ``fsync(fd)``;
+2. a rename is atomic with respect to crashes only for
+   :func:`os.replace` within one filesystem;
+3. the *rename itself* reaches the disk only after fsyncing the parent
+   **directory** — without it a power loss after ``os.replace`` can
+   resurrect the old file or leave no file at all.
+
+The sweep checkpointer (:mod:`repro.eval.parallel`) and the admission
+journal (:mod:`repro.service.journal`) both funnel their writes through
+this module so there is exactly one place where the full
+write → flush → fsync → replace → fsync-dir dance lives.
+
+Platforms whose filesystems cannot fsync a directory (some network
+mounts, Windows) make :func:`fsync_dir` a silent no-op — the write is
+then as durable as the platform allows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Iterable
+
+__all__ = [
+    "fsync_dir",
+    "fsync_file",
+    "atomic_write_text",
+    "DurableAppender",
+]
+
+
+def fsync_file(fh: IO) -> None:
+    """Flush python buffers and fsync an open file object."""
+    fh.flush()
+    os.fsync(fh.fileno())
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Fsync a directory so a completed rename survives power loss.
+
+    Best effort: platforms that cannot open or fsync a directory
+    (Windows, some network filesystems) are silently tolerated.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str | Path, content: str) -> Path:
+    """Durably replace *path* with *content* (all-or-nothing).
+
+    Writes ``<path>.tmp`` in the same directory, fsyncs it, atomically
+    renames it over *path* and fsyncs the parent directory.  After a
+    crash at any point the path holds either the complete old content
+    or the complete new content, never a truncated mix.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(content)
+        fsync_file(fh)
+    os.replace(tmp, path)
+    fsync_dir(path.parent)
+    return path
+
+
+class DurableAppender:
+    """Append-only line sink with per-line fsync (write-ahead semantics).
+
+    Every :meth:`append` writes one line and fsyncs before returning, so
+    once the call returns the record survives power loss.  A crash *in*
+    the call can leave a truncated final line — readers must treat a
+    trailing unparseable line as "record never happened" (this is the
+    standard WAL contract; see :func:`iter_jsonl`).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        existed = self._path.exists()
+        self._fh: IO | None = open(self._path, "a", encoding="utf-8")
+        if not existed:
+            # make the file's very existence durable too
+            fsync_file(self._fh)
+            fsync_dir(self._path.parent)
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def closed(self) -> bool:
+        return self._fh is None
+
+    def append(self, line: str) -> None:
+        """Durably append one line (newline added if missing)."""
+        if self._fh is None:
+            raise ValueError(f"appender for {self._path} is closed")
+        if not line.endswith("\n"):
+            line += "\n"
+        self._fh.write(line)
+        fsync_file(self._fh)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                fsync_file(self._fh)
+            finally:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "DurableAppender":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def iter_jsonl(path: str | Path) -> Iterable[tuple[dict, bool]]:
+    """Yield ``(record, ok)`` per non-empty line of a JSONL file.
+
+    Unparseable or non-object lines yield ``({}, False)`` so callers
+    can count corruption; a crash mid-append legitimately truncates the
+    final line and the WAL contract is to ignore it.
+    """
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            yield {}, False
+            continue
+        if not isinstance(rec, dict):
+            yield {}, False
+            continue
+        yield rec, True

@@ -1,0 +1,160 @@
+"""Unit tests for the circuit breaker state machine."""
+
+import pytest
+
+from repro.context.metrics import MetricsRegistry
+from repro.errors import CircuitOpenError, ResilienceError
+from repro.resilience import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def breaker(threshold=3, reset=10.0, metrics=None):
+    clock = FakeClock()
+    b = CircuitBreaker("test", failure_threshold=threshold,
+                       reset_timeout=reset, clock=clock, metrics=metrics)
+    return b, clock
+
+
+class TestValidation:
+    def test_rejects_zero_threshold(self):
+        with pytest.raises(ResilienceError):
+            CircuitBreaker("b", failure_threshold=0)
+
+    def test_rejects_nonpositive_reset(self):
+        with pytest.raises(ResilienceError):
+            CircuitBreaker("b", reset_timeout=0.0)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        b, _ = breaker()
+        assert b.state == CLOSED and b.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        b, _ = breaker(threshold=3)
+        b.record_failure()
+        b.record_failure()
+        assert b.state == CLOSED
+        b.record_failure()
+        assert b.state == OPEN and not b.allow()
+
+    def test_success_resets_consecutive_count(self):
+        b, _ = breaker(threshold=2)
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        assert b.state == CLOSED  # never 2 consecutive
+
+    def test_half_open_after_cooldown_single_probe(self):
+        b, clock = breaker(threshold=1, reset=10.0)
+        b.record_failure()
+        assert b.state == OPEN
+        clock.advance(9.9)
+        assert not b.allow()
+        clock.advance(0.2)
+        assert b.state == HALF_OPEN
+        assert b.allow()        # the probe
+        assert not b.allow()    # concurrent caller refused
+
+    def test_probe_success_closes(self):
+        b, clock = breaker(threshold=1, reset=5.0)
+        b.record_failure()
+        clock.advance(5.0)
+        assert b.allow()
+        b.record_success()
+        assert b.state == CLOSED and b.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        b, clock = breaker(threshold=1, reset=5.0)
+        b.record_failure()
+        clock.advance(5.0)
+        assert b.allow()
+        b.record_failure()
+        assert b.state == OPEN
+        clock.advance(4.0)
+        assert not b.allow()  # cooldown restarted at re-open
+        clock.advance(1.0)
+        assert b.allow()
+
+    def test_manual_trip_and_reset(self):
+        b, _ = breaker()
+        b.trip()
+        assert b.state == OPEN
+        b.reset()
+        assert b.state == CLOSED and b.consecutive_failures == 0
+
+
+class TestCall:
+    def test_call_passes_through_and_records(self):
+        b, _ = breaker()
+        assert b.call(lambda x: x + 1, 2) == 3
+
+    def test_call_records_failure_and_propagates(self):
+        b, _ = breaker(threshold=1)
+
+        def boom():
+            raise RuntimeError("no")
+
+        with pytest.raises(RuntimeError):
+            b.call(boom)
+        assert b.state == OPEN
+
+    def test_open_call_raises_circuit_open_with_retry(self):
+        b, clock = breaker(threshold=1, reset=10.0)
+        b.record_failure()
+        clock.advance(4.0)
+        with pytest.raises(CircuitOpenError) as exc_info:
+            b.call(lambda: 1)
+        err = exc_info.value
+        assert err.breaker == "test"
+        assert err.retry_after == pytest.approx(6.0)
+
+
+class TestMetrics:
+    def test_full_cycle_counters(self):
+        metrics = MetricsRegistry()
+        b, clock = breaker(threshold=2, reset=5.0, metrics=metrics)
+        b.record_failure()
+        b.record_failure()        # opens
+        assert not b.allow()      # rejection
+        clock.advance(5.0)
+        assert b.allow()          # probe
+        b.record_success()        # closes
+
+        m = metrics.as_dict("breaker.test.")
+        assert m["breaker.test.failures"] == 2
+        assert m["breaker.test.opens"] == 1
+        assert m["breaker.test.rejections"] == 1
+        assert m["breaker.test.probes"] == 1
+        assert m["breaker.test.closes"] == 1
+        assert m["breaker.test.successes"] == 1
+        assert m["breaker.test.state"] == 0.0  # closed gauge
+
+    def test_state_gauge_tracks_open(self):
+        metrics = MetricsRegistry()
+        b, _ = breaker(threshold=1, metrics=metrics)
+        b.record_failure()
+        assert metrics.get("breaker.test.state") == 2.0
+
+
+class TestIntrospection:
+    def test_as_dict(self):
+        b, _ = breaker(threshold=4, reset=7.0)
+        d = b.as_dict()
+        assert d == {
+            "name": "test",
+            "state": CLOSED,
+            "consecutive_failures": 0,
+            "failure_threshold": 4,
+            "reset_timeout": 7.0,
+        }

@@ -1,0 +1,87 @@
+"""CLI tests for ``repro serve`` and ``repro recover``."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_serve_requires_journal(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--journal", "j"])
+        assert args.count == 100 and args.snapshot_every == 64
+        assert not args.resume
+
+    def test_recover_requires_journal(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recover"])
+
+
+class TestServeRecover:
+    def test_serve_then_recover_round_trip(self, tmp_path, capsys):
+        journal = str(tmp_path / "j")
+        rc = main(["serve", "--journal", journal, "--count", "4",
+                   "--hops", "2", "--deadline", "60", "--rho", "0.02"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "admitted conn_0" in out and "[normal]" in out
+        assert "served 4 admission(s)" in out
+
+        rc = main(["recover", "--journal", journal, "--show-bounds"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 admitted connection(s)" in out
+        assert "conn_3" in out
+        assert "all bit-identical" in out
+
+    def test_serve_resume_continues(self, tmp_path, capsys):
+        journal = str(tmp_path / "j")
+        assert main(["serve", "--journal", journal, "--count", "2",
+                     "--hops", "2", "--deadline", "60",
+                     "--rho", "0.02"]) == 0
+        capsys.readouterr()
+        rc = main(["serve", "--journal", journal, "--resume",
+                   "--count", "2", "--hops", "2", "--deadline", "60",
+                   "--rho", "0.02"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recovered 2 connection(s)" in out
+        assert "admitted conn_2" in out and "admitted conn_3" in out
+
+    def test_serve_refuses_dirty_journal_without_resume(self, tmp_path,
+                                                        capsys):
+        journal = str(tmp_path / "j")
+        assert main(["serve", "--journal", journal, "--count", "1",
+                     "--hops", "2", "--deadline", "60",
+                     "--rho", "0.02"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="journal state"):
+            main(["serve", "--journal", journal, "--count", "1",
+                  "--hops", "2", "--deadline", "60", "--rho", "0.02"])
+
+    def test_serve_stops_at_first_rejection(self, tmp_path, capsys):
+        journal = str(tmp_path / "j")
+        # rho large enough that the second connection overloads
+        rc = main(["serve", "--journal", journal, "--count", "10",
+                   "--hops", "2", "--deadline", "60", "--rho", "0.6"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rejected" in out and "1 rejection(s)" in out
+
+    def test_recover_missing_journal_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="recover:"):
+            main(["recover", "--journal", str(tmp_path / "nope")])
+
+    def test_recover_no_verify_skips_reanalysis(self, tmp_path, capsys):
+        journal = str(tmp_path / "j")
+        assert main(["serve", "--journal", journal, "--count", "2",
+                     "--hops", "2", "--deadline", "60",
+                     "--rho", "0.02"]) == 0
+        capsys.readouterr()
+        assert main(["recover", "--journal", journal,
+                     "--no-verify"]) == 0
+        out = capsys.readouterr().out
+        assert "re-verified" not in out

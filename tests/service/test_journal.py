@@ -1,0 +1,195 @@
+"""Unit tests for the write-ahead journal and durable file primitives."""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.admission.requests import ConnectionRequest
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import JournalError
+from repro.network.topology import Network, ServerSpec
+from repro.service.journal import (
+    Journal,
+    load_journal,
+    request_from_record,
+    request_to_record,
+)
+from repro.utils.durable import (
+    DurableAppender,
+    atomic_write_text,
+    iter_jsonl,
+)
+
+
+def tandem(n=2):
+    return Network([ServerSpec(k) for k in range(1, n + 1)], [])
+
+
+def request(name="c0", peak=1.0):
+    return ConnectionRequest(name, TokenBucket(1.0, 0.02, peak=peak),
+                             (1, 2), 30.0)
+
+
+class TestDurablePrimitives:
+    def test_appender_fsyncs_every_append(self, tmp_path, monkeypatch):
+        calls = []
+        real = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: (calls.append(fd),
+                                                     real(fd))[1])
+        with DurableAppender(tmp_path / "a.jsonl") as app:
+            before = len(calls)
+            app.append('{"x": 1}')
+            app.append('{"x": 2}')
+            assert len(calls) >= before + 2
+        assert (tmp_path / "a.jsonl").read_text().count("\n") == 2
+
+    def test_appender_appends_not_truncates(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        with DurableAppender(path) as app:
+            app.append("one")
+        with DurableAppender(path) as app:
+            app.append("two")
+        assert path.read_text().splitlines() == ["one", "two"]
+
+    def test_appender_refuses_after_close(self, tmp_path):
+        app = DurableAppender(tmp_path / "a.jsonl")
+        app.close()
+        with pytest.raises(ValueError):
+            app.append("late")
+
+    def test_atomic_write_replaces_completely(self, tmp_path):
+        path = tmp_path / "f.txt"
+        atomic_write_text(path, "old content")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+        assert not path.with_name("f.txt.tmp").exists()
+
+    def test_atomic_write_fsyncs_tmp_before_replace(self, tmp_path,
+                                                    monkeypatch):
+        order = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(os, "fsync",
+                            lambda fd: (order.append("fsync"),
+                                        real_fsync(fd))[1])
+        monkeypatch.setattr(os, "replace",
+                            lambda a, b: (order.append("replace"),
+                                          real_replace(a, b))[1])
+        atomic_write_text(tmp_path / "f.txt", "x")
+        assert "fsync" in order and "replace" in order
+        assert order.index("fsync") < order.index("replace")
+        # the parent directory is fsynced after the rename
+        assert order.index("replace") < len(order) - 1 \
+            and order[-1] == "fsync"
+
+    def test_iter_jsonl_flags_corrupt_lines(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"a": 1}\nnot json\n[1,2]\n{"b": 2}\n')
+        parsed = list(iter_jsonl(path))
+        assert [ok for _, ok in parsed] == [True, False, False, True]
+
+
+class TestRequestRoundTrip:
+    def test_round_trip(self):
+        req = request()
+        back = request_from_record(request_to_record(req))
+        assert back == req
+
+    def test_unbounded_peak_round_trips(self):
+        req = request(peak=math.inf)
+        rec = request_to_record(req)
+        assert rec["peak"] is None
+        assert request_from_record(rec).bucket.peak == math.inf
+
+    def test_malformed_record_raises_journal_error(self):
+        with pytest.raises(JournalError):
+            request_from_record({"name": "x"})
+
+
+class TestJournal:
+    def test_fresh_dir_writes_base_and_admits(self, tmp_path):
+        j = Journal(tmp_path / "j")
+        j.write_base(tandem(), analyzer="integrated")
+        seq = j.write_admit(request(), 1.5, analyzer="integrated",
+                            verify_analyzer="integrated",
+                            degradation="normal")
+        assert seq == 2
+        j.close()
+        snapshot, records, corrupt = load_journal(tmp_path / "j")
+        assert snapshot is None and corrupt == 0
+        assert [r["op"] for r in records] == ["base", "admit"]
+        assert records[1]["bound_hex"] == (1.5).hex()
+
+    def test_existing_state_requires_resume(self, tmp_path):
+        d = tmp_path / "j"
+        j = Journal(d)
+        j.write_base(tandem(), analyzer="integrated")
+        j.close()
+        with pytest.raises(JournalError):
+            Journal(d)
+        j2 = Journal(d, resume=True)
+        assert j2.last_seq == 1
+        j2.close()
+
+    def test_snapshot_rotates_journal(self, tmp_path):
+        d = tmp_path / "j"
+        j = Journal(d)
+        j.write_base(tandem(), analyzer="integrated")
+        j.write_admit(request("a"), 1.0, analyzer="integrated",
+                      verify_analyzer="integrated", degradation="normal")
+        j.snapshot(tandem(), ["a"], analyzer="integrated",
+                   bounds={"a": 1.0})
+        post = j.write_release("a")
+        j.close()
+        snapshot, records, _ = load_journal(d)
+        assert snapshot["admitted"] == ["a"]
+        assert snapshot["bounds_hex"] == {"a": (1.0).hex()}
+        # only the post-snapshot record is replayed
+        assert [r["seq"] for r in records] == [post]
+
+    def test_seq_continues_across_rotation_and_resume(self, tmp_path):
+        d = tmp_path / "j"
+        j = Journal(d)
+        j.write_base(tandem(), analyzer="integrated")
+        j.snapshot(tandem(), [], analyzer="integrated")
+        j.write_release("ghost")
+        last = j.last_seq
+        j.close()
+        j2 = Journal(d, resume=True)
+        assert j2.write_release("ghost2") == last + 1
+        j2.close()
+
+    def test_corrupt_trailing_line_is_counted_not_fatal(self, tmp_path):
+        d = tmp_path / "j"
+        j = Journal(d)
+        j.write_base(tandem(), analyzer="integrated")
+        j.write_admit(request("a"), 1.0, analyzer="integrated",
+                      verify_analyzer="integrated", degradation="normal")
+        j.close()
+        path = d / "journal.jsonl"
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"v": 1, "seq": 3, "op": "adm')  # crash mid-append
+        snapshot, records, corrupt = load_journal(d)
+        assert corrupt == 1
+        assert [r["op"] for r in records] == ["base", "admit"]
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(JournalError):
+            load_journal(tmp_path)
+
+    def test_corrupt_snapshot_raises(self, tmp_path):
+        d = tmp_path / "j"
+        d.mkdir()
+        (d / "snapshot.json").write_text("{broken")
+        with pytest.raises(JournalError):
+            load_journal(d)
+
+    def test_records_are_json_objects_with_version(self, tmp_path):
+        d = tmp_path / "j"
+        j = Journal(d)
+        j.write_base(tandem(), analyzer="integrated")
+        j.close()
+        line = (d / "journal.jsonl").read_text().splitlines()[0]
+        rec = json.loads(line)
+        assert rec["v"] == 1 and rec["seq"] == 1

@@ -1,0 +1,366 @@
+"""Integration tests for the durable admission service.
+
+Degradation scenarios are driven through
+:mod:`repro.resilience` fault transformations (ServerDegradation /
+ServerFailure) and breaker-tripping analyzers, per the paper's
+admission-control application: the service must keep answering — with
+honestly tagged, sound bounds — while its analysis stack fails around
+it.
+"""
+
+import json
+import signal
+
+import pytest
+
+from repro.admission.requests import ConnectionRequest
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.analysis.base import Analyzer
+from repro.context import AnalysisContext
+from repro.context.metrics import MetricsRegistry
+from repro.core.integrated import IntegratedAnalysis
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import (
+    AdmissionError,
+    AnalysisTimeoutError,
+    ServiceError,
+)
+from repro.network.topology import Network, ServerSpec
+from repro.resilience import OPEN
+from repro.resilience.faults import ServerDegradation, ServerFailure
+from repro.service import (
+    DEGRADATION_CACHED,
+    DEGRADATION_CLOSED_FORM,
+    DEGRADATION_DEGRADED,
+    DEGRADATION_NORMAL,
+    AdmissionService,
+    load_journal,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class FlakyAnalyzer(Analyzer):
+    """Times out for the first ``failures`` calls, then recovers."""
+
+    name = "flaky"
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+        self._inner = IntegratedAnalysis()
+
+    def analyze(self, network, *, ctx=None):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise AnalysisTimeoutError("wedged kernel")
+        return self._inner.analyze(network)
+
+
+def empty_net(n=2):
+    return Network([ServerSpec(k) for k in range(1, n + 1)], [])
+
+
+def request(name, deadline=60.0, rho=0.05, path=(1, 2)):
+    return ConnectionRequest(name, TokenBucket(1.0, rho), path, deadline)
+
+
+def service(tmp_path, analyzer=None, **kwargs):
+    kwargs.setdefault("incremental", False)
+    return AdmissionService(
+        empty_net(), analyzer or IntegratedAnalysis(),
+        journal_dir=tmp_path / "journal", **kwargs)
+
+
+class TestServing:
+    def test_admit_commits_journals_and_tags_normal(self, tmp_path):
+        with service(tmp_path) as svc:
+            dec = svc.admit(request("a"))
+            assert dec.admitted
+            assert dec.degradation == DEGRADATION_NORMAL
+            assert dec.seq == 2  # base record is seq 1
+            assert "a" in svc.network.flows
+            _, records, _ = load_journal(tmp_path / "journal")
+            assert [r["op"] for r in records] == ["base", "admit"]
+
+    def test_rejection_is_not_journaled(self, tmp_path):
+        with service(tmp_path) as svc:
+            dec = svc.admit(request("tight", deadline=1e-9))
+            assert not dec.admitted and dec.seq is None
+            assert svc.journal.last_seq == 1  # only the base record
+
+    def test_test_does_not_commit_or_journal(self, tmp_path):
+        with service(tmp_path) as svc:
+            dec = svc.test(request("a"))
+            assert dec.admitted
+            assert "a" not in svc.network.flows
+            assert svc.journal.last_seq == 1
+
+    def test_journal_write_failure_leaves_controller_unchanged(
+            self, tmp_path, monkeypatch):
+        svc = service(tmp_path)
+        monkeypatch.setattr(
+            svc.journal, "write_admit",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("disk full")))
+        with pytest.raises(OSError):
+            svc.admit(request("a"))
+        # WAL ordering: the un-journaled admission never committed
+        assert "a" not in svc.network.flows
+        assert svc.admitted == ()
+
+    def test_release_journals_then_applies(self, tmp_path):
+        with service(tmp_path) as svc:
+            svc.admit(request("a"))
+            seq = svc.release("a")
+            assert seq == 3
+            assert "a" not in svc.network.flows
+
+    def test_release_unknown_raises_typed_error(self, tmp_path):
+        with service(tmp_path) as svc:
+            with pytest.raises(AdmissionError) as exc_info:
+                svc.release("ghost")
+            assert exc_info.value.flow == "ghost"
+
+    def test_release_missing_ok_is_noop(self, tmp_path):
+        with service(tmp_path) as svc:
+            assert svc.release("ghost", missing_ok=True) is None
+            assert svc.journal.last_seq == 1
+
+    def test_snapshot_every_rotates_journal(self, tmp_path):
+        with service(tmp_path, snapshot_every=2) as svc:
+            svc.admit(request("a"))
+            svc.admit(request("b", path=(2,)))
+            snapshot, records, _ = load_journal(tmp_path / "journal")
+            assert snapshot is not None
+            assert sorted(snapshot["admitted"]) == ["a", "b"]
+            assert records == []  # rotated away
+
+    def test_close_is_idempotent_and_seals_service(self, tmp_path):
+        svc = service(tmp_path)
+        svc.admit(request("a"))
+        svc.close()
+        svc.close()
+        assert svc.closed
+        with pytest.raises(ServiceError):
+            svc.admit(request("b"))
+        with pytest.raises(ServiceError):
+            svc.release("a")
+        snapshot, _, _ = load_journal(tmp_path / "journal")
+        assert snapshot["admitted"] == ["a"]
+        assert snapshot["bounds_hex"]["a"]  # final bounds checkpointed
+
+    def test_constructor_validation(self, tmp_path):
+        with pytest.raises(ServiceError):
+            service(tmp_path, snapshot_every=0)
+        with pytest.raises(ServiceError):
+            service(tmp_path, shed_latency_s=-1.0)
+
+
+class TestBreakersAndDegradation:
+    def test_breaker_opens_then_recovers(self, tmp_path):
+        """flaky primary: normal -> degraded (open breaker) -> normal."""
+        clock = FakeClock()
+        metrics = MetricsRegistry()
+        flaky = FlakyAnalyzer(failures=2)
+        svc = service(tmp_path, analyzer=flaky,
+                      fallbacks=(DecomposedAnalysis(),),
+                      breaker_threshold=2, breaker_reset_s=10.0,
+                      clock=clock, ctx=AnalysisContext(metrics=metrics))
+        # each admission attempts flaky once; two timeouts trip it
+        d1 = svc.admit(request("a"))
+        assert d1.admitted and d1.degradation == DEGRADATION_DEGRADED
+        assert d1.analyzer == "decomposed"
+        assert svc.breaker_states()["flaky"] == "closed"
+        d2 = svc.admit(request("b", path=(2,)))
+        assert d2.degradation == DEGRADATION_DEGRADED
+        assert svc.breaker_states()["flaky"] == OPEN
+        # while open the flaky rung is skipped outright
+        calls_before = flaky.calls
+        d3 = svc.admit(request("c", path=(1,)))
+        assert d3.degradation == DEGRADATION_DEGRADED
+        assert flaky.calls == calls_before
+        # cooldown elapses; the half-open probe succeeds and closes it
+        clock.advance(10.0)
+        d4 = svc.admit(request("d", path=(2,)))
+        assert d4.degradation == DEGRADATION_NORMAL
+        assert d4.analyzer == "flaky"
+        assert svc.breaker_states()["flaky"] == "closed"
+        m = metrics.as_dict()
+        assert m["breaker.flaky.opens"] == 1
+        assert m["breaker.flaky.closes"] == 1
+        assert m["breaker.flaky.probes"] == 1
+        assert m["service.degradation.degraded"] == 3
+        assert m["service.degradation.normal"] == 1
+        svc.close()
+
+    def test_all_breakers_open_falls_to_closed_form(self, tmp_path):
+        clock = FakeClock()
+        svc = service(tmp_path, analyzer=FlakyAnalyzer(failures=99),
+                      breaker_threshold=1, clock=clock)
+        dec = svc.admit(request("a"))
+        assert dec.admitted
+        assert dec.degradation == DEGRADATION_CLOSED_FORM
+        assert dec.analyzer == "conservative"
+        svc.close()
+
+    def test_conservative_disabled_fails_closed(self, tmp_path):
+        clock = FakeClock()
+        svc = service(tmp_path, analyzer=FlakyAnalyzer(failures=99),
+                      conservative=False, breaker_threshold=1, clock=clock)
+        svc.admit(request("a"))          # trips the breaker
+        dec = svc.admit(request("b"))    # breaker open, nothing answers
+        assert not dec.admitted
+        assert dec.degradation == "unavailable"
+        svc.close()
+
+    def test_manual_shed_level_2_forces_closed_form(self, tmp_path):
+        with service(tmp_path) as svc:
+            svc.set_shed_level(2)
+            dec = svc.admit(request("a"))
+            assert dec.degradation == DEGRADATION_CLOSED_FORM
+            svc.set_shed_level(0)
+            dec = svc.admit(request("b", path=(2,)))
+            assert dec.degradation == DEGRADATION_NORMAL
+
+    def test_shed_level_1_serves_from_engine_cache(self, tmp_path):
+        with service(tmp_path, incremental=True) as svc:
+            svc.admit(request("a"))
+            svc.set_shed_level(1)
+            dec = svc.admit(request("b", path=(2,)))
+            assert dec.admitted
+            assert dec.degradation == DEGRADATION_CACHED
+            assert dec.analyzer.startswith("incremental+")
+
+    def test_shed_level_validation(self, tmp_path):
+        with service(tmp_path) as svc:
+            with pytest.raises(ServiceError):
+                svc.set_shed_level(3)
+
+    def test_auto_shed_follows_latency_ewma(self, tmp_path):
+        with service(tmp_path, shed_latency_s=0.1) as svc:
+            for _ in range(8):
+                svc._note_latency(0.5)  # 5x SLO -> full shed
+            assert svc.shed_level == 2
+            for _ in range(50):
+                svc._note_latency(0.001)
+            assert svc.shed_level == 0
+
+    def test_conservative_bound_is_sound_upper_bound(self, tmp_path):
+        """closed-form rung never under-promises vs the primary."""
+        with service(tmp_path) as svc:
+            exact = svc.test(request("a"))
+            svc.set_shed_level(2)
+            loose = svc.test(request("a"))
+            assert loose.degradation == DEGRADATION_CLOSED_FORM
+            assert loose.bound >= exact.bound
+
+
+class TestFaultScenarios:
+    """Drive the service over resilience-transformed networks."""
+
+    def test_server_degradation_inflates_bounds(self, tmp_path):
+        healthy = AdmissionService(
+            empty_net(), IntegratedAnalysis(), incremental=False,
+            journal_dir=tmp_path / "h")
+        faulted_net = ServerDegradation(2, 0.5).apply(empty_net())
+        degraded = AdmissionService(
+            faulted_net, IntegratedAnalysis(), incremental=False,
+            journal_dir=tmp_path / "d")
+        req = request("a")
+        bound_healthy = healthy.admit(req).bound
+        bound_degraded = degraded.admit(req).bound
+        assert bound_degraded > bound_healthy
+        healthy.close()
+        degraded.close()
+
+    def test_server_degradation_can_flip_admission(self, tmp_path):
+        # deadline sits between the healthy and degraded bound
+        healthy = AdmissionService(
+            empty_net(), IntegratedAnalysis(), incremental=False,
+            journal_dir=tmp_path / "h")
+        probe = healthy.test(request("probe"))
+        deadline = probe.bound * 1.05
+        assert healthy.admit(request("a", deadline=deadline)).admitted
+        healthy.close()
+        faulted_net = ServerDegradation(1, 0.4).apply(empty_net())
+        degraded = AdmissionService(
+            faulted_net, IntegratedAnalysis(), incremental=False,
+            journal_dir=tmp_path / "d")
+        dec = degraded.admit(request("a", deadline=deadline))
+        assert not dec.admitted
+        degraded.close()
+
+    def test_server_failure_rejects_severed_paths(self, tmp_path):
+        faulted_net = ServerFailure(2).apply(empty_net())
+        svc = AdmissionService(
+            faulted_net, IntegratedAnalysis(), incremental=False,
+            journal_dir=tmp_path / "j")
+        dec = svc.admit(request("a", path=(1, 2)))
+        assert not dec.admitted  # path traverses the failed server
+        assert svc.admit(request("b", path=(1,))).admitted
+        svc.close()
+
+
+class TestGracefulShutdown:
+    def test_sigterm_sets_flag_and_closes_on_exit(self, tmp_path):
+        svc = service(tmp_path)
+        previous = signal.getsignal(signal.SIGTERM)
+        with svc.graceful_shutdown() as s:
+            s.admit(request("a"))
+            assert not s.shutdown_requested
+            signal.raise_signal(signal.SIGTERM)
+            assert s.shutdown_requested
+        assert svc.closed
+        assert signal.getsignal(signal.SIGTERM) is previous
+
+    def test_close_runs_even_when_body_raises(self, tmp_path):
+        svc = service(tmp_path)
+        with pytest.raises(RuntimeError):
+            with svc.graceful_shutdown():
+                raise RuntimeError("boom")
+        assert svc.closed
+
+
+class TestMetrics:
+    def test_service_counters(self, tmp_path):
+        metrics = MetricsRegistry()
+        svc = service(tmp_path, ctx=AnalysisContext(metrics=metrics))
+        svc.admit(request("a"))
+        svc.admit(request("dup"))
+        svc.admit(request("tight", deadline=1e-9))
+        svc.release("a")
+        svc.close()
+        m = metrics.as_dict("service.")
+        assert m["service.requests"] == 3
+        assert m["service.admitted"] == 2
+        assert m["service.rejected"] == 1
+        assert m["service.released"] == 1
+        assert m["service.shutdowns"] == 1
+        assert m["service.snapshots"] >= 1
+
+
+class TestJournalContents:
+    def test_admit_record_carries_degradation_and_verify_analyzer(
+            self, tmp_path):
+        svc = service(tmp_path)
+        svc.admit(request("a"))
+        svc.set_shed_level(2)
+        svc.admit(request("b", path=(2,)))
+        path = tmp_path / "journal" / "journal.jsonl"
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        admits = [r for r in records if r["op"] == "admit"]
+        assert admits[0]["degradation"] == DEGRADATION_NORMAL
+        assert admits[0]["verify_analyzer"] == "integrated"
+        assert admits[1]["degradation"] == DEGRADATION_CLOSED_FORM
+        assert admits[1]["verify_analyzer"] == "conservative"
+        svc.close()
