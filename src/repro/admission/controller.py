@@ -99,8 +99,12 @@ class AdmissionController:
     analyzer_listener:
         Optional ``listener(analyzer, exc_or_None)`` called after every
         *attempted* analyzer (skipped ones excluded) with the
-        :class:`~repro.errors.AnalysisError` it raised, or ``None`` on
-        success — the feedback edge circuit breakers learn from.
+        :class:`~repro.errors.AnalysisError` it raised, ``None`` on
+        success, or — for exceptions that escape the chain entirely
+        (analyzer bugs, ``KeyboardInterrupt``) — the escaping exception
+        just before it propagates.  This is the feedback edge circuit
+        breakers learn from; without the escape notification a breaker
+        probe slot would leak on any non-analysis exception.
     """
 
     def __init__(self, network: Network, analyzer: Analyzer, *,
@@ -111,7 +115,7 @@ class AdmissionController:
                  incremental: bool = False,
                  analyzer_gate: Callable[[Analyzer], bool] | None = None,
                  analyzer_listener: Callable[
-                     [Analyzer, AnalysisError | None], None] | None = None,
+                     [Analyzer, BaseException | None], None] | None = None,
                  ) -> None:
         if analysis_budget is not None and not analysis_budget > 0:
             raise AdmissionError(
@@ -242,6 +246,14 @@ class AdmissionController:
                 failures.append(f"{analyzer.name}: {exc}")
                 if self._listener is not None:
                     self._listener(analyzer, exc)
+            except BaseException as exc:
+                # Anything else (analyzer bug, KeyboardInterrupt)
+                # aborts the chain, but the listener must still hear
+                # the attempt ended or a breaker's half-open probe
+                # slot leaks and the rung stays gated off forever.
+                if self._listener is not None:
+                    self._listener(analyzer, exc)
+                raise
             else:
                 if self._listener is not None:
                     self._listener(analyzer, None)

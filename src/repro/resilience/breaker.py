@@ -11,7 +11,10 @@ the admission fallback chain) with the classic three-state protocol:
   the next rung) until ``reset_timeout`` seconds have passed;
 * **half-open** — after the cooldown one trial request is let through;
   success closes the breaker, failure re-opens it (with the cooldown
-  restarting).
+  restarting).  A probe whose verdict never arrives (the caller died
+  outside the success/failure reporting path) expires after another
+  ``reset_timeout``, releasing the probe slot instead of wedging the
+  rung shut forever.
 
 Breakers are time-driven, so the clock is injectable for deterministic
 tests, and every transition/refusal is exported through the
@@ -83,6 +86,7 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at = 0.0
         self._probing = False
+        self._probe_started = 0.0
 
     # ------------------------------------------------------------------
 
@@ -96,12 +100,23 @@ class CircuitBreaker:
                               _STATE_GAUGE[self._state])
 
     def _maybe_half_open(self) -> None:
-        """Open → half-open once the cooldown elapsed (lock held)."""
+        """Open → half-open once the cooldown elapsed (lock held).
+
+        Also expires a stale half-open probe: if the probe's verdict
+        never arrived within ``reset_timeout`` (its caller crashed
+        outside the record_success/record_failure path), the slot is
+        released so the rung is not wedged shut forever.
+        """
         if (self._state == OPEN
                 and self._clock() - self._opened_at >= self.reset_timeout):
             self._state = HALF_OPEN
             self._probing = False
             self._gauge_state()
+        elif (self._state == HALF_OPEN and self._probing
+                and self._clock() - self._probe_started
+                >= self.reset_timeout):
+            self._probing = False
+            self._count("probe_timeouts")
 
     # ------------------------------------------------------------------
 
@@ -130,6 +145,7 @@ class CircuitBreaker:
                 return True
             if self._state == HALF_OPEN and not self._probing:
                 self._probing = True
+                self._probe_started = self._clock()
                 self._count("probes")
                 return True
             self._count("rejections")
@@ -146,6 +162,19 @@ class CircuitBreaker:
             self._probing = False
             self._count("successes")
             self._gauge_state()
+
+    def release_probe(self) -> None:
+        """Abandon an in-flight probe without a health verdict.
+
+        For callers whose protected call ended in something that says
+        nothing about the analyzer's health (``KeyboardInterrupt``,
+        ``SystemExit``): the probe slot is freed so the next request
+        can probe, but no success/failure is recorded.
+        """
+        with self._lock:
+            if self._probing:
+                self._probing = False
+                self._count("probe_aborts")
 
     def record_failure(self) -> None:
         """Report a failed protected call."""

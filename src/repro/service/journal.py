@@ -19,7 +19,10 @@ The write-ahead contract: an admission is journaled *before* the
 in-memory controller commits it, so after a crash the journal is a
 superset of the acknowledged state and replay reconstructs exactly the
 decisions that were answered.  A crash mid-append leaves a truncated
-final line; readers drop it (the decision was never acknowledged).
+final line; readers drop it (the decision was never acknowledged) and
+resuming repairs it — the appender truncates the torn tail before its
+first write, so the next record lands on a fresh line instead of being
+concatenated onto the partial one (which would lose it).
 
 Sequence numbers are strictly increasing across rotations, so a
 recovered service keeps journaling where the dead one stopped.

@@ -18,8 +18,9 @@ succeeds.  Breaker counters land in the service's
 **Graceful degradation.**  The chain ends in the conservative
 closed-form analyzer, which cannot hang; under explicit or latency-
 triggered overload the service *sheds load* by gating the chain down to
-the incremental engine's cache (shed level 1) and then to the
-conservative bounds alone (shed level 2).  Every decision carries a
+the incremental engine's cache (shed level 1; without an engine the
+primary rung is kept, as there is no cache to serve from) and then to
+the conservative bounds alone (shed level 2).  Every decision carries a
 ``degradation`` tag — ``normal``, ``cached``, ``degraded`` (a looser
 fallback analyzer answered), ``closed_form``, or ``unavailable``
 (failed closed) — so operators can audit exactly which admissions were
@@ -46,7 +47,6 @@ from repro.analysis.base import Analyzer
 from repro.context import NULL_CONTEXT, AnalysisContext
 from repro.errors import (
     AdmissionError,
-    AnalysisError,
     ServiceError,
 )
 from repro.network.topology import Network
@@ -227,6 +227,12 @@ class AdmissionService:
                 self._verify_names[a.name] = a.name
         #: cold-equivalent name of the primary (journal base/snapshots)
         self._primary_name = self._verify_names[chain[0].name]
+        #: the rung shed level 1 keeps: the engine's cache when there
+        #: is one, otherwise the primary itself (a non-incremental
+        #: service has no cache to answer from, and gating the primary
+        #: too would silently turn level 1 into level 2)
+        self._shed1_rung = (self._engine if self._engine is not None
+                            else chain[0])
 
         self._breakers: dict[int, CircuitBreaker] = {}
         for a in chain:
@@ -285,7 +291,13 @@ class AdmissionService:
         return max(self._manual_shed, self._auto_shed)
 
     def set_shed_level(self, level: int) -> None:
-        """Operator override for load shedding (0, 1 or 2)."""
+        """Operator override for load shedding (0, 1 or 2).
+
+        Level 1 keeps only the cache rung — the incremental engine
+        when the service runs one, otherwise the primary analyzer
+        itself (``incremental=False`` has no cache to fall back on).
+        Level 2 keeps only the conservative closed-form rung.
+        """
         if level not in (0, 1, 2):
             raise ServiceError(f"shed level must be 0, 1 or 2, got {level}")
         self._manual_shed = level
@@ -301,20 +313,24 @@ class AdmissionService:
         shed = self.shed_level
         if shed >= 2:
             return False
-        if shed >= 1 and analyzer is not self._engine:
+        if shed >= 1 and analyzer is not self._shed1_rung:
             return False
         breaker = self._breakers.get(id(analyzer))
         return breaker.allow() if breaker is not None else True
 
     def _listen(self, analyzer: Analyzer,
-                exc: AnalysisError | None) -> None:
+                exc: BaseException | None) -> None:
         breaker = self._breakers.get(id(analyzer))
         if breaker is None:
             return
         if exc is None:
             breaker.record_success()
-        else:
+        elif isinstance(exc, Exception):
             breaker.record_failure()
+        else:
+            # KeyboardInterrupt/SystemExit say nothing about the
+            # analyzer's health — just free any in-flight probe slot.
+            breaker.release_probe()
 
     # ------------------------------------------------------------------
     # degradation bookkeeping
@@ -428,7 +444,13 @@ class AdmissionService:
     # ------------------------------------------------------------------
 
     def _current_bounds(self) -> dict[str, float] | None:
-        """Per-flow bounds from the primary rung, or None when down."""
+        """Per-flow bounds from the primary rung, or None when down.
+
+        Best effort: snapshot bounds are advisory (recovery re-derives
+        them), so *any* primary failure — including analyzer bugs —
+        degrades to a bound-less snapshot rather than failing a
+        checkpoint or the graceful-shutdown path.
+        """
         if not self.network.flows:
             return {}
         chain = self._controller.chain
@@ -436,7 +458,7 @@ class AdmissionService:
             report = chain[0].run(self.network, self._ctx)
             return {f.name: report.delay_of(f.name)
                     for f in self.network.iter_flows()}
-        except AnalysisError:
+        except Exception:
             return None
 
     def _maybe_snapshot(self) -> None:

@@ -31,6 +31,7 @@ __all__ = [
     "fsync_dir",
     "fsync_file",
     "atomic_write_text",
+    "repair_torn_tail",
     "DurableAppender",
 ]
 
@@ -77,6 +78,34 @@ def atomic_write_text(path: str | Path, content: str) -> Path:
     return path
 
 
+def repair_torn_tail(path: str | Path) -> int:
+    """Truncate a trailing partial line left by a crash mid-append.
+
+    A SIGKILL/power loss during an append can leave the file ending in
+    a line without its terminating newline.  That record was never
+    acknowledged (the fsync'd append never returned), so dropping it is
+    exactly the WAL contract — but it must be dropped *before* the next
+    append, or the new record is concatenated onto the torn tail and
+    both become one unparseable line, silently losing the new,
+    acknowledged record on the next recovery.
+
+    Returns the number of bytes truncated (0 when the file is missing,
+    empty, or already newline-terminated).  The truncation is fsync'd
+    before returning.
+    """
+    path = Path(path)
+    if not path.exists():
+        return 0
+    with open(path, "rb+") as fh:
+        data = fh.read()
+        if not data or data.endswith(b"\n"):
+            return 0
+        keep = data.rfind(b"\n") + 1  # 0 when no newline at all
+        fh.truncate(keep)
+        fsync_file(fh)
+        return len(data) - keep
+
+
 class DurableAppender:
     """Append-only line sink with per-line fsync (write-ahead semantics).
 
@@ -84,13 +113,17 @@ class DurableAppender:
     once the call returns the record survives power loss.  A crash *in*
     the call can leave a truncated final line — readers must treat a
     trailing unparseable line as "record never happened" (this is the
-    standard WAL contract; see :func:`iter_jsonl`).
+    standard WAL contract; see :func:`iter_jsonl`).  Opening an existing
+    file repairs such a torn tail (:func:`repair_torn_tail`) so the next
+    append starts on a fresh line instead of extending the torn one.
     """
 
     def __init__(self, path: str | Path) -> None:
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         existed = self._path.exists()
+        if existed:
+            repair_torn_tail(self._path)
         self._fh: IO | None = open(self._path, "a", encoding="utf-8")
         if not existed:
             # make the file's very existence durable too

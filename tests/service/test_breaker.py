@@ -86,6 +86,31 @@ class TestStateMachine:
         clock.advance(1.0)
         assert b.allow()
 
+    def test_stale_probe_expires_after_reset_timeout(self):
+        b, clock = breaker(threshold=1, reset=5.0)
+        b.record_failure()
+        clock.advance(5.0)
+        assert b.allow()        # probe granted, verdict never arrives
+        assert not b.allow()
+        clock.advance(5.0)      # probe verdict overdue: slot released
+        assert b.state == HALF_OPEN
+        assert b.allow()        # a fresh probe may go through
+
+    def test_release_probe_frees_slot_without_verdict(self):
+        b, clock = breaker(threshold=1, reset=5.0)
+        b.record_failure()
+        clock.advance(5.0)
+        assert b.allow()
+        b.release_probe()
+        assert b.state == HALF_OPEN          # no success/failure recorded
+        assert b.consecutive_failures == 1   # unchanged
+        assert b.allow()                     # slot free again
+
+    def test_release_probe_is_noop_when_not_probing(self):
+        b, _ = breaker()
+        b.release_probe()
+        assert b.state == CLOSED and b.allow()
+
     def test_manual_trip_and_reset(self):
         b, _ = breaker()
         b.trip()
@@ -139,6 +164,20 @@ class TestMetrics:
         assert m["breaker.test.closes"] == 1
         assert m["breaker.test.successes"] == 1
         assert m["breaker.test.state"] == 0.0  # closed gauge
+
+    def test_probe_timeout_and_abort_counters(self):
+        metrics = MetricsRegistry()
+        b, clock = breaker(threshold=1, reset=5.0, metrics=metrics)
+        b.record_failure()
+        clock.advance(5.0)
+        assert b.allow()          # probe 1: verdict never arrives
+        clock.advance(5.0)
+        assert b.allow()          # probe 1 expired, probe 2 granted
+        b.release_probe()         # probe 2 abandoned without verdict
+        m = metrics.as_dict("breaker.test.")
+        assert m["breaker.test.probe_timeouts"] == 1
+        assert m["breaker.test.probe_aborts"] == 1
+        assert m["breaker.test.probes"] == 2
 
     def test_state_gauge_tracks_open(self):
         metrics = MetricsRegistry()

@@ -20,6 +20,7 @@ from repro.utils.durable import (
     DurableAppender,
     atomic_write_text,
     iter_jsonl,
+    repair_torn_tail,
 )
 
 
@@ -58,6 +59,33 @@ class TestDurablePrimitives:
         app.close()
         with pytest.raises(ValueError):
             app.append("late")
+
+    def test_repair_torn_tail(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        assert repair_torn_tail(path) == 0          # missing file
+        path.write_text("")
+        assert repair_torn_tail(path) == 0          # empty file
+        path.write_text("complete\n")
+        assert repair_torn_tail(path) == 0          # clean tail
+        path.write_text("complete\npart")
+        assert repair_torn_tail(path) == 4
+        assert path.read_text() == "complete\n"
+        path.write_text("onlypartial")               # no newline at all
+        assert repair_torn_tail(path) == len("onlypartial")
+        assert path.read_text() == ""
+
+    def test_appender_repairs_torn_tail_on_reopen(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        with DurableAppender(path) as app:
+            app.append('{"seq": 1}')
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"seq": 2, "op')  # crash mid-append
+        with DurableAppender(path) as app:
+            app.append('{"seq": 2}')
+        parsed = list(iter_jsonl(path))
+        # the torn line is gone, not concatenated with the new record
+        assert all(ok for _, ok in parsed)
+        assert [r["seq"] for r, _ in parsed] == [1, 2]
 
     def test_atomic_write_replaces_completely(self, tmp_path):
         path = tmp_path / "f.txt"
@@ -173,6 +201,30 @@ class TestJournal:
         snapshot, records, corrupt = load_journal(d)
         assert corrupt == 1
         assert [r["op"] for r in records] == ["base", "admit"]
+
+    def test_resume_over_torn_tail_keeps_next_record(self, tmp_path):
+        """SIGKILL mid-append, resume, admit: the post-crash record
+        must not be concatenated onto the torn line and lost."""
+        d = tmp_path / "j"
+        j = Journal(d)
+        j.write_base(tandem(), analyzer="integrated")
+        j.write_admit(request("a"), 1.0, analyzer="integrated",
+                      verify_analyzer="integrated", degradation="normal")
+        j.close()
+        with open(d / "journal.jsonl", "a", encoding="utf-8") as fh:
+            fh.write('{"v": 1, "seq": 3, "op": "adm')  # crash mid-append
+        j2 = Journal(d, resume=True)
+        # the torn record was never acknowledged; its seq is free
+        assert j2.last_seq == 2
+        assert j2.write_admit(request("b"), 2.0, analyzer="integrated",
+                              verify_analyzer="integrated",
+                              degradation="normal") == 3
+        j2.close()
+        _, records, corrupt = load_journal(d)
+        assert corrupt == 0  # torn tail repaired on resume
+        assert [r["op"] for r in records] == ["base", "admit", "admit"]
+        assert records[-1]["request"]["name"] == "b"
+        assert records[-1]["seq"] == 3
 
     def test_empty_dir_raises(self, tmp_path):
         with pytest.raises(JournalError):

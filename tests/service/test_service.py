@@ -26,7 +26,7 @@ from repro.errors import (
     ServiceError,
 )
 from repro.network.topology import Network, ServerSpec
-from repro.resilience import OPEN
+from repro.resilience import HALF_OPEN, OPEN
 from repro.resilience.faults import ServerDegradation, ServerFailure
 from repro.service import (
     DEGRADATION_CACHED,
@@ -64,6 +64,15 @@ class FlakyAnalyzer(Analyzer):
         if self.calls <= self.failures:
             raise AnalysisTimeoutError("wedged kernel")
         return self._inner.analyze(network)
+
+
+class BuggyAnalyzer(Analyzer):
+    """Raises a non-AnalysisError — an analyzer *bug*, not a timeout."""
+
+    name = "buggy"
+
+    def analyze(self, network, *, ctx=None):
+        raise TypeError("bug in analyzer")
 
 
 def empty_net(n=2):
@@ -239,6 +248,56 @@ class TestBreakersAndDegradation:
             assert dec.admitted
             assert dec.degradation == DEGRADATION_CACHED
             assert dec.analyzer.startswith("incremental+")
+
+    def test_shed_level_1_without_engine_keeps_primary(self, tmp_path):
+        # incremental=False: no cache rung exists, so level 1 keeps the
+        # primary instead of silently collapsing into level 2
+        with service(tmp_path) as svc:
+            svc.set_shed_level(1)
+            dec = svc.admit(request("a"))
+            assert dec.admitted
+            assert dec.degradation == DEGRADATION_NORMAL
+            assert dec.analyzer == "integrated"
+
+    def test_analyzer_bug_feeds_breaker_and_does_not_wedge_probe(
+            self, tmp_path):
+        clock = FakeClock()
+        svc = service(tmp_path, analyzer=BuggyAnalyzer(),
+                      breaker_threshold=1, breaker_reset_s=10.0,
+                      clock=clock)
+        # the bug propagates, but the breaker still hears the failure
+        with pytest.raises(TypeError):
+            svc.admit(request("a"))
+        assert svc.breaker_states()["buggy"] == OPEN
+        # while open the buggy rung is gated off and the chain answers
+        dec = svc.admit(request("a"))
+        assert dec.admitted
+        assert dec.degradation == DEGRADATION_CLOSED_FORM
+        # a half-open probe that hits the bug re-opens the breaker
+        # instead of leaking the probe slot forever
+        clock.advance(10.0)
+        with pytest.raises(TypeError):
+            svc.admit(request("b", path=(2,)))
+        assert svc.breaker_states()["buggy"] == OPEN
+        clock.advance(10.0)
+        assert svc.breakers["buggy"].allow()  # probing possible again
+        svc.close()
+
+    def test_interrupt_releases_probe_without_health_verdict(
+            self, tmp_path):
+        clock = FakeClock()
+        flaky = FlakyAnalyzer(failures=1)
+        svc = service(tmp_path, analyzer=flaky, breaker_threshold=1,
+                      breaker_reset_s=10.0, clock=clock)
+        svc.admit(request("a"))  # one timeout trips the breaker
+        b = svc.breakers["flaky"]
+        clock.advance(10.0)
+        assert b.allow()                        # probe in flight
+        svc._listen(flaky, KeyboardInterrupt())  # probe died to a signal
+        assert b.state == HALF_OPEN              # no verdict recorded
+        assert b.consecutive_failures == 1       # unchanged
+        assert b.allow()                         # slot freed
+        svc.close()
 
     def test_shed_level_validation(self, tmp_path):
         with service(tmp_path) as svc:
