@@ -1,0 +1,46 @@
+"""Shared bench-artifact emission: root-level ``BENCH_<name>.json``.
+
+Every benchmark that produces a machine-readable result funnels it
+through :func:`write_artifact`, which lands the payload **atomically**
+(tmp + fsync + replace, via :mod:`repro.utils.durable`) at the
+repository root — the one place the bench trajectory is collected
+from.  A benchmark killed mid-write therefore leaves the previous
+artifact intact instead of a torn JSON file.
+
+Set ``REPRO_BENCH_DIR`` to redirect artifacts elsewhere (CI uploads,
+scratch runs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.utils.durable import atomic_write_text
+
+__all__ = ["artifact_path", "write_artifact", "bench_quick"]
+
+#: Repository root — benchmarks/ lives one level below it.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def artifact_path(name: str) -> Path:
+    """Where ``BENCH_<name>.json`` lands (root or ``REPRO_BENCH_DIR``)."""
+    root = os.environ.get("REPRO_BENCH_DIR", "")
+    base = Path(root) if root else _REPO_ROOT
+    return base / f"BENCH_{name}.json"
+
+
+def write_artifact(name: str, payload: dict) -> Path:
+    """Atomically write one benchmark result; returns its path."""
+    path = artifact_path(name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def bench_quick() -> bool:
+    """The shared CI switch: ``REPRO_BENCH_QUICK=1`` selects quick mode."""
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")

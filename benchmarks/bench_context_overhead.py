@@ -23,8 +23,6 @@ Runs two ways:
 
 from __future__ import annotations
 
-import json
-import os
 import sys
 import time
 from contextlib import contextmanager
@@ -136,11 +134,14 @@ def test_nullcontext_overhead_within_gate():
 # ----------------------------------------------------------------------
 
 def main() -> int:
-    quick = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+    try:  # package import (pytest / repo root) or script-dir import
+        from benchmarks._artifacts import bench_quick, write_artifact
+    except ImportError:
+        from _artifacts import bench_quick, write_artifact
+
+    quick = bench_quick()
     result = measure_gated(quick=quick)
-    out = "BENCH_context.json"
-    with open(out, "w", encoding="utf-8") as fh:
-        json.dump(result, fh, indent=2)
+    out = write_artifact("context", result)
     size = "quick" if quick else "full"
     print(f"BENCH-CTX ({size}): stripped {result['stripped_s']:.4f}s, "
           f"null {result['nullcontext_s']:.4f}s "

@@ -21,8 +21,6 @@ Runs two ways:
 
 from __future__ import annotations
 
-import json
-import os
 import random
 import sys
 import time
@@ -160,13 +158,16 @@ def test_incremental_integrated_identity():
 # ----------------------------------------------------------------------
 
 def main() -> int:
-    quick = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+    try:  # package import (pytest / repo root) or script-dir import
+        from benchmarks._artifacts import bench_quick, write_artifact
+    except ImportError:
+        from _artifacts import bench_quick, write_artifact
+
+    quick = bench_quick()
     result = run_bench(quick=quick)
     result["integrated_mismatches"] = integrated_identity_check()
 
-    out = "BENCH_incremental.json"
-    with open(out, "w", encoding="utf-8") as fh:
-        json.dump(result, fh, indent=2)
+    out = write_artifact("incremental", result)
     size = "quick" if quick else "full"
     print(f"BENCH-INC ({size}): cold {result['cold_per_admission_test_s']:.4f}s"
           f" vs engine {result['engine_per_admission_test_s']:.4f}s per"

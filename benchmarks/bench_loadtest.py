@@ -1,0 +1,194 @@
+"""BENCH-LOAD — admission-service throughput under generated load.
+
+Drives the durable admission service with the :mod:`repro.loadgen`
+subsystem and records what the front door actually sustains:
+
+* an **open-loop flash-crowd** run (the hard shape: easy average rate,
+  10x spike mid-run) with churn, reporting throughput and exact
+  p50/p95/p99/max decision latency;
+* a **determinism check** — the same seed recorded twice must produce
+  byte-identical canonical traces (a regression is a byte-diff);
+* a **chaos leg** — SIGKILL-equivalent mid-run, recovery from the
+  write-ahead journal, and the invariant that zero acknowledged
+  admissions are lost.
+
+Runs two ways:
+
+* ``python benchmarks/bench_loadtest.py`` — standalone, writes the
+  root-level ``BENCH_loadtest.json`` (via ``_artifacts``) and exits
+  non-zero on a determinism break, a chaos loss or an SLO violation.
+  ``REPRO_BENCH_QUICK=1`` selects the reduced CI configuration.
+* ``pytest benchmarks/bench_loadtest.py`` — the quick run as a test.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.context import AnalysisContext, MetricsRegistry
+from repro.core.integrated import IntegratedAnalysis
+from repro.loadgen import (
+    ChaosPlan,
+    RequestTemplate,
+    SLO,
+    TraceWriter,
+    make_workload,
+    run_open_loop,
+    summarize,
+)
+from repro.network.topology import Network, ServerSpec
+from repro.service import AdmissionService, recover_service
+
+SEED = 7
+#: Base rates sit near service capacity on one core so the flash-crowd
+#: spike (10x for a tenth of the run) is the only backlog source; an
+#: over-capacity *base* rate would just measure unbounded queue growth.
+FULL = {"rate": 4.0, "duration": 15.0, "hops": 4, "hold_s": 2.0}
+QUICK = {"rate": 10.0, "duration": 4.0, "hops": 2, "hold_s": 1.0}
+#: Generous guardrails — the gate exists to catch collapse, not noise.
+#: Latency here is coordinated-omission corrected (service time + lag
+#: behind the virtual schedule), so a spike above service capacity is
+#: *supposed* to show seconds, not milliseconds.
+GATE = SLO(max_p99_s=30.0, max_reject_fraction=0.95, max_lost=1)
+
+
+def _service(journal_dir: Path, hops: int,
+             ctx: AnalysisContext) -> AdmissionService:
+    empty = Network([ServerSpec(k) for k in range(1, hops + 1)], [])
+    return AdmissionService(empty, IntegratedAnalysis(),
+                            journal_dir=journal_dir, ctx=ctx)
+
+
+def _workload(cfg: dict):
+    template = RequestTemplate(n_servers=cfg["hops"], deadline=30.0,
+                               rho=0.02)
+    return make_workload("flash-crowd", SEED, cfg["rate"],
+                         template=template, hold_s=cfg["hold_s"])
+
+
+def run_once(cfg: dict, root: Path, tag: str, *,
+             chaos_at: int | None = None,
+             record: Path | None = None):
+    """One open-loop run; returns ``(report, result)``."""
+    ctx = AnalysisContext(metrics=MetricsRegistry())
+    workload = _workload(cfg)
+    events = workload.schedule(cfg["duration"])
+    journal_dir = root / f"journal-{tag}"
+    service = _service(journal_dir, cfg["hops"], ctx)
+
+    chaos = None
+    if chaos_at is not None:
+        chaos = ChaosPlan(
+            kill_at=[chaos_at],
+            recover=lambda: recover_service(journal_dir, verify=False,
+                                            ctx=ctx))
+    writer = TraceWriter(record) if record is not None else None
+    if writer is not None:
+        writer.write_header(workload=workload.describe(),
+                            driver={"mode": "open", "hops": cfg["hops"],
+                                    "analyzer": "integrated",
+                                    "incremental": True})
+    try:
+        result = run_open_loop(service, events,
+                               duration_s=cfg["duration"],
+                               offered_rate=cfg["rate"],
+                               writer=writer, chaos=chaos)
+    finally:
+        if writer is not None:
+            writer.close()
+    result.service.close()
+    report = summarize(result, metrics=ctx.metrics,
+                       workload=workload.describe())
+    return report, result
+
+
+def run_bench(quick: bool = False) -> dict:
+    """The full benchmark; returns the artifact payload."""
+    cfg = QUICK if quick else FULL
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="bench-loadtest-") as tmp:
+        root = Path(tmp)
+
+        # main measured run, recorded
+        report, result = run_once(cfg, root, "main",
+                                  record=root / "trace-a.jsonl")
+
+        # determinism: identical seed -> byte-identical canonical trace
+        run_once(cfg, root, "again", record=root / "trace-b.jsonl")
+        trace_a = (root / "trace-a.jsonl").read_bytes()
+        trace_b = (root / "trace-b.jsonl").read_bytes()
+        deterministic = trace_a == trace_b
+        if not deterministic:
+            failures.append("same seed produced differing traces")
+
+        # chaos: kill mid-run, recover, zero lost acknowledged admits
+        chaos_report, chaos_result = run_once(
+            cfg, root, "chaos", chaos_at=max(1, len(result.records) // 2))
+        if chaos_result.chaos_lost:
+            failures.append(
+                f"chaos lost committed admissions: "
+                f"{list(chaos_result.chaos_lost)}")
+
+        slo_result = GATE.evaluate(report)
+        failures += [v.render() for v in slo_result.violations]
+
+    return {
+        "benchmark": "loadtest",
+        "quick": quick,
+        "config": {**cfg, "seed": SEED, "workload": "flash-crowd",
+                   "analyzer": "integrated"},
+        "report": report.as_dict(),
+        "deterministic_trace": deterministic,
+        "chaos": {
+            "kills": chaos_result.chaos_kills,
+            "lost": list(chaos_result.chaos_lost),
+            "report": chaos_report.as_dict(),
+        },
+        "slo": {"gate": GATE.as_dict(), **slo_result.as_dict()},
+        "failures": failures,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+def test_loadtest_bench_quick():
+    result = run_bench(quick=True)
+    assert result["failures"] == []
+    assert result["deterministic_trace"]
+    assert result["chaos"]["kills"] == 1
+    assert result["report"]["latency"]["p99"] > 0.0
+
+
+# ----------------------------------------------------------------------
+# standalone entry point
+# ----------------------------------------------------------------------
+
+def main() -> int:
+    try:  # package import (pytest / repo root) or script-dir import
+        from benchmarks._artifacts import bench_quick, write_artifact
+    except ImportError:
+        from _artifacts import bench_quick, write_artifact
+
+    quick = bench_quick()
+    result = run_bench(quick=quick)
+    out = write_artifact("loadtest", result)
+    rep = result["report"]
+    lat = rep["latency"]
+    size = "quick" if quick else "full"
+    print(f"BENCH-LOAD ({size}): {rep['events']} event(s), "
+          f"{rep['throughput']:.1f} decisions/s — p50 "
+          f"{lat['p50'] * 1e3:.2f}ms p95 {lat['p95'] * 1e3:.2f}ms "
+          f"p99 {lat['p99'] * 1e3:.2f}ms max {lat['max'] * 1e3:.2f}ms; "
+          f"deterministic={result['deterministic_trace']} "
+          f"chaos_lost={len(result['chaos']['lost'])} -> {out}")
+    for failure in result["failures"]:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if result["failures"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

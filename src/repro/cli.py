@@ -16,6 +16,10 @@ Usage (also available as ``python -m repro``)::
     repro serve    --journal DIR --hops 4 --deadline 30 [--count N]
                    [--interval S] [--budget S] [--shed-latency S]
     repro recover  --journal DIR [--no-verify] [--show-bounds]
+    repro loadtest --workload flash-crowd --seed 7 --rate 40
+                   --duration 10 [--closed-loop K] [--chaos]
+                   [--record t.jsonl] [--replay t.jsonl]
+                   [--slo "p99<0.5,lost<1"] [--out BENCH_loadtest.json]
 
 Every subcommand operates on the paper's tandem topology; richer
 topologies are a Python-API affair (see examples/custom_topology.py).
@@ -39,6 +43,7 @@ from repro.curves.token_bucket import TokenBucket
 from repro.eval.figures import FIGURES
 from repro.eval.tables import render_figure
 from repro.eval.workloads import quick_sweep
+from repro.loadgen.models import WORKLOADS
 from repro.network.tandem import CONNECTION0, build_tandem
 from repro.network.topology import Network, ServerSpec
 from repro.sim.simulator import simulate_greedy
@@ -223,6 +228,91 @@ def build_parser() -> argparse.ArgumentParser:
                    help="journaled ops between snapshots (default 64)")
     p.add_argument("--no-incremental", action="store_true",
                    help="run the primary analyzer cold (no engine rung)")
+
+    p = sub.add_parser("loadtest",
+                       help="SLO-gated load test of the admission "
+                            "service: seeded workload, canonical "
+                            "trace record/replay, optional chaos "
+                            "kill/recover")
+    p.add_argument("--workload", default="poisson",
+                   choices=sorted(WORKLOADS),
+                   help="arrival process (default poisson)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="workload seed (default 7)")
+    p.add_argument("--rate", type=float, default=40.0,
+                   help="average offered load in req/s (default 40)")
+    p.add_argument("--duration", type=float, default=10.0, metavar="S",
+                   help="virtual horizon in seconds (default 10)")
+    p.add_argument("--hops", type=int, default=4)
+    p.add_argument("--deadline", type=float, default=30.0)
+    p.add_argument("--rho", type=float, default=0.02,
+                   help="per-connection rate (default 0.02)")
+    p.add_argument("--sigma", type=float, default=1.0)
+    p.add_argument("--hold", type=float, default=None, metavar="S",
+                   dest="hold_s",
+                   help="mean connection lifetime: admits spawn "
+                        "releases (churn); default none (churn "
+                        "workload: 10/rate)")
+    p.add_argument("--paths", choices=("full", "random"),
+                   default="full",
+                   help="request paths: the full tandem or random "
+                        "contiguous sub-paths (default full)")
+    p.add_argument("--analyzer", default="integrated",
+                   help="primary admission analysis (default "
+                        "integrated)")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="run the primary analyzer cold (no engine "
+                        "rung)")
+    p.add_argument("--budget", type=float, default=None, metavar="S",
+                   help="per-analyzer wall-clock budget per test")
+    p.add_argument("--shed-latency", type=float, default=None,
+                   metavar="S", dest="shed_latency",
+                   help="latency SLO for automatic shedding (makes "
+                        "outcomes timing-dependent: traces recorded "
+                        "with it are not byte-stable)")
+    p.add_argument("--closed-loop", type=int, default=None, metavar="K",
+                   dest="closed_loop",
+                   help="closed-loop saturation probe with K logical "
+                        "clients instead of the open-loop schedule")
+    p.add_argument("--requests", type=int, default=None, metavar="N",
+                   help="closed loop: total requests (default "
+                        "rate x duration)")
+    p.add_argument("--pace", action="store_true",
+                   help="open loop: sleep to the virtual schedule "
+                        "(real-time run) instead of as-fast-as-"
+                        "possible")
+    p.add_argument("--journal", default=None, metavar="DIR",
+                   help="journal directory (default: fresh temp dir, "
+                        "removed after the run)")
+    p.add_argument("--chaos", action="store_true",
+                   help="SIGKILL-equivalent mid-run: abandon the "
+                        "service, recover from the journal, verify "
+                        "zero lost committed admissions")
+    p.add_argument("--chaos-at", action="append", type=int, default=[],
+                   metavar="N", dest="chaos_at",
+                   help="chaos kill before event N (repeatable; "
+                        "default with --chaos: the run midpoint)")
+    p.add_argument("--chaos-verify", action="store_true",
+                   dest="chaos_verify",
+                   help="bit-identical bound re-verification on every "
+                        "chaos recovery (slower)")
+    p.add_argument("--record", default=None, metavar="FILE",
+                   help="record the canonical JSONL trace to FILE")
+    p.add_argument("--record-latency", action="store_true",
+                   dest="record_latency",
+                   help="include wall-clock latency/lag per trace "
+                        "record (trace is then not byte-stable)")
+    p.add_argument("--replay", default=None, metavar="FILE",
+                   help="re-execute a recorded trace and diff every "
+                        "decision instead of generating load")
+    p.add_argument("--slo", default=None, metavar="SPEC",
+                   help="gate the run, e.g. "
+                        "'p99<0.5,reject<0.2,lost<1' "
+                        "(see docs/LOADTEST.md)")
+    p.add_argument("--out", default="BENCH_loadtest.json",
+                   metavar="FILE",
+                   help="machine-readable result artifact (default "
+                        "BENCH_loadtest.json; '' disables)")
 
     p = sub.add_parser("recover",
                        help="crash recovery: replay a journal "
@@ -548,10 +638,193 @@ def _cmd_serve(args) -> int:
                 break
             if args.interval > 0:
                 time.sleep(args.interval)
+    lat = service.latency_quantiles()
     print(f"served {admitted} admission(s), {rejected} rejection(s); "
           f"journal at {args.journal} "
           f"(breakers: {service.breaker_states()})")
+    if lat["count"]:
+        print(f"decision latency: p50 {lat['p50'] * 1e3:.2f}ms  "
+              f"p95 {lat['p95'] * 1e3:.2f}ms  "
+              f"p99 {lat['p99'] * 1e3:.2f}ms  "
+              f"max {lat['max'] * 1e3:.2f}ms "
+              f"({int(lat['count'])} decision(s))")
     return 0
+
+
+def _cmd_loadtest(args) -> int:
+    import json as _json
+    import shutil
+    import tempfile
+
+    from repro.context import AnalysisContext, MetricsRegistry
+    from repro.errors import (
+        JournalError,
+        LoadGenError,
+        RecoveryError,
+        ServiceError,
+    )
+    from repro.loadgen import (
+        ChaosPlan,
+        RequestTemplate,
+        TraceWriter,
+        load_trace,
+        make_workload,
+        parse_slo,
+        replay,
+        run_closed_loop,
+        run_open_loop,
+        summarize,
+    )
+    from repro.service import AdmissionService, recover_service
+    from repro.utils.durable import atomic_write_text
+
+    try:
+        slo = parse_slo(args.slo) if args.slo else None
+    except LoadGenError as exc:
+        raise SystemExit(f"loadtest: {exc}") from None
+
+    ctx = AnalysisContext(metrics=MetricsRegistry())
+    tmp_journal = args.journal is None
+    journal_dir = (tempfile.mkdtemp(prefix="repro-loadtest-")
+                   if tmp_journal else args.journal)
+    incremental = not args.no_incremental
+
+    def build_service(hops: int, analyzer_name: str) -> AdmissionService:
+        empty = Network([ServerSpec(k) for k in range(1, hops + 1)], [])
+        return AdmissionService(
+            empty, _make_analyzer(analyzer_name),
+            journal_dir=journal_dir,
+            analysis_budget=args.budget,
+            incremental=incremental,
+            shed_latency_s=args.shed_latency,
+            ctx=ctx)
+
+    try:
+        # ---------------- replay mode --------------------------------
+        if args.replay:
+            try:
+                header, events = load_trace(args.replay)
+            except LoadGenError as exc:
+                raise SystemExit(f"loadtest: {exc}") from None
+            drv = header.get("driver", {})
+            service = build_service(int(drv.get("hops", args.hops)),
+                                    str(drv.get("analyzer",
+                                                args.analyzer)))
+            with service:
+                report = replay((header, events), service)
+            print(f"replayed {args.replay} "
+                  f"(workload {header.get('workload', {}).get('kind')}, "
+                  f"seed {header.get('workload', {}).get('seed')})")
+            print(report.render())
+            return 0 if report.ok else 1
+
+        # ---------------- generate mode ------------------------------
+        template = RequestTemplate(
+            n_servers=args.hops, deadline=args.deadline,
+            sigma=args.sigma, rho=args.rho, paths=args.paths)
+        try:
+            workload = make_workload(
+                args.workload, args.seed, args.rate,
+                template=template, hold_s=args.hold_s)
+        except LoadGenError as exc:
+            raise SystemExit(f"loadtest: {exc}") from None
+
+        closed = args.closed_loop is not None
+        if closed:
+            n = (args.requests if args.requests is not None
+                 else max(1, int(args.rate * args.duration)))
+            schedule = workload.requests(n)
+            n_events = len(schedule)
+        else:
+            schedule = workload.schedule(args.duration)
+            n_events = len(schedule)
+
+        chaos = None
+        if args.chaos or args.chaos_at:
+            kill_at = args.chaos_at or [max(1, n_events // 2)]
+
+            def recover() -> AdmissionService:
+                return recover_service(
+                    journal_dir, verify=args.chaos_verify, ctx=ctx,
+                    analysis_budget=args.budget,
+                    incremental=incremental,
+                    shed_latency_s=args.shed_latency)
+
+            chaos = ChaosPlan(kill_at=kill_at, recover=recover)
+
+        driver_desc = {
+            "mode": "closed" if closed else "open",
+            "hops": args.hops,
+            "analyzer": args.analyzer,
+            "incremental": incremental,
+            "pace": bool(args.pace),
+            "duration_s": args.duration,
+            "rate": args.rate,
+            "clients": args.closed_loop or 0,
+            "chaos_at": list(chaos.kill_at) if chaos else [],
+        }
+
+        writer = None
+        if args.record:
+            writer = TraceWriter(args.record,
+                                 include_latency=args.record_latency)
+            writer.write_header(workload=workload.describe(),
+                                driver=driver_desc)
+            if args.shed_latency is not None and not args.record_latency:
+                print("note: --shed-latency makes decisions timing-"
+                      "dependent; the recorded trace may not be "
+                      "byte-stable", file=sys.stderr)
+
+        service = build_service(args.hops, args.analyzer)
+        try:
+            if closed:
+                result = run_closed_loop(
+                    service, schedule, clients=args.closed_loop,
+                    writer=writer, chaos=chaos)
+            else:
+                result = run_open_loop(
+                    service, schedule, duration_s=args.duration,
+                    offered_rate=args.rate, pace=args.pace,
+                    writer=writer, chaos=chaos)
+        except (JournalError, RecoveryError, ServiceError) as exc:
+            raise SystemExit(f"loadtest: {exc}") from None
+        finally:
+            if writer is not None:
+                writer.close()
+        result.service.close()
+
+        report = summarize(result, metrics=ctx.metrics,
+                           workload=workload.describe())
+        print(report.render())
+        if args.record:
+            print(f"wrote trace {args.record} "
+                  f"({writer.events} event(s))")
+
+        slo_result = slo.evaluate(report) if slo is not None else None
+        if slo_result is not None:
+            print(slo_result.render())
+
+        if args.out:
+            payload = {
+                "benchmark": "loadtest",
+                "driver": driver_desc,
+                "report": report.as_dict(),
+                "slo": (None if slo is None else {
+                    "spec": args.slo, **slo_result.as_dict()}),
+            }
+            atomic_write_text(
+                args.out,
+                _json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {args.out}")
+
+        if result.chaos_lost:
+            print(f"CHAOS FAILURE: lost committed admission(s): "
+                  f"{list(result.chaos_lost)}", file=sys.stderr)
+            return 1
+        return 0 if slo_result is None or slo_result.ok else 1
+    finally:
+        if tmp_journal:
+            shutil.rmtree(journal_dir, ignore_errors=True)
 
 
 def _cmd_recover(args) -> int:
@@ -635,6 +908,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "serve": _cmd_serve,
         "recover": _cmd_recover,
+        "loadtest": _cmd_loadtest,
         "validate": _cmd_validate,
     }
     return handlers[args.command](args)

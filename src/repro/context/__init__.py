@@ -8,6 +8,7 @@ from repro.context.context import NULL_CONTEXT, AnalysisContext, NullContext
 from repro.context.deadline import Deadline
 from repro.context.metrics import (
     MetricsRegistry,
+    QuantileReservoir,
     activate_registry,
     active_registry,
     kernel_count,
@@ -22,6 +23,7 @@ __all__ = [
     "Tracer",
     "Span",
     "MetricsRegistry",
+    "QuantileReservoir",
     "kernel_count",
     "active_registry",
     "activate_registry",

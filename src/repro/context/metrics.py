@@ -18,12 +18,14 @@ check — negligible next to the numpy work each kernel performs.
 
 from __future__ import annotations
 
+import random
 import threading
 from contextlib import contextmanager
 from time import perf_counter
 
 __all__ = [
     "MetricsRegistry",
+    "QuantileReservoir",
     "kernel_count",
     "active_registry",
     "activate_registry",
@@ -106,6 +108,105 @@ class MetricsRegistry:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MetricsRegistry({len(self._counters)} counters)"
+
+
+class QuantileReservoir:
+    """Streaming latency reservoir with exact small-sample quantiles.
+
+    Keeps every observation up to *capacity* (quantiles are then
+    **exact**), after which it degrades to seeded Algorithm-R reservoir
+    sampling — uniformly representative, deterministic for a given
+    seed, and bounded in memory.  ``max``, ``mean`` and ``count`` stay
+    exact regardless of sampling.
+
+    The EWMA the admission service sheds on reacts in O(1) but hides
+    the tail; this reservoir is the complementary view: p50/p95/p99
+    that a load test (and the ``repro serve`` shutdown summary) can
+    report honestly.
+    """
+
+    __slots__ = ("_capacity", "_samples", "_rng", "_count",
+                 "_sum", "_max")
+
+    def __init__(self, capacity: int = 65536, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._samples: list[float] = []
+        self._rng = random.Random(seed)
+        self._count = 0
+        self._sum = 0.0
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation (seconds, bytes, anything ordered)."""
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        if value > self._max:
+            self._max = value
+        if len(self._samples) < self._capacity:
+            self._samples.append(value)
+        else:
+            j = self._rng.randrange(self._count)
+            if j < self._capacity:
+                self._samples[j] = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def exact(self) -> bool:
+        """True while no observation has been dropped (quantiles exact)."""
+        return self._count <= self._capacity
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else float("nan")
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile ``q`` in [0, 1] over retained samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return float("nan")
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered) + 0.5) - 1))
+        return ordered[rank] if q > 0 else ordered[0]
+
+    def summary(self) -> dict[str, float]:
+        """The standard report block: count/mean/p50/p95/p99/max."""
+        ordered = sorted(self._samples)
+
+        def at(q: float) -> float:
+            if not ordered:
+                return float("nan")
+            rank = min(len(ordered) - 1,
+                       max(0, int(q * len(ordered) + 0.5) - 1))
+            return ordered[rank]
+
+        return {
+            "count": float(self._count),
+            "mean": self.mean,
+            "p50": at(0.50),
+            "p95": at(0.95),
+            "p99": at(0.99),
+            "max": self.max,
+        }
+
+    def gauge_into(self, metrics: "MetricsRegistry | None",
+                   prefix: str) -> dict[str, float]:
+        """Publish the summary as ``<prefix>.<stat>`` gauges; returns it."""
+        stats = self.summary()
+        if metrics is not None:
+            for key, value in stats.items():
+                metrics.set(f"{prefix}.{key}", value)
+        return stats
 
 
 # ----------------------------------------------------------------------

@@ -125,6 +125,16 @@ class RecoveryError(ServiceError):
     """
 
 
+class LoadGenError(ReproError):
+    """Invalid load-generation configuration, trace or SLO spec.
+
+    Raised by :mod:`repro.loadgen` for unknown workload names,
+    malformed recorded traces and unparseable SLO specifications —
+    configuration mistakes, never measurement outcomes (an SLO
+    *violation* is reported, not raised).
+    """
+
+
 class EngineError(AnalysisError):
     """The incremental analysis engine detected an internal
     inconsistency (e.g. a self-check found cached results diverging

@@ -1,0 +1,75 @@
+"""Load generation, trace record/replay and SLO-gated load testing.
+
+The subsystem that drives the durable admission service
+(:mod:`repro.service`) the way a production front door would:
+
+* :mod:`repro.loadgen.models` — seeded arrival processes (Poisson,
+  bursty on-off MMPP, diurnal ramp, flash crowd, admit/release churn)
+  over configurable request templates; deterministic schedules.
+* :mod:`repro.loadgen.driver` — open-loop (offered load, virtual
+  clock, coordinated-omission-corrected queue lag) and closed-loop
+  (K logical clients) drivers, with chaos kill/recover hooks over
+  :mod:`repro.service.recovery`.
+* :mod:`repro.loadgen.trace` — canonical byte-stable JSONL traces and
+  deterministic :func:`~repro.loadgen.trace.replay`.
+* :mod:`repro.loadgen.measure` / :mod:`repro.loadgen.slo` — one
+  machine-readable report per run and the pass/fail SLO gate.
+
+CLI surface: ``repro loadtest`` (see ``docs/LOADTEST.md``).
+"""
+
+from repro.loadgen.driver import (
+    ChaosPlan,
+    DriveResult,
+    RequestRecord,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.loadgen.measure import LoadReport, summarize
+from repro.loadgen.models import (
+    WORKLOADS,
+    BurstyWorkload,
+    DiurnalWorkload,
+    Event,
+    FlashCrowdWorkload,
+    PoissonWorkload,
+    RequestTemplate,
+    Workload,
+    make_workload,
+)
+from repro.loadgen.slo import SLO, SLOResult, SLOViolation, parse_slo
+from repro.loadgen.trace import (
+    ReplayMismatch,
+    ReplayReport,
+    TraceWriter,
+    load_trace,
+    replay,
+)
+
+__all__ = [
+    "Event",
+    "RequestTemplate",
+    "Workload",
+    "PoissonWorkload",
+    "BurstyWorkload",
+    "DiurnalWorkload",
+    "FlashCrowdWorkload",
+    "WORKLOADS",
+    "make_workload",
+    "ChaosPlan",
+    "DriveResult",
+    "RequestRecord",
+    "run_open_loop",
+    "run_closed_loop",
+    "TraceWriter",
+    "load_trace",
+    "replay",
+    "ReplayMismatch",
+    "ReplayReport",
+    "LoadReport",
+    "summarize",
+    "SLO",
+    "SLOViolation",
+    "SLOResult",
+    "parse_slo",
+]

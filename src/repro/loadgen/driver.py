@@ -1,0 +1,288 @@
+"""Load drivers: execute a workload schedule against the service.
+
+Two driving disciplines, the standard pair from load-testing practice:
+
+**Open loop** (:func:`run_open_loop`) — the workload's virtual arrival
+times define *offered* load that does not care how fast the service
+answers.  A virtual clock maps schedule time onto the wall; when the
+service falls behind, each request's **queue lag** (time between its
+intended arrival and its actual dispatch) is accounted into its
+latency, so slow services look slow instead of quietly lowering the
+offered rate — the coordinated-omission trap.  With ``pace=True`` the
+driver sleeps until each intended instant (a real-time run); without
+it the run executes as fast as possible while keeping the same lag
+arithmetic relative to a rate-scaled clock.
+
+**Closed loop** (:func:`run_closed_loop`) — ``clients`` logical
+clients each keep exactly one request in flight, issuing the next the
+moment the previous answers.  Throughput is then *measured*, not
+offered: the classic saturation probe.
+
+**Chaos** (:class:`ChaosPlan`) — at configured operation indices the
+driver simulates a SIGKILL: the live service object is *abandoned*
+(never closed — exactly what a kill leaves behind, the fsync'd journal
+being the only survivor) and a recovery callable rebuilds it via
+:mod:`repro.service.recovery`.  Every acknowledged admission from
+before the kill must still be admitted afterwards; anything lost is
+reported (and fails the run).  Deterministic kill points keep chaos
+runs replayable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.context import QuantileReservoir
+from repro.errors import LoadGenError
+from repro.loadgen.models import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.loadgen.trace import TraceWriter
+    from repro.service.service import AdmissionService, ServiceDecision
+
+__all__ = [
+    "RequestRecord",
+    "ChaosPlan",
+    "DriveResult",
+    "run_open_loop",
+    "run_closed_loop",
+]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One executed event: the deterministic core plus measurements.
+
+    The deterministic fields (everything :meth:`canonical_dict`
+    returns) are byte-stable across runs of the same seed; the
+    measured fields (``latency_s``, ``lag_s``) are wall-clock and land
+    in the run report, not the canonical trace.
+    """
+
+    index: int
+    t: float                 # virtual (scheduled) time
+    op: str                  # "admit" | "release"
+    name: str
+    outcome: str             # "admitted" | "rejected" | "released" | "skipped"
+    analyzer: str = ""
+    degradation: str = ""
+    bound_hex: str = ""
+    seq: int | None = None
+    request_record: dict | None = field(default=None, repr=False)
+    latency_s: float = 0.0   # service time + queue lag (CO-corrected)
+    lag_s: float = 0.0       # dispatch behind intended arrival
+
+    def canonical_dict(self) -> dict:
+        rec: dict = {
+            "kind": "event",
+            "i": self.index,
+            "t": self.t,
+            "op": self.op,
+            "name": self.name,
+            "outcome": self.outcome,
+        }
+        if self.op == "admit":
+            rec["request"] = self.request_record
+            rec["analyzer"] = self.analyzer
+            rec["degradation"] = self.degradation
+            rec["bound_hex"] = self.bound_hex
+        return rec
+
+
+@dataclass
+class ChaosPlan:
+    """Kill-and-recover schedule for a drive.
+
+    ``kill_at`` lists operation indices (0-based, counted over
+    executed events); just *before* executing each listed index the
+    driver abandons the service and recovers a fresh one through
+    *recover*.  ``lost`` accumulates acknowledged admissions that did
+    not survive — the invariant under test is that it stays empty.
+    """
+
+    kill_at: Sequence[int]
+    recover: Callable[[], "AdmissionService"]
+    kills: int = 0
+    lost: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.kill_at = sorted(set(int(k) for k in self.kill_at))
+        if any(k < 0 for k in self.kill_at):
+            raise LoadGenError("chaos kill indices must be >= 0")
+
+    def due(self, op_index: int) -> bool:
+        return op_index in self.kill_at
+
+    def execute(self, service: "AdmissionService",
+                committed: set[str]) -> "AdmissionService":
+        """Abandon *service*, recover, and audit the committed set.
+
+        The dead service is deliberately **not** closed: a SIGKILL
+        never runs a final checkpoint, and the recovery path must not
+        need one.  (Every acknowledged admission was journaled
+        write-ahead, so the fsync'd journal alone carries the state.)
+        """
+        del service  # abandoned, exactly like a kill -9
+        recovered = self.recover()
+        self.kills += 1
+        alive = set(recovered.admitted)
+        self.lost.extend(sorted(committed - alive))
+        return recovered
+
+
+@dataclass
+class DriveResult:
+    """Everything a drive produced, ready for measurement."""
+
+    records: list[RequestRecord]
+    wall_s: float
+    duration_s: float         # virtual horizon (open loop) or 0
+    offered_rate: float       # configured average rate (open loop) or 0
+    clients: int              # closed loop concurrency (open loop: 0)
+    latency: QuantileReservoir
+    lag: QuantileReservoir
+    service: "AdmissionService"
+    committed: set[str]       # acknowledged admits minus releases
+    chaos: ChaosPlan | None = None
+
+    @property
+    def chaos_kills(self) -> int:
+        return self.chaos.kills if self.chaos is not None else 0
+
+    @property
+    def chaos_lost(self) -> tuple[str, ...]:
+        return tuple(self.chaos.lost) if self.chaos is not None else ()
+
+
+def _admit_record(index: int, t: float, event: Event,
+                  decision: "ServiceDecision",
+                  latency_s: float, lag_s: float) -> RequestRecord:
+    from repro.service.journal import request_to_record
+
+    return RequestRecord(
+        index=index, t=t, op="admit", name=event.name,
+        outcome="admitted" if decision.admitted else "rejected",
+        analyzer=decision.analyzer,
+        degradation=decision.degradation,
+        bound_hex=float(decision.bound).hex(),
+        seq=decision.seq,
+        request_record=request_to_record(event.request),
+        latency_s=latency_s, lag_s=lag_s)
+
+
+def _drive(service: "AdmissionService", events: Sequence[Event], *,
+           pace: bool,
+           use_schedule: bool,
+           writer: "TraceWriter | None",
+           chaos: ChaosPlan | None,
+           clock: Callable[[], float],
+           sleep: Callable[[float], None]):
+    """The shared execution loop.
+
+    With *use_schedule* (open loop) each event's intended wall instant
+    is ``start + event.t``; *pace* additionally sleeps until it.  Queue
+    lag is ``max(0, dispatch - intended)`` — zero while the service
+    keeps up (paced or warping ahead unpaced), and the honest
+    behind-schedule wait when it does not, which is folded into the
+    request's latency so coordinated omission cannot hide a stall.
+    Closed loops have no offered schedule, hence no lag.
+    """
+    records: list[RequestRecord] = []
+    latency = QuantileReservoir()
+    lag_res = QuantileReservoir()
+    committed: set[str] = set()
+    start = clock()
+    for index, event in enumerate(events):
+        if chaos is not None and chaos.due(index):
+            service = chaos.execute(service, committed)
+        now = clock()
+        if use_schedule:
+            intended = start + event.t
+            if pace and now < intended:
+                sleep(intended - now)
+                now = clock()
+            lag_s = max(0.0, now - intended)
+        else:
+            lag_s = 0.0
+        t0 = clock()
+        if event.op == "admit":
+            decision = service.admit(event.request)
+            service_s = clock() - t0
+            record = _admit_record(index, event.t, event, decision,
+                                   service_s + lag_s, lag_s)
+            if decision.admitted:
+                committed.add(event.name)
+        elif event.op == "release":
+            seq = service.release(event.name, missing_ok=True)
+            service_s = clock() - t0
+            record = RequestRecord(
+                index=index, t=event.t, op="release", name=event.name,
+                outcome="released" if seq is not None else "skipped",
+                seq=seq, latency_s=service_s + lag_s, lag_s=lag_s)
+            committed.discard(event.name)
+        else:
+            raise LoadGenError(f"unknown event op {event.op!r}")
+        records.append(record)
+        latency.observe(record.latency_s)
+        lag_res.observe(record.lag_s)
+        if writer is not None:
+            writer.write_event(record)
+    wall_s = clock() - start
+    return records, wall_s, service, committed, latency, lag_res
+
+
+def run_open_loop(service: "AdmissionService", events: Sequence[Event], *,
+                  duration_s: float,
+                  offered_rate: float,
+                  pace: bool = False,
+                  writer: "TraceWriter | None" = None,
+                  chaos: ChaosPlan | None = None,
+                  clock: Callable[[], float] = time.perf_counter,
+                  sleep: Callable[[float], None] = time.sleep,
+                  ) -> DriveResult:
+    """Drive *events* (a :meth:`Workload.schedule`) open loop.
+
+    With ``pace=True`` the wall clock tracks virtual time 1:1 and the
+    run takes ~``duration_s`` real seconds; without it the schedule
+    executes as fast as the service allows (lag then measures backlog
+    only).  Latencies are coordinated-omission corrected either way:
+    a request dispatched late carries its wait in its latency.
+    """
+    records, wall_s, service, committed, latency, lag = _drive(
+        service, events, pace=pace, use_schedule=True,
+        writer=writer, chaos=chaos, clock=clock, sleep=sleep)
+    return DriveResult(
+        records=records, wall_s=wall_s, duration_s=duration_s,
+        offered_rate=offered_rate, clients=0, latency=latency, lag=lag,
+        service=service, committed=committed, chaos=chaos)
+
+
+def run_closed_loop(service: "AdmissionService",
+                    requests: Sequence, *,
+                    clients: int = 4,
+                    writer: "TraceWriter | None" = None,
+                    chaos: ChaosPlan | None = None,
+                    clock: Callable[[], float] = time.perf_counter,
+                    ) -> DriveResult:
+    """Drive *requests* closed loop with *clients* logical clients.
+
+    The service is synchronous and in-process, so "K clients with one
+    request in flight each" executes as a deterministic round-robin:
+    client ``i % clients`` issues request ``i`` the moment its previous
+    answer lands.  Queue lag is identically zero by construction —
+    a closed loop cannot fall behind its own issue rate — which is
+    exactly why capacity numbers need the open-loop driver too.
+    """
+    if clients < 1:
+        raise LoadGenError(f"clients must be >= 1, got {clients}")
+    events = [Event(float(i), "admit", request.name, request)
+              for i, request in enumerate(requests)]
+    records, wall_s, service, committed, latency, lag = _drive(
+        service, events, pace=False, use_schedule=False,
+        writer=writer, chaos=chaos, clock=clock, sleep=time.sleep)
+    return DriveResult(
+        records=records, wall_s=wall_s, duration_s=0.0,
+        offered_rate=0.0, clients=clients, latency=latency, lag=lag,
+        service=service, committed=committed, chaos=chaos)

@@ -1,0 +1,182 @@
+"""Measurement: turn a drive into one machine-readable report.
+
+:func:`summarize` folds a :class:`~repro.loadgen.driver.DriveResult`
+and the service's :class:`~repro.context.MetricsRegistry` into a
+:class:`LoadReport` — outcome counts, exact-or-reservoir latency and
+queue-lag quantiles, throughput, per-degradation-rung counts, breaker
+trips, shed level and chaos accounting.  ``as_dict()`` is the
+``BENCH_loadtest.json`` payload; ``render()`` is the human summary the
+CLI prints.  The SLO gate (:mod:`repro.loadgen.slo`) consumes the same
+report, so what CI gates on is exactly what operators read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.context import MetricsRegistry
+from repro.loadgen.driver import DriveResult
+
+__all__ = ["LoadReport", "summarize"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """The complete outcome of one load run."""
+
+    workload: dict
+    events: int
+    counts: dict[str, int]            # admitted/rejected/released/skipped
+    degradation: dict[str, int]       # decisions per degradation tag
+    latency: dict[str, float]         # count/mean/p50/p95/p99/max (s)
+    lag: dict[str, float]             # queue-lag quantiles (s)
+    latency_exact: bool               # quantiles exact (reservoir not full)
+    wall_s: float
+    duration_s: float                 # virtual horizon (0 = closed loop)
+    offered_rate: float               # req/s configured (0 = closed loop)
+    clients: int                      # closed-loop clients (0 = open loop)
+    throughput: float                 # decisions per wall second
+    shed_level: int                   # final shed level gauge
+    breaker_opens: dict[str, int]     # per-analyzer breaker.<n>.opens
+    chaos_kills: int
+    chaos_lost: tuple[str, ...]
+    metrics: dict[str, float] = field(repr=False, default_factory=dict)
+
+    @property
+    def admitted(self) -> int:
+        return self.counts.get("admitted", 0)
+
+    @property
+    def rejected(self) -> int:
+        return self.counts.get("rejected", 0)
+
+    @property
+    def decisions(self) -> int:
+        return self.admitted + self.rejected
+
+    @property
+    def reject_fraction(self) -> float:
+        return self.rejected / self.decisions if self.decisions else 0.0
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of decisions not answered at the normal rung."""
+        if not self.decisions:
+            return 0.0
+        normal = self.degradation.get("normal", 0)
+        return max(0.0, 1.0 - normal / self.decisions)
+
+    def as_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "events": self.events,
+            "counts": dict(self.counts),
+            "degradation": dict(self.degradation),
+            "latency": dict(self.latency),
+            "lag": dict(self.lag),
+            "latency_exact": self.latency_exact,
+            "wall_s": self.wall_s,
+            "duration_s": self.duration_s,
+            "offered_rate": self.offered_rate,
+            "clients": self.clients,
+            "throughput": self.throughput,
+            "reject_fraction": self.reject_fraction,
+            "degraded_fraction": self.degraded_fraction,
+            "shed_level": self.shed_level,
+            "breaker_opens": dict(self.breaker_opens),
+            "chaos_kills": self.chaos_kills,
+            "chaos_lost": list(self.chaos_lost),
+            "metrics": dict(self.metrics),
+        }
+
+    def render(self) -> str:
+        lat = self.latency
+        lines = [
+            f"workload {self.workload.get('kind', '?')} "
+            f"(seed {self.workload.get('seed', '?')}): "
+            f"{self.events} event(s) in {self.wall_s:.3f}s wall "
+            f"— {self.throughput:.1f} decisions/s",
+            f"  admitted {self.admitted}, rejected {self.rejected} "
+            f"({self.reject_fraction:.1%}), released "
+            f"{self.counts.get('released', 0)}, skipped "
+            f"{self.counts.get('skipped', 0)}",
+            f"  latency p50 {lat['p50'] * 1e3:.2f}ms  "
+            f"p95 {lat['p95'] * 1e3:.2f}ms  "
+            f"p99 {lat['p99'] * 1e3:.2f}ms  "
+            f"max {lat['max'] * 1e3:.2f}ms"
+            + ("" if self.latency_exact else "  (sampled)"),
+        ]
+        if self.lag.get("max", 0.0) > 0.0:
+            lines.append(f"  queue lag p99 {self.lag['p99'] * 1e3:.2f}ms "
+                         f"max {self.lag['max'] * 1e3:.2f}ms")
+        tags = ", ".join(f"{k}={v}" for k, v in
+                         sorted(self.degradation.items()))
+        lines.append(f"  degradation: {tags or 'none'}"
+                     f"  shed_level={self.shed_level}")
+        if self.breaker_opens:
+            opens = ", ".join(f"{k}={v}" for k, v in
+                              sorted(self.breaker_opens.items()))
+            lines.append(f"  breaker opens: {opens}")
+        if self.chaos_kills:
+            lines.append(
+                f"  chaos: {self.chaos_kills} kill(s), "
+                f"{len(self.chaos_lost)} lost committed admission(s)"
+                + (f" {list(self.chaos_lost)}" if self.chaos_lost else ""))
+        return "\n".join(lines)
+
+
+def summarize(result: DriveResult, *,
+              metrics: MetricsRegistry | None = None,
+              workload: dict | None = None) -> LoadReport:
+    """Fold a drive plus the service's metrics into a report.
+
+    *metrics* defaults to nothing; pass the registry the service ran
+    with to pull ``service.degradation.*``, ``breaker.*.opens`` and
+    the shed-level gauge into the report.
+    """
+    counts: dict[str, int] = {}
+    for rec in result.records:
+        counts[rec.outcome] = counts.get(rec.outcome, 0) + 1
+
+    degradation: dict[str, int] = {}
+    breaker_opens: dict[str, int] = {}
+    shed_level = 0
+    snapshot: dict[str, float] = {}
+    if metrics is not None:
+        snapshot = metrics.as_dict()
+        prefix = "service.degradation."
+        for name, value in snapshot.items():
+            if name.startswith(prefix):
+                degradation[name[len(prefix):]] = int(value)
+            elif name.startswith("breaker.") and name.endswith(".opens"):
+                breaker_opens[name[len("breaker."):-len(".opens")]] = \
+                    int(value)
+        shed_level = int(snapshot.get("service.shed_level", 0))
+    else:
+        # fall back to the per-record tags (admits only)
+        for rec in result.records:
+            if rec.op == "admit" and rec.degradation:
+                degradation[rec.degradation] = \
+                    degradation.get(rec.degradation, 0) + 1
+
+    decisions = counts.get("admitted", 0) + counts.get("rejected", 0)
+    throughput = decisions / result.wall_s if result.wall_s > 0 else 0.0
+    return LoadReport(
+        workload=workload or {},
+        events=len(result.records),
+        counts=counts,
+        degradation=degradation,
+        latency=result.latency.summary(),
+        lag=result.lag.summary(),
+        latency_exact=result.latency.exact,
+        wall_s=result.wall_s,
+        duration_s=result.duration_s,
+        offered_rate=result.offered_rate,
+        clients=result.clients,
+        throughput=throughput,
+        shed_level=shed_level,
+        breaker_opens=breaker_opens,
+        chaos_kills=result.chaos_kills,
+        chaos_lost=result.chaos_lost,
+        metrics=snapshot,
+    )

@@ -1,0 +1,424 @@
+"""Seeded workload models: arrival processes over admission requests.
+
+A :class:`Workload` turns ``(seed, offered rate, request template)``
+into a deterministic **schedule** — a time-ordered list of
+:class:`Event`\\ s (``admit`` carrying a full
+:class:`~repro.admission.requests.ConnectionRequest`, ``release``
+naming an earlier connection).  The schedule is a pure function of the
+model parameters: building it twice yields the identical object list,
+which is what makes recorded traces byte-stable and regressions
+diffable (see :mod:`repro.loadgen.trace`).
+
+Five models cover the shapes the delay-analysis literature shows
+end-to-end bounds are sensitive to (burstiness, ramps, flash crowds,
+churn):
+
+* :class:`PoissonWorkload` — memoryless arrivals at a fixed rate; the
+  baseline every other model is compared against.
+* :class:`BurstyWorkload` — a two-state on-off modulated Poisson
+  process (MMPP): exponentially-dwelling ON periods firing at
+  ``rate / duty`` and silent OFF periods, same long-run average rate
+  but maximally clumped.
+* :class:`DiurnalWorkload` — a sinusoidal trough-to-peak-to-trough
+  ramp over the run (one "day"), via Lewis-Shedler thinning.
+* :class:`FlashCrowdWorkload` — baseline Poisson plus a
+  ``spike_factor``× rectangular spike window mid-run.
+* Churn is orthogonal: any model given ``hold_s`` draws an
+  exponential lifetime per admission and schedules the matching
+  ``release``, so the network reaches a steady admitted population of
+  roughly ``rate x hold_s`` instead of growing without bound.
+
+All randomness flows through one :class:`random.Random` seeded per
+:meth:`Workload.schedule` call — no global state, no numpy, no time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable, Iterator
+
+from repro.admission.requests import ConnectionRequest
+from repro.curves.token_bucket import TokenBucket
+from repro.errors import LoadGenError
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "Event",
+    "RequestTemplate",
+    "Workload",
+    "PoissonWorkload",
+    "BurstyWorkload",
+    "DiurnalWorkload",
+    "FlashCrowdWorkload",
+    "WORKLOADS",
+    "make_workload",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled operation against the admission service.
+
+    Attributes
+    ----------
+    t:
+        Virtual arrival time in seconds from run start.  The open-loop
+        driver paces or lag-accounts against it; it is recorded in the
+        canonical trace.
+    op:
+        ``"admit"`` or ``"release"``.
+    name:
+        The connection name (always set; admits carry it redundantly
+        with ``request.name`` so release events need no lookup).
+    request:
+        The full admission request (``admit`` events only).
+    """
+
+    t: float
+    op: str
+    name: str
+    request: ConnectionRequest | None = field(default=None, repr=False)
+
+
+@dataclass(frozen=True)
+class RequestTemplate:
+    """How one admission request is minted from the seeded RNG.
+
+    Defaults mirror ``repro serve``'s stream (unit-capacity tandem,
+    token-bucket sources); ``paths="random"`` switches from the full
+    path to a random contiguous sub-path per request, and
+    ``rho_jitter``/``sigma_jitter`` spread the per-connection rate and
+    burst uniformly by ±jitter fraction around the nominal value.
+    """
+
+    n_servers: int = 4
+    deadline: float = 30.0
+    sigma: float = 1.0
+    rho: float = 0.02
+    peak: float = 1.0
+    paths: str = "full"          # "full" | "random"
+    rho_jitter: float = 0.0
+    sigma_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise LoadGenError(
+                f"n_servers must be >= 1, got {self.n_servers}")
+        if self.paths not in ("full", "random"):
+            raise LoadGenError(
+                f"paths must be 'full' or 'random', got {self.paths!r}")
+        for name, jitter in (("rho_jitter", self.rho_jitter),
+                             ("sigma_jitter", self.sigma_jitter)):
+            if not 0.0 <= jitter < 1.0:
+                raise LoadGenError(
+                    f"{name} must be in [0, 1), got {jitter}")
+
+    def mint(self, rng: Random, index: int) -> ConnectionRequest:
+        """Build request number *index* using *rng* for any jitter."""
+        if self.paths == "random":
+            a = rng.randint(1, self.n_servers)
+            b = rng.randint(a, self.n_servers)
+            path = tuple(range(a, b + 1))
+        else:
+            path = tuple(range(1, self.n_servers + 1))
+        rho = self.rho
+        if self.rho_jitter:
+            rho *= 1.0 + self.rho_jitter * rng.uniform(-1.0, 1.0)
+        sigma = self.sigma
+        if self.sigma_jitter:
+            sigma *= 1.0 + self.sigma_jitter * rng.uniform(-1.0, 1.0)
+        return ConnectionRequest(
+            f"c{index:06d}", TokenBucket(sigma, rho, peak=self.peak),
+            path, self.deadline)
+
+    def as_dict(self) -> dict:
+        return {
+            "n_servers": self.n_servers, "deadline": self.deadline,
+            "sigma": self.sigma, "rho": self.rho, "peak": self.peak,
+            "paths": self.paths, "rho_jitter": self.rho_jitter,
+            "sigma_jitter": self.sigma_jitter,
+        }
+
+
+class Workload:
+    """Base class: a seeded arrival process over admission requests.
+
+    Subclasses implement :meth:`_arrival_times`; churn (``hold_s``) and
+    request minting are shared.  ``rate`` is the long-run average
+    offered load in requests/second for every model.
+    """
+
+    kind = "abstract"
+
+    def __init__(self, seed: int, rate: float, *,
+                 template: RequestTemplate | None = None,
+                 hold_s: float | None = None) -> None:
+        check_positive("rate", rate)
+        if hold_s is not None:
+            check_positive("hold_s", hold_s)
+        self.seed = int(seed)
+        self.rate = float(rate)
+        self.template = template if template is not None else RequestTemplate()
+        self.hold_s = hold_s
+
+    # -- model-specific ------------------------------------------------
+
+    def _arrival_times(self, rng: Random,
+                       duration: float) -> Iterator[float]:
+        raise NotImplementedError
+
+    def _params(self) -> dict:
+        """Model-specific parameters for the trace header."""
+        return {}
+
+    # -- shared machinery ----------------------------------------------
+
+    def schedule(self, duration: float) -> list[Event]:
+        """The deterministic event schedule for a *duration*-second run.
+
+        Admits in arrival order; each admit optionally spawns an
+        exponential-lifetime release (dropped when it would land past
+        the horizon).  Events are sorted by time with arrival order as
+        the tiebreak, so equal timestamps cannot reorder between runs.
+        """
+        check_positive("duration", duration)
+        rng = Random(self.seed)
+        events: list[tuple[float, int, Event]] = []
+        order = 0
+        for i, t in enumerate(self._arrival_times(rng, duration)):
+            request = self.template.mint(rng, i)
+            events.append((t, order, Event(t, "admit", request.name,
+                                           request)))
+            order += 1
+            if self.hold_s is not None:
+                rel_t = t + rng.expovariate(1.0 / self.hold_s)
+                if rel_t < duration:
+                    events.append((rel_t, order,
+                                   Event(rel_t, "release", request.name)))
+                    order += 1
+        events.sort(key=lambda e: (e[0], e[1]))
+        return [e for _, _, e in events]
+
+    def requests(self, n: int) -> list[ConnectionRequest]:
+        """*n* minted requests, ignoring arrival times (closed loop)."""
+        if n < 0:
+            raise LoadGenError(f"n must be >= 0, got {n}")
+        rng = Random(self.seed)
+        return [self.template.mint(rng, i) for i in range(n)]
+
+    def describe(self) -> dict:
+        """JSON-ready description (lands in the trace header)."""
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "rate": self.rate,
+            "hold_s": self.hold_s,
+            "template": self.template.as_dict(),
+            **self._params(),
+        }
+
+
+def _homogeneous(rng: Random, duration: float,
+                 rate: float) -> Iterator[float]:
+    """Poisson arrivals at a fixed rate on ``[0, duration)``."""
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate)
+        if t >= duration:
+            return
+        yield t
+
+
+def _thinned(rng: Random, duration: float, peak_rate: float,
+             rate_at: Callable[[float], float]) -> Iterator[float]:
+    """Lewis-Shedler thinning: non-homogeneous Poisson arrivals.
+
+    Candidate arrivals at *peak_rate* are accepted with probability
+    ``rate_at(t) / peak_rate`` — exact for any ``rate_at <= peak_rate``
+    and deterministic under the seeded *rng*.
+    """
+    t = 0.0
+    while True:
+        t += rng.expovariate(peak_rate)
+        if t >= duration:
+            return
+        if rng.random() * peak_rate <= rate_at(t):
+            yield t
+
+
+class PoissonWorkload(Workload):
+    """Memoryless arrivals at a constant *rate* (the M in M/./.)."""
+
+    kind = "poisson"
+
+    def _arrival_times(self, rng: Random,
+                       duration: float) -> Iterator[float]:
+        return _homogeneous(rng, duration, self.rate)
+
+
+class BurstyWorkload(Workload):
+    """Two-state on-off MMPP: all traffic arrives in clumped ON bursts.
+
+    ON and OFF dwell times are exponential with means ``mean_on_s`` /
+    ``mean_off_s``; during ON the instantaneous rate is
+    ``rate / duty`` (duty = on / (on + off)) so the long-run average
+    matches *rate* while the short-run burstiness is ``1/duty``×.
+    """
+
+    kind = "bursty"
+
+    def __init__(self, seed: int, rate: float, *,
+                 mean_on_s: float = 1.0, mean_off_s: float = 3.0,
+                 **kwargs) -> None:
+        super().__init__(seed, rate, **kwargs)
+        check_positive("mean_on_s", mean_on_s)
+        check_positive("mean_off_s", mean_off_s)
+        self.mean_on_s = float(mean_on_s)
+        self.mean_off_s = float(mean_off_s)
+
+    @property
+    def duty(self) -> float:
+        return self.mean_on_s / (self.mean_on_s + self.mean_off_s)
+
+    def _params(self) -> dict:
+        return {"mean_on_s": self.mean_on_s,
+                "mean_off_s": self.mean_off_s}
+
+    def _arrival_times(self, rng: Random,
+                       duration: float) -> Iterator[float]:
+        burst_rate = self.rate / self.duty
+        t = 0.0
+        on = True  # runs open ON so short durations still offer load
+        while t < duration:
+            dwell = rng.expovariate(
+                1.0 / (self.mean_on_s if on else self.mean_off_s))
+            end = min(t + dwell, duration)
+            if on:
+                a = t
+                while True:
+                    a += rng.expovariate(burst_rate)
+                    if a >= end:
+                        break
+                    yield a
+            t = end
+            on = not on
+
+
+class DiurnalWorkload(Workload):
+    """One sinusoidal trough→peak→trough cycle across the run.
+
+    ``rate(t) = rate * (1 + amplitude * sin(2*pi*t/period - pi/2))``;
+    *period* defaults to the run duration, so a 60 s run is one "day"
+    starting and ending at the trough with the peak mid-run.
+    """
+
+    kind = "diurnal"
+
+    def __init__(self, seed: int, rate: float, *,
+                 amplitude: float = 0.8, period_s: float | None = None,
+                 **kwargs) -> None:
+        super().__init__(seed, rate, **kwargs)
+        if not 0.0 <= amplitude <= 1.0:
+            raise LoadGenError(
+                f"amplitude must be in [0, 1], got {amplitude}")
+        if period_s is not None:
+            check_positive("period_s", period_s)
+        self.amplitude = float(amplitude)
+        self.period_s = period_s
+
+    def _params(self) -> dict:
+        return {"amplitude": self.amplitude, "period_s": self.period_s}
+
+    def _arrival_times(self, rng: Random,
+                       duration: float) -> Iterator[float]:
+        period = self.period_s if self.period_s is not None else duration
+        two_pi = 2.0 * math.pi
+
+        def rate_at(t: float) -> float:
+            return self.rate * (1.0 + self.amplitude
+                                * math.sin(two_pi * t / period
+                                           - math.pi / 2.0))
+
+        peak = self.rate * (1.0 + self.amplitude)
+        return _thinned(rng, duration, peak, rate_at)
+
+
+class FlashCrowdWorkload(Workload):
+    """Baseline Poisson plus a rectangular ``spike_factor``× crowd.
+
+    The spike window defaults to the middle tenth of the run
+    (``spike_at = 0.45 * duration``, ``spike_s = 0.1 * duration``);
+    either can be pinned in seconds.  This is the workload that
+    exercises shedding and degradation honestly: the average load may
+    be easy while the spike instant is not.
+    """
+
+    kind = "flash-crowd"
+
+    def __init__(self, seed: int, rate: float, *,
+                 spike_factor: float = 10.0,
+                 spike_at: float | None = None,
+                 spike_s: float | None = None,
+                 **kwargs) -> None:
+        super().__init__(seed, rate, **kwargs)
+        if spike_factor < 1.0:
+            raise LoadGenError(
+                f"spike_factor must be >= 1, got {spike_factor}")
+        self.spike_factor = float(spike_factor)
+        self.spike_at = spike_at
+        self.spike_s = spike_s
+
+    def _params(self) -> dict:
+        return {"spike_factor": self.spike_factor,
+                "spike_at": self.spike_at, "spike_s": self.spike_s}
+
+    def _arrival_times(self, rng: Random,
+                       duration: float) -> Iterator[float]:
+        start = (self.spike_at if self.spike_at is not None
+                 else 0.45 * duration)
+        width = (self.spike_s if self.spike_s is not None
+                 else 0.1 * duration)
+        end = start + width
+
+        def rate_at(t: float) -> float:
+            return (self.rate * self.spike_factor
+                    if start <= t < end else self.rate)
+
+        return _thinned(rng, duration, self.rate * self.spike_factor,
+                        rate_at)
+
+
+#: CLI-facing registry.  ``churn`` is Poisson with a default holding
+#: time — the admit/release steady-state workload.
+WORKLOADS: dict[str, type[Workload]] = {
+    "poisson": PoissonWorkload,
+    "bursty": BurstyWorkload,
+    "diurnal": DiurnalWorkload,
+    "flash-crowd": FlashCrowdWorkload,
+    "churn": PoissonWorkload,
+}
+
+
+def make_workload(name: str, seed: int, rate: float, *,
+                  template: RequestTemplate | None = None,
+                  hold_s: float | None = None,
+                  **params) -> Workload:
+    """Build a registered workload by CLI name.
+
+    ``churn`` defaults ``hold_s`` to ``10 / rate`` (a steady admitted
+    population of ~10 connections) when not given explicitly.
+    """
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise LoadGenError(
+            f"unknown workload {name!r}; choose from "
+            f"{sorted(WORKLOADS)}") from None
+    if name == "churn" and hold_s is None:
+        hold_s = 10.0 / rate
+    workload = cls(seed, rate, template=template, hold_s=hold_s, **params)
+    if name == "churn":
+        workload.kind = "churn"
+    return workload

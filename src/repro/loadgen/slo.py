@@ -1,0 +1,190 @@
+"""SLO gating: a load run becomes pass/fail with typed violations.
+
+An :class:`SLO` is a set of bounds over a
+:class:`~repro.loadgen.measure.LoadReport`; :meth:`SLO.evaluate`
+returns every bound that failed as a structured
+:class:`SLOViolation` (metric, limit, measured value) so CI logs and
+``BENCH_loadtest.json`` carry machine-readable causes, not prose.
+
+The CLI accepts the compact spec grammar::
+
+    --slo "p99<0.5,p95<0.1,reject<0.2,degraded<0.5,throughput>50,lost<1"
+
+comma-separated ``metric<limit`` (or ``>`` for lower bounds), parsed
+by :func:`parse_slo`:
+
+========== ============================================== =========
+key        meaning                                        direction
+========== ============================================== =========
+p50/p95/   latency quantile in seconds                    ``<``
+p99/max
+lag        worst queue lag in seconds (open loop)         ``<``
+reject     rejected / decisions fraction                  ``<``
+degraded   decisions not answered at the normal rung      ``<``
+shed       final shed level (0, 1, 2)                     ``<``
+throughput decisions per wall second                      ``>``
+lost       committed admissions lost across chaos kills   ``<``
+========== ============================================== =========
+
+Chaos runs should always carry ``lost<1`` — zero lost acknowledged
+admissions is the durability invariant the subsystem exists to check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LoadGenError
+from repro.loadgen.measure import LoadReport
+
+__all__ = ["SLO", "SLOViolation", "SLOResult", "parse_slo"]
+
+
+@dataclass(frozen=True)
+class SLOViolation:
+    """One failed bound: ``metric`` measured ``actual`` vs ``limit``."""
+
+    metric: str
+    limit: float
+    actual: float
+    direction: str  # "<" (upper bound) or ">" (lower bound)
+
+    def render(self) -> str:
+        return (f"{self.metric} = {self.actual:.6g} violates "
+                f"{self.metric} {self.direction} {self.limit:.6g}")
+
+    def as_dict(self) -> dict:
+        return {"metric": self.metric, "limit": self.limit,
+                "actual": self.actual, "direction": self.direction}
+
+
+@dataclass(frozen=True)
+class SLOResult:
+    """Outcome of gating one report."""
+
+    violations: tuple[SLOViolation, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        if self.ok:
+            return "SLO: pass"
+        lines = [f"SLO: FAIL ({len(self.violations)} violation(s))"]
+        lines += [f"  {v.render()}" for v in self.violations]
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {"ok": self.ok,
+                "violations": [v.as_dict() for v in self.violations]}
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Bounds over a load report; ``None`` disables a bound."""
+
+    max_p50_s: float | None = None
+    max_p95_s: float | None = None
+    max_p99_s: float | None = None
+    max_latency_s: float | None = None
+    max_lag_s: float | None = None
+    max_reject_fraction: float | None = None
+    max_degraded_fraction: float | None = None
+    max_shed_level: int | None = None
+    min_throughput: float | None = None
+    max_lost: int | None = None
+
+    def evaluate(self, report: LoadReport) -> SLOResult:
+        """Every violated bound, in declaration order."""
+        violations: list[SLOViolation] = []
+
+        def upper(metric: str, limit: float | None,
+                  actual: float) -> None:
+            if limit is not None and not actual < limit:
+                violations.append(
+                    SLOViolation(metric, float(limit), actual, "<"))
+
+        def lower(metric: str, limit: float | None,
+                  actual: float) -> None:
+            if limit is not None and not actual > limit:
+                violations.append(
+                    SLOViolation(metric, float(limit), actual, ">"))
+
+        upper("p50", self.max_p50_s, report.latency["p50"])
+        upper("p95", self.max_p95_s, report.latency["p95"])
+        upper("p99", self.max_p99_s, report.latency["p99"])
+        upper("max", self.max_latency_s, report.latency["max"])
+        upper("lag", self.max_lag_s, report.lag["max"])
+        upper("reject", self.max_reject_fraction,
+              report.reject_fraction)
+        upper("degraded", self.max_degraded_fraction,
+              report.degraded_fraction)
+        if self.max_shed_level is not None:
+            upper("shed", float(self.max_shed_level),
+                  float(report.shed_level))
+        lower("throughput", self.min_throughput, report.throughput)
+        upper("lost", self.max_lost, float(len(report.chaos_lost)))
+        return SLOResult(tuple(violations))
+
+    def as_dict(self) -> dict:
+        return {k: v for k, v in vars(self).items() if v is not None}
+
+
+#: spec key -> (SLO field, required comparator)
+_SPEC_KEYS = {
+    "p50": ("max_p50_s", "<"),
+    "p95": ("max_p95_s", "<"),
+    "p99": ("max_p99_s", "<"),
+    "max": ("max_latency_s", "<"),
+    "lag": ("max_lag_s", "<"),
+    "reject": ("max_reject_fraction", "<"),
+    "degraded": ("max_degraded_fraction", "<"),
+    "shed": ("max_shed_level", "<"),
+    "throughput": ("min_throughput", ">"),
+    "lost": ("max_lost", "<"),
+}
+
+
+def parse_slo(spec: str) -> SLO:
+    """Parse the compact CLI grammar into an :class:`SLO`.
+
+    Raises :class:`~repro.errors.LoadGenError` on unknown keys, wrong
+    comparator direction or unparseable limits.
+    """
+    fields: dict[str, float] = {}
+    for clause in spec.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        for op in ("<", ">"):
+            if op in clause:
+                key, _, value = clause.partition(op)
+                break
+        else:
+            raise LoadGenError(
+                f"SLO clause {clause!r} needs '<' or '>' "
+                "(e.g. 'p99<0.5')")
+        key = key.strip()
+        if key not in _SPEC_KEYS:
+            raise LoadGenError(
+                f"unknown SLO metric {key!r}; choose from "
+                f"{sorted(_SPEC_KEYS)}")
+        field_name, required_op = _SPEC_KEYS[key]
+        if op != required_op:
+            raise LoadGenError(
+                f"SLO metric {key!r} takes {required_op!r}, not {op!r}")
+        try:
+            limit = float(value.strip())
+        except ValueError:
+            raise LoadGenError(
+                f"SLO clause {clause!r}: {value.strip()!r} is not a "
+                "number") from None
+        if field_name in fields:
+            raise LoadGenError(f"duplicate SLO metric {key!r}")
+        fields[field_name] = limit
+    if "max_shed_level" in fields:
+        fields["max_shed_level"] = int(fields["max_shed_level"])
+    if "max_lost" in fields:
+        fields["max_lost"] = int(fields["max_lost"])
+    return SLO(**fields)

@@ -1,0 +1,251 @@
+"""Canonical trace record/replay: a regression is a byte-diff.
+
+Every load run can record a **canonical** JSONL trace: one header
+record (workload description, seed, driver configuration) followed by
+one record per executed event carrying everything deterministic about
+it — virtual time, operation, the full minted request, the decision
+outcome, the answering analyzer, the degradation tag and the bound as
+an exact ``float.hex`` string.  Canonical means *byte-stable*: the same
+seed and workload produce the identical file, so CI can assert
+regressions with ``cmp`` instead of statistics.
+
+Wall-clock measurements (latency, queue lag) are **not** canonical —
+they differ run to run by scheduler noise — so they are excluded by
+default and live in the run report / ``BENCH_loadtest.json`` instead.
+Passing ``include_latency=True`` (CLI ``--record-latency``) adds them
+to each record for offline analysis, at the cost of byte-stability.
+
+:func:`replay` re-executes a recorded trace against a fresh service:
+the recorded *requests* (not the workload code) are replayed in order,
+and every decision is compared against the recorded outcome,
+degradation tag and bit-exact bound.  A trace therefore stays
+replayable even after the workload models change.
+
+Writes go through :class:`~repro.utils.durable.DurableAppender`
+(fsync'd appends) with small-batch buffering so a crashed run leaves a
+readable prefix, not a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import JournalError, LoadGenError
+from repro.utils.durable import DurableAppender, iter_jsonl
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.loadgen.driver import RequestRecord
+    from repro.service.service import AdmissionService
+
+__all__ = [
+    "TRACE_VERSION",
+    "TraceWriter",
+    "load_trace",
+    "replay",
+    "ReplayMismatch",
+    "ReplayReport",
+]
+
+TRACE_VERSION = 1
+
+#: Records per durable append; small enough that a crash loses at most
+#: one batch, large enough that per-line fsync does not dominate a run.
+FLUSH_EVERY = 64
+
+
+class TraceWriter:
+    """Streaming canonical trace writer over a durable appender."""
+
+    def __init__(self, path: str | Path, *,
+                 include_latency: bool = False,
+                 flush_every: int = FLUSH_EVERY) -> None:
+        if flush_every < 1:
+            raise LoadGenError(
+                f"flush_every must be >= 1, got {flush_every}")
+        # A recording always starts fresh: appending a second run to an
+        # existing trace would break both the one-header invariant and
+        # the byte-identity guarantee that makes regressions byte-diffs.
+        path = Path(path)
+        if path.exists():
+            path.unlink()
+        self._appender = DurableAppender(path)
+        self._include_latency = include_latency
+        self._flush_every = int(flush_every)
+        self._pending: list[str] = []
+        self._events = 0
+
+    @property
+    def path(self) -> Path:
+        return self._appender.path
+
+    @property
+    def events(self) -> int:
+        return self._events
+
+    def _emit(self, record: dict) -> None:
+        self._pending.append(
+            json.dumps(record, sort_keys=True, separators=(",", ":")))
+        if len(self._pending) >= self._flush_every:
+            self.flush()
+
+    def write_header(self, *, workload: dict, driver: dict) -> None:
+        """The one-per-file header; must precede every event."""
+        self._emit({
+            "kind": "header",
+            "v": TRACE_VERSION,
+            "workload": workload,
+            "driver": driver,
+            "canonical": not self._include_latency,
+        })
+
+    def write_event(self, record: "RequestRecord") -> None:
+        """Append one executed event (see :class:`RequestRecord`)."""
+        rec = record.canonical_dict()
+        if self._include_latency:
+            rec["latency_s"] = record.latency_s
+            rec["lag_s"] = record.lag_s
+        self._emit(rec)
+        self._events += 1
+
+    def flush(self) -> None:
+        if self._pending:
+            self._appender.append("\n".join(self._pending))
+            self._pending.clear()
+
+    def close(self) -> None:
+        self.flush()
+        self._appender.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_trace(path: str | Path) -> tuple[dict, list[dict]]:
+    """Read ``(header, events)`` from a recorded trace.
+
+    Unparseable lines raise — a trace is an artifact, not a journal;
+    the only tolerated truncation is a torn *final* line (the batch in
+    flight when a recording run died), which is dropped like the WAL
+    contract drops it.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise LoadGenError(f"no trace at {path}")
+    header: dict | None = None
+    events: list[dict] = []
+    rows = list(iter_jsonl(path))
+    for i, (rec, ok) in enumerate(rows):
+        if not ok:
+            if i == len(rows) - 1:
+                continue  # torn tail from a crashed recording
+            raise LoadGenError(f"corrupt trace line {i + 1} in {path}")
+        kind = rec.get("kind")
+        if kind == "header":
+            if header is not None:
+                raise LoadGenError(f"duplicate trace header in {path}")
+            header = rec
+        elif kind == "event":
+            events.append(rec)
+        else:
+            raise LoadGenError(
+                f"unknown trace record kind {kind!r} in {path}")
+    if header is None:
+        raise LoadGenError(f"trace {path} has no header record")
+    return header, events
+
+
+@dataclass(frozen=True)
+class ReplayMismatch:
+    """One divergence between a recorded event and its re-execution."""
+
+    index: int
+    name: str
+    field: str      # "outcome" | "degradation" | "bound_hex" | ...
+    recorded: str
+    replayed: str
+
+    def render(self) -> str:
+        return (f"event {self.index} ({self.name}): {self.field} "
+                f"recorded {self.recorded!r} != replayed "
+                f"{self.replayed!r}")
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of re-executing a recorded trace."""
+
+    events: int
+    mismatches: tuple[ReplayMismatch, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def render(self) -> str:
+        lines = [f"replayed {self.events} event(s): "
+                 + ("deterministic" if self.ok
+                    else f"{len(self.mismatches)} MISMATCH(ES)")]
+        lines += [f"  MISMATCH {m.render()}" for m in self.mismatches]
+        return "\n".join(lines)
+
+
+def replay(trace: str | Path | tuple[dict, list[dict]],
+           service: "AdmissionService", *,
+           on_event: Callable[[int, dict], None] | None = None,
+           ) -> ReplayReport:
+    """Re-execute a recorded trace against *service* and diff decisions.
+
+    The recorded requests are replayed in recorded order.  For admits,
+    the fresh decision's ``outcome``, ``degradation``, ``analyzer`` and
+    bit-exact ``bound_hex`` must match the recording; for releases the
+    applied/skipped outcome must match.  *service* must be built to the
+    trace header's driver configuration (``repro loadtest --replay``
+    does this from the header automatically).
+    """
+    from repro.service.journal import request_from_record
+
+    if isinstance(trace, (str, Path)):
+        header, events = load_trace(trace)
+    else:
+        header, events = trace
+    mismatches: list[ReplayMismatch] = []
+
+    def check(i: int, name: str, field: str, recorded, replayed) -> None:
+        if recorded != replayed:
+            mismatches.append(ReplayMismatch(
+                i, name, field, str(recorded), str(replayed)))
+
+    for i, rec in enumerate(events):
+        op = rec.get("op")
+        name = str(rec.get("name", ""))
+        if op == "admit":
+            try:
+                request = request_from_record(rec["request"])
+            except (KeyError, TypeError, JournalError) as exc:
+                raise LoadGenError(
+                    f"trace event {i} has no replayable request: "
+                    f"{exc}") from exc
+            decision = service.admit(request)
+            outcome = "admitted" if decision.admitted else "rejected"
+            check(i, name, "outcome", rec.get("outcome"), outcome)
+            check(i, name, "degradation", rec.get("degradation"),
+                  decision.degradation)
+            check(i, name, "analyzer", rec.get("analyzer"),
+                  decision.analyzer)
+            check(i, name, "bound_hex", rec.get("bound_hex"),
+                  float(decision.bound).hex())
+        elif op == "release":
+            seq = service.release(name, missing_ok=True)
+            outcome = "released" if seq is not None else "skipped"
+            check(i, name, "outcome", rec.get("outcome"), outcome)
+        else:
+            raise LoadGenError(f"trace event {i} has unknown op {op!r}")
+        if on_event is not None:
+            on_event(i, rec)
+    return ReplayReport(events=len(events), mismatches=tuple(mismatches))

@@ -44,7 +44,7 @@ from typing import Callable, Iterable, Iterator, Sequence
 from repro.admission.controller import AdmissionController
 from repro.admission.requests import AdmissionDecision, ConnectionRequest
 from repro.analysis.base import Analyzer
-from repro.context import NULL_CONTEXT, AnalysisContext
+from repro.context import NULL_CONTEXT, AnalysisContext, QuantileReservoir
 from repro.errors import (
     AdmissionError,
     ServiceError,
@@ -180,6 +180,7 @@ class AdmissionService:
         self._manual_shed = 0
         self._auto_shed = 0
         self._latency_ewma: float | None = None
+        self._latency_reservoir = QuantileReservoir()
         self._ops_since_snapshot = 0
         self._closed = False
         self._shutdown_requested = False
@@ -351,7 +352,22 @@ class AdmissionService:
             self._ctx.metrics.set("service.shed_level",
                                   float(self.shed_level))
 
+    def latency_quantiles(self) -> dict[str, float]:
+        """Exact decision-latency percentiles over the service's life.
+
+        Returns ``{count, mean, p50, p95, p99, max}`` in seconds from
+        the streaming reservoir (exact until the reservoir's capacity,
+        seeded-uniform after) and publishes each as a
+        ``service.latency.<stat>`` gauge in the metrics registry.  The
+        EWMA that drives shedding reacts faster but hides the tail;
+        this is the honest view the shutdown summary and the load
+        harness report.
+        """
+        return self._latency_reservoir.gauge_into(
+            self._ctx.metrics, "service.latency")
+
     def _note_latency(self, elapsed: float) -> None:
+        self._latency_reservoir.observe(elapsed)
         ewma = self._latency_ewma
         self._latency_ewma = (elapsed if ewma is None
                               else 0.7 * ewma + 0.3 * elapsed)
@@ -489,6 +505,8 @@ class AdmissionService:
             self._journal.close()
             self._closed = True
             self._ctx.count("service.shutdowns")
+            if self._latency_reservoir.count:
+                self.latency_quantiles()  # final service.latency.* gauges
 
     def __enter__(self) -> "AdmissionService":
         return self

@@ -1,11 +1,13 @@
 """Unit tests for MetricsRegistry and the thread-local kernel hook."""
 
+import math
 import threading
 
 import pytest
 
 from repro.context import (
     MetricsRegistry,
+    QuantileReservoir,
     activate_registry,
     active_registry,
     kernel_count,
@@ -104,3 +106,75 @@ class TestActiveRegistry:
             t.join(timeout=3)
         assert seen["active"] is None
         assert reg.get("op") == 0.0
+
+
+class TestQuantileReservoir:
+    def test_empty_is_nan(self):
+        res = QuantileReservoir()
+        assert res.count == 0
+        assert math.isnan(res.max)
+        assert math.isnan(res.mean)
+        assert math.isnan(res.quantile(0.5))
+        assert math.isnan(res.summary()["p99"])
+
+    def test_exact_quantiles_small_sample(self):
+        res = QuantileReservoir()
+        for v in range(1, 101):  # 1..100
+            res.observe(float(v))
+        assert res.exact
+        assert res.count == 100
+        assert res.max == 100.0
+        assert res.mean == pytest.approx(50.5)
+        assert res.quantile(0.5) == 50.0
+        assert res.quantile(0.95) == 95.0
+        assert res.quantile(0.99) == 99.0
+        assert res.quantile(0.0) == 1.0
+        assert res.quantile(1.0) == 100.0
+
+    def test_summary_matches_quantiles(self):
+        res = QuantileReservoir()
+        for v in (3.0, 1.0, 2.0):
+            res.observe(v)
+        s = res.summary()
+        assert s["count"] == 3.0
+        assert s["p50"] == res.quantile(0.5)
+        assert s["max"] == 3.0
+
+    def test_quantile_validates_range(self):
+        with pytest.raises(ValueError):
+            QuantileReservoir().quantile(1.5)
+        with pytest.raises(ValueError):
+            QuantileReservoir(capacity=0)
+
+    def test_sampling_past_capacity_stays_bounded_and_exact_stats(self):
+        res = QuantileReservoir(capacity=64, seed=1)
+        for v in range(1000):
+            res.observe(float(v))
+        assert not res.exact
+        assert res.count == 1000
+        assert res.max == 999.0  # max is exact even while sampling
+        assert res.mean == pytest.approx(499.5)
+        # retained sample stays capped and representative
+        assert len(res._samples) == 64
+        assert 200.0 < res.quantile(0.5) < 800.0
+
+    def test_sampling_is_deterministic_per_seed(self):
+        def fill(seed):
+            res = QuantileReservoir(capacity=32, seed=seed)
+            for v in range(500):
+                res.observe(float(v))
+            return res.summary()
+
+        assert fill(7) == fill(7)
+
+    def test_gauge_into_publishes_metrics(self):
+        reg = MetricsRegistry()
+        res = QuantileReservoir()
+        res.observe(1.0)
+        res.observe(2.0)
+        out = res.gauge_into(reg, "svc.latency")
+        assert reg.get("svc.latency.p50") == out["p50"]
+        assert reg.get("svc.latency.max") == 2.0
+        assert reg.get("svc.latency.count") == 2.0
+        # a None registry still returns the summary
+        assert res.gauge_into(None, "x")["max"] == 2.0

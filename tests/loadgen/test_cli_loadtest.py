@@ -1,0 +1,101 @@
+"""End-to-end tests for ``repro loadtest`` (the acceptance criteria)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+BASE = ["loadtest", "--workload", "flash-crowd", "--seed", "7",
+        "--duration", "1.5", "--rate", "8", "--hops", "2",
+        "--hold", "0.4"]
+
+
+def run(*extra, out=""):
+    args = list(BASE) + ["--out", str(out) if out else ""] + list(extra)
+    return main(args)
+
+
+class TestLoadtestCLI:
+    def test_basic_run_prints_report(self, tmp_path, capsys):
+        assert run() == 0
+        out = capsys.readouterr().out
+        assert "workload flash-crowd (seed 7)" in out
+        assert "latency p50" in out
+        assert "degradation:" in out
+
+    def test_same_seed_twice_is_byte_identical(self, tmp_path, capsys):
+        """The headline acceptance criterion, through the real CLI."""
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert run("--record", str(a)) == 0
+        assert run("--record", str(b)) == 0
+        assert a.read_bytes() == b.read_bytes()
+        assert "wrote trace" in capsys.readouterr().out
+
+    def test_chaos_run_loses_nothing_and_exits_zero(self, tmp_path,
+                                                    capsys):
+        rc = run("--chaos",
+                 "--journal", str(tmp_path / "journal"))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chaos: 1 kill(s), 0 lost committed admission(s)" in out
+
+    def test_chaos_at_explicit_indices(self, tmp_path, capsys):
+        rc = run("--chaos-at", "2", "--chaos-at", "5",
+                 "--journal", str(tmp_path / "journal"))
+        assert rc == 0
+        assert "2 kill(s)" in capsys.readouterr().out
+
+    def test_replay_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert run("--record", str(trace)) == 0
+        capsys.readouterr()
+        assert main(["loadtest", "--replay", str(trace),
+                     "--out", ""]) == 0
+        out = capsys.readouterr().out
+        assert "deterministic" in out
+
+    def test_replay_missing_trace_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no trace"):
+            main(["loadtest", "--replay", str(tmp_path / "nope.jsonl"),
+                  "--out", ""])
+
+    def test_slo_pass_and_fail_exit_codes(self, tmp_path, capsys):
+        assert run("--slo", "p99<3600,lost<1") == 0
+        assert "SLO: pass" in capsys.readouterr().out
+        assert run("--slo", "throughput>1e12") == 1
+        assert "SLO: FAIL" in capsys.readouterr().out
+
+    def test_bad_slo_spec_exits_before_running(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown SLO metric"):
+            run("--slo", "zoom<1")
+
+    def test_out_artifact_is_machine_readable(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_loadtest.json"
+        rc = run("--chaos", "--slo", "lost<1",
+                 "--journal", str(tmp_path / "journal"), out=out)
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "loadtest"
+        assert payload["report"]["latency"]["p99"] > 0.0
+        assert payload["report"]["chaos_kills"] == 1
+        assert payload["report"]["chaos_lost"] == []
+        assert payload["slo"]["ok"] is True
+        assert payload["driver"]["mode"] == "open"
+
+    def test_closed_loop_mode(self, tmp_path, capsys):
+        rc = main(["loadtest", "--workload", "poisson", "--seed", "1",
+                   "--rate", "5", "--duration", "1", "--hops", "2",
+                   "--closed-loop", "3", "--requests", "6",
+                   "--out", ""])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "6 event(s)" in out
+
+    def test_workload_names_are_wired_through(self, tmp_path, capsys):
+        for name in ("poisson", "bursty", "diurnal", "churn"):
+            rc = main(["loadtest", "--workload", name, "--seed", "2",
+                       "--duration", "1", "--rate", "8", "--hops", "2",
+                       "--out", ""])
+            assert rc == 0, name
+        assert "workload churn" in capsys.readouterr().out

@@ -1,0 +1,206 @@
+"""Driver tests: lag accounting, chaos kills, closed-loop semantics.
+
+Timing-sensitive behaviour is tested with an injected fake clock so
+the assertions are exact, not statistical; durability behaviour runs
+against the real service + journal in a tmp directory.
+"""
+
+import pytest
+
+from repro.context import AnalysisContext, MetricsRegistry
+from repro.core.integrated import IntegratedAnalysis
+from repro.errors import LoadGenError
+from repro.loadgen import (
+    ChaosPlan,
+    Event,
+    PoissonWorkload,
+    RequestTemplate,
+    run_closed_loop,
+    run_open_loop,
+    summarize,
+)
+from repro.network.topology import Network, ServerSpec
+from repro.service import AdmissionService, recover_service
+
+HOPS = 2
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, dt):
+        self.sleeps.append(dt)
+        self.now += dt
+
+
+def make_service(tmp_path, tag="j", ctx=None):
+    ctx = ctx or AnalysisContext(metrics=MetricsRegistry())
+    empty = Network([ServerSpec(k) for k in range(1, HOPS + 1)], [])
+    return AdmissionService(empty, IntegratedAnalysis(),
+                            journal_dir=tmp_path / tag, ctx=ctx), ctx
+
+
+def small_schedule(n=6, rate=4.0, hold_s=None, seed=3):
+    workload = PoissonWorkload(
+        seed, rate, template=RequestTemplate(n_servers=HOPS),
+        hold_s=hold_s)
+    return workload.schedule(n / rate)
+
+
+class TestOpenLoop:
+    def test_unpaced_run_has_zero_lag_when_service_keeps_up(self,
+                                                            tmp_path):
+        service, _ = make_service(tmp_path)
+        events = small_schedule()
+        clock = FakeClock()
+        result = run_open_loop(service, events, duration_s=1.5,
+                               offered_rate=4.0, clock=clock,
+                               sleep=clock.sleep)
+        result.service.close()
+        # the fake clock never advances, so the driver is always early
+        assert all(r.lag_s == 0.0 for r in result.records)
+        assert not clock.sleeps
+
+    def test_paced_run_sleeps_to_each_intended_instant(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        events = small_schedule()
+        clock = FakeClock()
+        result = run_open_loop(service, events, duration_s=1.5,
+                               offered_rate=4.0, pace=True,
+                               clock=clock, sleep=clock.sleep)
+        result.service.close()
+        assert len(clock.sleeps) == len(events)
+        assert all(r.lag_s == 0.0 for r in result.records)
+
+    def test_lag_is_accounted_into_latency(self, tmp_path):
+        """A slow service cannot hide behind coordinated omission."""
+        service, _ = make_service(tmp_path)
+        events = [Event(0.0, "admit", e.name, e.request)
+                  for e in small_schedule()[:3]]
+        clock = FakeClock()
+        real_admit = service.admit
+
+        def slow_admit(request):
+            clock.now += 5.0  # every decision takes 5 virtual seconds
+            return real_admit(request)
+
+        service.admit = slow_admit
+        result = run_open_loop(service, events, duration_s=1.0,
+                               offered_rate=3.0, clock=clock,
+                               sleep=clock.sleep)
+        result.service.close()
+        # all intended at t=0: event k dispatches 5k seconds late
+        assert [r.lag_s for r in result.records] == [0.0, 5.0, 10.0]
+        for rec in result.records:
+            assert rec.latency_s == pytest.approx(rec.lag_s + 5.0)
+
+    def test_records_carry_decision_fields(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        result = run_open_loop(service, small_schedule(),
+                               duration_s=1.5, offered_rate=4.0)
+        result.service.close()
+        admits = [r for r in result.records if r.op == "admit"]
+        assert admits
+        for rec in admits:
+            assert rec.outcome in ("admitted", "rejected")
+            assert rec.bound_hex
+            assert rec.request_record["name"] == rec.name
+        assert result.committed == {r.name for r in admits
+                                    if r.outcome == "admitted"}
+
+    def test_release_events_update_committed(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        events = small_schedule(n=12, hold_s=0.2)
+        result = run_open_loop(service, events, duration_s=3.0,
+                               offered_rate=4.0)
+        result.service.close()
+        released = {r.name for r in result.records
+                    if r.outcome == "released"}
+        assert released
+        assert not (released & result.committed)
+
+    def test_unknown_op_raises(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        with pytest.raises(LoadGenError, match="unknown event op"):
+            run_open_loop(service, [Event(0.0, "ping", "x")],
+                          duration_s=1.0, offered_rate=1.0)
+        service.close()
+
+
+class TestClosedLoop:
+    def test_closed_loop_has_no_lag_by_construction(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        workload = PoissonWorkload(
+            1, 4.0, template=RequestTemplate(n_servers=HOPS))
+        result = run_closed_loop(service, workload.requests(8),
+                                 clients=2)
+        result.service.close()
+        assert result.clients == 2
+        assert result.lag.max == 0.0
+        assert result.latency.count == 8
+
+    def test_clients_validated(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        with pytest.raises(LoadGenError):
+            run_closed_loop(service, [], clients=0)
+        service.close()
+
+
+class TestChaos:
+    def test_kill_and_recover_loses_no_committed_admission(self,
+                                                           tmp_path):
+        service, ctx = make_service(tmp_path)
+        events = small_schedule(n=10, hold_s=0.4)
+        chaos = ChaosPlan(
+            kill_at=[len(events) // 2],
+            recover=lambda: recover_service(tmp_path / "j",
+                                            verify=False, ctx=ctx))
+        result = run_open_loop(service, events, duration_s=2.5,
+                               offered_rate=4.0, chaos=chaos)
+        result.service.close()
+        assert result.chaos_kills == 1
+        assert result.chaos_lost == ()
+        # the surviving service still knows every committed admission
+        report = summarize(result, metrics=ctx.metrics)
+        assert report.chaos_kills == 1
+        assert report.chaos_lost == ()
+
+    def test_multiple_kill_points(self, tmp_path):
+        service, ctx = make_service(tmp_path)
+        events = small_schedule(n=9)
+        chaos = ChaosPlan(
+            kill_at=[2, 5, 7],
+            recover=lambda: recover_service(tmp_path / "j",
+                                            verify=False, ctx=ctx))
+        result = run_open_loop(service, events, duration_s=2.25,
+                               offered_rate=4.0, chaos=chaos)
+        result.service.close()
+        assert result.chaos_kills == 3
+        assert result.chaos_lost == ()
+
+    def test_lossy_recovery_is_detected(self, tmp_path):
+        """The audit must notice a recovery that dropped admissions."""
+        service, ctx = make_service(tmp_path)
+        events = small_schedule(n=6)
+
+        def amnesiac_recover():
+            # a fresh empty service instead of a journal recovery:
+            # everything committed before the kill is "lost"
+            fresh, _ = make_service(tmp_path, tag="empty", ctx=ctx)
+            return fresh
+
+        chaos = ChaosPlan(kill_at=[4], recover=amnesiac_recover)
+        result = run_open_loop(service, events, duration_s=1.5,
+                               offered_rate=4.0, chaos=chaos)
+        result.service.close()
+        assert result.chaos_kills == 1
+        assert len(result.chaos_lost) > 0
+
+    def test_negative_kill_index_rejected(self):
+        with pytest.raises(LoadGenError):
+            ChaosPlan(kill_at=[-1], recover=lambda: None)

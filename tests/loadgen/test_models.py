@@ -1,0 +1,143 @@
+"""Unit tests for the seeded workload models."""
+
+from random import Random
+
+import pytest
+
+from repro.errors import LoadGenError
+from repro.loadgen import (
+    BurstyWorkload,
+    DiurnalWorkload,
+    FlashCrowdWorkload,
+    PoissonWorkload,
+    RequestTemplate,
+    WORKLOADS,
+    make_workload,
+)
+
+
+class TestRequestTemplate:
+    def test_defaults_mirror_serve_stream(self):
+        req = RequestTemplate().mint(Random(0), 3)
+        assert req.name == "c000003"
+        assert req.path == (1, 2, 3, 4)
+        assert req.deadline == 30.0
+        assert req.bucket.rho == 0.02
+
+    def test_random_paths_are_contiguous_subpaths(self):
+        template = RequestTemplate(n_servers=6, paths="random")
+        rng = Random(42)
+        for i in range(50):
+            path = template.mint(rng, i).path
+            assert 1 <= path[0] <= path[-1] <= 6
+            assert path == tuple(range(path[0], path[-1] + 1))
+
+    def test_jitter_spreads_rho_within_bounds(self):
+        template = RequestTemplate(rho_jitter=0.5)
+        rng = Random(1)
+        rhos = {template.mint(rng, i).bucket.rho for i in range(20)}
+        assert len(rhos) > 1
+        assert all(0.01 <= r <= 0.03 for r in rhos)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_servers": 0},
+        {"paths": "loop"},
+        {"rho_jitter": 1.0},
+        {"sigma_jitter": -0.1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(LoadGenError):
+            RequestTemplate(**kwargs)
+
+
+class TestSchedules:
+    def test_schedule_is_deterministic_per_seed(self):
+        a = PoissonWorkload(7, 20.0).schedule(5.0)
+        b = PoissonWorkload(7, 20.0).schedule(5.0)
+        assert [(e.t, e.op, e.name) for e in a] == \
+               [(e.t, e.op, e.name) for e in b]
+        other = PoissonWorkload(8, 20.0).schedule(5.0)
+        assert [e.t for e in a] != [e.t for e in other]
+
+    def test_schedule_sorted_within_horizon(self):
+        events = FlashCrowdWorkload(3, 30.0).schedule(4.0)
+        times = [e.t for e in events]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 4.0 for t in times)
+
+    def test_poisson_rate_is_roughly_offered(self):
+        events = PoissonWorkload(11, 50.0).schedule(20.0)
+        # ~1000 arrivals; 5 sigma ~ 160
+        assert 800 <= len(events) <= 1200
+
+    def test_churn_releases_follow_their_admit(self):
+        workload = PoissonWorkload(5, 20.0, hold_s=0.5)
+        events = workload.schedule(5.0)
+        admit_t = {e.name: e.t for e in events if e.op == "admit"}
+        releases = [e for e in events if e.op == "release"]
+        assert releases, "expected churn releases within the horizon"
+        for rel in releases:
+            assert rel.t > admit_t[rel.name]
+            assert rel.request is None
+
+    def test_flash_crowd_spike_density(self):
+        workload = FlashCrowdWorkload(9, 10.0, spike_factor=10.0,
+                                      spike_at=4.0, spike_s=1.0)
+        events = workload.schedule(10.0)
+        in_spike = sum(1 for e in events if 4.0 <= e.t < 5.0)
+        outside = len(events) - in_spike
+        # spike second offers 100, the other nine seconds offer 90 total
+        assert in_spike > outside / 3
+
+    def test_bursty_preserves_average_rate(self):
+        workload = BurstyWorkload(13, 20.0, mean_on_s=0.5, mean_off_s=1.5)
+        events = workload.schedule(50.0)
+        assert 600 <= len(events) <= 1400  # ~1000 on average
+
+    def test_diurnal_peaks_mid_run(self):
+        workload = DiurnalWorkload(17, 20.0, amplitude=1.0)
+        events = workload.schedule(30.0)
+        trough = sum(1 for e in events if e.t < 5.0 or e.t >= 25.0)
+        peak = sum(1 for e in events if 10.0 <= e.t < 20.0)
+        assert peak > 2 * trough
+
+    def test_requests_for_closed_loop(self):
+        workload = PoissonWorkload(1, 5.0)
+        reqs = workload.requests(7)
+        assert [r.name for r in reqs] == [f"c{i:06d}" for i in range(7)]
+        assert workload.requests(0) == []
+        with pytest.raises(LoadGenError):
+            workload.requests(-1)
+
+    def test_describe_round_trips_parameters(self):
+        desc = BurstyWorkload(2, 8.0, mean_on_s=0.2,
+                              hold_s=1.0).describe()
+        assert desc["kind"] == "bursty"
+        assert desc["seed"] == 2
+        assert desc["mean_on_s"] == 0.2
+        assert desc["hold_s"] == 1.0
+        assert desc["template"]["n_servers"] == 4
+
+
+class TestMakeWorkload:
+    def test_registry_covers_cli_names(self):
+        assert set(WORKLOADS) == {"poisson", "bursty", "diurnal",
+                                  "flash-crowd", "churn"}
+
+    def test_churn_defaults_hold(self):
+        workload = make_workload("churn", 1, 20.0)
+        assert workload.kind == "churn"
+        assert workload.hold_s == pytest.approx(0.5)
+
+    def test_explicit_hold_wins(self):
+        assert make_workload("churn", 1, 20.0, hold_s=3.0).hold_s == 3.0
+
+    def test_unknown_name(self):
+        with pytest.raises(LoadGenError, match="unknown workload"):
+            make_workload("constant", 1, 1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(LoadGenError):
+            make_workload("diurnal", 1, 1.0, amplitude=2.0)
+        with pytest.raises(LoadGenError):
+            make_workload("flash-crowd", 1, 1.0, spike_factor=0.5)

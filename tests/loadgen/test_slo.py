@@ -1,0 +1,121 @@
+"""SLO grammar and gating tests (pure, no service involved)."""
+
+import pytest
+
+from repro.errors import LoadGenError
+from repro.loadgen import SLO, LoadReport, parse_slo
+
+
+def report(**overrides) -> LoadReport:
+    """A healthy baseline report, selectively overridden per test."""
+    base = dict(
+        workload={"kind": "poisson", "seed": 1},
+        events=100,
+        counts={"admitted": 80, "rejected": 20},
+        degradation={"normal": 100},
+        latency={"count": 100.0, "mean": 0.01, "p50": 0.01,
+                 "p95": 0.02, "p99": 0.03, "max": 0.05},
+        lag={"count": 100.0, "mean": 0.0, "p50": 0.0,
+             "p95": 0.0, "p99": 0.0, "max": 0.0},
+        latency_exact=True,
+        wall_s=2.0,
+        duration_s=2.0,
+        offered_rate=50.0,
+        clients=0,
+        throughput=50.0,
+        shed_level=0,
+        breaker_opens={},
+        chaos_kills=0,
+        chaos_lost=(),
+    )
+    base.update(overrides)
+    return LoadReport(**base)
+
+
+class TestParse:
+    def test_full_grammar(self):
+        slo = parse_slo("p50<0.1,p95<0.2,p99<0.5,max<1,lag<2,"
+                        "reject<0.3,degraded<0.5,shed<1,"
+                        "throughput>10,lost<1")
+        assert slo.max_p50_s == 0.1
+        assert slo.max_latency_s == 1.0
+        assert slo.max_shed_level == 1
+        assert slo.min_throughput == 10.0
+        assert slo.max_lost == 1
+
+    def test_empty_and_whitespace_clauses_ignored(self):
+        assert parse_slo("") == SLO()
+        assert parse_slo(" p99<0.5 , ") == SLO(max_p99_s=0.5)
+
+    @pytest.mark.parametrize("spec,match", [
+        ("p99=0.5", "needs"),
+        ("latency<0.5", "unknown SLO metric"),
+        ("p99>0.5", "takes"),
+        ("throughput<10", "takes"),
+        ("p99<fast", "not a"),
+        ("p99<0.5,p99<0.6", "duplicate"),
+    ])
+    def test_rejects_bad_specs(self, spec, match):
+        with pytest.raises(LoadGenError, match=match):
+            parse_slo(spec)
+
+
+class TestEvaluate:
+    def test_healthy_report_passes(self):
+        result = parse_slo("p99<0.5,reject<0.5,throughput>10,"
+                           "lost<1").evaluate(report())
+        assert result.ok
+        assert result.render() == "SLO: pass"
+
+    def test_upper_bound_violation(self):
+        result = SLO(max_p99_s=0.02).evaluate(report())
+        assert not result.ok
+        (v,) = result.violations
+        assert v.metric == "p99"
+        assert v.actual == 0.03
+        assert v.direction == "<"
+        assert "violates" in v.render()
+
+    def test_lower_bound_violation(self):
+        result = SLO(min_throughput=100.0).evaluate(report())
+        (v,) = result.violations
+        assert v.metric == "throughput"
+        assert v.direction == ">"
+
+    def test_bounds_are_strict(self):
+        # actual == limit fails for both directions
+        assert not SLO(max_p99_s=0.03).evaluate(report()).ok
+        assert not SLO(min_throughput=50.0).evaluate(report()).ok
+
+    def test_shed_level_gating_is_strict(self):
+        slo = SLO(max_shed_level=2)
+        assert slo.evaluate(report(shed_level=1)).ok
+        assert not slo.evaluate(report(shed_level=2)).ok
+
+    def test_reject_and_degraded_fractions(self):
+        rep = report(counts={"admitted": 50, "rejected": 50},
+                     degradation={"normal": 60, "cached": 40})
+        assert rep.reject_fraction == 0.5
+        assert rep.degraded_fraction == pytest.approx(0.4)
+        assert not SLO(max_reject_fraction=0.5).evaluate(rep).ok
+        assert SLO(max_degraded_fraction=0.5).evaluate(rep).ok
+
+    def test_lost_gate_is_the_durability_invariant(self):
+        slo = parse_slo("lost<1")
+        assert slo.evaluate(report()).ok
+        failed = slo.evaluate(report(chaos_kills=1,
+                                     chaos_lost=("c000004",)))
+        assert not failed.ok
+        assert failed.violations[0].metric == "lost"
+
+    def test_multiple_violations_reported_together(self):
+        result = SLO(max_p50_s=0.001, max_p99_s=0.001,
+                     min_throughput=1000.0).evaluate(report())
+        assert len(result.violations) == 3
+        assert "3 violation(s)" in result.render()
+        payload = result.as_dict()
+        assert payload["ok"] is False
+        assert len(payload["violations"]) == 3
+
+    def test_as_dict_omits_disabled_bounds(self):
+        assert SLO(max_p99_s=0.5).as_dict() == {"max_p99_s": 0.5}

@@ -1,0 +1,202 @@
+"""Trace tests: byte-identity, torn tails, bit-exact replay."""
+
+import json
+
+import pytest
+
+from repro.context import AnalysisContext, MetricsRegistry
+from repro.core.integrated import IntegratedAnalysis
+from repro.errors import LoadGenError
+from repro.loadgen import (
+    PoissonWorkload,
+    RequestTemplate,
+    TraceWriter,
+    load_trace,
+    replay,
+    run_open_loop,
+)
+from repro.network.topology import Network, ServerSpec
+from repro.service import AdmissionService
+
+HOPS = 2
+
+
+def make_service(tmp_path, tag):
+    empty = Network([ServerSpec(k) for k in range(1, HOPS + 1)], [])
+    return AdmissionService(
+        empty, IntegratedAnalysis(), journal_dir=tmp_path / tag,
+        ctx=AnalysisContext(metrics=MetricsRegistry()))
+
+
+def workload(seed=3, rate=5.0, hold_s=0.4):
+    return PoissonWorkload(seed, rate,
+                           template=RequestTemplate(n_servers=HOPS),
+                           hold_s=hold_s)
+
+
+def record_run(tmp_path, tag, path, *, seed=3, include_latency=False):
+    w = workload(seed=seed)
+    events = w.schedule(3.0)
+    service = make_service(tmp_path, tag)
+    with TraceWriter(path, include_latency=include_latency) as writer:
+        writer.write_header(workload=w.describe(),
+                            driver={"mode": "open", "hops": HOPS})
+        result = run_open_loop(service, events, duration_s=3.0,
+                               offered_rate=5.0, writer=writer)
+    result.service.close()
+    return result
+
+
+class TestRecording:
+    def test_same_seed_records_byte_identical_traces(self, tmp_path):
+        record_run(tmp_path, "a", tmp_path / "a.jsonl")
+        record_run(tmp_path, "b", tmp_path / "b.jsonl")
+        assert (tmp_path / "a.jsonl").read_bytes() == \
+               (tmp_path / "b.jsonl").read_bytes()
+
+    def test_different_seed_records_different_trace(self, tmp_path):
+        record_run(tmp_path, "a", tmp_path / "a.jsonl", seed=3)
+        record_run(tmp_path, "b", tmp_path / "b.jsonl", seed=4)
+        assert (tmp_path / "a.jsonl").read_bytes() != \
+               (tmp_path / "b.jsonl").read_bytes()
+
+    def test_rerecording_truncates_stale_trace(self, tmp_path):
+        """Recording twice to one path must not append run to run."""
+        path = tmp_path / "t.jsonl"
+        record_run(tmp_path, "a", path)
+        first = path.read_bytes()
+        record_run(tmp_path, "b", path)
+        assert path.read_bytes() == first
+        header, _ = load_trace(path)  # single header survives
+        assert header["v"] == 1
+
+    def test_header_and_events_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        result = record_run(tmp_path, "a", path)
+        header, events = load_trace(path)
+        assert header["canonical"] is True
+        assert header["workload"]["kind"] == "poisson"
+        assert len(events) == len(result.records)
+        admits = [e for e in events if e["op"] == "admit"]
+        assert all("latency_s" not in e for e in admits)
+        assert all(e["bound_hex"] for e in admits
+                   if e["outcome"] == "admitted")
+
+    def test_include_latency_marks_trace_non_canonical(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        record_run(tmp_path, "a", path, include_latency=True)
+        header, events = load_trace(path)
+        assert header["canonical"] is False
+        assert all("latency_s" in e and "lag_s" in e for e in events)
+
+    def test_flush_every_validated(self, tmp_path):
+        with pytest.raises(LoadGenError):
+            TraceWriter(tmp_path / "t.jsonl", flush_every=0)
+
+
+class TestLoadTrace:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(LoadGenError, match="no trace"):
+            load_trace(tmp_path / "absent.jsonl")
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind":"event","op":"release","name":"x",'
+                        '"outcome":"skipped","i":0,"t":0.0}\n')
+        with pytest.raises(LoadGenError, match="no header"):
+            load_trace(path)
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        record_run(tmp_path, "a", path)
+        _, events = load_trace(path)
+        data = path.read_bytes()
+        path.write_bytes(data + b'{"kind":"event","truncat')
+        header, survived = load_trace(path)
+        assert len(survived) == len(events)
+
+    def test_corruption_mid_file_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        record_run(tmp_path, "a", path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:-5]  # tear a line that is not the tail
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(LoadGenError, match="corrupt trace line"):
+            load_trace(path)
+
+    def test_unknown_record_kind_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind":"comment"}\n')
+        with pytest.raises(LoadGenError, match="unknown trace record"):
+            load_trace(path)
+
+
+class TestReplay:
+    def test_replay_reproduces_every_decision(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        record_run(tmp_path, "a", path)
+        fresh = make_service(tmp_path, "replay")
+        report = replay(path, fresh)
+        fresh.close()
+        assert report.ok
+        assert report.events > 0
+        assert "deterministic" in report.render()
+
+    def test_replay_detects_tampered_outcome(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        record_run(tmp_path, "a", path)
+        header, events = load_trace(path)
+        victim = next(e for e in events if e["op"] == "admit")
+        victim["outcome"] = ("rejected"
+                            if victim["outcome"] == "admitted"
+                            else "admitted")
+        fresh = make_service(tmp_path, "replay")
+        report = replay((header, events), fresh)
+        fresh.close()
+        assert not report.ok
+        assert any(m.field == "outcome" for m in report.mismatches)
+        assert "MISMATCH" in report.render()
+
+    def test_replay_detects_tampered_bound(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        record_run(tmp_path, "a", path)
+        header, events = load_trace(path)
+        victim = next(e for e in events
+                      if e["op"] == "admit" and e["outcome"] == "admitted")
+        victim["bound_hex"] = float(1e9).hex()
+        fresh = make_service(tmp_path, "replay")
+        report = replay((header, events), fresh)
+        fresh.close()
+        mismatched = {m.field for m in report.mismatches}
+        assert "bound_hex" in mismatched
+
+    def test_replay_rejects_event_without_request(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        record_run(tmp_path, "a", path)
+        header, events = load_trace(path)
+        victim = next(e for e in events if e["op"] == "admit")
+        del victim["request"]
+        fresh = make_service(tmp_path, "replay")
+        with pytest.raises(LoadGenError, match="no replayable request"):
+            replay((header, events), fresh)
+        fresh.close()
+
+    def test_replay_calls_back_per_event(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        record_run(tmp_path, "a", path)
+        seen = []
+        fresh = make_service(tmp_path, "replay")
+        replay(path, fresh, on_event=lambda i, rec: seen.append(i))
+        fresh.close()
+        _, events = load_trace(path)
+        assert seen == list(range(len(events)))
+
+
+def test_trace_records_are_compact_sorted_json(tmp_path):
+    """Byte-stability rests on canonical JSON encoding — pin it."""
+    path = tmp_path / "t.jsonl"
+    record_run(tmp_path, "a", path)
+    for line in path.read_text().splitlines():
+        rec = json.loads(line)
+        assert line == json.dumps(rec, sort_keys=True,
+                                  separators=(",", ":"))

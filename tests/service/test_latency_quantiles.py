@@ -1,0 +1,61 @@
+"""Service decision-latency percentiles (the loadgen satellite)."""
+
+from repro.admission.requests import ConnectionRequest
+from repro.context import AnalysisContext
+from repro.context.metrics import MetricsRegistry
+from repro.core.integrated import IntegratedAnalysis
+from repro.curves.token_bucket import TokenBucket
+from repro.network.topology import Network, ServerSpec
+from repro.service import AdmissionService
+
+
+def make_service(tmp_path, metrics):
+    empty = Network([ServerSpec(1), ServerSpec(2)], [])
+    return AdmissionService(
+        empty, IntegratedAnalysis(), journal_dir=tmp_path / "journal",
+        ctx=AnalysisContext(metrics=metrics))
+
+
+def request(i):
+    return ConnectionRequest(f"c{i}", TokenBucket(1.0, 0.02, peak=1.0),
+                             (1, 2), 30.0)
+
+
+def test_every_decision_feeds_the_latency_reservoir(tmp_path):
+    metrics = MetricsRegistry()
+    service = make_service(tmp_path, metrics)
+    for i in range(5):
+        service.admit(request(i))
+    stats = service.latency_quantiles()
+    service.close()
+    assert stats["count"] == 5.0
+    assert 0.0 < stats["p50"] <= stats["p99"] <= stats["max"]
+    # published as service.latency.* gauges for scrapers
+    assert metrics.get("service.latency.p99") == stats["p99"]
+    assert metrics.get("service.latency.count") == 5.0
+
+
+def test_close_publishes_final_latency_gauges(tmp_path):
+    metrics = MetricsRegistry()
+    service = make_service(tmp_path, metrics)
+    service.admit(request(0))
+    assert metrics.get("service.latency.count") == 0.0  # not yet
+    service.close()
+    assert metrics.get("service.latency.count") == 1.0
+    assert metrics.get("service.latency.max") > 0.0
+
+
+def test_rejections_count_too(tmp_path):
+    metrics = MetricsRegistry()
+    service = make_service(tmp_path, metrics)
+    admitted = rejected = 0
+    i = 0
+    while rejected == 0 and i < 300:
+        decision = service.admit(request(i))
+        admitted += decision.admitted
+        rejected += not decision.admitted
+        i += 1
+    stats = service.latency_quantiles()
+    service.close()
+    assert rejected, "expected the tandem to saturate"
+    assert stats["count"] == float(admitted + rejected)

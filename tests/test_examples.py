@@ -25,6 +25,7 @@ CASES = [
     ("feedback_ring.py", []),
     ("network_diagnosis.py", []),
     ("fault_injection.py", []),
+    ("load_test.py", []),
 ]
 
 
