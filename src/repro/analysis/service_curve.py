@@ -31,7 +31,7 @@ import math
 from repro.analysis.base import Analyzer, DelayReport, FlowDelay
 from repro.analysis.propagation import PropagationResult, propagate
 from repro.context import NULL_CONTEXT, AnalysisContext
-from repro.curves.operations import convolve_all
+from repro.curves.operations import convolve_all, hdev
 from repro.curves.piecewise import PiecewiseLinearCurve
 from repro.network.topology import Discipline, Network
 from repro.servers.guaranteed_rate import wfq_service_curve
@@ -110,7 +110,7 @@ class ServiceCurveAnalysis(Analyzer):
                 beta_net = convolve_all(betas)
                 net_curves[f.name] = beta_net
                 source = f.bucket.constraint_curve()
-                total = source.horizontal_deviation(beta_net)
+                total = hdev(source, beta_net)
             delays[f.name] = FlowDelay(
                 flow=f.name,
                 total=total,

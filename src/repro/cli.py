@@ -39,6 +39,8 @@ from repro.analysis.decomposed import DecomposedAnalysis
 from repro.analysis.feedback import FeedbackAnalysis
 from repro.analysis.service_curve import ServiceCurveAnalysis
 from repro.core.integrated import IntegratedAnalysis
+from repro.curves.kernels import ENV_VAR as KERNEL_ENV_VAR
+from repro.curves.kernels import KERNELS
 from repro.curves.token_bucket import TokenBucket
 from repro.eval.figures import FIGURES
 from repro.eval.tables import render_figure
@@ -74,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Integrated end-to-end delay analysis "
                     "(Li/Bettati/Zhao, ICPP 1999)")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def kernel_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--kernel", choices=KERNELS, default=None,
+                       help="curve kernel: exact piecewise algebra "
+                            "(default), sampled grid backend, or auto "
+                            "(exact with grid fallback) — see "
+                            "docs/KERNELS.md")
 
     def tandem_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--hops", type=int, default=4,
@@ -125,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a structured JSON trace of the run "
                         "(per-request and per-server spans, curve-op "
                         "counters, engine cache stats) to FILE")
+    kernel_arg(p)
 
     p = sub.add_parser("export",
                        help="write figure data as CSV + JSON files")
@@ -194,6 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="profile every point (wall-clock + curve-op "
                         "counters per point, kept in checkpoint "
                         "records) and print a per-point timing column")
+    kernel_arg(p)
 
     p = sub.add_parser("serve",
                        help="journaled admission service: admit a "
@@ -313,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="FILE",
                    help="machine-readable result artifact (default "
                         "BENCH_loadtest.json; '' disables)")
+    kernel_arg(p)
 
     p = sub.add_parser("recover",
                        help="crash recovery: replay a journal "
@@ -353,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default=None, metavar="FILE",
                    help="write a structured JSON trace of the run "
                         "(per-seed spans, validate.* counters) to FILE")
+    kernel_arg(p)
     return parser
 
 
@@ -896,6 +909,12 @@ def _cmd_validate(args) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "kernel", None) is not None:
+        # Exported (not thread-local) so sweep worker processes and the
+        # admission service's analyzers inherit the same selection.
+        import os
+
+        os.environ[KERNEL_ENV_VAR] = args.kernel
     handlers = {
         "analyze": _cmd_analyze,
         "figures": _cmd_figures,

@@ -7,13 +7,20 @@ progress line all read and write the same counter namespace instead of
 keeping private ``perf_counter`` bookkeeping.
 
 The curve kernels (:mod:`repro.curves.piecewise`,
-:mod:`repro.curves.numeric`) are too low-level to thread an explicit
-context through every call, so this module also provides a *thread-local
-active registry*: :func:`kernel_count` is a cheap no-op until an
+:mod:`repro.curves.exact`, :mod:`repro.curves.numeric`) are too
+low-level to thread an explicit context through every call, so this
+module also provides a *thread-local active registry*:
+:func:`kernel_count` is a cheap no-op until an
 :class:`~repro.context.AnalysisContext` activates its registry around an
 analysis, at which point every curve operation is counted.  The
 inactive-path cost is one thread-local attribute read and a ``None``
 check — negligible next to the numpy work each kernel performs.
+
+Exact-kernel counters: ``curve.exact_convolve`` /
+``curve.exact_deconvolve`` count the general (mixed-convexity) exact
+paths; ``curve.fallbacks`` counts only the ``kernel="auto"`` grid
+fallback on a diverging deconvolution and is 0 on a pure exact run —
+see ``docs/KERNELS.md`` and ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations

@@ -38,6 +38,7 @@ from repro.analysis.propagation import _local_analysis
 from repro.context import NULL_CONTEXT, AnalysisContext
 from repro.core.partition import PairAlongPath, PartitionStrategy
 from repro.core.subsystem import TwoServerSubsystem
+from repro.curves.kernels import current_kernel, use_kernel
 from repro.curves.piecewise import PiecewiseLinearCurve
 from repro.errors import AnalysisError
 from repro.network.topology import Discipline, Network
@@ -92,6 +93,9 @@ class BlockInput:
     disciplines: tuple[str, ...]
     use_family_kernel: bool
     flows: tuple[FlowAtBlock, ...]
+    #: Curve kernel the block evaluates under (captured at build time);
+    #: part of the engine's content key so exact/grid never alias.
+    kernel: str = "exact"
 
 
 @dataclass(frozen=True)
@@ -195,14 +199,17 @@ def evaluate_block(bi: BlockInput) -> BlockOutcome:
 
     Deterministic: identical :class:`BlockInput` values (bit-identical
     curves included) produce bit-identical outcomes — the contract the
-    incremental engine's content-addressed cache relies on.
+    incremental engine's content-addressed cache relies on.  The block
+    activates ``bi.kernel`` itself, so a replayed block does not depend
+    on the caller's ambient kernel.
     """
-    if bi.kind == "singleton":
-        return _evaluate_singleton(bi)
-    if bi.kind == "fifo_pair":
-        return _evaluate_fifo_pair(bi)
-    if bi.kind == "sp_pair":
-        return _evaluate_sp_pair(bi)
+    with use_kernel(bi.kernel):
+        if bi.kind == "singleton":
+            return _evaluate_singleton(bi)
+        if bi.kind == "fifo_pair":
+            return _evaluate_fifo_pair(bi)
+        if bi.kind == "sp_pair":
+            return _evaluate_sp_pair(bi)
     raise AnalysisError(f"unknown block kind {bi.kind!r}")
 
 
@@ -301,7 +308,8 @@ class IntegratedAnalysis(Analyzer):
             capacities=tuple(network.server(s).capacity for s in block),
             disciplines=tuple(network.server(s).discipline for s in block),
             use_family_kernel=self.use_family_kernel,
-            flows=tuple(flows))
+            flows=tuple(flows),
+            kernel=current_kernel())
 
     def analyze(self, network: Network, *,
                 ctx: AnalysisContext = NULL_CONTEXT) -> DelayReport:

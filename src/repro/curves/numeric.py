@@ -1,9 +1,12 @@
-"""Sampled (grid) curve kernels.
+"""Sampled (grid) curve kernels — the differential-checking backend.
 
-The exact piecewise algebra in :mod:`repro.curves.piecewise` covers the
-closed-form cases; anything with mixed convexity — notably the integrated
-two-server delay expression (Theorem 1) and general min-plus convolution
-— is evaluated here on a dense uniform grid with vectorized numpy.
+The exact piecewise algebra (:mod:`repro.curves.piecewise` closed forms
+plus the general :mod:`repro.curves.exact` kernel) is the default for
+every analysis; the dense-uniform-grid kernels here remain as the
+``kernel="grid"`` backend of :mod:`repro.curves.operations` — selected
+for differential validation (:func:`repro.validate.oracles.
+check_exact_grid`), kernel benchmarks, and legacy comparisons.  They
+are no longer on any hot path.
 
 All kernels take plain float arrays sampled on a :class:`repro.utils.grid.
 TimeGrid`; conversion helpers to/from :class:`PiecewiseLinearCurve` are
@@ -41,11 +44,21 @@ def to_curve(values: np.ndarray, grid: TimeGrid) -> PiecewiseLinearCurve:
     The final slope is taken from the last grid segment, so the
     reconstruction is only trustworthy inside the grid horizon — callers
     must size the horizon to cover every feature they care about.
+
+    A nondecreasing input whose last cell carries float-cancellation
+    noise used to mint a *decreasing* tail (e.g. a reconstructed
+    arrival curve shrinking forever past the horizon); tiny negative
+    final slopes are clamped to 0 when the samples themselves are
+    nondecreasing up to the same value tolerance.
     """
     v = np.asarray(values, dtype=float)
     if v.shape != (grid.n,):
         raise ValueError(f"expected {grid.n} samples, got {v.shape}")
     fs = (v[-1] - v[-2]) / grid.dt
+    if fs < 0.0:
+        noise = 1e-9 * max(1.0, float(np.max(np.abs(v))))
+        if -fs * grid.dt <= noise and np.all(np.diff(v) >= -noise):
+            fs = 0.0
     return PiecewiseLinearCurve(grid.times, v, fs).simplified()
 
 

@@ -44,6 +44,7 @@ from repro.core.integrated import (
     IntegratedAnalysis,
     evaluate_block,
 )
+from repro.curves.kernels import current_kernel
 from repro.engine.cache import ResultCache
 from repro.engine.depgraph import DependencyGraph, affected_cone
 from repro.engine.stats import EngineStats
@@ -66,8 +67,13 @@ _Record = tuple[object, float]
 
 
 def _server_key(si: ServerInput) -> bytes:
-    """Content digest of one decomposition step's exact inputs."""
-    parts: list[object] = ["step", si.capacity, si.discipline, si.capped]
+    """Content digest of one decomposition step's exact inputs.
+
+    The curve kernel is part of the key: a step evaluated on the grid
+    backend must never replay as an exact result (or vice versa).
+    """
+    parts: list[object] = ["step", si.capacity, si.discipline, si.capped,
+                           si.kernel]
     for fa in si.flows:
         parts.extend((fa.name, fa.has_next, fa.priority, fa.rho,
                       fa.curve.x, fa.curve.y, fa.curve.final_slope))
@@ -75,9 +81,13 @@ def _server_key(si: ServerInput) -> bytes:
 
 
 def _block_key(bi: BlockInput) -> bytes:
-    """Content digest of one integrated block's exact inputs."""
+    """Content digest of one integrated block's exact inputs.
+
+    Includes the curve kernel, like :func:`_server_key`.
+    """
     parts: list[object] = ["block", bi.kind, bi.capacities,
-                           bi.disciplines, bi.use_family_kernel]
+                           bi.disciplines, bi.use_family_kernel,
+                           bi.kernel]
     for fa in bi.flows:
         parts.extend((fa.name, fa.role, fa.has_next, fa.priority, fa.rho,
                       fa.curve.x, fa.curve.y, fa.curve.final_slope))
@@ -198,20 +208,26 @@ class IncrementalEngine(Analyzer):
         """False when every query cold-falls-back (unknown analyzer)."""
         return self._mode is not None
 
-    def _fingerprint(self) -> tuple:
+    def _fingerprint(self, ctx: AnalysisContext) -> tuple:
         """The wrapped analyzer's current configuration.
 
         Changing configuration between queries invalidates fast reuse
         (the memoized sweep was produced under different settings);
         the content cache is safe regardless because the relevant flags
-        are part of every key.
+        are part of every key.  The effective curve kernel — the
+        context's selection when set, else the ambient one — is part of
+        the configuration: switching kernels between queries must not
+        replay the previous kernel's sweep verbatim.
         """
+        kernel = ctx.kernel if ctx.kernel is not None else current_kernel()
         if self._mode == "decomposed":
-            return ("decomposed", self._analyzer.capped_propagation)
+            return ("decomposed", self._analyzer.capped_propagation,
+                    kernel)
         strategy = self._analyzer.strategy
         return ("integrated", self._analyzer.use_family_kernel,
                 type(strategy).__qualname__,
-                getattr(strategy, "flow_name", None))
+                getattr(strategy, "flow_name", None),
+                kernel)
 
     # ------------------------------------------------------------------
     # core analysis
@@ -241,7 +257,7 @@ class IncrementalEngine(Analyzer):
             return self._analyzer.run(network, ctx)
 
         memo = self._memo
-        fingerprint = self._fingerprint()
+        fingerprint = self._fingerprint(ctx)
         if (memo is not None and memo.fingerprint == fingerprint
                 and memo.network.version == network.version):
             ctx.count("engine.memo_replays")

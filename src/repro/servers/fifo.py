@@ -22,6 +22,8 @@ import math
 from typing import Mapping
 
 from repro.curves.operations import busy_period as _busy_period
+from repro.curves.operations import hdev as _hdev
+from repro.curves.operations import vdev as _vdev
 from repro.curves.piecewise import PiecewiseLinearCurve
 from repro.errors import InstabilityError
 from repro.servers.base import LocalAnalysis
@@ -47,19 +49,26 @@ def _check_stable(aggregate: PiecewiseLinearCurve, capacity: float) -> None:
 
 def fifo_delay_bound(aggregate: PiecewiseLinearCurve,
                      capacity: float) -> float:
-    """Worst-case delay at a FIFO server: ``max_t (G(t)/C - t)``."""
+    """Worst-case delay at a FIFO server: ``max_t (G(t)/C - t)``.
+
+    Dispatched on the active curve kernel (exact by default; the grid
+    backend pads its sampled deviation to dominate the exact bound —
+    see ``docs/KERNELS.md``).
+    """
     check_positive("capacity", capacity)
     _check_stable(aggregate, capacity)
-    return aggregate.horizontal_deviation(
-        PiecewiseLinearCurve.line(capacity))
+    return _hdev(aggregate, PiecewiseLinearCurve.line(capacity))
 
 
 def fifo_backlog_bound(aggregate: PiecewiseLinearCurve,
                        capacity: float) -> float:
-    """Worst-case backlog at a FIFO server: ``max_t (G(t) - C t)``."""
+    """Worst-case backlog at a FIFO server: ``max_t (G(t) - C t)``.
+
+    Kernel-dispatched like :func:`fifo_delay_bound`.
+    """
     check_positive("capacity", capacity)
     _check_stable(aggregate, capacity)
-    return aggregate.vertical_deviation(PiecewiseLinearCurve.line(capacity))
+    return _vdev(aggregate, PiecewiseLinearCurve.line(capacity))
 
 
 def fifo_busy_period(aggregate: PiecewiseLinearCurve,

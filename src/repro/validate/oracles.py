@@ -53,6 +53,7 @@ __all__ = [
     "check_ordering",
     "check_monotonicity",
     "check_kernels",
+    "check_exact_grid",
 ]
 
 #: Float-comparison epsilon added on top of every analytic tolerance.
@@ -225,9 +226,18 @@ def check_monotonicity(network: Network, *,
     (skipped when it would destabilize a server).  For each analyzer
     and flow, the inflated bound must be at least the baseline bound
     (up to the bound-vs-bound comparison slack).
+
+    Always evaluated on the exact kernel: monotonicity is a property
+    of the analytic bounds, and the grid backend's resolution-derived
+    soundness pads shrink with its rate-aware horizon — inflating the
+    rates can shrink the pad faster than the true bound grows, so the
+    padded bound is *not* monotone in the inputs (see docs/KERNELS.md).
+    The grid backend itself is covered by the kernel and exact-vs-grid
+    differential oracles.
     """
     analyzers = dict(analyzers) if analyzers is not None \
         else default_analyzers()
+    ctx = ctx.with_kernel("exact")
     base = {name: a.run(network, ctx)
             for name, a in analyzers.items()}
     inflations: list[tuple[str, Network]] = [
@@ -371,6 +381,120 @@ def check_kernels(seed: int, *, trials: int = 8,
                                       numeric.sample(srv, grid))
         tol = 2.0 * dt * (l_arr + l_srv)
         record("vdev", exact_v, sampled_v, tol, f"trial {trial}")
+    return violations
+
+
+def _random_mixed(rng: np.random.Generator) -> PiecewiseLinearCurve:
+    """A random mixed-convexity curve: convex near 0, concave beyond.
+
+    ``rate_latency ∧ token-bucket`` with the latency ramp steeper than
+    the bucket's sustained rate is neither convex nor concave, so the
+    exact kernel must take its general decomposition path (no closed
+    form applies).
+    """
+    concave = _random_concave(rng)
+    rate = float(rng.uniform(concave.final_slope + 0.2, 3.0))
+    latency = float(rng.uniform(0.2, 2.0))
+    return PiecewiseLinearCurve.rate_latency(rate, latency).minimum(
+        concave).simplified()
+
+
+def check_exact_grid(seed: int, *, trials: int = 6,
+                     resolution: int = 1024,
+                     ctx: AnalysisContext = NULL_CONTEXT,
+                     ) -> list[Violation]:
+    """Differential oracle over the *operations façade*: exact vs grid.
+
+    Where :func:`check_kernels` compares the raw numeric kernels
+    against closed forms, this oracle drives the public
+    :mod:`repro.curves.operations` dispatch — the exact kernel's
+    general (mixed-convexity) paths against the padded grid backend —
+    and asserts the *soundness ordering* the analyses rely on:
+
+    * **convolution**: the grid inf ranges over fewer split points, so
+      at every grid time ``exact ⊗ <= grid ⊗ + eps``; and the grid
+      result must stay within the documented ``2·dt·(1 + Lf + Lg)``
+      error envelope of the exact one.
+    * **deconvolution**: the padded grid sup must dominate the exact
+      sup on the kept window, within ``2·dt·(Lf + Lg)`` of it.
+    * **hdev / vdev**: the grid backend's padded deviations must
+      dominate the exact ones, within twice their pad.
+
+    A violation in either direction means a kernel (or a pad) is wrong.
+    """
+    from repro.curves.exact import exact_convolve, exact_deconvolve
+    from repro.curves.kernels import use_kernel
+    from repro.curves.operations import _auto_grid
+    from repro.curves.operations import convolve as op_convolve
+    from repro.curves.operations import deconvolve as op_deconvolve
+    from repro.curves.operations import hdev, vdev
+
+    rng = np.random.default_rng(seed)
+    violations: list[Violation] = []
+    n_probe = max(8, resolution // 16)
+
+    def record(op: str, gap: float, tol: float, what: str) -> None:
+        ctx.count("validate.exact_grid_checks")
+        if gap > tol:
+            violations.append(Violation(
+                "exact_grid", None,
+                f"{op}: {what} (seed={seed})", gap, tol))
+
+    for trial in range(trials):
+        ctx.checkpoint(f"exact/grid differential trial {trial}")
+        mixed = _random_mixed(rng)
+        arr = _random_concave(rng)
+        srv = _random_convex(rng, min_rate=max(mixed.final_slope,
+                                               arr.final_slope))
+        l_m, l_a, l_s = (_lipschitz(c) for c in (mixed, arr, srv))
+
+        # -- convolution: exact general path vs sampled grid ----------
+        # Probe at grid points: between them the reconstructed grid
+        # curve interpolates linearly and may legitimately dip below
+        # the exact curve by O(dt*L) in concave regions.
+        grid = _auto_grid(mixed, srv)   # the grid backend's own grid
+        probe = grid.times[:: max(1, grid.n // n_probe)]
+        probe = probe[probe <= 0.5 * grid.horizon]
+        c_exact = exact_convolve(mixed, srv)
+        with use_kernel("grid"):
+            c_grid = op_convolve(mixed, srv)
+        ve, vg = c_exact.sample(probe), c_grid.sample(probe)
+        tol = 2.0 * grid.dt * (1.0 + l_m + l_s)
+        record("convolve", float(np.max(ve - vg)), EPS_ABS,
+               f"trial {trial}: exact exceeds grid inf")
+        record("convolve", float(np.max(vg - ve)), tol + EPS_ABS,
+               f"trial {trial}: grid outside error envelope")
+
+        # -- deconvolution: exact sup vs padded grid sup --------------
+        grid = _auto_grid(arr, srv)
+        probe = grid.times[:: max(1, grid.n // n_probe)]
+        probe = probe[probe <= 0.5 * grid.horizon]
+        d_exact = exact_deconvolve(arr, srv)
+        with use_kernel("grid"):
+            d_grid = op_deconvolve(arr, srv)
+        ve, vg = d_exact.sample(probe), d_grid.sample(probe)
+        tol = 2.0 * grid.dt * (l_a + l_s)
+        record("deconvolve", float(np.max(ve - vg)), EPS_ABS,
+               f"trial {trial}: padded grid sup below exact sup")
+        record("deconvolve", float(np.max(vg - ve)), tol + EPS_ABS,
+               f"trial {trial}: grid outside error envelope")
+
+        # -- deviations: padded grid must dominate exact --------------
+        h_exact = hdev(arr, srv, kernel="exact")
+        v_exact = vdev(arr, srv, kernel="exact")
+        h_grid = hdev(arr, srv, kernel="grid")
+        v_grid = vdev(arr, srv, kernel="grid")
+        grid = _auto_grid(arr, srv)
+        h_pad = 2.0 * grid.dt * (1.0 + l_a / max(srv.final_slope, 1e-9))
+        v_pad = 2.0 * grid.dt * (l_a + l_s)
+        record("hdev", h_exact - h_grid, EPS_ABS,
+               f"trial {trial}: grid hdev below exact")
+        record("hdev", h_grid - h_exact, 2.0 * h_pad + EPS_ABS,
+               f"trial {trial}: grid hdev outside envelope")
+        record("vdev", v_exact - v_grid, EPS_ABS,
+               f"trial {trial}: grid vdev below exact")
+        record("vdev", v_grid - v_exact, 2.0 * v_pad + EPS_ABS,
+               f"trial {trial}: grid vdev outside envelope")
     return violations
 
 

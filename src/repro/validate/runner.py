@@ -29,6 +29,7 @@ from repro.network.serialization import network_to_dict
 from repro.network.topology import Network
 from repro.validate.oracles import (
     Violation,
+    check_exact_grid,
     check_kernels,
     check_monotonicity,
     check_ordering,
@@ -76,7 +77,8 @@ class ValidationReport:
         """Human-readable summary (the CLI's output)."""
         lines = [f"validated {len(self.seeds)} seed(s): "
                  f"{len(self.cases)} violation(s)"]
-        for name in ("soundness", "ordering", "monotonicity", "kernel"):
+        for name in ("soundness", "ordering", "monotonicity", "kernel",
+                     "exact_grid"):
             n = self.counters.get(f"validate.{name}_checks", 0)
             if n:
                 lines.append(f"  {name:<14} {int(n):>6} checks")
@@ -206,6 +208,14 @@ def run_validation(seeds: int | Iterable[int], *,
                     ctx.count("validate.violations")
                     cases.append(ReproCase(
                         oracle="kernel", seed=seed,
+                        violation=violation.as_dict(),
+                        params=dict(kernel_params)))
+                for violation in check_exact_grid(
+                        seed, trials=kernel_trials,
+                        resolution=kernel_resolution, ctx=ctx):
+                    ctx.count("validate.violations")
+                    cases.append(ReproCase(
+                        oracle="exact_grid", seed=seed,
                         violation=violation.as_dict(),
                         params=dict(kernel_params)))
             done.append(seed)

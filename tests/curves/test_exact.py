@@ -1,0 +1,200 @@
+"""Unit tests for the exact general min-plus kernel.
+
+Brute-force reference: for piecewise-linear operands the inf/sup of
+``f(s) + g(t-s)`` / ``f(t+u) - g(u)`` over a dense candidate grid is a
+one-sided bound of the true value and converges to it; the exact kernel
+must agree within a tolerance tied to the grid spacing.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.context.metrics import MetricsRegistry, activate_registry
+from repro.curves.exact import exact_convolve, exact_deconvolve
+from repro.curves.piecewise import PiecewiseLinearCurve as P
+from repro.errors import CurveError
+
+
+def brute_convolve(f, g, t, n=4001):
+    ss = np.linspace(0.0, t, n)
+    return float(np.min(f.sample(ss) + g.sample(t - ss)))
+
+
+def brute_deconvolve(f, g, t, u_max, n=4001):
+    us = np.linspace(0.0, u_max, n)
+    return float(np.max(f.sample(t + us) - g.sample(us)))
+
+
+def mixed(burst=1.0, rho=0.2, rate=1.0, latency=1.0):
+    """rate_latency ∧ affine: convex near 0, concave beyond."""
+    return P.rate_latency(rate, latency).minimum(
+        P.affine(burst, rho)).simplified()
+
+
+class TestExactConvolve:
+    def test_matches_closed_form_concave(self):
+        f, g = P.affine(1.0, 0.5), P.affine(2.0, 0.2)
+        out = exact_convolve(f, g)
+        ts = np.linspace(0.0, 30.0, 301)
+        ref = f.convolve(g)
+        np.testing.assert_allclose(out.sample(ts), ref.sample(ts),
+                                   atol=1e-9)
+
+    def test_matches_closed_form_convex(self):
+        f, g = P.rate_latency(1.0, 1.0), P.rate_latency(2.0, 2.0)
+        out = exact_convolve(f, g)
+        assert out(3.0) == 0.0
+        assert out(4.0) == pytest.approx(1.0)
+        assert out.final_slope == pytest.approx(1.0)
+
+    def test_mixed_convexity_brute_force(self):
+        f = mixed()
+        g = P.rate_latency(1.0, 1.0)
+        out = exact_convolve(f, g)
+        for t in (0.0, 0.5, 1.0, 2.0, 3.7, 5.0, 12.0):
+            assert out(t) == pytest.approx(brute_convolve(f, g, t),
+                                           abs=2e-3)
+
+    def test_mixed_mixed_brute_force(self):
+        f = mixed(1.0, 0.2, 1.0, 1.0)
+        g = mixed(2.0, 0.1, 0.7, 2.5)
+        out = exact_convolve(f, g)
+        for t in (0.0, 1.0, 2.5, 4.0, 8.0, 20.0):
+            assert out(t) == pytest.approx(brute_convolve(f, g, t),
+                                           abs=2e-3)
+
+    def test_random_pairs_brute_force(self):
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            f = mixed(rng.uniform(0.1, 3), rng.uniform(0.05, 0.5),
+                      rng.uniform(0.6, 2), rng.uniform(0.1, 3))
+            g = mixed(rng.uniform(0.1, 3), rng.uniform(0.05, 0.5),
+                      rng.uniform(0.6, 2), rng.uniform(0.1, 3))
+            out = exact_convolve(f, g)
+            for t in rng.uniform(0.0, 15.0, 4):
+                assert out(float(t)) == pytest.approx(
+                    brute_convolve(f, g, float(t)), abs=5e-3)
+
+    def test_commutative_on_mixed(self):
+        f, g = mixed(), P.rate_latency(0.8, 2.0)
+        a, b = exact_convolve(f, g), exact_convolve(g, f)
+        ts = np.linspace(0.0, 25.0, 501)
+        np.testing.assert_allclose(a.sample(ts), b.sample(ts), atol=1e-9)
+        assert a.final_slope == pytest.approx(b.final_slope)
+
+    def test_zero_curve_collapses_to_value_at_zero(self):
+        # (f ⊗ 0)(t) = inf_s f(s) + 0 = f(0) for nondecreasing f —
+        # the ⊗ identity is the burst delta, not the zero function
+        f = mixed()
+        out = exact_convolve(f, P.constant(0.0))
+        ts = np.linspace(0.0, 20.0, 201)
+        np.testing.assert_allclose(out.sample(ts), f(0.0), atol=1e-9)
+
+    def test_constant_shifts_values(self):
+        out = exact_convolve(P.constant(3.0), mixed())
+        # min(3 + mixed(t-s) at s ~ t, mixed-part...) — brute check
+        for t in (0.0, 1.0, 5.0):
+            assert out(t) == pytest.approx(
+                brute_convolve(P.constant(3.0), mixed(), t), abs=2e-3)
+
+    def test_final_slope_is_min_of_rates(self):
+        f = mixed(rho=0.2)
+        g = mixed(rho=0.35)
+        assert exact_convolve(f, g).final_slope == pytest.approx(0.2)
+
+    def test_counts_general_path_only(self):
+        reg = MetricsRegistry()
+        with activate_registry(reg):
+            exact_convolve(P.affine(1, 0.5), P.affine(2, 0.2))  # closed
+            exact_convolve(mixed(), P.rate_latency(1.0, 1.0))   # general
+        assert reg.get("curve.exact_convolve") == 1.0
+
+
+class TestExactDeconvolve:
+    def test_affine_rate_latency_closed_form(self):
+        # affine(sigma, rho) ⊘ rate_latency(R, T) = sigma + rho*T + rho*t
+        out = exact_deconvolve(P.affine(1.0, 0.25),
+                               P.rate_latency(1.0, 2.0))
+        assert out(0.0) == pytest.approx(1.5)
+        assert out.final_slope == pytest.approx(0.25)
+
+    def test_equal_rates_stay_finite(self):
+        out = exact_deconvolve(P.affine(2.0, 0.5), P.line(0.5))
+        assert out(0.0) == pytest.approx(2.0)
+        assert out(4.0) == pytest.approx(4.0)
+        assert out.final_slope == pytest.approx(0.5)
+
+    def test_brute_force_agreement(self):
+        rng = np.random.default_rng(23)
+        for _ in range(25):
+            f = P.affine(rng.uniform(0.1, 3), rng.uniform(0.05, 0.5))
+            g = P.rate_latency(f.final_slope + rng.uniform(0.1, 1.5),
+                               rng.uniform(0.0, 3.0))
+            out = exact_deconvolve(f, g)
+            for t in rng.uniform(0.0, 10.0, 3):
+                ref = brute_deconvolve(f, g, float(t), u_max=80.0)
+                assert out(float(t)) == pytest.approx(ref, abs=5e-3)
+                # brute force is a lower bound of the sup: never above
+                assert out(float(t)) >= ref - 1e-9
+
+    def test_mixed_numerator_brute_force(self):
+        f = mixed(2.0, 0.2, 1.5, 0.5)
+        g = P.rate_latency(1.0, 1.0)
+        out = exact_deconvolve(f, g)
+        for t in (0.0, 0.7, 2.0, 6.0):
+            assert out(t) == pytest.approx(
+                brute_deconvolve(f, g, t, u_max=60.0), abs=5e-3)
+
+    def test_divergence_raises(self):
+        with pytest.raises(CurveError, match="diverges"):
+            exact_deconvolve(P.affine(1.0, 2.0), P.line(1.0))
+
+    def test_constant_denominator(self):
+        out = exact_deconvolve(P.constant(3.0), P.line(1.0))
+        assert out(0.0) == pytest.approx(3.0)
+        assert out.final_slope == 0.0
+
+    def test_tail_slope_is_long_term_rate(self):
+        f = mixed(1.0, 0.3, 2.0, 0.2)
+        g = P.rate_latency(1.0, 1.0)
+        assert exact_deconvolve(f, g).final_slope == pytest.approx(
+            f.long_term_rate())
+
+    def test_counts_exact_deconvolve(self):
+        reg = MetricsRegistry()
+        with activate_registry(reg):
+            exact_deconvolve(P.affine(1.0, 0.25),
+                             P.rate_latency(1.0, 2.0))
+        assert reg.get("curve.exact_deconvolve") == 1.0
+
+    def test_result_dominates_f(self):
+        # g(0) == 0 for service curves ⇒ (f ⊘ g)(t) >= f(t)
+        f = mixed(1.5, 0.25, 1.2, 0.8)
+        g = P.rate_latency(1.0, 2.0)
+        out = exact_deconvolve(f, g)
+        ts = np.linspace(0.0, 30.0, 301)
+        assert np.all(out.sample(ts) >= f.sample(ts) - 1e-9)
+
+
+class TestDegenerate:
+    def test_zero_curves(self):
+        z = P.zero()
+        assert exact_convolve(z, z)(5.0) == 0.0
+        out = exact_deconvolve(z, P.line(1.0))
+        assert out(3.0) == 0.0
+
+    def test_zero_latency_rate_latency(self):
+        f = mixed()
+        out = exact_convolve(f, P.rate_latency(5.0, 0.0))
+        for t in (0.0, 1.0, 4.0):
+            assert out(t) == pytest.approx(brute_convolve(
+                f, P.rate_latency(5.0, 0.0), t), abs=2e-3)
+
+    def test_burst_only_curve(self):
+        # pure burst: constant sigma (rate 0 numerator)
+        out = exact_deconvolve(P.constant(2.0), P.rate_latency(1.0, 1.5))
+        assert out(0.0) == pytest.approx(2.0)
+        assert out.final_slope == 0.0
+        assert math.isfinite(out(100.0))

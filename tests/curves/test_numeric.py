@@ -57,6 +57,25 @@ class TestSampleRoundtrip:
         with pytest.raises(ValueError):
             numeric.to_curve(np.zeros(50), g)
 
+    def test_to_curve_clamps_noise_negative_final_slope(self):
+        # regression: float cancellation in the last cell of an
+        # otherwise-nondecreasing sample vector used to mint a curve
+        # that decreases forever past the horizon
+        g = make_grid(10.0, 101)
+        v = numeric.sample(P.affine(1.0, 0.5), g)
+        v[-1] = v[-2] - 1e-12  # cancellation noise, below tolerance
+        back = numeric.to_curve(v, g)
+        assert back.final_slope == 0.0
+        assert back(1e6) >= back(g.horizon)
+
+    def test_to_curve_keeps_genuine_negative_final_slope(self):
+        # a genuinely decreasing tail is preserved — the clamp only
+        # fires for sub-tolerance noise on nondecreasing samples
+        g = make_grid(10.0, 101)
+        v = 5.0 - 0.5 * g.times
+        back = numeric.to_curve(v, g)
+        assert back.final_slope == pytest.approx(-0.5)
+
 
 class TestGridConvolve:
     def test_matches_brute_force(self):

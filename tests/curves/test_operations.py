@@ -5,6 +5,7 @@ import math
 import numpy as np
 import pytest
 
+from repro.curves.kernels import use_kernel
 from repro.curves.operations import (
     busy_period,
     convolve,
@@ -65,17 +66,27 @@ class TestConvolveFacade:
         brute = float(np.min(fg + h[::-1]))  # ((f*g)*h)(t) on the grid
         assert brute > 1.0  # the true fold is far from degenerate
 
-        fixed = convolve_all([concave, convex, late], horizon=8.0)
-        assert fixed(t) == pytest.approx(brute, abs=0.1)
-        # the old behavior — every fold clamped to the caller's 8.0
-        # window — saw only the zero prefix of the 30-latency curve
-        # and extrapolated the whole fold to 0 (an unsound bound)
-        old = convolve(convolve(concave, convex, horizon=8.0),
-                       late, horizon=8.0)
-        assert old(t) == 0.0
+        with use_kernel("grid"):
+            fixed = convolve_all([concave, convex, late], horizon=8.0)
+            assert fixed(t) == pytest.approx(brute, abs=0.1)
+            # the old behavior — every fold clamped to the caller's 8.0
+            # window — saw only the zero prefix of the 30-latency curve
+            # and extrapolated the whole fold to 0 (an unsound bound)
+            old = convolve(convolve(concave, convex, horizon=8.0),
+                           late, horizon=8.0)
+            assert old(t) == 0.0
 
 
 class TestDeconvolve:
+    """Pins the *grid* backend's pad/splice semantics, so every test
+    activates ``kernel="grid"`` explicitly (the default exact kernel
+    has no pad, no splice and no horizon)."""
+
+    @pytest.fixture(autouse=True)
+    def _grid_kernel(self):
+        with use_kernel("grid"):
+            yield
+
     def test_output_burstiness(self):
         # affine ⊘ rate-latency: burst inflated by rho*T
         out = deconvolve(P.affine(1.0, 0.25), P.rate_latency(1.0, 2.0),
@@ -183,9 +194,10 @@ class TestAutoGridRateAware:
         result (the sampled bound genuinely moved)."""
         f = P.affine(4.0, 0.25)
         g = P.rate_latency(0.5, 0.2)
-        # old formula: max(1.0, 4 * 0.2) == 1.0
-        old = deconvolve(f, g, horizon=1.0)
-        new = deconvolve(f, g)
+        with use_kernel("grid"):
+            # old formula: max(1.0, 4 * 0.2) == 1.0
+            old = deconvolve(f, g, horizon=1.0)
+            new = deconvolve(f, g)
         assert old != new
         exact_burst = 4.0 + 0.25 * 0.2  # sup at j = latency
         assert new(0.0) == pytest.approx(exact_burst, abs=0.01)

@@ -220,3 +220,48 @@ class TestControllerIntegration:
         out = capsys.readouterr().out
         assert rc == 0
         assert "admitted" in out and "engine stats:" in out
+
+
+class TestKernelFingerprint:
+    """Kernel selection is part of the engine's memo identity.
+
+    The engine fingerprints queries with the *effective* kernel (the
+    context's if set, else the ambient one), and content keys carry
+    the kernel captured at build time — switching kernels between
+    queries must never replay results computed under the other one.
+    """
+
+    def _engine(self):
+        net = tandem().with_flow(flow("a", [1, 2, 3, 4], rho=2.0))
+        return IncrementalEngine(DecomposedAnalysis(), net)
+
+    def test_ctx_kernel_separates_memo_entries(self):
+        from repro.context import AnalysisContext
+
+        eng = self._engine()
+        exact = eng.query(ctx=AnalysisContext(kernel="exact"))
+        grid = eng.query(ctx=AnalysisContext(kernel="grid"))
+        # the grid backend pads its bounds: strictly looser somewhere
+        assert all(grid.delay_of(n) >= exact.delay_of(n) - 1e-12
+                   for n in exact.delays)
+        assert any(grid.delay_of(n) > exact.delay_of(n) + 1e-9
+                   for n in exact.delays)
+        # switching back must reproduce the exact run bit-identically,
+        # not replay the grid one
+        again = eng.query(ctx=AnalysisContext(kernel="exact"))
+        assert reports_identical(again, exact)
+
+    def test_ambient_kernel_is_fingerprinted(self):
+        from repro.curves.kernels import use_kernel
+
+        eng = self._engine()
+        exact = eng.query()
+        with use_kernel("grid"):
+            grid = eng.query()
+        assert not reports_identical(grid, exact)
+        # ambient and explicit selection share one memo identity
+        from repro.context import AnalysisContext
+
+        with use_kernel("grid"):
+            again = eng.query(ctx=AnalysisContext(kernel="grid"))
+        assert reports_identical(again, grid)
