@@ -332,6 +332,43 @@ class AdmissionController:
             self.commit(request, decision)
         return decision
 
+    def admit_batch(self, requests: Iterable[ConnectionRequest], *,
+                    workers: int = 1,
+                    ctx: AnalysisContext | None = None,
+                    ) -> list[AdmissionDecision]:
+        """Admit a batch of requests; returns one decision per request.
+
+        Semantically identical to calling :meth:`admit` on each request
+        in order — same decisions, same reason strings, same
+        bit-identical bounds, same commit order.  With ``workers > 1``
+        and a decomposed-family primary analyzer, independent component
+        groups of the batch are evaluated concurrently on a process
+        pool (:mod:`repro.admission.batch`); whenever the parallel
+        planner cannot guarantee serial equivalence it falls back to
+        the serial loop, so the flag is always safe.
+        """
+        requests = list(requests)
+        if ctx is None:
+            ctx = self._context
+        planned = None
+        if workers > 1 and len(requests) > 1:
+            from repro.admission.batch import plan_batch
+            planned = plan_batch(self, requests, workers=workers, ctx=ctx)
+        if planned is None:
+            return [self.admit(r, ctx=ctx) for r in requests]
+        decisions: list[AdmissionDecision] = []
+        for request, (kind, decision) in zip(requests, planned):
+            if kind == "serial":
+                decision = self.admit(request, ctx=ctx)
+            else:
+                ctx.count("admission.requests")
+                ctx.count("admission.admitted" if decision.admitted
+                          else "admission.rejected")
+                if decision.admitted:
+                    self.commit(request, decision)
+            decisions.append(decision)
+        return decisions
+
     def commit(self, request: ConnectionRequest,
                decision: AdmissionDecision) -> None:
         """Apply a positive decision produced by :meth:`test`.

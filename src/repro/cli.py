@@ -239,6 +239,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="journaled ops between snapshots (default 64)")
     p.add_argument("--no-incremental", action="store_true",
                    help="run the primary analyzer cold (no engine rung)")
+    p.add_argument("--tandems", type=int, default=1,
+                   help="serve this many disjoint tandems round-robin "
+                        "(independent components parallel batches can "
+                        "fan out over; default 1)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="admission-test process pool size; > 1 admits "
+                        "in batches whose independent component groups "
+                        "run concurrently (default 1 = serial)")
+    p.add_argument("--batch", type=int, default=16,
+                   help="requests per admit_batch when --workers > 1 "
+                        "(default 16)")
+    kernel_arg(p)
 
     p = sub.add_parser("loadtest",
                        help="SLO-gated load test of the admission "
@@ -255,6 +267,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=10.0, metavar="S",
                    help="virtual horizon in seconds (default 10)")
     p.add_argument("--hops", type=int, default=4)
+    p.add_argument("--tandems", type=int, default=1, metavar="T",
+                   help="disjoint tandems of --hops servers; requests "
+                        "round-robin across them (independent "
+                        "components give --workers concurrency to "
+                        "exploit; default 1)")
     p.add_argument("--deadline", type=float, default=30.0)
     p.add_argument("--rho", type=float, default=0.02,
                    help="per-connection rate (default 0.02)")
@@ -288,6 +305,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--requests", type=int, default=None, metavar="N",
                    help="closed loop: total requests (default "
                         "rate x duration)")
+    p.add_argument("--workers", type=int, default=1, metavar="W",
+                   help="closed loop: admit each round of in-flight "
+                        "requests as one parallel batch on W pool "
+                        "workers (decisions stay bit-identical to "
+                        "the serial round-robin; default 1)")
     p.add_argument("--pace", action="store_true",
                    help="open loop: sleep to the virtual schedule "
                         "(real-time run) instead of as-fast-as-"
@@ -335,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "bound re-verification")
     p.add_argument("--show-bounds", action="store_true",
                    help="print the recovered per-flow delay bounds")
+    kernel_arg(p)
 
     p = sub.add_parser("validate",
                        help="differential validation: fuzz the bounds "
@@ -601,11 +624,16 @@ def _cmd_serve(args) -> int:
     from repro.errors import JournalError, RecoveryError
     from repro.service import AdmissionService, recover_service
 
+    if args.tandems < 1:
+        raise SystemExit("serve: --tandems must be >= 1")
+    if args.workers < 1:
+        raise SystemExit("serve: --workers must be >= 1")
     try:
         if args.resume:
             service = recover_service(
                 args.journal,
                 analyzer=_make_analyzer(args.analyzer),
+                kernel=args.kernel,
                 analysis_budget=args.budget,
                 incremental=not args.no_incremental,
                 snapshot_every=args.snapshot_every,
@@ -613,11 +641,17 @@ def _cmd_serve(args) -> int:
             print(f"recovered {len(service.admitted)} connection(s) "
                   f"from {args.journal}")
         else:
+            # --tandems T disjoint lines of --hops servers; requests
+            # round-robin across them (independent components, so
+            # --workers > 1 has concurrency to exploit)
             empty = Network(
-                [ServerSpec(k) for k in range(1, args.hops + 1)], [])
+                [ServerSpec(t * args.hops + k)
+                 for t in range(args.tandems)
+                 for k in range(1, args.hops + 1)], [])
             service = AdmissionService(
                 empty, _make_analyzer(args.analyzer),
                 journal_dir=args.journal,
+                kernel=args.kernel,
                 analysis_budget=args.budget,
                 incremental=not args.no_incremental,
                 snapshot_every=args.snapshot_every,
@@ -626,29 +660,47 @@ def _cmd_serve(args) -> int:
         raise SystemExit(f"serve: {exc}") from None
 
     def make(k: int) -> ConnectionRequest:
+        base = (k % args.tandems) * args.hops
         return ConnectionRequest(
             f"conn_{k}", TokenBucket(1.0, args.rho, peak=1.0),
-            tuple(range(1, args.hops + 1)), args.deadline)
+            tuple(range(base + 1, base + args.hops + 1)), args.deadline)
+
+    def show(k: int, outcome) -> bool:
+        if outcome.admitted:
+            print(f"seq {outcome.seq}: admitted conn_{k} "
+                  f"bound={outcome.bound:.4f} "
+                  f"[{outcome.degradation}]")
+            return True
+        print(f"rejected conn_{k} [{outcome.degradation}]: "
+              f"{outcome.reason}")
+        return False
 
     admitted = rejected = 0
     start = len(service.admitted)
+    batch = max(1, args.batch) if args.workers > 1 else 1
     with service.graceful_shutdown():
-        for k in range(start, start + args.count):
+        k = start
+        while k < start + args.count:
             if service.shutdown_requested:
                 print("shutdown requested: checkpointing and exiting",
                       file=sys.stderr)
                 break
-            outcome = service.admit(make(k))
-            if outcome.admitted:
-                admitted += 1
-                print(f"seq {outcome.seq}: admitted conn_{k} "
-                      f"bound={outcome.bound:.4f} "
-                      f"[{outcome.degradation}]")
+            ks = list(range(k, min(k + batch, start + args.count)))
+            if batch > 1:
+                outcomes = service.admit_batch(
+                    [make(i) for i in ks], workers=args.workers)
             else:
-                rejected += 1
-                print(f"rejected conn_{k} [{outcome.degradation}]: "
-                      f"{outcome.reason}")
+                outcomes = [service.admit(make(ks[0]))]
+            stop = False
+            for i, outcome in zip(ks, outcomes):
+                if show(i, outcome):
+                    admitted += 1
+                else:
+                    rejected += 1
+                    stop = True
+            if stop:
                 break
+            k += len(ks)
             if args.interval > 0:
                 time.sleep(args.interval)
     lat = service.latency_quantiles()
@@ -702,8 +754,11 @@ def _cmd_loadtest(args) -> int:
                    if tmp_journal else args.journal)
     incremental = not args.no_incremental
 
-    def build_service(hops: int, analyzer_name: str) -> AdmissionService:
-        empty = Network([ServerSpec(k) for k in range(1, hops + 1)], [])
+    def build_service(hops: int, analyzer_name: str,
+                      tandems: int = 1) -> AdmissionService:
+        empty = Network([ServerSpec(t * hops + k)
+                         for t in range(tandems)
+                         for k in range(1, hops + 1)], [])
         return AdmissionService(
             empty, _make_analyzer(analyzer_name),
             journal_dir=journal_dir,
@@ -722,7 +777,8 @@ def _cmd_loadtest(args) -> int:
             drv = header.get("driver", {})
             service = build_service(int(drv.get("hops", args.hops)),
                                     str(drv.get("analyzer",
-                                                args.analyzer)))
+                                                args.analyzer)),
+                                    int(drv.get("tandems", 1)))
             with service:
                 report = replay((header, events), service)
             print(f"replayed {args.replay} "
@@ -732,9 +788,12 @@ def _cmd_loadtest(args) -> int:
             return 0 if report.ok else 1
 
         # ---------------- generate mode ------------------------------
+        if args.tandems < 1:
+            raise SystemExit("loadtest: --tandems must be >= 1")
         template = RequestTemplate(
             n_servers=args.hops, deadline=args.deadline,
-            sigma=args.sigma, rho=args.rho, paths=args.paths)
+            sigma=args.sigma, rho=args.rho, paths=args.paths,
+            tandems=args.tandems)
         try:
             workload = make_workload(
                 args.workload, args.seed, args.rate,
@@ -743,6 +802,12 @@ def _cmd_loadtest(args) -> int:
             raise SystemExit(f"loadtest: {exc}") from None
 
         closed = args.closed_loop is not None
+        if args.workers < 1:
+            raise SystemExit("loadtest: --workers must be >= 1")
+        if args.workers > 1 and not closed:
+            raise SystemExit("loadtest: --workers requires "
+                             "--closed-loop (the open-loop schedule "
+                             "is defined per event)")
         if closed:
             n = (args.requests if args.requests is not None
                  else max(1, int(args.rate * args.duration)))
@@ -768,12 +833,14 @@ def _cmd_loadtest(args) -> int:
         driver_desc = {
             "mode": "closed" if closed else "open",
             "hops": args.hops,
+            "tandems": args.tandems,
             "analyzer": args.analyzer,
             "incremental": incremental,
             "pace": bool(args.pace),
             "duration_s": args.duration,
             "rate": args.rate,
             "clients": args.closed_loop or 0,
+            "workers": args.workers,
             "chaos_at": list(chaos.kill_at) if chaos else [],
         }
 
@@ -788,12 +855,12 @@ def _cmd_loadtest(args) -> int:
                       "dependent; the recorded trace may not be "
                       "byte-stable", file=sys.stderr)
 
-        service = build_service(args.hops, args.analyzer)
+        service = build_service(args.hops, args.analyzer, args.tandems)
         try:
             if closed:
                 result = run_closed_loop(
                     service, schedule, clients=args.closed_loop,
-                    writer=writer, chaos=chaos)
+                    workers=args.workers, writer=writer, chaos=chaos)
             else:
                 result = run_open_loop(
                     service, schedule, duration_s=args.duration,
@@ -852,12 +919,16 @@ def _cmd_recover(args) -> int:
           f"connection(s), last seq {state.last_seq} "
           f"(snapshot seq {state.snapshot_seq}, "
           f"{state.replayed} replayed, {state.skipped} idempotent "
-          f"skip(s), {state.corrupt_lines} corrupt line(s))")
+          f"skip(s), {state.corrupt_lines} corrupt line(s), "
+          f"kernel {state.kernel or 'unrecorded'})")
     for name in state.admitted:
         print(f"  {name}")
     if args.no_verify:
         return 0
-    report = verify_recovery(args.journal)
+    try:
+        report = verify_recovery(args.journal, kernel=args.kernel)
+    except RecoveryError as exc:
+        raise SystemExit(f"recover: {exc}") from None
     print(report.render())
     if args.show_bounds and report.final_bounds:
         for name, bound in sorted(report.final_bounds.items()):

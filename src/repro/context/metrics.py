@@ -48,29 +48,39 @@ class MetricsRegistry:
     free: layers agree on dotted names (``engine.hits``,
     ``curve.convolve``, ``sweep.done`` …) documented in
     ``docs/OBSERVABILITY.md``.
+
+    All mutators and views are thread-safe: the service layer shares
+    one registry between its request thread and breaker/latency
+    bookkeeping, and the load harness hammers a shared registry from
+    worker threads — an unlocked read-modify-write ``inc`` silently
+    loses counts under that contention.
     """
 
-    __slots__ = ("_counters",)
+    __slots__ = ("_counters", "_lock")
 
     def __init__(self) -> None:
         self._counters: dict[str, float] = {}
+        self._lock = threading.Lock()
 
     # -- counters ------------------------------------------------------
 
     def inc(self, name: str, n: float = 1.0) -> None:
         """Add *n* (default 1) to counter *name*."""
-        self._counters[name] = self._counters.get(name, 0.0) + n
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + n
 
     #: Alias — ``add`` reads better for accumulating measured values.
     add = inc
 
     def get(self, name: str, default: float = 0.0) -> float:
         """Current value of counter *name*."""
-        return self._counters.get(name, default)
+        with self._lock:
+            return self._counters.get(name, default)
 
     def set(self, name: str, value: float) -> None:
         """Overwrite counter *name* (used by gauges like ``sweep.total``)."""
-        self._counters[name] = float(value)
+        with self._lock:
+            self._counters[name] = float(value)
 
     # -- timers --------------------------------------------------------
 
@@ -92,26 +102,35 @@ class MetricsRegistry:
 
     def as_dict(self, prefix: str = "") -> dict[str, float]:
         """Plain-dict snapshot, optionally filtered by name *prefix*."""
-        if not prefix:
-            return dict(self._counters)
-        return {k: v for k, v in self._counters.items()
-                if k.startswith(prefix)}
+        with self._lock:
+            if not prefix:
+                return dict(self._counters)
+            return {k: v for k, v in self._counters.items()
+                    if k.startswith(prefix)}
 
     def merge_into(self, other: "MetricsRegistry") -> None:
-        """Add every counter of this registry into *other*."""
-        for name, value in self._counters.items():
+        """Add every counter of this registry into *other*.
+
+        Snapshots under this registry's lock, then adds into *other*
+        under its own — never both locks at once, so two registries
+        merging into each other concurrently cannot deadlock.
+        """
+        for name, value in self.as_dict().items():
             other.add(name, value)
 
     def reset(self, prefix: str = "") -> None:
         """Zero every counter, or only those matching *prefix*."""
-        if not prefix:
-            self._counters.clear()
-        else:
-            for k in [k for k in self._counters if k.startswith(prefix)]:
-                del self._counters[k]
+        with self._lock:
+            if not prefix:
+                self._counters.clear()
+            else:
+                for k in [k for k in self._counters
+                          if k.startswith(prefix)]:
+                    del self._counters[k]
 
     def __len__(self) -> int:
-        return len(self._counters)
+        with self._lock:
+            return len(self._counters)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MetricsRegistry({len(self._counters)} counters)"
@@ -130,10 +149,16 @@ class QuantileReservoir:
     the tail; this reservoir is the complementary view: p50/p95/p99
     that a load test (and the ``repro serve`` shutdown summary) can
     report honestly.
+
+    All methods are thread-safe: the load harness's worker threads
+    observe into one shared reservoir while the driver reads summaries,
+    and an unlocked ``observe`` can lose observations (``_count`` /
+    ``_sum`` read-modify-writes interleave) or corrupt the Algorithm-R
+    swap.
     """
 
     __slots__ = ("_capacity", "_samples", "_rng", "_count",
-                 "_sum", "_max")
+                 "_sum", "_max", "_lock")
 
     def __init__(self, capacity: int = 65536, seed: int = 0) -> None:
         if capacity < 1:
@@ -144,51 +169,68 @@ class QuantileReservoir:
         self._count = 0
         self._sum = 0.0
         self._max = float("-inf")
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation (seconds, bytes, anything ordered)."""
         value = float(value)
-        self._count += 1
-        self._sum += value
-        if value > self._max:
-            self._max = value
-        if len(self._samples) < self._capacity:
-            self._samples.append(value)
-        else:
-            j = self._rng.randrange(self._count)
-            if j < self._capacity:
-                self._samples[j] = value
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value > self._max:
+                self._max = value
+            if len(self._samples) < self._capacity:
+                self._samples.append(value)
+            else:
+                j = self._rng.randrange(self._count)
+                if j < self._capacity:
+                    self._samples[j] = value
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def exact(self) -> bool:
         """True while no observation has been dropped (quantiles exact)."""
-        return self._count <= self._capacity
+        with self._lock:
+            return self._count <= self._capacity
 
     @property
     def max(self) -> float:
-        return self._max if self._count else float("nan")
+        with self._lock:
+            return self._max if self._count else float("nan")
 
     @property
     def mean(self) -> float:
-        return self._sum / self._count if self._count else float("nan")
+        with self._lock:
+            return self._sum / self._count if self._count else float("nan")
 
     def quantile(self, q: float) -> float:
         """Nearest-rank quantile ``q`` in [0, 1] over retained samples."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if not self._samples:
+        with self._lock:
+            samples = list(self._samples)
+        if not samples:
             return float("nan")
-        ordered = sorted(self._samples)
+        ordered = sorted(samples)
         rank = min(len(ordered) - 1, max(0, int(q * len(ordered) + 0.5) - 1))
         return ordered[rank] if q > 0 else ordered[0]
 
     def summary(self) -> dict[str, float]:
-        """The standard report block: count/mean/p50/p95/p99/max."""
-        ordered = sorted(self._samples)
+        """The standard report block: count/mean/p50/p95/p99/max.
+
+        Snapshots count/sum/max and the sample list under one lock
+        acquisition, so the block is internally consistent even while
+        other threads keep observing.
+        """
+        with self._lock:
+            ordered = sorted(self._samples)
+            count = self._count
+            mean = self._sum / count if count else float("nan")
+            peak = self._max if count else float("nan")
 
         def at(q: float) -> float:
             if not ordered:
@@ -198,12 +240,12 @@ class QuantileReservoir:
             return ordered[rank]
 
         return {
-            "count": float(self._count),
-            "mean": self.mean,
+            "count": float(count),
+            "mean": mean,
             "p50": at(0.50),
             "p95": at(0.95),
             "p99": at(0.99),
-            "max": self.max,
+            "max": peak,
         }
 
     def gauge_into(self, metrics: "MetricsRegistry | None",

@@ -27,6 +27,12 @@ from repro.engine.incremental import (
     describe_report_difference,
     reports_identical,
 )
+from repro.engine.parallel import (
+    ParallelAnalysis,
+    merge_reports,
+    partition_components,
+    subnetwork,
+)
 from repro.engine.stats import EngineStats
 
 __all__ = [
@@ -38,4 +44,8 @@ __all__ = [
     "CacheEntry",
     "reports_identical",
     "describe_report_difference",
+    "ParallelAnalysis",
+    "partition_components",
+    "subnetwork",
+    "merge_reports",
 ]

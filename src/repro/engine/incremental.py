@@ -439,6 +439,27 @@ class IncrementalEngine(Analyzer):
         self._network = candidate
         return report
 
+    def seed_cache(self, records: Iterable[tuple[bytes, object, float]],
+                   ) -> int:
+        """Preload content-addressed results computed elsewhere.
+
+        The parallel batch-admission path feeds each worker's
+        per-server step results back here, so the very next engine
+        query over the committed network replays them as cache hits
+        instead of recomputing the whole sweep.  Records are
+        ``(content key, result, original compute seconds)`` exactly as
+        the engine itself stores them; already-present keys are left
+        untouched (first write wins — all writers produced the value
+        from the same pure function on the same inputs).  Returns the
+        number of entries actually added.
+        """
+        added = 0
+        for key, value, dt in records:
+            if self._cache.get(key) is None:
+                self._cache.put(key, value, dt)
+                added += 1
+        return added
+
     def reset_cache(self) -> None:
         """Drop every cached result and sweep memo (not the stats)."""
         self._cache.clear()

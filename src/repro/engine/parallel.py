@@ -1,0 +1,287 @@
+"""Component-parallel delay analysis over independent dependency cones.
+
+The paper's per-server decomposition makes weakly-connected components
+of the server graph *embarrassingly parallel*: a flow's end-to-end
+bound depends only on the servers its component contains (arrival
+curves propagate along flow paths, and paths never leave a component).
+This module exploits that:
+
+* :func:`partition_components` — deterministic component list (flow
+  incidence = weak connectivity of the server graph);
+* :func:`subnetwork` — the induced sub-:class:`~repro.network.topology.
+  Network` of one component, preserving insertion order so per-server
+  float summation order (and hence every IEEE-754 result bit) matches
+  the full-network analysis;
+* :class:`ParallelAnalysis` — an :class:`~repro.analysis.base.Analyzer`
+  wrapper that farms components out to a process pool and merges the
+  per-component reports through a deterministic, order-independent
+  reducer.
+
+**Determinism contract**: parallel reports are bit-identical
+(``float.hex``) to the wrapped serial analyzer's — same algorithm name,
+same bounds, same contribution breakdowns, same metadata — enforced by
+``tests/engine/test_parallel_analysis.py``.  This holds because
+each worker runs the *same pure function chain*
+(:func:`repro.analysis.propagation.server_step`) on the *same inputs*
+(name-sorted flow order at each server is preserved by the induced
+subnetwork), under the *same explicitly-pinned curve kernel*.
+
+Only :class:`~repro.analysis.decomposed.DecomposedAnalysis` is
+parallelized.  Algorithm Integrated's default partition strategy
+(:class:`~repro.core.partition.PairAlongPath` with no pinned flow)
+selects the globally longest flow, so adding a flow in one component
+can change the block partition — and therefore the bounds — in *other*
+components; its analysis is not component-local and falls back to the
+serial path (see ``docs/PARALLEL.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Hashable, Iterable, Sequence
+
+import networkx as nx
+
+from repro.analysis.base import Analyzer, DelayReport
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.analysis.propagation import server_step
+from repro.context import NULL_CONTEXT, AnalysisContext, Deadline
+from repro.curves.kernels import current_kernel
+from repro.errors import AnalysisError, EngineError
+from repro.network.topology import Network
+
+__all__ = [
+    "partition_components",
+    "subnetwork",
+    "merge_reports",
+    "ParallelAnalysis",
+]
+
+ServerId = Hashable
+
+#: One engine-cache seed record: (content key, ServerStep, compute s).
+SeedRecord = tuple[bytes, object, float]
+
+
+# ----------------------------------------------------------------------
+# component partitioning
+# ----------------------------------------------------------------------
+
+def partition_components(network: Network,
+                         ) -> list[tuple[ServerId, ...]]:
+    """Weakly-connected server components that carry at least one flow.
+
+    Servers within a component keep the network's insertion order, and
+    components are ordered by their first server's insertion position —
+    both deterministic, so the same network always partitions the same
+    way.  Flow-less servers are excluded (both analyses skip them).
+    """
+    graph = network.server_graph
+    comp_of: dict[ServerId, int] = {}
+    for k, comp in enumerate(nx.weakly_connected_components(graph)):
+        for sid in comp:
+            comp_of[sid] = k
+    live = {comp_of[f.path[0]] for f in network.flows.values()}
+    ordered: dict[int, list[ServerId]] = {}
+    for sid in network.servers:
+        k = comp_of[sid]
+        if k in live:
+            ordered.setdefault(k, []).append(sid)
+    return [tuple(sids) for sids in ordered.values()]
+
+
+def subnetwork(network: Network,
+               servers: Iterable[ServerId]) -> Network:
+    """The induced sub-network on *servers* (insertion order kept).
+
+    Includes every flow whose path lies inside *servers*; a flow with
+    any hop outside raises :class:`~repro.errors.EngineError` (the
+    caller partitioned wrongly — components always contain whole
+    paths).
+    """
+    keep = set(servers)
+    specs = [spec for sid, spec in network.servers.items() if sid in keep]
+    flows = []
+    for f in network.flows.values():
+        inside = [sid in keep for sid in f.path]
+        if all(inside):
+            flows.append(f)
+        elif any(inside):
+            raise EngineError(
+                f"flow {f.name!r} crosses the component boundary; "
+                "components must contain whole paths")
+    return Network(specs, flows, allow_cycles=network.allow_cycles)
+
+
+# ----------------------------------------------------------------------
+# worker side (runs in the pool processes)
+# ----------------------------------------------------------------------
+
+def _analyze_component(payload: tuple) -> dict:
+    """Pool worker: analyze one component's subnetwork.
+
+    Runs the same pure per-server function chain as the serial path,
+    under the explicitly-pinned kernel, with a fresh worker-local
+    metrics registry (merged into the parent's on return) and an
+    optional deadline carved from the parent's remaining budget.
+
+    Analysis errors come back as structured markers — exception
+    *objects* with keyword-only constructors don't survive the pickle
+    round-trip a raising worker would force.
+    """
+    net, capped, kernel, budget, want_records = payload
+    from repro.context.metrics import MetricsRegistry
+    metrics = MetricsRegistry()
+    ctx = AnalysisContext(metrics=metrics, kernel=kernel)
+    if budget is not None:
+        ctx = ctx.with_deadline(
+            Deadline(budget, "parallel component analysis"))
+    records: list[SeedRecord] = []
+    if want_records:
+        from repro.engine.incremental import _server_key
+
+        def step(sid, si):
+            t0 = time.perf_counter()
+            value = server_step(si)
+            records.append((_server_key(si), value,
+                            time.perf_counter() - t0))
+            return value
+
+        ctx = ctx.with_interceptors(step=step)
+    try:
+        report = DecomposedAnalysis(capped).analyze(net, ctx=ctx)
+    except AnalysisError as exc:
+        return {"ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "metrics": metrics.as_dict()}
+    return {"ok": True, "report": report,
+            "metrics": metrics.as_dict(), "records": records}
+
+
+# ----------------------------------------------------------------------
+# deterministic merge
+# ----------------------------------------------------------------------
+
+def merge_reports(network: Network, algorithm: str,
+                  reports: Sequence[DelayReport]) -> DelayReport:
+    """Fold per-component reports into one full-network report.
+
+    Order-independent by construction: flow bounds are keyed by name
+    and re-emitted in the full network's insertion order; dict-valued
+    metadata (``local_delay``, ``busy_period``) is unioned (component
+    key sets are disjoint); scalar metadata must agree across
+    components.  The result satisfies
+    :func:`repro.engine.reports_identical` against the serial report.
+    """
+    by_flow: dict[str, object] = {}
+    for rep in reports:
+        by_flow.update(rep.delays)
+    delays = {}
+    for name in network.flows:
+        try:
+            delays[name] = by_flow[name]
+        except KeyError:
+            raise EngineError(
+                f"merge: no component report covers flow {name!r}"
+            ) from None
+    meta: dict = {}
+    for rep in reports:
+        for key, value in rep.meta.items():
+            if isinstance(value, dict):
+                meta.setdefault(key, {}).update(value)
+            elif key in meta and meta[key] != value:
+                raise EngineError(
+                    f"merge: components disagree on meta {key!r}: "
+                    f"{meta[key]!r} != {value!r}")
+            else:
+                meta[key] = value
+    return DelayReport(algorithm=algorithm, delays=delays, meta=meta)
+
+
+# ----------------------------------------------------------------------
+# the analyzer wrapper
+# ----------------------------------------------------------------------
+
+class ParallelAnalysis(Analyzer):
+    """Run a delay analysis with components fanned out to a pool.
+
+    Parameters
+    ----------
+    analyzer:
+        The wrapped analysis.  :class:`~repro.analysis.decomposed.
+        DecomposedAnalysis` parallelizes; anything else (and any
+        network the fast path cannot handle) runs serially through
+        *analyzer* unchanged — this wrapper is always a safe drop-in.
+    workers:
+        Pool size.  ``workers <= 1`` disables the pool entirely.
+
+    The report's ``algorithm`` is the wrapped analyzer's name: callers
+    (and the differential harness) cannot tell which path produced it.
+    """
+
+    def __init__(self, analyzer: Analyzer, workers: int = 2) -> None:
+        if isinstance(analyzer, ParallelAnalysis):
+            raise EngineError("cannot nest ParallelAnalysis")
+        self._analyzer = analyzer
+        self._workers = int(workers)
+        self.name = analyzer.name
+        self.serial_fallbacks = 0
+        self.parallel_runs = 0
+
+    @property
+    def analyzer(self) -> Analyzer:
+        """The wrapped (serial) analyzer."""
+        return self._analyzer
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def _fast_path_ok(self, network: Network,
+                      ctx: AnalysisContext) -> bool:
+        return (self._workers > 1
+                and isinstance(self._analyzer, DecomposedAnalysis)
+                and network.is_feedforward
+                and ctx.step_interceptor is None
+                and ctx.block_interceptor is None)
+
+    def analyze(self, network: Network, *,
+                ctx: AnalysisContext = NULL_CONTEXT) -> DelayReport:
+        if not self._fast_path_ok(network, ctx):
+            self.serial_fallbacks += 1
+            ctx.count("parallel.serial_fallbacks")
+            return self._analyzer.run(network, ctx)
+        components = partition_components(network)
+        if len(components) < 2:
+            self.serial_fallbacks += 1
+            ctx.count("parallel.serial_fallbacks")
+            return self._analyzer.run(network, ctx)
+        self.parallel_runs += 1
+        ctx.count("parallel.runs")
+        ctx.count("parallel.components", len(components))
+        kernel = ctx.kernel if ctx.kernel is not None else current_kernel()
+        budget = (ctx.deadline.remaining()
+                  if ctx.deadline is not None else None)
+        capped = self._analyzer.capped_propagation
+        payloads = [(subnetwork(network, comp), capped, kernel, budget,
+                     False) for comp in components]
+        reports: list[DelayReport] = []
+        with ProcessPoolExecutor(max_workers=self._workers) as pool:
+            for result in pool.map(_analyze_component, payloads):
+                merge_worker_metrics(ctx, result.get("metrics"))
+                if not result["ok"]:
+                    raise AnalysisError(
+                        f"parallel component analysis failed: "
+                        f"{result['error']}")
+                reports.append(result["report"])
+        ctx.checkpoint("parallel merge")
+        return merge_reports(network, self._analyzer.name, reports)
+
+
+def merge_worker_metrics(ctx: AnalysisContext,
+                         counters: dict[str, float] | None) -> None:
+    """Fold a worker's counter snapshot into the parent context."""
+    if counters:
+        for name, value in counters.items():
+            ctx.count(name, value)

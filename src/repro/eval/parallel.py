@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
 from repro.context import NULL_CONTEXT, AnalysisContext, MetricsRegistry
+from repro.curves.kernels import current_kernel
 from repro.eval.figures import _analyzer_factory  # shared registry
 from repro.network.tandem import CONNECTION0, build_tandem
 from repro.utils.durable import atomic_write_text
@@ -65,7 +66,11 @@ class SweepPoint:
     the wall-clock evaluation time of the successful attempt, and
     ``phases`` — populated only under ``profile=True`` — carries the
     point's :class:`~repro.context.MetricsRegistry` counters (curve
-    kernel invocations, server steps, per-phase timers).
+    kernel invocations, server steps, per-phase timers).  ``kernel``
+    records the curve kernel the point was evaluated under (empty on
+    rows checkpointed before kernels were recorded); resume treats a
+    row produced under a different kernel as stale and re-runs it —
+    grid-sampled and exact bounds must never mix in one sweep.
     """
 
     analyzer: str
@@ -77,6 +82,7 @@ class SweepPoint:
     attempts: int = 1
     elapsed_s: float = 0.0
     phases: Mapping[str, float] | None = None
+    kernel: str = ""
 
     @property
     def ok(self) -> bool:
@@ -104,12 +110,14 @@ def _evaluate_one(args: _Task, profile: bool = False) -> SweepPoint:
     analyzer_name, n_hops, load, sigma = args
     _maybe_inject_fault(args)
     start = time.perf_counter()
+    kernel = current_kernel()
     analyzer = _analyzer_factory(analyzer_name)()
     net = build_tandem(n_hops, load, sigma)
     if not profile:
         delay = analyzer.analyze(net).delay_of(CONNECTION0)
         return SweepPoint(analyzer_name, n_hops, load, sigma, delay,
-                          elapsed_s=time.perf_counter() - start)
+                          elapsed_s=time.perf_counter() - start,
+                          kernel=kernel)
     ctx = AnalysisContext(metrics=MetricsRegistry())
     with ctx.metrics.timed("point"):
         delay = analyzer.run(net, ctx).delay_of(CONNECTION0)
@@ -117,7 +125,7 @@ def _evaluate_one(args: _Task, profile: bool = False) -> SweepPoint:
               for k, v in sorted(ctx.metrics.as_dict().items())}
     return SweepPoint(analyzer_name, n_hops, load, sigma, delay,
                       elapsed_s=time.perf_counter() - start,
-                      phases=phases)
+                      phases=phases, kernel=kernel)
 
 
 # ----------------------------------------------------------------------
@@ -135,6 +143,7 @@ def _point_to_record(point: SweepPoint) -> dict:
         "error": point.error,
         "attempts": point.attempts,
         "elapsed_s": point.elapsed_s,
+        "kernel": point.kernel,
     }
     if point.phases is not None:
         rec["phases"] = dict(point.phases)
@@ -150,14 +159,15 @@ def _record_to_point(rec: dict) -> SweepPoint:
         math.nan if delay is None else float(delay),
         error=rec.get("error"), attempts=int(rec.get("attempts", 1)),
         elapsed_s=float(rec.get("elapsed_s", 0.0)),
-        phases=None if phases is None else dict(phases))
+        phases=None if phases is None else dict(phases),
+        kernel=str(rec.get("kernel", "")))
 
 
 def _point_key(point: SweepPoint) -> _Task:
     return (point.analyzer, point.n_hops, point.load, point.sigma)
 
 
-def _load_checkpoint(path: Path) -> dict[_Task, SweepPoint]:
+def _load_checkpoint(path: Path, kernel: str) -> dict[_Task, SweepPoint]:
     """Successfully completed points from a checkpoint file.
 
     Records are replayed in file order with last-write-wins per task: a
@@ -167,6 +177,13 @@ def _load_checkpoint(path: Path) -> dict[_Task, SweepPoint]:
     (error) entries are not returned: resume re-runs them — including
     when the error superseded an earlier success.  Corrupt lines (a
     crash mid-write) are skipped.
+
+    *kernel* is the curve kernel the resuming sweep will run under.  A
+    successful row recorded under a *different* kernel is treated like
+    a failure and re-run: its bound came from different arithmetic and
+    must not be mixed into this sweep's results.  Rows from checkpoints
+    that predate kernel recording carry ``kernel == ""`` and are also
+    re-run — there is no way to know what produced them.
     """
     done: dict[_Task, SweepPoint] = {}
     for line in path.read_text().splitlines():
@@ -177,7 +194,7 @@ def _load_checkpoint(path: Path) -> dict[_Task, SweepPoint]:
             point = _record_to_point(json.loads(line))
         except (ValueError, KeyError, TypeError):
             continue
-        if point.ok:
+        if point.ok and point.kernel == kernel:
             done[_point_key(point)] = point
         else:
             done.pop(_point_key(point), None)
@@ -248,7 +265,7 @@ class _Checkpointer:
 def _failure_point(task: _Task, error: str, attempts: int) -> SweepPoint:
     a, n, u, s = task
     return SweepPoint(a, n, u, s, math.nan, error=error,
-                      attempts=attempts)
+                      attempts=attempts, kernel=current_kernel())
 
 
 def _run_serial(pending: list[tuple[_Task, int]], retries: int,
@@ -257,10 +274,14 @@ def _run_serial(pending: list[tuple[_Task, int]], retries: int,
                 profile: bool = False) -> None:
     for task, attempt in pending:
         while True:
+            # the isolation boundary wraps only the evaluation: an
+            # exception out of record() itself (an expired ctx deadline,
+            # a checkpoint-sink failure) must propagate, not be
+            # re-recorded as a second, contradictory row for a point
+            # that already succeeded
             try:
-                record(task, replace(_evaluate_one(task, profile),
-                                     attempts=attempt))
-                break
+                point = replace(_evaluate_one(task, profile),
+                                attempts=attempt)
             except Exception as exc:  # noqa: BLE001 - isolation boundary
                 if attempt > retries:
                     record(task, _failure_point(
@@ -268,6 +289,9 @@ def _run_serial(pending: list[tuple[_Task, int]], retries: int,
                     break
                 time.sleep(backoff * 2 ** (attempt - 1))
                 attempt += 1
+                continue
+            record(task, point)
+            break
 
 
 def _run_parallel(pending: list[tuple[_Task, int]], workers: int,
@@ -296,9 +320,14 @@ def _run_parallel(pending: list[tuple[_Task, int]], workers: int,
                 # after a kill, salvage whatever already finished and
                 # roll the rest into the next round at no attempt cost
                 wait = 0.05 if poisoned else timeout
+                # only handle.get sits inside the isolation boundary:
+                # if record() itself raises (expired ctx deadline,
+                # checkpoint-sink failure) the task must not be
+                # re-queued or re-recorded as an error — that race
+                # wrote a second, contradictory checkpoint row for an
+                # already-completed point
                 try:
-                    point = handle.get(wait)
-                    record(task, replace(point, attempts=attempt))
+                    point = replace(handle.get(wait), attempts=attempt)
                 except multiprocessing.TimeoutError:
                     if poisoned:
                         next_round.append((task, attempt))
@@ -308,9 +337,12 @@ def _run_parallel(pending: list[tuple[_Task, int]], workers: int,
                              "(worker hung or crashed)")
                         pool.terminate()
                         poisoned = True
+                    continue
                 except Exception as exc:  # noqa: BLE001 - worker raised
                     fail(task, attempt,
                          f"{type(exc).__name__}: {exc}")
+                    continue
+                record(task, point)
         finally:
             pool.terminate()
             pool.join()
@@ -404,8 +436,9 @@ def evaluate_grid(analyzers: Sequence[str], hops: Sequence[int],
                           for a in analyzers for n in hops for u in loads]
     results: dict[_Task, SweepPoint] = {}
     ckpt_path = Path(checkpoint) if checkpoint is not None else None
+    sweep_kernel = current_kernel()
     if ckpt_path is not None and resume and ckpt_path.exists():
-        cached = _load_checkpoint(ckpt_path)
+        cached = _load_checkpoint(ckpt_path, sweep_kernel)
         results.update((t, cached[t]) for t in tasks if t in cached)
 
     sink = _Checkpointer(ckpt_path, resume)
@@ -418,8 +451,18 @@ def evaluate_grid(analyzers: Sequence[str], hops: Sequence[int],
         ctx.metrics.set("sweep.done", float(done))
         ctx.metrics.set("sweep.errors", 0.0)
 
+    recorded: set[_Task] = set()
+
     def record(task: _Task, point: SweepPoint) -> None:
         nonlocal done, errors
+        # exactly-one-row invariant: the first record for a point wins.
+        # A late echo (e.g. a result surfacing after its timeout was
+        # already recorded) must not rewrite the checkpoint row or
+        # double-count sweep.done.
+        if task in recorded:
+            ctx.count("sweep.duplicate_results")
+            return
+        recorded.add(task)
         results[task] = point
         sink.write(point)
         ctx.checkpoint("sweep point recorded")

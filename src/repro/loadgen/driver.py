@@ -16,7 +16,12 @@ arithmetic relative to a rate-scaled clock.
 **Closed loop** (:func:`run_closed_loop`) — ``clients`` logical
 clients each keep exactly one request in flight, issuing the next the
 moment the previous answers.  Throughput is then *measured*, not
-offered: the classic saturation probe.
+offered: the classic saturation probe.  With ``workers > 1`` each
+round of in-flight requests is admitted as one
+:meth:`~repro.service.service.AdmissionService.admit_batch` call, so
+the admission tests actually run concurrently on the process pool —
+decisions stay bit-identical to the serial round-robin (see
+``docs/PARALLEL.md``), only the wall clock changes.
 
 **Chaos** (:class:`ChaosPlan`) — at configured operation indices the
 driver simulates a SIGKILL: the live service object is *abandoned*
@@ -259,29 +264,92 @@ def run_open_loop(service: "AdmissionService", events: Sequence[Event], *,
         service=service, committed=committed, chaos=chaos)
 
 
+def _drive_batched(service: "AdmissionService", events: Sequence[Event], *,
+                   clients: int, workers: int,
+                   writer: "TraceWriter | None",
+                   chaos: ChaosPlan | None,
+                   clock: Callable[[], float]):
+    """Closed-loop rounds through ``admit_batch`` (see run_closed_loop).
+
+    Each round takes the next up-to-``clients`` admit events — the
+    requests in flight — and admits them as one batch, splitting at
+    chaos kill points so a kill lands between the same acknowledged
+    operations as in the serial round-robin.  Every request in a round
+    was in flight for the whole round, so each carries the round's
+    wall time as its latency.
+    """
+    records: list[RequestRecord] = []
+    latency = QuantileReservoir()
+    lag_res = QuantileReservoir()
+    committed: set[str] = set()
+    start = clock()
+    index, n = 0, len(events)
+    while index < n:
+        if chaos is not None and chaos.due(index):
+            service = chaos.execute(service, committed)
+        end = min(n, index + clients)
+        if chaos is not None:
+            for k in range(index + 1, end):
+                if chaos.due(k):
+                    end = k
+                    break
+        group = events[index:end]
+        t0 = clock()
+        decisions = service.admit_batch([e.request for e in group],
+                                        workers=workers)
+        round_s = clock() - t0
+        for offset, (event, decision) in enumerate(zip(group, decisions)):
+            record = _admit_record(index + offset, event.t, event,
+                                   decision, round_s, 0.0)
+            if decision.admitted:
+                committed.add(event.name)
+            records.append(record)
+            latency.observe(record.latency_s)
+            lag_res.observe(record.lag_s)
+            if writer is not None:
+                writer.write_event(record)
+        index = end
+    wall_s = clock() - start
+    return records, wall_s, service, committed, latency, lag_res
+
+
 def run_closed_loop(service: "AdmissionService",
                     requests: Sequence, *,
                     clients: int = 4,
+                    workers: int = 1,
                     writer: "TraceWriter | None" = None,
                     chaos: ChaosPlan | None = None,
                     clock: Callable[[], float] = time.perf_counter,
                     ) -> DriveResult:
     """Drive *requests* closed loop with *clients* logical clients.
 
-    The service is synchronous and in-process, so "K clients with one
-    request in flight each" executes as a deterministic round-robin:
-    client ``i % clients`` issues request ``i`` the moment its previous
-    answer lands.  Queue lag is identically zero by construction —
-    a closed loop cannot fall behind its own issue rate — which is
-    exactly why capacity numbers need the open-loop driver too.
+    The service is synchronous and in-process, so with ``workers=1``
+    "K clients with one request in flight each" executes as a
+    deterministic round-robin: client ``i % clients`` issues request
+    ``i`` the moment its previous answer lands.  With ``workers > 1``
+    the K in-flight requests of each round are issued as one
+    ``service.admit_batch(..., workers=...)`` call, putting genuine
+    pool concurrency behind the probe while the batch planner's
+    serial-equivalence contract keeps every decision (and the recorded
+    trace) bit-identical to the round-robin.  Queue lag is identically
+    zero by construction either way — a closed loop cannot fall behind
+    its own issue rate — which is exactly why capacity numbers need
+    the open-loop driver too.
     """
     if clients < 1:
         raise LoadGenError(f"clients must be >= 1, got {clients}")
+    if workers < 1:
+        raise LoadGenError(f"workers must be >= 1, got {workers}")
     events = [Event(float(i), "admit", request.name, request)
               for i, request in enumerate(requests)]
-    records, wall_s, service, committed, latency, lag = _drive(
-        service, events, pace=False, use_schedule=False,
-        writer=writer, chaos=chaos, clock=clock, sleep=time.sleep)
+    if workers > 1:
+        records, wall_s, service, committed, latency, lag = _drive_batched(
+            service, events, clients=clients, workers=workers,
+            writer=writer, chaos=chaos, clock=clock)
+    else:
+        records, wall_s, service, committed, latency, lag = _drive(
+            service, events, pace=False, use_schedule=False,
+            writer=writer, chaos=chaos, clock=clock, sleep=time.sleep)
     return DriveResult(
         records=records, wall_s=wall_s, duration_s=0.0,
         offered_rate=0.0, clients=clients, latency=latency, lag=lag,

@@ -91,6 +91,11 @@ class RequestTemplate:
     path to a random contiguous sub-path per request, and
     ``rho_jitter``/``sigma_jitter`` spread the per-connection rate and
     burst uniformly by ±jitter fraction around the nominal value.
+    With ``tandems > 1`` requests round-robin across that many
+    disjoint tandems of ``n_servers`` servers (server ids
+    ``t*n_servers + 1 .. t*n_servers + n_servers``) — independent
+    components, which is what gives a parallel batch (``--workers``)
+    concurrency to exploit.
     """
 
     n_servers: int = 4
@@ -101,11 +106,15 @@ class RequestTemplate:
     paths: str = "full"          # "full" | "random"
     rho_jitter: float = 0.0
     sigma_jitter: float = 0.0
+    tandems: int = 1
 
     def __post_init__(self) -> None:
         if self.n_servers < 1:
             raise LoadGenError(
                 f"n_servers must be >= 1, got {self.n_servers}")
+        if self.tandems < 1:
+            raise LoadGenError(
+                f"tandems must be >= 1, got {self.tandems}")
         if self.paths not in ("full", "random"):
             raise LoadGenError(
                 f"paths must be 'full' or 'random', got {self.paths!r}")
@@ -117,12 +126,13 @@ class RequestTemplate:
 
     def mint(self, rng: Random, index: int) -> ConnectionRequest:
         """Build request number *index* using *rng* for any jitter."""
+        base = (index % self.tandems) * self.n_servers
         if self.paths == "random":
             a = rng.randint(1, self.n_servers)
             b = rng.randint(a, self.n_servers)
-            path = tuple(range(a, b + 1))
+            path = tuple(range(base + a, base + b + 1))
         else:
-            path = tuple(range(1, self.n_servers + 1))
+            path = tuple(range(base + 1, base + self.n_servers + 1))
         rho = self.rho
         if self.rho_jitter:
             rho *= 1.0 + self.rho_jitter * rng.uniform(-1.0, 1.0)
@@ -138,7 +148,7 @@ class RequestTemplate:
             "n_servers": self.n_servers, "deadline": self.deadline,
             "sigma": self.sigma, "rho": self.rho, "peak": self.peak,
             "paths": self.paths, "rho_jitter": self.rho_jitter,
-            "sigma_jitter": self.sigma_jitter,
+            "sigma_jitter": self.sigma_jitter, "tandems": self.tandems,
         }
 
 

@@ -8,7 +8,12 @@
 
 from repro.network.flow import Flow
 from repro.network.topology import Discipline, Network, ServerSpec
-from repro.network.generators import fat_tree, parking_lot, random_feedforward
+from repro.network.generators import (
+    fat_tree,
+    parking_lot,
+    random_feedforward,
+    random_multicomponent,
+)
 from repro.network.serialization import (
     load_network,
     network_from_dict,
@@ -36,6 +41,7 @@ __all__ = [
     "parking_lot",
     "fat_tree",
     "random_feedforward",
+    "random_multicomponent",
     "load_network",
     "save_network",
     "network_to_dict",

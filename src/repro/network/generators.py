@@ -24,7 +24,8 @@ from repro.network.flow import Flow
 from repro.network.topology import Network, ServerSpec
 from repro.utils.validation import check_positive
 
-__all__ = ["parking_lot", "fat_tree", "random_feedforward"]
+__all__ = ["parking_lot", "fat_tree", "random_feedforward",
+           "random_multicomponent"]
 
 
 def parking_lot(n_hops: int, utilization: float, sigma: float = 1.0,
@@ -108,4 +109,46 @@ def random_feedforward(seed: int, n_servers: int = 5,
         flows.append(Flow(f"f{i}", TokenBucket(sigma, rho, peak=capacity),
                           tuple(range(a, b + 1))))
     servers = [ServerSpec(k, capacity) for k in range(n_servers)]
+    return Network(servers, flows)
+
+
+def random_multicomponent(seed: int, n_components: int = 4,
+                          servers_per_component: int = 4,
+                          flows_per_component: int = 8,
+                          max_utilization: float = 0.85,
+                          sigma_range: tuple[float, float] = (0.2, 3.0),
+                          capacity: float = 1.0) -> Network:
+    """Disjoint random feed-forward components in one network.
+
+    Component ``c`` occupies the integer servers
+    ``[c * servers_per_component, (c + 1) * servers_per_component)``
+    with flows named ``c{c}_f{i}``; no flow crosses a component
+    boundary, so the network's server graph has exactly
+    ``n_components`` weakly connected components carrying flows.  This
+    is the natural stress shape for
+    :class:`repro.engine.ParallelAnalysis` and parallel batch
+    admission: the dependency cones are the components.
+
+    Integer server ids keep the topology journal-serializable
+    (:func:`repro.network.serialization.network_to_dict` accepts
+    ``str | int`` ids only).
+    """
+    if n_components < 1:
+        raise ValueError(f"n_components must be >= 1, got {n_components}")
+    servers: list[ServerSpec] = []
+    flows: list[Flow] = []
+    for c in range(n_components):
+        comp = random_feedforward(
+            seed + 7919 * c, n_servers=servers_per_component,
+            n_flows=flows_per_component,
+            max_utilization=max_utilization, sigma_range=sigma_range,
+            capacity=capacity)
+        base = c * servers_per_component
+        servers += [ServerSpec(base + int(s.server_id), s.capacity,
+                               s.discipline)
+                    for s in comp.servers.values()]
+        flows += [Flow(f"c{c}_{f.name}", f.bucket,
+                       tuple(base + int(k) for k in f.path),
+                       f.deadline)
+                  for f in comp.flows.values()]
     return Network(servers, flows)

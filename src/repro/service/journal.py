@@ -143,12 +143,21 @@ class Journal:
     # record writers
     # ------------------------------------------------------------------
 
-    def write_base(self, network: Network, *, analyzer: str) -> int:
-        """Journal the service's initial network (fresh journals only)."""
+    def write_base(self, network: Network, *, analyzer: str,
+                   kernel: str = "") -> int:
+        """Journal the service's initial network (fresh journals only).
+
+        *kernel* records the curve kernel every journaled bound was
+        produced under, so recovery re-verifies history with the same
+        arithmetic — a journal written under the grid backend must not
+        be re-checked bit-identically under the exact kernel.  Empty
+        means "journal predates kernel recording" (pre-PR-9 journals).
+        """
         return self._append({
             "op": "base",
             "network": network_to_dict(network),
             "analyzer": analyzer,
+            "kernel": kernel,
         })
 
     def write_admit(self, request: ConnectionRequest, bound: float, *,
@@ -179,7 +188,8 @@ class Journal:
 
     def snapshot(self, network: Network, admitted: list[str], *,
                  analyzer: str,
-                 bounds: dict[str, float] | None = None) -> None:
+                 bounds: dict[str, float] | None = None,
+                 kernel: str = "") -> None:
         """Write a full-state snapshot and rotate the journal.
 
         The snapshot lands atomically first; only then is the journal
@@ -194,6 +204,7 @@ class Journal:
             "network": network_to_dict(network),
             "admitted": list(admitted),
             "analyzer": analyzer,
+            "kernel": kernel,
             "bounds_hex": (None if bounds is None else
                            {k: float(v).hex() for k, v in bounds.items()}),
         }

@@ -86,6 +86,7 @@ class RecoveredState:
     network: Network
     admitted: tuple[str, ...]
     analyzer_name: str
+    kernel: str  #: curve kernel the journal was recorded under ("" = legacy)
     last_seq: int
     snapshot_seq: int  #: 0 when no snapshot existed
     replayed: int      #: records applied
@@ -108,6 +109,7 @@ def recover_state(directory: str | Path) -> RecoveredState:
             network = network_from_dict(snapshot["network"])
             admitted = list(snapshot.get("admitted", []))
             analyzer_name = str(snapshot.get("analyzer", "integrated"))
+            kernel = str(snapshot.get("kernel", ""))
             snapshot_seq = int(snapshot.get("seq", 0))
         except (KeyError, TypeError, ValueError) as exc:
             raise RecoveryError(f"malformed snapshot: {exc}") from exc
@@ -122,6 +124,7 @@ def recover_state(directory: str | Path) -> RecoveredState:
         except (KeyError, TypeError, ValueError) as exc:
             raise RecoveryError(f"malformed base record: {exc}") from exc
         analyzer_name = str(base.get("analyzer", "integrated"))
+        kernel = str(base.get("kernel", ""))
         admitted = []
         snapshot_seq = 0
         records = records[1:]
@@ -170,7 +173,7 @@ def recover_state(directory: str | Path) -> RecoveredState:
 
     return RecoveredState(
         network=network, admitted=tuple(admitted),
-        analyzer_name=analyzer_name, last_seq=last_seq,
+        analyzer_name=analyzer_name, kernel=kernel, last_seq=last_seq,
         snapshot_seq=snapshot_seq, replayed=replayed, skipped=skipped,
         corrupt_lines=corrupt, records=tuple(records))
 
@@ -201,6 +204,7 @@ class RecoveryReport:
 
 
 def verify_recovery(directory: str | Path, *,
+                    kernel: str | None = None,
                     ctx: AnalysisContext = NULL_CONTEXT) -> RecoveryReport:
     """Re-analyze every journaled admission and demand bit-identity.
 
@@ -210,9 +214,30 @@ def verify_recovery(directory: str | Path, *,
     snapshot's per-flow bounds when no newer records exist.  Analysis
     failures during verification are reported as mismatches (history
     claims a bound existed; we cannot reproduce it).
+
+    Re-analysis runs under the **journaled curve kernel**: bounds
+    recorded under the grid backend cannot be reproduced bit-for-bit
+    by the exact kernel (or vice versa).  Passing *kernel* asserts the
+    caller's expectation — a mismatch with a kernel-recording journal
+    raises :class:`~repro.errors.RecoveryError` instead of failing
+    every bound comparison; journals predating kernel recording verify
+    under *kernel* (or the ambient selection) as before.
     """
     snapshot, records, _ = load_journal(directory)
     state = recover_state(directory)
+    if kernel is not None and state.kernel and kernel != state.kernel:
+        raise RecoveryError(
+            f"journal {Path(directory)} was recorded under curve kernel "
+            f"{state.kernel!r}; verifying under {kernel!r} would compare "
+            "bounds across kernels — rerun without --kernel or with "
+            f"--kernel {state.kernel}")
+    effective = state.kernel or kernel
+    if effective:
+        ctx = (ctx.with_kernel(effective)
+               if isinstance(ctx, AnalysisContext) and ctx.kernel is None
+               else ctx)
+        if not isinstance(ctx, AnalysisContext):
+            ctx = AnalysisContext(kernel=effective)
 
     analyzers: dict[str, Analyzer] = {}
 
@@ -297,6 +322,7 @@ def verify_recovery(directory: str | Path, *,
 def recover_service(directory: str | Path, *,
                     analyzer: Analyzer | None = None,
                     verify: bool = True,
+                    kernel: str | None = None,
                     ctx: AnalysisContext = NULL_CONTEXT,
                     **service_kwargs):
     """Rebuild a live :class:`~repro.service.AdmissionService`.
@@ -306,14 +332,24 @@ def recover_service(directory: str | Path, *,
     mismatch), and returns a service whose journal *resumes* the
     directory — sequence numbers continue, nothing is clobbered.
 
-    *analyzer* overrides the journaled primary analyzer; extra keyword
+    *analyzer* overrides the journaled primary analyzer; *kernel*
+    asserts the curve kernel and must match the journaled one when the
+    journal records it (:class:`~repro.errors.RecoveryError`
+    otherwise) — the resumed service is pinned to the journaled kernel
+    so new records stay comparable with history.  Extra keyword
     arguments are forwarded to the service constructor.
     """
     from repro.service.service import AdmissionService
 
     state = recover_state(directory)
+    if kernel is not None and state.kernel and kernel != state.kernel:
+        raise RecoveryError(
+            f"journal {Path(directory)} was recorded under curve kernel "
+            f"{state.kernel!r}; resuming under {kernel!r} would mix "
+            "bounds from two kernels in one journal — rerun without "
+            f"--kernel or with --kernel {state.kernel}")
     if verify:
-        report = verify_recovery(directory, ctx=ctx)
+        report = verify_recovery(directory, kernel=kernel, ctx=ctx)
         if not report.ok:
             raise RecoveryError(
                 "recovered state failed bound verification:\n"
@@ -322,4 +358,5 @@ def recover_service(directory: str | Path, *,
         state.analyzer_name)
     return AdmissionService(
         state.network, primary, journal_dir=directory, resume=True,
-        admitted=state.admitted, ctx=ctx, **service_kwargs)
+        admitted=state.admitted, kernel=state.kernel or kernel,
+        ctx=ctx, **service_kwargs)

@@ -45,6 +45,7 @@ from repro.admission.controller import AdmissionController
 from repro.admission.requests import AdmissionDecision, ConnectionRequest
 from repro.analysis.base import Analyzer
 from repro.context import NULL_CONTEXT, AnalysisContext, QuantileReservoir
+from repro.curves.kernels import current_kernel
 from repro.errors import (
     AdmissionError,
     ServiceError,
@@ -165,6 +166,7 @@ class AdmissionService:
                  breaker_reset_s: float = 30.0,
                  snapshot_every: int = 64,
                  shed_latency_s: float | None = None,
+                 kernel: str | None = None,
                  ctx: AnalysisContext = NULL_CONTEXT,
                  clock: Callable[[], float] = time.monotonic) -> None:
         if snapshot_every < 1:
@@ -173,6 +175,11 @@ class AdmissionService:
         if shed_latency_s is not None and not shed_latency_s > 0:
             raise ServiceError(
                 f"shed_latency_s must be > 0, got {shed_latency_s}")
+        if kernel is not None and getattr(ctx, "kernel", None) is None:
+            # pin every analysis this service runs to the named kernel
+            ctx = (ctx.with_kernel(kernel)
+                   if isinstance(ctx, AnalysisContext)
+                   else AnalysisContext(kernel=kernel))
         self._ctx = ctx
         self._clock = clock
         self._snapshot_every = int(snapshot_every)
@@ -244,10 +251,16 @@ class AdmissionService:
                 reset_timeout=breaker_reset_s, clock=clock,
                 metrics=ctx.metrics)
 
+        #: effective curve kernel for the service's lifetime; recorded
+        #: in the journal so recovery re-verifies under the same
+        #: arithmetic (ctx selection wins over the ambient default)
+        self._kernel = kernel or (ctx.kernel if ctx.kernel is not None
+                                  else current_kernel())
         self._journal = Journal(journal_dir, resume=resume)
         if not resume:
             self._journal.write_base(self._controller.network,
-                                     analyzer=self._primary_name)
+                                     analyzer=self._primary_name,
+                                     kernel=self._kernel)
 
     # ------------------------------------------------------------------
     # introspection
@@ -432,6 +445,68 @@ class AdmissionService:
             self._ctx.count("service.rejected")
         return ServiceDecision(decision, level, seq)
 
+    def admit_batch(self, requests: Iterable[ConnectionRequest], *,
+                    workers: int = 1,
+                    ctx: AnalysisContext | None = None,
+                    ) -> list[ServiceDecision]:
+        """Admit a batch; semantically ``[self.admit(r) for r in ...]``.
+
+        With ``workers > 1`` the admission *tests* of independent
+        component groups run concurrently (see
+        :mod:`repro.admission.batch`); the durable side is untouched —
+        journal records and in-memory commits happen here, serially, in
+        request order, each record fsync'd *before* its commit, so the
+        write-ahead crash contract and replay idempotency are exactly
+        those of per-request :meth:`admit`.  Decisions are bit-identical
+        to the serial loop; whenever the planner cannot guarantee that
+        (degraded chain, non-decomposed primary, pathological batch)
+        requests fall back to :meth:`admit` individually.
+
+        Latency accounting: the batch's wall time is spread evenly over
+        its requests for the shedding EWMA and the reservoir.
+        """
+        requests = list(requests)
+        self._require_open()
+        c = ctx if ctx is not None else self._ctx
+        planned = None
+        if workers > 1 and len(requests) > 1:
+            from repro.admission.batch import plan_batch
+            t0 = perf_counter()
+            planned = plan_batch(self._controller, requests,
+                                 workers=workers, ctx=c)
+            if planned is not None:
+                per_request = (perf_counter() - t0) / len(requests)
+        if planned is None:
+            return [self.admit(r, ctx=c) for r in requests]
+        out: list[ServiceDecision] = []
+        for request, (kind, decision) in zip(requests, planned):
+            if kind == "serial":
+                out.append(self.admit(request, ctx=c))
+                continue
+            self._note_latency(per_request)
+            c.count("admission.requests")
+            c.count("admission.admitted" if decision.admitted
+                    else "admission.rejected")
+            level = self._level_of(decision)
+            self._ctx.count("service.requests")
+            self._ctx.count(f"service.degradation.{level}")
+            seq = None
+            if decision.admitted:
+                seq = self._journal.write_admit(
+                    request, decision.new_flow_bound,
+                    analyzer=decision.analyzer,
+                    verify_analyzer=self._verify_names.get(
+                        decision.analyzer),
+                    degradation=level)
+                self._controller.commit(request, decision)
+                self._ctx.count("service.admitted")
+                self._ops_since_snapshot += 1
+                self._maybe_snapshot()
+            else:
+                self._ctx.count("service.rejected")
+            out.append(ServiceDecision(decision, level, seq))
+        return out
+
     def release(self, name: str, *, missing_ok: bool = False,
                 ) -> int | None:
         """Journal and apply a release; returns the journal seq.
@@ -486,7 +561,8 @@ class AdmissionService:
         self._require_open()
         self._journal.snapshot(
             self.network, list(self._controller.admitted),
-            analyzer=self._primary_name, bounds=self._current_bounds())
+            analyzer=self._primary_name, bounds=self._current_bounds(),
+            kernel=self._kernel)
         self._ops_since_snapshot = 0
         self._ctx.count("service.snapshots")
 

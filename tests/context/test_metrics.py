@@ -178,3 +178,98 @@ class TestQuantileReservoir:
         assert reg.get("svc.latency.count") == 2.0
         # a None registry still returns the summary
         assert res.gauge_into(None, "x")["max"] == 2.0
+
+
+class TestThreadSafety:
+    """Regression: shared registries are hammered from worker threads
+    (service latency bookkeeping, the load harness) and unlocked
+    read-modify-writes silently lose counts."""
+
+    def test_concurrent_inc_loses_nothing(self):
+        import threading
+
+        reg = MetricsRegistry()
+        n_threads, n_incs = 8, 2500
+        start = threading.Barrier(n_threads)
+
+        def hammer():
+            start.wait()
+            for _ in range(n_incs):
+                reg.inc("hits")
+                reg.add("bytes", 2.0)
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.get("hits") == float(n_threads * n_incs)
+        assert reg.get("bytes") == float(2 * n_threads * n_incs)
+
+    def test_concurrent_observe_loses_nothing(self):
+        import threading
+
+        res = QuantileReservoir(capacity=128)
+        n_threads, n_obs = 8, 2000
+        start = threading.Barrier(n_threads)
+
+        def hammer(base):
+            start.wait()
+            for i in range(n_obs):
+                res.observe(float(base + i))
+
+        threads = [threading.Thread(target=hammer, args=(k * n_obs,))
+                   for k in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert res.count == n_threads * n_obs
+        assert res.max == float(n_threads * n_obs - 1)
+        total = sum(range(n_threads * n_obs))
+        assert res.mean == pytest.approx(total / (n_threads * n_obs))
+        assert len(res._samples) == 128
+
+    def test_merge_into_cross_merge_does_not_deadlock(self):
+        import threading
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for k in range(50):
+            a.inc(f"a{k}")
+            b.inc(f"b{k}")
+        start = threading.Barrier(2)
+
+        def merge(src, dst):
+            start.wait()
+            for _ in range(200):
+                src.merge_into(dst)
+
+        t1 = threading.Thread(target=merge, args=(a, b))
+        t2 = threading.Thread(target=merge, args=(b, a))
+        t1.start(); t2.start()
+        t1.join(timeout=30); t2.join(timeout=30)
+        assert not t1.is_alive() and not t2.is_alive()
+
+    def test_reads_are_consistent_under_writes(self):
+        import threading
+
+        reg = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                reg.inc("w")
+                reg.set("gauge", 1.0)
+                reg.reset("gone.")
+
+        t = threading.Thread(target=writer)
+        t.start()
+        try:
+            for _ in range(2000):
+                snap = reg.as_dict()
+                assert all(isinstance(v, float) for v in snap.values())
+                len(reg)
+        finally:
+            stop.set()
+            t.join()

@@ -1,0 +1,195 @@
+"""ParallelAnalysis: partitioning, merging, and bit-identity vs serial.
+
+The determinism contract under test: for every network the fast path
+accepts, the pool-parallel report equals the serial
+:class:`DecomposedAnalysis` report *bit for bit*
+(:func:`repro.engine.reports_identical` — algorithm, every bound,
+every metadata entry).  Fallback paths must be silent drop-ins.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.analysis.base import DelayReport
+from repro.context import AnalysisContext, MetricsRegistry
+from repro.core.integrated import IntegratedAnalysis
+from repro.curves.token_bucket import TokenBucket
+from repro.engine import (
+    ParallelAnalysis,
+    merge_reports,
+    partition_components,
+    reports_identical,
+    subnetwork,
+)
+from repro.errors import EngineError
+from repro.network import Flow, Network, ServerSpec
+from repro.network.generators import random_feedforward, random_multicomponent
+from repro.network.tandem import build_tandem
+
+
+def two_component_net() -> Network:
+    bucket = TokenBucket(1.0, 0.2, peak=1.0)
+    servers = [ServerSpec(k) for k in range(4)]
+    flows = [Flow("left", bucket, (0, 1)),
+             Flow("right", bucket, (2, 3))]
+    return Network(servers, flows)
+
+
+class TestPartition:
+    def test_components_cover_every_flow_path(self):
+        net = random_multicomponent(5, n_components=3,
+                                    servers_per_component=4,
+                                    flows_per_component=6)
+        comps = partition_components(net)
+        assert len(comps) >= 3  # sparse components can split further
+        for flow in net.flows.values():
+            owners = [c for c in comps if flow.path[0] in c]
+            assert len(owners) == 1
+            assert set(flow.path) <= set(owners[0])
+
+    def test_flowless_servers_excluded(self):
+        net = two_component_net()
+        lonely = Network(list(net.servers.values()) + [ServerSpec(99)],
+                         list(net.flows.values()))
+        comps = partition_components(lonely)
+        assert all(99 not in comp for comp in comps)
+        assert len(comps) == 2
+
+    def test_deterministic_order(self):
+        net = random_multicomponent(8, n_components=4)
+        assert partition_components(net) == partition_components(net)
+
+    def test_servers_keep_insertion_order(self):
+        net = random_multicomponent(2, n_components=2,
+                                    servers_per_component=5)
+        order = list(net.servers)
+        for comp in partition_components(net):
+            assert list(comp) == [s for s in order if s in set(comp)]
+
+
+class TestSubnetwork:
+    def test_induced_subnet_keeps_flows(self):
+        net = two_component_net()
+        sub = subnetwork(net, (0, 1))
+        assert list(sub.servers) == [0, 1]
+        assert list(sub.flows) == ["left"]
+
+    def test_boundary_crossing_flow_rejected(self):
+        net = two_component_net()
+        with pytest.raises(EngineError, match="crosses the component"):
+            subnetwork(net, (0,))  # "left" has a hop outside
+
+
+class TestMergeReports:
+    def test_missing_flow_rejected(self):
+        net = two_component_net()
+        partial = DelayReport(algorithm="decomposed",
+                              delays={"left": 1.0}, meta={})
+        with pytest.raises(EngineError, match="no component report"):
+            merge_reports(net, "decomposed", [partial])
+
+    def test_scalar_meta_disagreement_rejected(self):
+        net = two_component_net()
+        a = DelayReport(algorithm="decomposed", delays={"left": 1.0},
+                        meta={"mode": "capped"})
+        b = DelayReport(algorithm="decomposed", delays={"right": 1.0},
+                        meta={"mode": "uncapped"})
+        with pytest.raises(EngineError, match="disagree on meta"):
+            merge_reports(net, "decomposed", [a, b])
+
+    def test_dict_meta_unioned(self):
+        net = two_component_net()
+        a = DelayReport(algorithm="decomposed", delays={"left": 1.0},
+                        meta={"local_delay": {0: 0.5, 1: 0.5}})
+        b = DelayReport(algorithm="decomposed", delays={"right": 2.0},
+                        meta={"local_delay": {2: 1.0, 3: 1.0}})
+        merged = merge_reports(net, "decomposed", [a, b])
+        assert merged.meta["local_delay"] == {0: 0.5, 1: 0.5,
+                                              2: 1.0, 3: 1.0}
+        assert list(merged.delays) == ["left", "right"]
+
+
+class TestParallelAnalysis:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_bit_identical_fuzz(self, seed, workers):
+        net = random_multicomponent(seed, n_components=4,
+                                    servers_per_component=4,
+                                    flows_per_component=6)
+        serial = DecomposedAnalysis().analyze(net)
+        pa = ParallelAnalysis(DecomposedAnalysis(), workers=workers)
+        assert reports_identical(serial, pa.analyze(net))
+        assert pa.parallel_runs == 1 and pa.serial_fallbacks == 0
+
+    def test_single_component_falls_back(self):
+        net = build_tandem(4, 0.5, 1.0)
+        pa = ParallelAnalysis(DecomposedAnalysis(), workers=4)
+        report = pa.analyze(net)
+        assert pa.serial_fallbacks == 1 and pa.parallel_runs == 0
+        assert reports_identical(report, DecomposedAnalysis().analyze(net))
+
+    def test_workers_one_falls_back(self):
+        net = random_multicomponent(1, n_components=3)
+        pa = ParallelAnalysis(DecomposedAnalysis(), workers=1)
+        report = pa.analyze(net)
+        assert pa.serial_fallbacks == 1
+        assert reports_identical(report, DecomposedAnalysis().analyze(net))
+
+    def test_integrated_falls_back_but_matches(self):
+        net = random_multicomponent(7, n_components=2,
+                                    servers_per_component=3,
+                                    flows_per_component=4)
+        pa = ParallelAnalysis(IntegratedAnalysis(), workers=2)
+        report = pa.analyze(net)
+        assert pa.serial_fallbacks == 1 and pa.parallel_runs == 0
+        assert reports_identical(report, IntegratedAnalysis().analyze(net))
+
+    def test_nesting_rejected(self):
+        inner = ParallelAnalysis(DecomposedAnalysis())
+        with pytest.raises(EngineError, match="nest"):
+            ParallelAnalysis(inner)
+
+    def test_reports_same_algorithm_name(self):
+        net = random_multicomponent(3, n_components=2)
+        pa = ParallelAnalysis(DecomposedAnalysis(), workers=2)
+        assert pa.analyze(net).algorithm == \
+            DecomposedAnalysis().analyze(net).algorithm
+
+    def test_metrics_and_counters_flow_to_parent(self):
+        net = random_multicomponent(4, n_components=3)
+        ctx = AnalysisContext(metrics=MetricsRegistry())
+        ParallelAnalysis(DecomposedAnalysis(), workers=2).analyze(
+            net, ctx=ctx)
+        counters = ctx.metrics.as_dict()
+        assert counters["parallel.runs"] == 1.0
+        assert counters["parallel.components"] >= 3.0
+
+    def test_single_flow_component_bounds_finite(self):
+        net = random_multicomponent(6, n_components=2,
+                                    servers_per_component=2,
+                                    flows_per_component=2)
+        report = ParallelAnalysis(DecomposedAnalysis(),
+                                  workers=2).analyze(net)
+        assert all(math.isfinite(report.delay_of(name))
+                   for name in net.flows)
+
+    def test_mixed_sizes_fuzz(self):
+        for seed in range(3):
+            net = random_multicomponent(100 + seed,
+                                        n_components=2 + seed,
+                                        servers_per_component=3,
+                                        flows_per_component=3 + seed)
+            serial = DecomposedAnalysis().analyze(net)
+            par = ParallelAnalysis(DecomposedAnalysis(),
+                                   workers=3).analyze(net)
+            assert reports_identical(serial, par)
+
+    def test_plain_feedforward_matches_whatever_path(self):
+        # single line of servers: usually one component -> serial path;
+        # the wrapper must stay a drop-in either way
+        net = random_feedforward(9, n_servers=6, n_flows=10)
+        serial = DecomposedAnalysis().analyze(net)
+        par = ParallelAnalysis(DecomposedAnalysis(), workers=2).analyze(net)
+        assert reports_identical(serial, par)

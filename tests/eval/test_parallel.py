@@ -276,4 +276,144 @@ class TestAtomicCheckpoint:
                        error="boom"))
         ck.write_text(json.dumps(good) + "\n" + json.dumps(bad) + "\n")
         # the later error supersedes the success: resume must re-run it
-        assert mod._load_checkpoint(ck) == {}
+        # (kernel "" here matches the rows, so eviction is what empties
+        # the result, not a kernel mismatch)
+        assert mod._load_checkpoint(ck, "") == {}
+
+
+class TestKernelRecording:
+    """Satellite: every checkpoint row records its curve kernel, and
+    resume re-runs rows recorded under a different kernel — a sweep
+    must never mix grid-sampled and exact bounds."""
+
+    def test_points_carry_current_kernel(self):
+        from repro.curves.kernels import current_kernel
+
+        pts = evaluate_grid(["decomposed"], [2], [0.5], parallel=False)
+        assert pts[0].kernel == current_kernel()
+
+    def test_checkpoint_rows_carry_kernel(self, tmp_path):
+        from repro.curves.kernels import use_kernel
+
+        ck = tmp_path / "sweep.jsonl"
+        with use_kernel("grid"):
+            evaluate_grid(["decomposed"], [2], [0.4], parallel=False,
+                          checkpoint=ck)
+        rec = json.loads(ck.read_text().splitlines()[0])
+        assert rec["kernel"] == "grid"
+
+    def test_resume_same_kernel_skips_completed(self, monkeypatch,
+                                                tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        evaluate_grid(["decomposed"], [2], [0.3, 0.6], parallel=False,
+                      checkpoint=ck)
+        # any re-evaluated point would be poisoned into an error
+        monkeypatch.setenv("REPRO_SWEEP_FAULT", "raise@")
+        again = evaluate_grid(["decomposed"], [2], [0.3, 0.6],
+                              parallel=False, retries=0, backoff=0.01,
+                              checkpoint=ck, resume=True)
+        assert all(p.ok for p in again)
+
+    def test_resume_across_kernels_reruns_everything(self, tmp_path):
+        from repro.curves.kernels import use_kernel
+
+        ck = tmp_path / "sweep.jsonl"
+        with use_kernel("grid"):
+            first = evaluate_grid(["decomposed"], [2], [0.3, 0.6],
+                                  parallel=False, checkpoint=ck)
+        assert all(p.kernel == "grid" for p in first)
+        with use_kernel("exact"):
+            second = evaluate_grid(["decomposed"], [2], [0.3, 0.6],
+                                   parallel=False, checkpoint=ck,
+                                   resume=True)
+        assert all(p.kernel == "exact" for p in second)
+        rows = [json.loads(ln) for ln in ck.read_text().splitlines()]
+        assert len(rows) == 2  # still one row per point
+        assert all(r["kernel"] == "exact" for r in rows)
+
+    def test_legacy_rows_without_kernel_rerun(self, tmp_path):
+        from repro.eval import parallel as mod
+
+        ck = tmp_path / "sweep.jsonl"
+        evaluate_grid(["decomposed"], [2], [0.5], parallel=False,
+                      checkpoint=ck)
+        rec = json.loads(ck.read_text().splitlines()[0])
+        del rec["kernel"]  # simulate a pre-kernel-recording checkpoint
+        ck.write_text(json.dumps(rec) + "\n")
+        assert mod._load_checkpoint(ck, "exact") == {}
+        resumed = evaluate_grid(["decomposed"], [2], [0.5],
+                                parallel=False, checkpoint=ck,
+                                resume=True)
+        assert resumed[0].ok and resumed[0].kernel != ""
+
+
+class TestExactlyOneRowPerPoint:
+    """Satellite: the timeout/retry/poison machinery must leave exactly
+    one checkpoint row per grid point, and a failure *of recording
+    itself* must abort the sweep, not masquerade as task failures."""
+
+    def _rows_per_task(self, ck):
+        counts = {}
+        for ln in ck.read_text().splitlines():
+            rec = json.loads(ln)
+            key = (rec["analyzer"], rec["n_hops"], rec["load"])
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def test_hang_with_retries_single_row(self, monkeypatch, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        monkeypatch.setenv("REPRO_SWEEP_FAULT", "hang@0.8")
+        points = evaluate_grid(["decomposed"], [2], [0.4, 0.8, 0.6],
+                               max_workers=2, timeout=1.5, retries=1,
+                               backoff=0.01, checkpoint=ck)
+        assert len(points) == 3
+        counts = self._rows_per_task(ck)
+        assert set(counts.values()) == {1}
+        assert len(counts) == 3
+
+    def test_raise_with_retries_single_row(self, monkeypatch, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        monkeypatch.setenv("REPRO_SWEEP_FAULT", "raise@0.8")
+        evaluate_grid(["decomposed"], [2], [0.4, 0.8],
+                      max_workers=2, timeout=10.0, retries=2,
+                      backoff=0.01, checkpoint=ck)
+        assert set(self._rows_per_task(ck).values()) == {1}
+
+    def test_crash_single_row(self, monkeypatch, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        monkeypatch.setenv("REPRO_SWEEP_FAULT", "crash@0.8")
+        evaluate_grid(["decomposed"], [2], [0.4, 0.8, 0.6],
+                      max_workers=2, timeout=2.0, retries=1,
+                      backoff=0.01, checkpoint=ck)
+        counts = self._rows_per_task(ck)
+        assert set(counts.values()) == {1}
+        assert len(counts) == 3
+
+    def test_expired_sweep_deadline_aborts_cleanly(self, tmp_path):
+        import time as _time
+
+        from repro.context import AnalysisContext, Deadline
+        from repro.errors import AnalysisError
+
+        ck = tmp_path / "sweep.jsonl"
+        deadline = Deadline(0.005, "sweep budget")
+        _time.sleep(0.02)  # expire before the first point lands
+        ctx = AnalysisContext().with_deadline(deadline)
+        # the expiry must ABORT the sweep — under the old behavior it
+        # was caught by the task-isolation boundary and every point got
+        # re-recorded as a bogus error row
+        with pytest.raises(AnalysisError):
+            evaluate_grid(["decomposed"], [2], [0.3, 0.6, 0.9],
+                          parallel=False, retries=0, backoff=0.01,
+                          checkpoint=ck, ctx=ctx)
+        rows = [json.loads(ln) for ln in ck.read_text().splitlines()]
+        assert len(rows) <= 1  # at most the first completed point
+        assert all(r["error"] is None for r in rows)
+
+    def test_grid_length_matches_results(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_FAULT", "hang@0.8")
+        points = evaluate_grid(["decomposed"], [2, 3], [0.4, 0.8],
+                               max_workers=2, timeout=1.5, retries=0,
+                               backoff=0.01)
+        assert len(points) == 4
+        assert sum(not p.ok for p in points) == 2  # both hung loads

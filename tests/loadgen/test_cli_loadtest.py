@@ -99,3 +99,50 @@ class TestLoadtestCLI:
                        "--out", ""])
             assert rc == 0, name
         assert "workload churn" in capsys.readouterr().out
+
+
+class TestParallelLoadtestCLI:
+    def test_workers_require_closed_loop(self, tmp_path):
+        with pytest.raises(SystemExit, match="requires "
+                                             "--closed-loop"):
+            run("--workers", "2")
+
+    def test_workers_validated(self, tmp_path):
+        with pytest.raises(SystemExit, match="workers must be >= 1"):
+            run("--closed-loop", "2", "--workers", "0")
+
+    def test_tandems_validated(self, tmp_path):
+        with pytest.raises(SystemExit, match="tandems must be >= 1"):
+            run("--tandems", "0")
+
+    def test_parallel_closed_loop_matches_serial_trace(self, tmp_path,
+                                                       capsys):
+        """Same seed, workers 1 vs 2: byte-identical canonical trace."""
+        base = ["loadtest", "--workload", "poisson", "--seed", "11",
+                "--rate", "5", "--duration", "1", "--hops", "2",
+                "--tandems", "2", "--analyzer", "decomposed",
+                "--closed-loop", "4", "--requests", "8", "--out", ""]
+        a, b = tmp_path / "serial.jsonl", tmp_path / "par.jsonl"
+        assert main(base + ["--workers", "1", "--record", str(a)]) == 0
+        assert main(base + ["--workers", "2", "--record", str(b)]) == 0
+        # the header differs only in the recorded worker count; every
+        # event line must be byte-identical
+        a_head, *a_events = a.read_text().splitlines()
+        b_head, *b_events = b.read_text().splitlines()
+        assert a_events == b_events
+        assert json.loads(a_head)["driver"]["workers"] == 1
+        assert json.loads(b_head)["driver"]["workers"] == 2
+        assert "8 event(s)" in capsys.readouterr().out
+
+    def test_parallel_trace_replays(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["loadtest", "--workload", "poisson", "--seed",
+                     "3", "--rate", "5", "--duration", "1", "--hops",
+                     "2", "--tandems", "2", "--analyzer", "decomposed",
+                     "--closed-loop", "4", "--requests", "8",
+                     "--workers", "2", "--record", str(trace),
+                     "--out", ""]) == 0
+        capsys.readouterr()
+        assert main(["loadtest", "--replay", str(trace),
+                     "--out", ""]) == 0
+        assert "deterministic" in capsys.readouterr().out

@@ -204,3 +204,78 @@ class TestChaos:
     def test_negative_kill_index_rejected(self):
         with pytest.raises(LoadGenError):
             ChaosPlan(kill_at=[-1], recover=lambda: None)
+
+
+class TestBatchedClosedLoop:
+    """workers > 1: rounds go through ``service.admit_batch``.
+
+    The contract is the batch planner's serial equivalence carried up
+    into the load harness: a batched closed loop must produce the same
+    decisions (and the same canonical trace) as the round-robin, with
+    genuine pool concurrency behind each round.
+    """
+
+    TANDEMS = 2
+
+    def multi_service(self, tmp_path, tag):
+        from repro.analysis.decomposed import DecomposedAnalysis
+
+        servers = [ServerSpec(t * HOPS + k)
+                   for t in range(self.TANDEMS)
+                   for k in range(1, HOPS + 1)]
+        ctx = AnalysisContext(metrics=MetricsRegistry())
+        return AdmissionService(Network(servers, []),
+                                DecomposedAnalysis(),
+                                journal_dir=tmp_path / tag,
+                                ctx=ctx), ctx
+
+    def requests(self, n=8):
+        template = RequestTemplate(n_servers=HOPS, tandems=self.TANDEMS)
+        return PoissonWorkload(5, 4.0, template=template).requests(n)
+
+    def test_batched_matches_serial_round_robin(self, tmp_path):
+        reqs = self.requests()
+        serial_svc, _ = self.multi_service(tmp_path, "serial")
+        serial = run_closed_loop(serial_svc, reqs, clients=4, workers=1)
+        serial.service.close()
+        batched_svc, ctx = self.multi_service(tmp_path, "batched")
+        batched = run_closed_loop(batched_svc, reqs, clients=4,
+                                  workers=2)
+        batched.service.close()
+        assert [r.canonical_dict() for r in serial.records] == \
+            [r.canonical_dict() for r in batched.records]
+        assert serial.committed == batched.committed
+        # the pool plan actually engaged (requests span two tandems)
+        assert ctx.metrics.get("parallel.batch_groups") >= 2
+
+    def test_batched_chaos_splits_round_at_kill_point(self, tmp_path):
+        reqs = self.requests(10)
+        service, ctx = self.multi_service(tmp_path, "j")
+        chaos = ChaosPlan(
+            kill_at=[5],  # mid-round for clients=4
+            recover=lambda: recover_service(tmp_path / "j",
+                                            verify=False, ctx=ctx))
+        result = run_closed_loop(service, reqs, clients=4, workers=2,
+                                 chaos=chaos)
+        result.service.close()
+        assert result.chaos_kills == 1
+        assert result.chaos_lost == ()
+        assert result.latency.count == 10
+        assert [r.index for r in result.records] == list(range(10))
+
+    def test_each_round_shares_its_wall_time(self, tmp_path):
+        service, _ = self.multi_service(tmp_path, "j")
+        result = run_closed_loop(service, self.requests(6), clients=3,
+                                 workers=2)
+        result.service.close()
+        assert result.lag.max == 0.0
+        latencies = [r.latency_s for r in result.records]
+        # two rounds of three: each round's members share one latency
+        assert latencies[0] == latencies[1] == latencies[2]
+        assert latencies[3] == latencies[4] == latencies[5]
+
+    def test_workers_validated(self, tmp_path):
+        service, _ = make_service(tmp_path)
+        with pytest.raises(LoadGenError):
+            run_closed_loop(service, [], workers=0)
+        service.close()

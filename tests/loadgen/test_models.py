@@ -39,11 +39,28 @@ class TestRequestTemplate:
         assert len(rhos) > 1
         assert all(0.01 <= r <= 0.03 for r in rhos)
 
+    def test_tandems_round_robin_disjoint_paths(self):
+        template = RequestTemplate(n_servers=3, tandems=2)
+        rng = Random(0)
+        paths = [template.mint(rng, i).path for i in range(4)]
+        assert paths == [(1, 2, 3), (4, 5, 6), (1, 2, 3), (4, 5, 6)]
+
+    def test_tandems_random_paths_stay_in_their_tandem(self):
+        template = RequestTemplate(n_servers=4, tandems=3,
+                                   paths="random")
+        rng = Random(9)
+        for i in range(30):
+            path = template.mint(rng, i).path
+            base = (i % 3) * 4
+            assert base + 1 <= path[0] <= path[-1] <= base + 4
+            assert path == tuple(range(path[0], path[-1] + 1))
+
     @pytest.mark.parametrize("kwargs", [
         {"n_servers": 0},
         {"paths": "loop"},
         {"rho_jitter": 1.0},
         {"sigma_jitter": -0.1},
+        {"tandems": 0},
     ])
     def test_validation(self, kwargs):
         with pytest.raises(LoadGenError):

@@ -85,3 +85,91 @@ class TestServeRecover:
                      "--no-verify"]) == 0
         out = capsys.readouterr().out
         assert "re-verified" not in out
+
+
+class TestParallelServe:
+    def test_parser_parallel_defaults(self):
+        args = build_parser().parse_args(["serve", "--journal", "j"])
+        assert args.tandems == 1 and args.workers == 1
+        assert args.batch == 16 and args.kernel is None
+
+    def test_rejects_bad_worker_counts(self, tmp_path):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["serve", "--journal", str(tmp_path / "j"),
+                  "--workers", "0"])
+        with pytest.raises(SystemExit, match="--tandems"):
+            main(["serve", "--journal", str(tmp_path / "j"),
+                  "--tandems", "0"])
+
+    def test_multi_tandem_parallel_serve_round_trip(self, tmp_path,
+                                                    capsys):
+        journal = str(tmp_path / "j")
+        rc = main(["serve", "--journal", journal, "--count", "8",
+                   "--hops", "2", "--tandems", "2", "--workers", "2",
+                   "--batch", "4", "--deadline", "60", "--rho", "0.02"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "admitted conn_0" in out and "admitted conn_7" in out
+        assert "served 8 admission(s)" in out
+
+        rc = main(["recover", "--journal", journal])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "8 admitted connection(s)" in out
+        assert "all bit-identical" in out
+
+    def test_batch_prints_every_outcome(self, tmp_path, capsys):
+        journal = str(tmp_path / "j")
+        # rho 0.6: the second connection on each tandem overloads, so a
+        # batch mixes admissions and rejections — every outcome must be
+        # reported before the loop stops
+        rc = main(["serve", "--journal", journal, "--count", "8",
+                   "--hops", "2", "--tandems", "2", "--workers", "2",
+                   "--batch", "4", "--deadline", "60", "--rho", "0.6"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "admitted conn_0" in out and "admitted conn_1" in out
+        assert "rejected conn_2" in out and "rejected conn_3" in out
+
+
+class TestServeKernelPinning:
+    def test_recover_reports_journal_kernel(self, tmp_path, capsys,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_CURVE_KERNEL", "exact")
+        journal = str(tmp_path / "j")
+        assert main(["serve", "--journal", journal, "--count", "2",
+                     "--hops", "2", "--deadline", "60", "--rho", "0.02",
+                     "--kernel", "grid"]) == 0
+        capsys.readouterr()
+        assert main(["recover", "--journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert "kernel grid" in out
+        assert "all bit-identical" in out
+
+    def test_recover_wrong_kernel_refused(self, tmp_path, capsys,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_CURVE_KERNEL", "exact")
+        journal = str(tmp_path / "j")
+        assert main(["serve", "--journal", journal, "--count", "2",
+                     "--hops", "2", "--deadline", "60", "--rho", "0.02",
+                     "--kernel", "grid"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="recorded under curve "
+                                             "kernel 'grid'"):
+            main(["recover", "--journal", journal, "--kernel", "exact"])
+        # the matching expectation passes
+        assert main(["recover", "--journal", journal,
+                     "--kernel", "grid"]) == 0
+
+    def test_serve_resume_wrong_kernel_refused(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_CURVE_KERNEL", "exact")
+        journal = str(tmp_path / "j")
+        assert main(["serve", "--journal", journal, "--count", "2",
+                     "--hops", "2", "--deadline", "60", "--rho", "0.02",
+                     "--kernel", "grid"]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="serve:.*kernel"):
+            main(["serve", "--journal", journal, "--resume",
+                  "--count", "1", "--hops", "2", "--deadline", "60",
+                  "--rho", "0.02", "--kernel", "exact"])
