@@ -1,0 +1,190 @@
+"""BENCH-STORE — warm-process re-admission via the persistent store.
+
+Measures what :class:`repro.store.AnalysisStore` buys **across
+processes**: the incremental engine's in-memory cache dies with its
+process, so a service restart (or a re-run of the same sweep) pays the
+full cold analysis again — unless a store carries the per-server
+results over.  Workload: the same 32-server / 256-flow random
+feed-forward network as BENCH-INC; one process populates the store,
+then a simulated fresh process (new engine, reopened store) replays
+the full analysis plus release/re-admit cycles against the cold
+analyzer.
+
+Every warm bound is compared against the cold bound of the same
+network via ``float.hex`` — a single differing bit fails the run.
+
+Runs two ways:
+
+* ``python benchmarks/bench_store.py`` — standalone, writes
+  ``BENCH_store.json`` to the working directory and exits non-zero on
+  any identity mismatch, a warm-process cold-compute, or (full size
+  only) re-admission speedup < 5x.  Set ``REPRO_BENCH_QUICK=1`` for
+  the reduced CI configuration (smaller network, identity checked, no
+  speedup gate).
+* ``pytest benchmarks/bench_store.py`` — the same run as a test.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import tempfile
+import time
+
+from repro.analysis.decomposed import DecomposedAnalysis
+from repro.engine import IncrementalEngine
+from repro.network.generators import random_feedforward
+from repro.store import AnalysisStore
+
+SEED = 2026
+FULL = {"n_servers": 32, "n_flows": 256, "n_cycles": 8}
+QUICK = {"n_servers": 12, "n_flows": 48, "n_cycles": 3}
+SPEEDUP_FLOOR = 5.0  # acceptance: warm re-admission >= 5x cold (full)
+
+
+def _workload(n_servers: int, n_flows: int):
+    return random_feedforward(seed=SEED, n_servers=n_servers,
+                              n_flows=n_flows, max_utilization=0.8)
+
+
+def _hex_bounds(report, net) -> dict:
+    return {f.name: report.delay_of(f.name).hex()
+            for f in net.iter_flows()}
+
+
+def _diff(tag: str, warm, cold, net) -> list[str]:
+    w, c = _hex_bounds(warm, net), _hex_bounds(cold, net)
+    return [f"{tag} {name}: warm {w[name]} != cold {c[name]}"
+            for name in c if w.get(name) != c[name]]
+
+
+def run_bench(store_dir: str, quick: bool = False) -> dict:
+    """Cold vs populate vs warm-process comparison; returns the record."""
+    cfg = QUICK if quick else FULL
+    net = _workload(cfg["n_servers"], cfg["n_flows"])
+    cold = DecomposedAnalysis()
+    picks = random.Random(7).sample(sorted(net.flows), cfg["n_cycles"])
+
+    # ---- cold baseline: no engine, no store --------------------------
+    t0 = time.perf_counter()
+    cold_report = cold.analyze(net)
+    cold_full_s = time.perf_counter() - t0
+    cold_cycles = []
+    t_cold_admit = 0.0
+    for name in picks:
+        c_rel = cold.analyze(net.without_flow(name))
+        t0b = time.perf_counter()
+        c_adm = cold.analyze(net)
+        t_cold_admit += time.perf_counter() - t0b
+        cold_cycles.append((name, c_rel, c_adm))
+
+    # ---- process 1: engine populates the store -----------------------
+    t0 = time.perf_counter()
+    with AnalysisStore(store_dir) as store:
+        eng = IncrementalEngine(DecomposedAnalysis(), net, store=store)
+        eng.query()
+        for name in picks:
+            eng.release(name)
+            eng.admit(net.flows[name])
+        entries = len(store)
+    populate_s = time.perf_counter() - t0
+
+    # ---- process 2 (simulated restart): fresh engine, warm store -----
+    mismatches: list[str] = []
+    t_warm_admit = 0.0
+    with AnalysisStore(store_dir) as store:
+        eng = IncrementalEngine(DecomposedAnalysis(), net, store=store)
+        t0 = time.perf_counter()
+        warm_report = eng.query()
+        warm_full_s = time.perf_counter() - t0
+        mismatches += _diff("full", warm_report, cold_report, net)
+        for name, c_rel, c_adm in cold_cycles:
+            t0 = time.perf_counter()
+            w_rel = eng.release(name)
+            t0b = time.perf_counter()
+            w_adm = eng.admit(net.flows[name])
+            t_warm_admit += time.perf_counter() - t0b
+            mismatches += _diff(f"release {name}", w_rel, c_rel,
+                                net.without_flow(name))
+            mismatches += _diff(f"admit {name}", w_adm, c_adm, net)
+        stats = eng.stats.as_dict()
+        store_stats = store.stats.as_dict()
+
+    n = cfg["n_cycles"]
+    per_cold = t_cold_admit / n
+    per_warm = t_warm_admit / n
+    return {
+        "benchmark": "store_warm_start",
+        "quick": quick,
+        "config": {**cfg, "seed": SEED, "analyzer": "decomposed"},
+        "store_entries": entries,
+        "cold_full_analysis_s": cold_full_s,
+        "populate_s": populate_s,
+        "warm_full_analysis_s": warm_full_s,
+        "full_analysis_speedup": (cold_full_s / warm_full_s
+                                  if warm_full_s else None),
+        "cold_per_readmission_s": per_cold,
+        "warm_per_readmission_s": per_warm,
+        "readmit_speedup": per_cold / per_warm if per_warm else None,
+        "warm_cold_computes": stats["misses"],
+        "engine_stats": stats,
+        "store_stats": store_stats,
+        "bit_identical": not mismatches,
+        "mismatches": mismatches[:20],
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+def test_store_warm_start_bit_identical(tmp_path):
+    result = run_bench(str(tmp_path / "store"), quick=True)
+    assert result["bit_identical"], result["mismatches"]
+    assert result["warm_cold_computes"] == 0  # everything store-served
+    assert result["readmit_speedup"] is not None
+    assert result["readmit_speedup"] > 1.0
+
+
+# ----------------------------------------------------------------------
+# standalone entry point
+# ----------------------------------------------------------------------
+
+def main() -> int:
+    try:  # package import (pytest / repo root) or script-dir import
+        from benchmarks._artifacts import bench_quick, write_artifact
+    except ImportError:
+        from _artifacts import bench_quick, write_artifact
+
+    quick = bench_quick()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as d:
+        result = run_bench(d, quick=quick)
+
+    out = write_artifact("store", result)
+    size = "quick" if quick else "full"
+    print(f"BENCH-STORE ({size}): cold {result['cold_per_readmission_s']:.4f}s"
+          f" vs warm-process {result['warm_per_readmission_s']:.4f}s per"
+          f" re-admission — {result['readmit_speedup']:.2f}x, full analysis"
+          f" {result['full_analysis_speedup']:.2f}x,"
+          f" {result['store_entries']} store entr(ies),"
+          f" {result['warm_cold_computes']} warm cold-compute(s) -> {out}")
+
+    rc = 0
+    for m in result["mismatches"]:
+        print(f"MISMATCH: {m}", file=sys.stderr)
+        rc = 1
+    if result["warm_cold_computes"]:
+        print(f"FAIL: warm process recomputed "
+              f"{result['warm_cold_computes']} step(s) cold",
+              file=sys.stderr)
+        rc = 1
+    if not quick and result["readmit_speedup"] < SPEEDUP_FLOOR:
+        print(f"FAIL: warm re-admission speedup "
+              f"{result['readmit_speedup']:.2f}x < "
+              f"{SPEEDUP_FLOOR:g}x floor", file=sys.stderr)
+        rc = 1
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

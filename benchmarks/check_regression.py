@@ -1,0 +1,181 @@
+"""Bench-regression guard: fresh ``BENCH_*.json`` vs committed baselines.
+
+Compares the artifacts the benchmarks just wrote against the expectation
+files in ``benchmarks/baselines/`` and exits non-zero on any regression.
+Run it after the benches::
+
+    python benchmarks/check_regression.py            # every baseline
+    python benchmarks/check_regression.py store      # one bench
+
+Baseline format (one JSON file per bench)::
+
+    {
+      "artifact": "store",              # checks BENCH_store.json
+      "checks": {
+        "bit_identical":      {"equals": true},
+        "warm_cold_computes": {"max": 0},
+        "readmit_speedup":    {"min": 1.5},
+        "mismatches":         {"empty": true},
+        "engine_stats.hits":  {"min": 1}        # dotted = nested
+      }
+    }
+
+Supported predicates per metric:
+
+``equals``
+    Exact equality (bools, strings, counts).
+``min`` / ``max``
+    Absolute floor / ceiling — the right shape for speedup gates,
+    which must hold on any machine.
+``empty``
+    The value is an empty list/dict (mismatch and failure lists).
+``value`` + ``tolerance`` (+ optional ``direction``)
+    Relative band around a recorded reference: with direction
+    ``higher`` (default) the fresh value must be at least
+    ``value * (1 - tolerance)``; with ``lower`` at most
+    ``value * (1 + tolerance)``.  Use for timing-derived metrics where
+    an absolute floor would be too machine-dependent.
+
+Artifacts are located the same way the benches write them: the repo
+root, or ``REPRO_BENCH_DIR`` when set — so CI can point both sides at
+a scratch directory.  A baseline whose artifact is missing is a
+failure (the bench did not run), unless ``--allow-missing`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+try:  # package import (repo root) or script-dir import
+    from benchmarks._artifacts import artifact_path
+except ImportError:
+    from _artifacts import artifact_path
+
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+
+def lookup(record: dict, dotted: str):
+    """Resolve ``a.b.c`` inside nested dicts; KeyError when absent."""
+    node = record
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(dotted)
+        node = node[part]
+    return node
+
+
+def check_metric(name: str, value, spec: dict) -> str | None:
+    """One predicate; returns a failure description or None."""
+    if "equals" in spec and value != spec["equals"]:
+        return f"{name} = {value!r}, expected {spec['equals']!r}"
+    if spec.get("empty") and value:
+        shown = value if isinstance(value, (int, float)) else len(value)
+        return f"{name} expected empty, got {shown} item(s)"
+    if "min" in spec or "max" in spec or "value" in spec:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return f"{name} = {value!r} is not numeric"
+        if "min" in spec and value < spec["min"]:
+            return f"{name} = {value:g} < floor {spec['min']:g}"
+        if "max" in spec and value > spec["max"]:
+            return f"{name} = {value:g} > ceiling {spec['max']:g}"
+        if "value" in spec:
+            ref = float(spec["value"])
+            tol = float(spec.get("tolerance", 0.0))
+            if spec.get("direction", "higher") == "lower":
+                ceiling = ref * (1.0 + tol)
+                if value > ceiling:
+                    return (f"{name} = {value:g} > {ceiling:g} "
+                            f"(baseline {ref:g} + {tol:.0%})")
+            else:
+                floor = ref * (1.0 - tol)
+                if value < floor:
+                    return (f"{name} = {value:g} < {floor:g} "
+                            f"(baseline {ref:g} - {tol:.0%})")
+    return None
+
+
+def check_baseline(path: Path, *,
+                   allow_missing: bool = False) -> list[str] | None:
+    """All failures of one baseline file.
+
+    Empty list = pass; ``None`` = skipped (artifact absent and
+    ``allow_missing`` set).
+    """
+    try:
+        baseline = json.loads(path.read_text(encoding="utf-8"))
+        name = str(baseline["artifact"])
+        checks = dict(baseline["checks"])
+    except (OSError, ValueError, KeyError) as exc:
+        return [f"{path.name}: unreadable baseline: {exc}"]
+    artifact = artifact_path(name)
+    if not artifact.exists():
+        if allow_missing:
+            print(f"  SKIP {name}: no {artifact.name}")
+            return None
+        return [f"{name}: missing artifact {artifact} "
+                "(bench did not run?)"]
+    try:
+        record = json.loads(artifact.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"{name}: unreadable artifact {artifact}: {exc}"]
+    failures = []
+    for metric, spec in checks.items():
+        try:
+            value = lookup(record, metric)
+        except KeyError:
+            failures.append(f"{name}: metric {metric!r} missing "
+                            f"from {artifact.name}")
+            continue
+        problem = check_metric(metric, value, spec)
+        if problem is not None:
+            failures.append(f"{name}: {problem}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare fresh BENCH_*.json artifacts against "
+                    "committed baselines")
+    parser.add_argument("names", nargs="*",
+                        help="baseline names to check (default: every "
+                             "file in benchmarks/baselines/)")
+    parser.add_argument("--baselines", default=str(BASELINE_DIR),
+                        metavar="DIR", help="baseline directory")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="skip baselines whose artifact is absent "
+                             "instead of failing")
+    args = parser.parse_args(argv)
+
+    base = Path(args.baselines)
+    if args.names:
+        paths = [base / f"{n}.json" for n in args.names]
+    else:
+        paths = sorted(base.glob("*.json"))
+    if not paths:
+        print(f"check_regression: no baselines under {base}",
+              file=sys.stderr)
+        return 2
+
+    all_failures: list[str] = []
+    for path in paths:
+        failures = check_baseline(path,
+                                  allow_missing=args.allow_missing)
+        if failures:
+            all_failures.extend(failures)
+        elif failures is not None:
+            print(f"  ok   {path.stem}")
+    if all_failures:
+        print(f"{len(all_failures)} bench regression(s):",
+              file=sys.stderr)
+        for f in all_failures:
+            print(f"  REGRESSION {f}", file=sys.stderr)
+        return 1
+    print(f"check_regression: {len(paths)} baseline(s) pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,20 +77,30 @@ def _admit_group(payload: tuple) -> dict:
     records; an analysis failure aborts the whole group with
     ``ok=False`` so the driver re-runs it through the fallback chain.
     """
-    subnet, items, capped, kernel, budget, label, want_records = payload
+    (subnet, items, capped, kernel, budget, label, want_records,
+     store_path) = payload
     from repro.analysis.propagation import server_step
     from repro.context.metrics import MetricsRegistry
+    from repro.engine.parallel import open_worker_store
     metrics = MetricsRegistry()
     analyzer = DecomposedAnalysis(capped)
     records: dict[bytes, tuple[object, float]] = {}
+    store = open_worker_store(store_path)
     step = None
-    if want_records:
+    if want_records or store is not None:
         from repro.engine.incremental import _server_key
 
         def step(sid, si):
+            key = _server_key(si)
+            if store is not None:
+                entry = store.get(key)
+                if entry is not None:
+                    metrics.inc("store.hits")
+                    return entry.value
+                metrics.inc("store.misses")
             t0 = time.perf_counter()
             value = server_step(si)
-            records[_server_key(si)] = (value, time.perf_counter() - t0)
+            records[key] = (value, time.perf_counter() - t0)
             return value
 
     current = subnet
@@ -117,6 +127,8 @@ def _admit_group(payload: tuple) -> dict:
         try:
             report = analyzer.analyze(candidate, ctx=ctx)
         except AnalysisError as exc:
+            if store is not None:
+                store.close()
             return {"ok": False,
                     "error": f"{type(exc).__name__}: {exc}",
                     "metrics": metrics.as_dict()}
@@ -138,6 +150,8 @@ def _admit_group(payload: tuple) -> dict:
         decisions.append((idx, True, "all deadlines met", new_bound,
                           label))
         current = candidate
+    if store is not None:
+        store.close()
     return {"ok": True, "decisions": decisions,
             "metrics": metrics.as_dict(),
             "records": [(k, v, dt) for k, (v, dt) in records.items()]}
@@ -265,7 +279,9 @@ def plan_batch(controller: "AdmissionController",
 
     # -- evaluate groups on the pool -----------------------------------
     kernel = ctx.kernel if ctx.kernel is not None else current_kernel()
-    want_records = controller.engine is not None
+    store = controller.store
+    store_path = str(store.path) if store is not None else None
+    want_records = controller.engine is not None or store is not None
     payloads = []
     ordered_groups = sorted(groups.values(), key=lambda g: g[0][0])
     for items in ordered_groups:
@@ -274,7 +290,8 @@ def plan_batch(controller: "AdmissionController",
                 if uf.find(comp_of[sid]) in roots}
         payloads.append((_induced_subnetwork(network, keep), items,
                          base.capped_propagation, kernel,
-                         controller._budget, primary.name, want_records))
+                         controller._budget, primary.name, want_records,
+                         store_path))
 
     ctx.count("parallel.batch_groups", len(groups))
     seeds: list = []
@@ -294,6 +311,15 @@ def plan_batch(controller: "AdmissionController",
                     analyzer=label))
                 if listener is not None and label:
                     listener(primary, None)
-    if seeds and controller.engine is not None:
-        controller.engine.seed_cache(seeds)
+    if seeds:
+        if controller.engine is not None:
+            # seed_cache also persists to the engine's store (when
+            # writable) — the single serialized write of worker results
+            controller.engine.seed_cache(seeds)
+        elif store is not None and not store.read_only:
+            from repro.errors import StoreError
+            try:
+                store.seed(seeds)
+            except (StoreError, OSError):
+                ctx.count("store.write_errors")
     return planned

@@ -90,6 +90,13 @@ class AdmissionController:
         engine in the fallback chain; transactional semantics are
         unchanged (the engine is stateless here — the controller still
         owns the network).
+    store:
+        Optional persistent :class:`~repro.store.AnalysisStore`.  With
+        ``incremental=True`` it becomes the engine's second cache tier
+        (results survive restarts); with or without an engine, batch
+        admission workers probe it read-only and ship fresh entries
+        back for one serialized parent write.  When *analyzer* is
+        already an engine carrying its own store, that store wins.
     analyzer_gate:
         Optional ``gate(analyzer) -> bool`` consulted before every
         analyzer attempt; a False verdict skips the analyzer (recorded
@@ -116,18 +123,19 @@ class AdmissionController:
                  analyzer_gate: Callable[[Analyzer], bool] | None = None,
                  analyzer_listener: Callable[
                      [Analyzer, BaseException | None], None] | None = None,
-                 ) -> None:
+                 store=None) -> None:
         if analysis_budget is not None and not analysis_budget > 0:
             raise AdmissionError(
                 f"analysis_budget must be > 0, got {analysis_budget}")
         self._network = network
         self._engine: IncrementalEngine | None = None
+        self._store = store
         if incremental:
             if isinstance(analyzer, IncrementalEngine):
                 self._engine = analyzer
                 analyzer = self._engine.analyzer
             else:
-                self._engine = IncrementalEngine(analyzer)
+                self._engine = IncrementalEngine(analyzer, store=store)
             self._analyzers = (self._engine, analyzer, *fallbacks)
         else:
             self._analyzers = (analyzer, *fallbacks)
@@ -193,6 +201,18 @@ class AdmissionController:
     def engine_stats(self) -> EngineStats | None:
         """Engine counters (hits/misses/saved time), or None."""
         return self._engine.stats if self._engine is not None else None
+
+    @property
+    def store(self):
+        """The persistent analysis store in effect, when any.
+
+        The engine's store when an engine carries one (it may predate
+        this controller), else the ``store=`` this controller was
+        constructed with.
+        """
+        if self._engine is not None and self._engine.store is not None:
+            return self._engine.store
+        return self._store
 
     @property
     def context(self) -> AnalysisContext:

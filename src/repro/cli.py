@@ -6,16 +6,19 @@ Usage (also available as ``python -m repro``)::
     repro figures  [--quick] [--figure FIG5]
     repro simulate --hops 4 --load 0.8 [--horizon 120] [--packet 0.05]
     repro admit    --hops 4 --deadline 30 [--rho 0.02] [--analyzer ...]
-                   [--incremental] [--trace out.json]
+                   [--incremental] [--trace out.json] [--store DIR]
     repro resilience --hops 4 --load 0.8 [--degrade 2=0.8] [--fail 2] ...
     repro sweep    --analyzers integrated --hops 2,4 --loads 0.3,0.6
                    [--checkpoint FILE] [--resume] [--timeout S]
-                   [--profile]
+                   [--profile] [--store DIR]
     repro validate --seeds 20 [--quick] [--out DIR] [--budget S]
                    [--replay CASE.json] [--trace out.json]
     repro serve    --journal DIR --hops 4 --deadline 30 [--count N]
                    [--interval S] [--budget S] [--shed-latency S]
+                   [--store DIR]
     repro recover  --journal DIR [--no-verify] [--show-bounds]
+                   [--store DIR]
+    repro store    {inspect|compact|verify} DIR [--max-bytes N]
     repro loadtest --workload flash-crowd --seed 7 --rate 40
                    --duration 10 [--closed-loop K] [--chaos]
                    [--record t.jsonl] [--replay t.jsonl]
@@ -69,6 +72,19 @@ def _make_analyzer(name: str) -> Analyzer:
             f"{sorted(ANALYZERS)}") from None
 
 
+def _open_store(path: str | None, *, read_only: bool = False):
+    """Open ``--store PATH`` writable (or read-only), or return None."""
+    if path is None:
+        return None
+    from repro.errors import StoreError
+    from repro.store import AnalysisStore
+
+    try:
+        return AnalysisStore(path, read_only=read_only)
+    except (StoreError, OSError) as exc:
+        raise SystemExit(f"store: {path}: {exc}") from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -83,6 +99,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default), sampled grid backend, or auto "
                             "(exact with grid fallback) — see "
                             "docs/KERNELS.md")
+
+    def store_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store", default=None, metavar="PATH",
+                       help="persistent analysis store directory: "
+                            "serve cached per-hop/per-block results "
+                            "across runs (bit-identical to cold "
+                            "analysis) and persist fresh ones — see "
+                            "docs/STORE.md")
 
     def tandem_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--hops", type=int, default=4,
@@ -135,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(per-request and per-server spans, curve-op "
                         "counters, engine cache stats) to FILE")
     kernel_arg(p)
+    store_arg(p)
 
     p = sub.add_parser("export",
                        help="write figure data as CSV + JSON files")
@@ -205,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "counters per point, kept in checkpoint "
                         "records) and print a per-point timing column")
     kernel_arg(p)
+    store_arg(p)
 
     p = sub.add_parser("serve",
                        help="journaled admission service: admit a "
@@ -251,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="requests per admit_batch when --workers > 1 "
                         "(default 16)")
     kernel_arg(p)
+    store_arg(p)
 
     p = sub.add_parser("loadtest",
                        help="SLO-gated load test of the admission "
@@ -358,6 +385,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--show-bounds", action="store_true",
                    help="print the recovered per-flow delay bounds")
     kernel_arg(p)
+    store_arg(p)
+
+    p = sub.add_parser("store",
+                       help="inspect, compact or verify a persistent "
+                            "analysis store directory")
+    p.add_argument("action", choices=("inspect", "compact", "verify"),
+                   help="inspect: layout + stats; compact: rewrite "
+                        "live entries (LRU-capped); verify: full "
+                        "checksum scan")
+    p.add_argument("path", metavar="DIR",
+                   help="store directory (as passed to --store)")
+    p.add_argument("--max-bytes", type=int, default=None,
+                   dest="max_bytes", metavar="N",
+                   help="compact: cap live payload bytes, evicting "
+                        "least-recently-used entries beyond N")
 
     p = sub.add_parser("validate",
                        help="differential validation: fuzz the bounds "
@@ -458,22 +500,33 @@ def _cmd_admit(args) -> int:
     from repro.context import NULL_CONTEXT, AnalysisContext
 
     ctx = AnalysisContext.tracing() if args.trace else NULL_CONTEXT
+    store = _open_store(args.store)
+    if store is not None and not args.incremental:
+        # the store rides the engine's lookup ladder
+        args.incremental = True
     empty = Network([ServerSpec(k) for k in range(1, args.hops + 1)], [])
     controller = AdmissionController(empty, _make_analyzer(args.analyzer),
                                      incremental=args.incremental,
-                                     context=ctx)
+                                     context=ctx, store=store)
 
     def make(k: int) -> ConnectionRequest:
         return ConnectionRequest(
             f"conn_{k}", TokenBucket(1.0, args.rho, peak=1.0),
             tuple(range(1, args.hops + 1)), args.deadline)
 
-    count = controller.admissible_count(make, max_tries=args.max_tries)
+    try:
+        count = controller.admissible_count(make,
+                                            max_tries=args.max_tries)
+    finally:
+        if store is not None:
+            store.close()
     print(f"{args.analyzer}: admitted {count} identical connections "
           f"(deadline {args.deadline:g}, rho {args.rho:g}, "
           f"{args.hops} hops)")
     if controller.engine_stats is not None:
         print(controller.engine_stats.render())
+    if store is not None:
+        print(f"store: {store.path} ({len(store)} entries)")
     if args.trace:
         meta: dict = {"command": "admit", "analyzer": args.analyzer,
                       "hops": args.hops, "deadline": args.deadline,
@@ -595,12 +648,17 @@ def _cmd_sweep(args) -> int:
         print(f"\r{done}/{total} points, {errors} errors, "
               f"ETA {eta:.0f}s ", end="", file=sys.stderr, flush=True)
 
-    points = evaluate_grid(
-        analyzers, hops, loads, sigma=args.sigma,
-        parallel=not args.serial, timeout=args.timeout,
-        retries=args.retries, checkpoint=args.checkpoint,
-        resume=args.resume, ctx=ctx, profile=args.profile,
-        progress=progress)
+    store = _open_store(args.store)
+    try:
+        points = evaluate_grid(
+            analyzers, hops, loads, sigma=args.sigma,
+            parallel=not args.serial, timeout=args.timeout,
+            retries=args.retries, checkpoint=args.checkpoint,
+            resume=args.resume, ctx=ctx, profile=args.profile,
+            progress=progress, store=store)
+    finally:
+        if store is not None:
+            store.close()
     print(file=sys.stderr)
     timing = f" {'time':>8} " if args.profile else "  "
     print(f"{'analyzer':>15} {'hops':>5} {'load':>6} "
@@ -617,6 +675,10 @@ def _cmd_sweep(args) -> int:
                   f"{'-':>10}{timing}ERROR: {p.error}")
     print(f"{len(points) - failed}/{len(points)} points ok"
           + (f", {failed} failed" if failed else ""))
+    if store is not None:
+        m = ctx.metrics
+        print(f"store: {store.path} ({len(store)} entries, "
+              f"{int(m.get('store.writes'))} new)")
     return 0 if failed == 0 else 1
 
 
@@ -628,6 +690,7 @@ def _cmd_serve(args) -> int:
         raise SystemExit("serve: --tandems must be >= 1")
     if args.workers < 1:
         raise SystemExit("serve: --workers must be >= 1")
+    store = _open_store(args.store)
     try:
         if args.resume:
             service = recover_service(
@@ -637,9 +700,12 @@ def _cmd_serve(args) -> int:
                 analysis_budget=args.budget,
                 incremental=not args.no_incremental,
                 snapshot_every=args.snapshot_every,
-                shed_latency_s=args.shed_latency)
+                shed_latency_s=args.shed_latency,
+                store=store)
             print(f"recovered {len(service.admitted)} connection(s) "
-                  f"from {args.journal}")
+                  f"from {args.journal}"
+                  + (f" (store: {store.path})"
+                     if store is not None else ""))
         else:
             # --tandems T disjoint lines of --hops servers; requests
             # round-robin across them (independent components, so
@@ -655,8 +721,11 @@ def _cmd_serve(args) -> int:
                 analysis_budget=args.budget,
                 incremental=not args.no_incremental,
                 snapshot_every=args.snapshot_every,
-                shed_latency_s=args.shed_latency)
+                shed_latency_s=args.shed_latency,
+                store=store)
     except (JournalError, RecoveryError) as exc:
+        if store is not None:
+            store.close()
         raise SystemExit(f"serve: {exc}") from None
 
     def make(k: int) -> ConnectionRequest:
@@ -678,31 +747,35 @@ def _cmd_serve(args) -> int:
     admitted = rejected = 0
     start = len(service.admitted)
     batch = max(1, args.batch) if args.workers > 1 else 1
-    with service.graceful_shutdown():
-        k = start
-        while k < start + args.count:
-            if service.shutdown_requested:
-                print("shutdown requested: checkpointing and exiting",
-                      file=sys.stderr)
-                break
-            ks = list(range(k, min(k + batch, start + args.count)))
-            if batch > 1:
-                outcomes = service.admit_batch(
-                    [make(i) for i in ks], workers=args.workers)
-            else:
-                outcomes = [service.admit(make(ks[0]))]
-            stop = False
-            for i, outcome in zip(ks, outcomes):
-                if show(i, outcome):
-                    admitted += 1
+    try:
+        with service.graceful_shutdown():
+            k = start
+            while k < start + args.count:
+                if service.shutdown_requested:
+                    print("shutdown requested: checkpointing and "
+                          "exiting", file=sys.stderr)
+                    break
+                ks = list(range(k, min(k + batch, start + args.count)))
+                if batch > 1:
+                    outcomes = service.admit_batch(
+                        [make(i) for i in ks], workers=args.workers)
                 else:
-                    rejected += 1
-                    stop = True
-            if stop:
-                break
-            k += len(ks)
-            if args.interval > 0:
-                time.sleep(args.interval)
+                    outcomes = [service.admit(make(ks[0]))]
+                stop = False
+                for i, outcome in zip(ks, outcomes):
+                    if show(i, outcome):
+                        admitted += 1
+                    else:
+                        rejected += 1
+                        stop = True
+                if stop:
+                    break
+                k += len(ks)
+                if args.interval > 0:
+                    time.sleep(args.interval)
+    finally:
+        if store is not None:
+            store.close()
     lat = service.latency_quantiles()
     print(f"served {admitted} admission(s), {rejected} rejection(s); "
           f"journal at {args.journal} "
@@ -925,15 +998,50 @@ def _cmd_recover(args) -> int:
         print(f"  {name}")
     if args.no_verify:
         return 0
+    store = _open_store(args.store)
     try:
-        report = verify_recovery(args.journal, kernel=args.kernel)
+        report = verify_recovery(args.journal, kernel=args.kernel,
+                                 store=store)
     except RecoveryError as exc:
         raise SystemExit(f"recover: {exc}") from None
+    finally:
+        if store is not None:
+            store.close()
     print(report.render())
     if args.show_bounds and report.final_bounds:
         for name, bound in sorted(report.final_bounds.items()):
             print(f"  {name}: {bound:.6f}")
     return 0 if report.ok else 1
+
+
+def _cmd_store(args) -> int:
+    read_only = args.action in ("inspect", "verify")
+    store = _open_store(args.path, read_only=read_only)
+    assert store is not None  # path is a required positional
+    try:
+        if args.action == "inspect":
+            info = store.describe()
+            cap = info["max_bytes"]
+            print(f"store: {info['path']}")
+            print(f"  format:   v{info['format']} ({info['schema']})")
+            print(f"  entries:  {info['entries']}")
+            print(f"  live:     {info['live_bytes']} payload byte(s)"
+                  + (f" (cap {cap})" if cap is not None else ""))
+            print(f"  on disk:  {info['disk_bytes']} byte(s) in "
+                  f"{info['segments']} segment(s)")
+            stats = info["stats"]
+            print(f"  scan:     {stats['corrupt']} corrupt frame(s) "
+                  f"dropped at open")
+            return 0
+        if args.action == "compact":
+            report = store.compact(max_bytes=args.max_bytes)
+            print(report.render())
+            return 0
+        report = store.verify()
+        print(report.render())
+        return 0 if report.ok else 1
+    finally:
+        store.close()
 
 
 def _cmd_validate(args) -> int:
@@ -999,6 +1107,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "recover": _cmd_recover,
         "loadtest": _cmd_loadtest,
+        "store": _cmd_store,
         "validate": _cmd_validate,
     }
     return handlers[args.command](args)

@@ -48,9 +48,10 @@ from repro.curves.kernels import current_kernel
 from repro.engine.cache import ResultCache
 from repro.engine.depgraph import DependencyGraph, affected_cone
 from repro.engine.stats import EngineStats
-from repro.errors import EngineError
+from repro.errors import EngineError, StoreError
 from repro.network.flow import Flow
 from repro.network.topology import Network
+from repro.store import AnalysisStore
 from repro.utils.hashing import stable_digest
 
 __all__ = [
@@ -161,12 +162,22 @@ class IncrementalEngine(Analyzer):
         raise :class:`~repro.errors.EngineError` unless the reports are
         bit-identical.  For differential harnesses and paranoid
         deployments; roughly doubles the cost of every query.
+    store:
+        Optional :class:`~repro.store.AnalysisStore` second cache tier:
+        a memory miss probes the store before computing cold, and
+        freshly computed results are persisted (when the store is
+        writable), so bounds survive process restarts.  Store entries
+        carry the same content keys (kernel included) as the in-memory
+        cache, so a store hit is bit-identical to the cold computation
+        by construction; disk trouble degrades to a miss, never an
+        error on the analysis path.
     """
 
     def __init__(self, analyzer: Analyzer,
                  network: Network | None = None, *,
                  max_cache_entries: int | None = None,
-                 self_check: bool = False) -> None:
+                 self_check: bool = False,
+                 store: AnalysisStore | None = None) -> None:
         if isinstance(analyzer, IncrementalEngine):
             raise EngineError("cannot wrap an IncrementalEngine in "
                               "another IncrementalEngine")
@@ -183,6 +194,7 @@ class IncrementalEngine(Analyzer):
         self._memo: _SweepMemo | None = None
         self._network = network
         self._self_check = bool(self_check)
+        self._store = store
 
     # ------------------------------------------------------------------
     # introspection
@@ -202,6 +214,11 @@ class IncrementalEngine(Analyzer):
     def cache_size(self) -> int:
         """Number of entries in the content-addressed cache."""
         return len(self._cache)
+
+    @property
+    def store(self) -> AnalysisStore | None:
+        """The persistent second cache tier, when attached."""
+        return self._store
 
     @property
     def supports_incremental(self) -> bool:
@@ -356,6 +373,18 @@ class IncrementalEngine(Analyzer):
             ctx.annotate(cache="hit")
             outcomes[unit] = (entry.value, entry.compute_time)
             return entry.value
+        if self._store is not None:
+            stored = self._store.get(key)
+            if stored is not None:
+                self.stats.store_hits += 1
+                self.stats.saved_s += stored.compute_time
+                ctx.count("store.hits")
+                ctx.annotate(cache="store_hit")
+                self._cache.put(key, stored.value, stored.compute_time)
+                outcomes[unit] = (stored.value, stored.compute_time)
+                return stored.value
+            self.stats.store_misses += 1
+            ctx.count("store.misses")
         t0 = time.perf_counter()
         value = compute_fn(payload)
         dt = time.perf_counter() - t0
@@ -365,8 +394,27 @@ class IncrementalEngine(Analyzer):
         ctx.count("engine.spent_s", dt)
         ctx.annotate(cache="miss")
         self._cache.put(key, value, dt)
+        self._persist(key, value, dt, ctx)
         outcomes[unit] = (value, dt)
         return value
+
+    def _persist(self, key: bytes, value: object, dt: float,
+                 ctx: AnalysisContext) -> None:
+        """Best-effort store write; never fails the analysis path.
+
+        Read-only stores (pool workers) skip silently — their fresh
+        entries travel back to the parent as seed records instead.
+        Disk trouble (full, permissions, closed store) is counted and
+        swallowed: persistence is an optimization, correctness never
+        depends on it.
+        """
+        if self._store is None or self._store.read_only:
+            return
+        try:
+            if self._store.put(key, value, dt):
+                ctx.count("store.writes")
+        except (StoreError, OSError):
+            ctx.count("store.write_errors")
 
     def _make_server_step(self, cone, reusable, outcomes,
                           ctx: AnalysisContext):
@@ -458,6 +506,7 @@ class IncrementalEngine(Analyzer):
             if self._cache.get(key) is None:
                 self._cache.put(key, value, dt)
                 added += 1
+            self._persist(key, value, dt, NULL_CONTEXT)
         return added
 
     def reset_cache(self) -> None:

@@ -118,6 +118,23 @@ def subnetwork(network: Network,
 # worker side (runs in the pool processes)
 # ----------------------------------------------------------------------
 
+def open_worker_store(store_path: str | None):
+    """A read-only store handle for a pool worker, or None.
+
+    Workers never write (single-writer discipline, see
+    ``docs/STORE.md``); a missing or unreadable store degrades to
+    "no store" — the worker simply computes everything.
+    """
+    if store_path is None:
+        return None
+    from repro.errors import StoreError
+    from repro.store import AnalysisStore
+    try:
+        return AnalysisStore(store_path, read_only=True)
+    except (StoreError, OSError):
+        return None
+
+
 def _analyze_component(payload: tuple) -> dict:
     """Pool worker: analyze one component's subnetwork.
 
@@ -125,12 +142,16 @@ def _analyze_component(payload: tuple) -> dict:
     under the explicitly-pinned kernel, with a fresh worker-local
     metrics registry (merged into the parent's on return) and an
     optional deadline carved from the parent's remaining budget.
+    When the parent has a persistent analysis store, the worker opens
+    it **read-only**, serves per-server steps from it, and ships every
+    freshly computed step back as a seed record for the parent's
+    single serialized write.
 
     Analysis errors come back as structured markers — exception
     *objects* with keyword-only constructors don't survive the pickle
     round-trip a raising worker would force.
     """
-    net, capped, kernel, budget, want_records = payload
+    net, capped, kernel, budget, want_records, store_path = payload
     from repro.context.metrics import MetricsRegistry
     metrics = MetricsRegistry()
     ctx = AnalysisContext(metrics=metrics, kernel=kernel)
@@ -138,14 +159,21 @@ def _analyze_component(payload: tuple) -> dict:
         ctx = ctx.with_deadline(
             Deadline(budget, "parallel component analysis"))
     records: list[SeedRecord] = []
-    if want_records:
+    store = open_worker_store(store_path)
+    if want_records or store is not None:
         from repro.engine.incremental import _server_key
 
         def step(sid, si):
+            key = _server_key(si)
+            if store is not None:
+                entry = store.get(key)
+                if entry is not None:
+                    ctx.count("store.hits")
+                    return entry.value
+                ctx.count("store.misses")
             t0 = time.perf_counter()
             value = server_step(si)
-            records.append((_server_key(si), value,
-                            time.perf_counter() - t0))
+            records.append((key, value, time.perf_counter() - t0))
             return value
 
         ctx = ctx.with_interceptors(step=step)
@@ -155,6 +183,9 @@ def _analyze_component(payload: tuple) -> dict:
         return {"ok": False,
                 "error": f"{type(exc).__name__}: {exc}",
                 "metrics": metrics.as_dict()}
+    finally:
+        if store is not None:
+            store.close()
     return {"ok": True, "report": report,
             "metrics": metrics.as_dict(), "records": records}
 
@@ -215,16 +246,23 @@ class ParallelAnalysis(Analyzer):
         *analyzer* unchanged — this wrapper is always a safe drop-in.
     workers:
         Pool size.  ``workers <= 1`` disables the pool entirely.
+    store:
+        Optional persistent :class:`~repro.store.AnalysisStore`.
+        Workers open it read-only and serve already-known per-server
+        steps from it; fresh steps ship back and, when the parent's
+        handle is writable, land in one serialized write here.
 
     The report's ``algorithm`` is the wrapped analyzer's name: callers
     (and the differential harness) cannot tell which path produced it.
     """
 
-    def __init__(self, analyzer: Analyzer, workers: int = 2) -> None:
+    def __init__(self, analyzer: Analyzer, workers: int = 2, *,
+                 store=None) -> None:
         if isinstance(analyzer, ParallelAnalysis):
             raise EngineError("cannot nest ParallelAnalysis")
         self._analyzer = analyzer
         self._workers = int(workers)
+        self._store = store
         self.name = analyzer.name
         self.serial_fallbacks = 0
         self.parallel_runs = 0
@@ -237,6 +275,11 @@ class ParallelAnalysis(Analyzer):
     @property
     def workers(self) -> int:
         return self._workers
+
+    @property
+    def store(self):
+        """The attached persistent store, when any."""
+        return self._store
 
     def _fast_path_ok(self, network: Network,
                       ctx: AnalysisContext) -> bool:
@@ -264,9 +307,12 @@ class ParallelAnalysis(Analyzer):
         budget = (ctx.deadline.remaining()
                   if ctx.deadline is not None else None)
         capped = self._analyzer.capped_propagation
+        store_path = (str(self._store.path)
+                      if self._store is not None else None)
         payloads = [(subnetwork(network, comp), capped, kernel, budget,
-                     False) for comp in components]
+                     False, store_path) for comp in components]
         reports: list[DelayReport] = []
+        fresh: list[SeedRecord] = []
         with ProcessPoolExecutor(max_workers=self._workers) as pool:
             for result in pool.map(_analyze_component, payloads):
                 merge_worker_metrics(ctx, result.get("metrics"))
@@ -275,8 +321,22 @@ class ParallelAnalysis(Analyzer):
                         f"parallel component analysis failed: "
                         f"{result['error']}")
                 reports.append(result["report"])
+                fresh.extend(result.get("records") or ())
+        self._persist_records(fresh, ctx)
         ctx.checkpoint("parallel merge")
         return merge_reports(network, self._analyzer.name, reports)
+
+    def _persist_records(self, records: Sequence[SeedRecord],
+                         ctx: AnalysisContext) -> None:
+        """The single serialized write of worker-computed entries."""
+        if (self._store is None or self._store.read_only
+                or not records):
+            return
+        from repro.errors import StoreError
+        try:
+            ctx.count("store.writes", self._store.seed(records))
+        except (StoreError, OSError):
+            ctx.count("store.write_errors")
 
 
 def merge_worker_metrics(ctx: AnalysisContext,

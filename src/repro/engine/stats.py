@@ -18,8 +18,8 @@ from repro.context import MetricsRegistry
 __all__ = ["EngineStats"]
 
 #: Integer counters, in render order.
-_COUNTERS = ("queries", "hits", "misses", "fast_reuses",
-             "invalidations", "fallbacks", "self_checks")
+_COUNTERS = ("queries", "hits", "misses", "store_hits", "store_misses",
+             "fast_reuses", "invalidations", "fallbacks", "self_checks")
 #: Seconds accumulators.
 _SECONDS = ("saved_s", "spent_s")
 
@@ -47,6 +47,11 @@ class EngineStats:
         Block/step results served from the content-addressed cache.
     misses:
         Block/step results that had to be computed.
+    store_hits / store_misses:
+        Memory-cache misses that the persistent analysis store (when
+        one is attached) did / did not answer.  A store hit still
+        counts as neither ``hits`` nor ``misses``: the three tiers are
+        disjoint.
     fast_reuses:
         Results reused from the previous sweep without even hashing
         (the block was outside the invalidation cone).
@@ -78,6 +83,8 @@ class EngineStats:
     queries = _counter("queries", int)
     hits = _counter("hits", int)
     misses = _counter("misses", int)
+    store_hits = _counter("store_hits", int)
+    store_misses = _counter("store_misses", int)
     fast_reuses = _counter("fast_reuses", int)
     invalidations = _counter("invalidations", int)
     fallbacks = _counter("fallbacks", int)
@@ -87,8 +94,8 @@ class EngineStats:
 
     @property
     def reused(self) -> int:
-        """Results not recomputed (cache hits plus fast reuses)."""
-        return self.hits + self.fast_reuses
+        """Results not recomputed (memory + store hits, fast reuses)."""
+        return self.hits + self.store_hits + self.fast_reuses
 
     @property
     def hit_rate(self) -> float:

@@ -135,6 +135,18 @@ class LoadGenError(ReproError):
     """
 
 
+class StoreError(ReproError):
+    """Invalid analysis-store configuration or API misuse.
+
+    Raised for *caller* mistakes only — opening a file as a store
+    directory, writing to a read-only store, compacting a closed one.
+    Disk-level trouble (torn segment tails, bit flips, version skew)
+    is deliberately **not** an exception: the store's contract is to
+    degrade every corrupt entry into a cache miss so analysis falls
+    back to recomputation, never to crash the admission path.
+    """
+
+
 class EngineError(AnalysisError):
     """The incremental analysis engine detected an internal
     inconsistency (e.g. a self-check found cached results diverging

@@ -106,26 +106,102 @@ def _maybe_inject_fault(task: _Task) -> None:
         raise RuntimeError(f"injected fault on task {task}")
 
 
-def _evaluate_one(args: _Task, profile: bool = False) -> SweepPoint:
+#: Per-process cache of opened (read-only) store handles, keyed by
+#: path.  In serial mode :func:`evaluate_grid` registers its own
+#: writable handle here so in-process evaluation probes live state.
+_WORKER_STORES: dict = {}
+
+
+def _worker_store(path: str):
+    store = _WORKER_STORES.get(path)
+    if path not in _WORKER_STORES or (store is not None and store.closed):
+        from repro.engine.parallel import open_worker_store
+        store = open_worker_store(path)
+        _WORKER_STORES[path] = store
+    return store
+
+
+def _store_hooks(store, records: list):
+    """Sweep-unit interceptors backed by the persistent store.
+
+    Serves per-server steps and per-block evaluations from *store*
+    (same content keys as the incremental engine, so hits are
+    bit-identical by construction) and collects every fresh
+    computation into *records* for the driver's serialized write.
+    """
+    from repro.analysis.propagation import server_step
+    from repro.core.integrated import evaluate_block
+    from repro.engine.incremental import _block_key, _server_key
+
+    def lookup(key_fn, compute, payload):
+        key = key_fn(payload)
+        if store is not None:
+            entry = store.get(key)
+            if entry is not None:
+                return entry.value
+        t0 = time.perf_counter()
+        value = compute(payload)
+        records.append((key, value, time.perf_counter() - t0))
+        return value
+
+    def step(sid, si):
+        return lookup(_server_key, server_step, si)
+
+    def block(blk, bi):
+        return lookup(_block_key, evaluate_block, bi)
+
+    return step, block
+
+
+def _evaluate_one(args: _Task, profile: bool = False,
+                  store_path: str | None = None):
+    """Evaluate one grid point; the worker entry point.
+
+    Returns the bare :class:`SweepPoint` without a store, or
+    ``(point, seed_records)`` when *store_path* is set — fresh
+    per-unit results travel back to the driver, which owns the single
+    writable handle.
+    """
     analyzer_name, n_hops, load, sigma = args
     _maybe_inject_fault(args)
     start = time.perf_counter()
     kernel = current_kernel()
     analyzer = _analyzer_factory(analyzer_name)()
     net = build_tandem(n_hops, load, sigma)
-    if not profile:
+    if not profile and store_path is None:
         delay = analyzer.analyze(net).delay_of(CONNECTION0)
         return SweepPoint(analyzer_name, n_hops, load, sigma, delay,
                           elapsed_s=time.perf_counter() - start,
                           kernel=kernel)
-    ctx = AnalysisContext(metrics=MetricsRegistry())
-    with ctx.metrics.timed("point"):
+    records: list = []
+    ctx = (AnalysisContext(metrics=MetricsRegistry()) if profile
+           else NULL_CONTEXT)
+    if store_path is not None:
+        step, block = _store_hooks(_worker_store(store_path), records)
+        ctx = ctx.with_interceptors(step=step, block=block)
+    if profile:
+        with ctx.metrics.timed("point"):
+            delay = analyzer.run(net, ctx).delay_of(CONNECTION0)
+        phases = {k: round(float(v), 9)
+                  for k, v in sorted(ctx.metrics.as_dict().items())}
+        point = SweepPoint(analyzer_name, n_hops, load, sigma, delay,
+                           elapsed_s=time.perf_counter() - start,
+                           phases=phases, kernel=kernel)
+    else:
         delay = analyzer.run(net, ctx).delay_of(CONNECTION0)
-    phases = {k: round(float(v), 9)
-              for k, v in sorted(ctx.metrics.as_dict().items())}
-    return SweepPoint(analyzer_name, n_hops, load, sigma, delay,
-                      elapsed_s=time.perf_counter() - start,
-                      phases=phases, kernel=kernel)
+        point = SweepPoint(analyzer_name, n_hops, load, sigma, delay,
+                           elapsed_s=time.perf_counter() - start,
+                           kernel=kernel)
+    if store_path is not None:
+        return point, records
+    return point
+
+
+def _split_result(res) -> tuple[SweepPoint, list]:
+    """Normalize a worker result to ``(point, seed_records)``."""
+    if isinstance(res, tuple):
+        return res
+    return res, []
 
 
 # ----------------------------------------------------------------------
@@ -271,7 +347,9 @@ def _failure_point(task: _Task, error: str, attempts: int) -> SweepPoint:
 def _run_serial(pending: list[tuple[_Task, int]], retries: int,
                 backoff: float,
                 record: Callable[[_Task, SweepPoint], None],
-                profile: bool = False) -> None:
+                profile: bool = False,
+                store_path: str | None = None,
+                collect: Callable[[list], None] | None = None) -> None:
     for task, attempt in pending:
         while True:
             # the isolation boundary wraps only the evaluation: an
@@ -280,8 +358,9 @@ def _run_serial(pending: list[tuple[_Task, int]], retries: int,
             # re-recorded as a second, contradictory row for a point
             # that already succeeded
             try:
-                point = replace(_evaluate_one(task, profile),
-                                attempts=attempt)
+                point, seeds = _split_result(
+                    _evaluate_one(task, profile, store_path))
+                point = replace(point, attempts=attempt)
             except Exception as exc:  # noqa: BLE001 - isolation boundary
                 if attempt > retries:
                     record(task, _failure_point(
@@ -290,6 +369,8 @@ def _run_serial(pending: list[tuple[_Task, int]], retries: int,
                 time.sleep(backoff * 2 ** (attempt - 1))
                 attempt += 1
                 continue
+            if collect is not None and seeds:
+                collect(seeds)
             record(task, point)
             break
 
@@ -297,7 +378,9 @@ def _run_serial(pending: list[tuple[_Task, int]], retries: int,
 def _run_parallel(pending: list[tuple[_Task, int]], workers: int,
                   timeout: float, retries: int, backoff: float,
                   record: Callable[[_Task, SweepPoint], None],
-                  profile: bool = False) -> None:
+                  profile: bool = False,
+                  store_path: str | None = None,
+                  collect: Callable[[list], None] | None = None) -> None:
     """Pool rounds: each round submits everything pending, a timeout
     kills the round's pool (the only way to stop a hung worker) and the
     unfinished remainder rolls into the next round."""
@@ -313,7 +396,8 @@ def _run_parallel(pending: list[tuple[_Task, int]], workers: int,
         pool = multiprocessing.Pool(processes=workers)
         try:
             handles = [(task, attempt,
-                        pool.apply_async(_evaluate_one, (task, profile)))
+                        pool.apply_async(_evaluate_one,
+                                         (task, profile, store_path)))
                        for task, attempt in pending]
             poisoned = False
             for task, attempt, handle in handles:
@@ -327,7 +411,8 @@ def _run_parallel(pending: list[tuple[_Task, int]], workers: int,
                 # wrote a second, contradictory checkpoint row for an
                 # already-completed point
                 try:
-                    point = replace(handle.get(wait), attempts=attempt)
+                    point, seeds = _split_result(handle.get(wait))
+                    point = replace(point, attempts=attempt)
                 except multiprocessing.TimeoutError:
                     if poisoned:
                         next_round.append((task, attempt))
@@ -342,6 +427,8 @@ def _run_parallel(pending: list[tuple[_Task, int]], workers: int,
                     fail(task, attempt,
                          f"{type(exc).__name__}: {exc}")
                     continue
+                if collect is not None and seeds:
+                    collect(seeds)
                 record(task, point)
         finally:
             pool.terminate()
@@ -361,6 +448,7 @@ def evaluate_grid(analyzers: Sequence[str], hops: Sequence[int],
                   backoff: float = 0.25,
                   checkpoint: str | Path | None = None,
                   resume: bool = False,
+                  store=None,
                   ctx: AnalysisContext = NULL_CONTEXT,
                   profile: bool = False,
                   progress: Callable[[int, int, int], None] | None = None,
@@ -400,6 +488,15 @@ def evaluate_grid(analyzers: Sequence[str], hops: Sequence[int],
     resume:
         With *checkpoint*: load previously completed points and only
         evaluate missing or failed ones.
+    store:
+        Optional :class:`~repro.store.AnalysisStore` memoizing
+        per-server / per-block results *across* runs: workers probe it
+        read-only and the driver lands their fresh entries in one
+        serialized write, so a resumed or repeated sweep recomputes
+        only what no previous run derived.  Results are bit-identical
+        with or without the store (same content keys as the
+        incremental engine; checkpoint rows additionally pin the curve
+        kernel).
     ctx:
         Execution context for the sweep driver.  The grid size and live
         completion state land in its registry (``sweep.total``,
@@ -477,19 +574,42 @@ def evaluate_grid(analyzers: Sequence[str], hops: Sequence[int],
         if progress is not None:
             progress(done, total, errors)
 
+    store_path: str | None = None
+    collect: Callable[[list], None] | None = None
+    if store is not None:
+        store_path = str(store.path)
+
+        def collect(seeds: list) -> None:
+            if store.read_only:
+                return
+            from repro.errors import StoreError
+            try:
+                ctx.count("store.writes", store.seed(seeds))
+            except (StoreError, OSError):
+                ctx.count("store.write_errors")
+
     pending = [(t, 1) for t in tasks if t not in results]
+    serial = not parallel or len(pending) <= 1
+    if store_path is not None and serial:
+        # in-process evaluation probes the live (writable) handle, so
+        # entries landed by earlier points serve later ones immediately
+        _WORKER_STORES[store_path] = store
     with ctx.span("sweep", points=len(tasks), pending=len(pending),
                   profile=profile):
         try:
-            if not parallel or len(pending) <= 1:
-                _run_serial(pending, retries, backoff, record, profile)
+            if serial:
+                _run_serial(pending, retries, backoff, record, profile,
+                            store_path, collect)
             else:
                 workers = max_workers or min(len(pending),
                                              os.cpu_count() or 1)
                 _run_parallel(pending, workers,
                               timeout if timeout is not None
                               else DEFAULT_TASK_TIMEOUT,
-                              retries, backoff, record, profile)
+                              retries, backoff, record, profile,
+                              store_path, collect)
         finally:
             sink.close()
+            if store_path is not None:
+                _WORKER_STORES.pop(store_path, None)
     return [results[t] for t in tasks]

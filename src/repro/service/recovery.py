@@ -205,6 +205,7 @@ class RecoveryReport:
 
 def verify_recovery(directory: str | Path, *,
                     kernel: str | None = None,
+                    store=None,
                     ctx: AnalysisContext = NULL_CONTEXT) -> RecoveryReport:
     """Re-analyze every journaled admission and demand bit-identity.
 
@@ -214,6 +215,14 @@ def verify_recovery(directory: str | Path, *,
     snapshot's per-flow bounds when no newer records exist.  Analysis
     failures during verification are reported as mismatches (history
     claims a bound existed; we cannot reproduce it).
+
+    *store* (a :class:`~repro.store.AnalysisStore`) accelerates the
+    replay: each verification analyzer runs behind an incremental
+    engine consulting the store before re-deriving per-hop results.
+    The ``float.hex`` comparison is unchanged — every bound, however
+    served, is still checked bit-for-bit against the journal, so a
+    stale or corrupted store can only slow verification down (miss →
+    recompute), never let a wrong bound through.
 
     Re-analysis runs under the **journaled curve kernel**: bounds
     recorded under the grid backend cannot be reproduced bit-for-bit
@@ -243,7 +252,13 @@ def verify_recovery(directory: str | Path, *,
 
     def analyzer_for(name: str) -> Analyzer:
         if name not in analyzers:
-            analyzers[name] = resolve_analyzer(name)
+            resolved = resolve_analyzer(name)
+            if store is not None:
+                from repro.engine import IncrementalEngine
+                engine = IncrementalEngine(resolved, store=store)
+                if engine.supports_incremental:
+                    resolved = engine
+            analyzers[name] = resolved
         return analyzers[name]
 
     mismatches: list[str] = []
@@ -323,6 +338,7 @@ def recover_service(directory: str | Path, *,
                     analyzer: Analyzer | None = None,
                     verify: bool = True,
                     kernel: str | None = None,
+                    store=None,
                     ctx: AnalysisContext = NULL_CONTEXT,
                     **service_kwargs):
     """Rebuild a live :class:`~repro.service.AdmissionService`.
@@ -336,7 +352,10 @@ def recover_service(directory: str | Path, *,
     asserts the curve kernel and must match the journaled one when the
     journal records it (:class:`~repro.errors.RecoveryError`
     otherwise) — the resumed service is pinned to the journaled kernel
-    so new records stay comparable with history.  Extra keyword
+    so new records stay comparable with history.  *store* warm-boots
+    recovery: verification consults it before re-deriving per-hop
+    results (bit-identity still enforced per bound) and the resumed
+    service keeps it as its persistent cache tier.  Extra keyword
     arguments are forwarded to the service constructor.
     """
     from repro.service.service import AdmissionService
@@ -349,7 +368,8 @@ def recover_service(directory: str | Path, *,
             "bounds from two kernels in one journal — rerun without "
             f"--kernel or with --kernel {state.kernel}")
     if verify:
-        report = verify_recovery(directory, kernel=kernel, ctx=ctx)
+        report = verify_recovery(directory, kernel=kernel, store=store,
+                                 ctx=ctx)
         if not report.ok:
             raise RecoveryError(
                 "recovered state failed bound verification:\n"
@@ -359,4 +379,4 @@ def recover_service(directory: str | Path, *,
     return AdmissionService(
         state.network, primary, journal_dir=directory, resume=True,
         admitted=state.admitted, kernel=state.kernel or kernel,
-        ctx=ctx, **service_kwargs)
+        store=store, ctx=ctx, **service_kwargs)

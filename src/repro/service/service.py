@@ -146,6 +146,13 @@ class AdmissionService:
         exponentially-weighted decision latency above it raises the
         shed level (above ``4x`` it jumps to closed-form-only), and
         recovery below half of it clears the automatic shed.
+    store:
+        Optional persistent :class:`~repro.store.AnalysisStore`
+        forwarded to the controller: the incremental engine probes it
+        on memory misses and persists fresh results, so a restarted
+        service warm-boots from prior runs' analyses instead of
+        recomputing them.  The service flushes it on :meth:`close` but
+        never closes it — the handle belongs to the caller.
     ctx:
         Execution context; breaker and ``service.*`` counters land in
         its metrics registry.
@@ -167,6 +174,7 @@ class AdmissionService:
                  snapshot_every: int = 64,
                  shed_latency_s: float | None = None,
                  kernel: str | None = None,
+                 store=None,
                  ctx: AnalysisContext = NULL_CONTEXT,
                  clock: Callable[[], float] = time.monotonic) -> None:
         if snapshot_every < 1:
@@ -197,6 +205,7 @@ class AdmissionService:
         if self._conservative is not None:
             chain_fallbacks.append(self._conservative)
 
+        self._store = store
         controller_kwargs = dict(
             fallbacks=tuple(chain_fallbacks),
             analysis_budget=analysis_budget,
@@ -205,6 +214,7 @@ class AdmissionService:
             incremental=incremental,
             analyzer_gate=self._gate,
             analyzer_listener=self._listen,
+            store=store,
         )
         admitted = list(admitted)
         if admitted:
@@ -281,6 +291,11 @@ class AdmissionService:
     @property
     def journal(self) -> Journal:
         return self._journal
+
+    @property
+    def store(self):
+        """The persistent analysis store in effect, when any."""
+        return self._controller.store
 
     @property
     def closed(self) -> bool:
@@ -578,6 +593,13 @@ class AdmissionService:
             if not self._journal.closed:
                 self.checkpoint()
         finally:
+            store = self.store
+            if (store is not None and not store.closed
+                    and not store.read_only):
+                try:
+                    store.flush()
+                except Exception:
+                    pass  # persistence is best-effort, shutdown is not
             self._journal.close()
             self._closed = True
             self._ctx.count("service.shutdowns")

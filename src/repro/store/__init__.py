@@ -1,0 +1,24 @@
+"""Persistent, content-addressed analysis store (disk cache tier).
+
+See :mod:`repro.store.store` for the full contract and ``docs/STORE.md``
+for operations guidance.
+"""
+
+from repro.store.format import FORMAT_VERSION, VALUE_SCHEMA
+from repro.store.store import (
+    AnalysisStore,
+    CompactionReport,
+    StoreEntry,
+    StoreStats,
+    VerifyReport,
+)
+
+__all__ = [
+    "AnalysisStore",
+    "CompactionReport",
+    "FORMAT_VERSION",
+    "StoreEntry",
+    "StoreStats",
+    "VALUE_SCHEMA",
+    "VerifyReport",
+]

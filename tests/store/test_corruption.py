@@ -1,0 +1,239 @@
+"""Corruption-handling tests: every failure reads as a miss, never a
+wrong value, and a recompute-and-put repairs the store in place."""
+
+import json
+import os
+import pickle
+import struct
+
+from repro.store import AnalysisStore
+from repro.store.format import (
+    FRAME_HEADER,
+    KEY_BYTES,
+    checksum,
+    pack_frame,
+    segment_header,
+)
+
+
+def key(n: int) -> bytes:
+    return n.to_bytes(KEY_BYTES, "big")
+
+
+def seeded_store(path, n=6):
+    with AnalysisStore(path) as store:
+        for i in range(n):
+            store.put(key(i), ("payload", i), float(i))
+    return path
+
+
+def segment_files(path):
+    return sorted(p for p in path.glob("seg-*.dat"))
+
+
+class TestTornTail:
+    def test_truncated_tail_drops_only_the_torn_entry(self, tmp_path):
+        path = seeded_store(tmp_path / "s")
+        seg = segment_files(path)[0]
+        seg.write_bytes(seg.read_bytes()[:-7])  # torn mid-frame
+        with AnalysisStore(path) as store:
+            assert len(store) == 5  # the torn last entry is gone
+            for i in range(5):
+                entry = store.get(key(i))
+                assert entry is not None and entry.value == ("payload", i)
+            assert store.get(key(5)) is None
+
+    def test_writable_open_truncates_the_torn_tail(self, tmp_path):
+        path = seeded_store(tmp_path / "s")
+        seg = segment_files(path)[0]
+        clean = seg.stat().st_size
+        seg.write_bytes(seg.read_bytes() + b"\x00" * 11)  # torn append
+        with AnalysisStore(path):
+            pass
+        assert seg.stat().st_size == clean
+
+    def test_read_only_open_tolerates_the_torn_tail(self, tmp_path):
+        path = seeded_store(tmp_path / "s")
+        seg = segment_files(path)[0]
+        torn = seg.read_bytes() + b"\x00" * 11
+        seg.write_bytes(torn)
+        os.unlink(path / "index.json")  # force a scan
+        with AnalysisStore(path, read_only=True) as store:
+            assert len(store) == 6
+        assert seg.stat().st_size == len(torn)  # untouched
+
+    def test_recompute_repairs_after_truncation(self, tmp_path):
+        path = seeded_store(tmp_path / "s")
+        seg = segment_files(path)[0]
+        seg.write_bytes(seg.read_bytes()[:-7])
+        with AnalysisStore(path) as store:
+            assert store.get(key(5)) is None  # miss → caller recomputes
+            assert store.put(key(5), ("payload", 5), 5.0)
+        with AnalysisStore(path) as store:
+            assert store.get(key(5)).value == ("payload", 5)
+
+
+class TestBitFlip:
+    def flip(self, path, back_offset=10):
+        seg = segment_files(path)[0]
+        blob = bytearray(seg.read_bytes())
+        blob[-back_offset] ^= 0x40
+        seg.write_bytes(bytes(blob))
+
+    def test_flipped_payload_is_a_miss_not_a_wrong_value(self, tmp_path):
+        path = seeded_store(tmp_path / "s")
+        self.flip(path)
+        with AnalysisStore(path) as store:
+            # the damaged entry (the last one) must read as None —
+            # never as a value that differs from what was stored
+            assert store.get(key(5)) is None
+            assert store.stats.corrupt == 1
+            for i in range(5):
+                assert store.get(key(i)).value == ("payload", i)
+
+    def test_verify_reports_the_flipped_entry(self, tmp_path):
+        path = seeded_store(tmp_path / "s")
+        self.flip(path)
+        with AnalysisStore(path) as store:
+            report = store.verify()
+            assert not report.ok
+            assert len(report.corrupt) == 1
+            assert "CORRUPT" in report.render()
+
+    def test_reput_repairs_the_flipped_entry(self, tmp_path):
+        path = seeded_store(tmp_path / "s")
+        self.flip(path)
+        with AnalysisStore(path) as store:
+            assert store.get(key(5)) is None
+            assert store.put(key(5), ("payload", 5), 5.0)
+            assert store.get(key(5)).value == ("payload", 5)
+            assert store.verify().ok
+
+    def test_unpicklable_payload_with_valid_crc_is_corrupt(self, tmp_path):
+        path = tmp_path / "s"
+        path.mkdir()
+        junk = b"\x80\x05this is not a pickle"
+        (path / "seg-00000001.dat").write_bytes(
+            segment_header() + pack_frame(key(1), junk))
+        with AnalysisStore(path) as store:
+            assert len(store) == 1  # frame header scanned fine
+            assert store.get(key(1)) is None  # unpickle fails → miss
+            assert store.stats.corrupt == 1
+
+
+class TestVersionSkew:
+    def test_foreign_format_segment_reads_as_empty(self, tmp_path):
+        path = tmp_path / "s"
+        path.mkdir()
+        header = json.loads(
+            segment_header()[:-1].decode("utf-8"))
+        header["format"] = 99
+        blob = (json.dumps(header).encode("utf-8") + b"\n"
+                + pack_frame(key(1), pickle.dumps(("future", 1.0))))
+        (path / "seg-00000001.dat").write_bytes(blob)
+        with AnalysisStore(path) as store:
+            assert len(store) == 0
+            assert store.get(key(1)) is None  # recompute, not garbage
+
+    def test_foreign_schema_segment_reads_as_empty(self, tmp_path):
+        path = tmp_path / "s"
+        path.mkdir()
+        header = json.loads(segment_header()[:-1].decode("utf-8"))
+        header["schema"] = "other-schema-v9"
+        blob = (json.dumps(header).encode("utf-8") + b"\n"
+                + pack_frame(key(1), pickle.dumps(("other", 1.0))))
+        (path / "seg-00000001.dat").write_bytes(blob)
+        with AnalysisStore(path) as store:
+            assert len(store) == 0
+
+    def test_headerless_segment_reads_as_empty(self, tmp_path):
+        path = tmp_path / "s"
+        path.mkdir()
+        (path / "seg-00000001.dat").write_bytes(b"garbage with no header")
+        with AnalysisStore(path) as store:
+            assert len(store) == 0
+            store.put(key(1), "fresh", 0.0)
+        with AnalysisStore(path) as store:
+            assert store.get(key(1)).value == "fresh"
+
+    def test_foreign_index_version_forces_rescan(self, tmp_path):
+        path = seeded_store(tmp_path / "s")
+        index = json.loads((path / "index.json").read_text())
+        index["format"] = 99
+        (path / "index.json").write_text(json.dumps(index))
+        with AnalysisStore(path) as store:
+            assert len(store) == 6  # rebuilt from the segments
+            for i in range(6):
+                assert store.get(key(i)).value == ("payload", i)
+
+    def test_index_naming_missing_segment_forces_rescan(self, tmp_path):
+        path = seeded_store(tmp_path / "s")
+        index = json.loads((path / "index.json").read_text())
+        index["segments"]["seg-99999999.dat"] = 123
+        (path / "index.json").write_text(json.dumps(index))
+        with AnalysisStore(path) as store:
+            assert len(store) == 6
+
+    def test_garbled_index_json_forces_rescan(self, tmp_path):
+        path = seeded_store(tmp_path / "s")
+        (path / "index.json").write_text("{not json")
+        with AnalysisStore(path) as store:
+            assert len(store) == 6
+
+    def test_compaction_drops_foreign_segments(self, tmp_path):
+        path = seeded_store(tmp_path / "s")
+        header = json.loads(segment_header()[:-1].decode("utf-8"))
+        header["format"] = 99
+        foreign = path / "seg-00000002.dat"
+        foreign.write_bytes(json.dumps(header).encode("utf-8") + b"\n")
+        os.unlink(path / "index.json")
+        with AnalysisStore(path) as store:
+            assert len(store) == 6
+            store.compact()
+            assert not foreign.exists()
+            assert len(store) == 6
+
+
+class TestCrashedCompaction:
+    def test_leftover_segments_after_crash_are_merged(self, tmp_path):
+        # a compaction that crashed after writing new segments but
+        # before deleting the old ones leaves both on disk; reopening
+        # must not lose entries or serve wrong values
+        path = seeded_store(tmp_path / "s")
+        seg = segment_files(path)[0]
+        copy = path / "seg-00000002.dat"
+        copy.write_bytes(seg.read_bytes())
+        os.unlink(path / "index.json")
+        with AnalysisStore(path) as store:
+            assert len(store) == 6
+            for i in range(6):
+                assert store.get(key(i)).value == ("payload", i)
+            store.compact()
+        with AnalysisStore(path) as store:
+            assert len(store) == 6
+
+
+class TestFrameScanEdgeCases:
+    def test_oversized_torn_frame_stops_the_scan(self, tmp_path):
+        path = tmp_path / "s"
+        path.mkdir()
+        good = pack_frame(key(1), pickle.dumps(("ok", 0.0)))
+        bogus = FRAME_HEADER.pack(b"\xabRS1", key(2), 2 ** 31, 0)
+        (path / "seg-00000001.dat").write_bytes(
+            segment_header() + good + bogus)
+        with AnalysisStore(path) as store:
+            assert len(store) == 1
+            assert store.get(key(1)).value == "ok"
+
+    def test_bad_magic_stops_the_scan(self, tmp_path):
+        path = tmp_path / "s"
+        path.mkdir()
+        good = pack_frame(key(1), pickle.dumps(("ok", 0.0)))
+        payload = pickle.dumps(("bad", 0.0))
+        bad = (struct.pack("<4s16sII", b"XXXX", key(2), len(payload),
+                           checksum(payload)) + payload)
+        (path / "seg-00000001.dat").write_bytes(
+            segment_header() + good + bad)
+        with AnalysisStore(path) as store:
+            assert len(store) == 1
+            assert store.get(key(2)) is None
